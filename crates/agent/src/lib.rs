@@ -1,0 +1,18 @@
+//! Task agents: the interface between autonomous tasks and the event
+//! scheduler (Section 2 of Singh, ICDE 1996).
+//!
+//! Agents expose only a coarse significant-event skeleton of their task —
+//! states and transitions relevant for coordination. Controllable events
+//! request permission; immediate events (like `abort`) merely inform the
+//! scheduler; triggerable events (like `start`) can be caused by the
+//! scheduler proactively. The [`library`] module provides the agents of
+//! Figure 1 plus the variants used by the workflow examples.
+
+#![warn(missing_docs)]
+
+pub mod library;
+mod skeleton;
+
+pub use skeleton::{
+    AgentEvent, EventAttrs, EventIx, IllegalTransition, StateIx, TaskAgent, TaskAgentBuilder,
+};

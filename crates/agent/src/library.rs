@@ -1,0 +1,189 @@
+//! The common task agents of Figure 1, as a reusable library.
+//!
+//! The paper's Figure 1 sketches two archetypes: a *typical application*
+//! (start → … → finish, possibly failing) and an *RDA transaction*
+//! (start, then commit or abort). We add the compensatable and two-phase
+//! variants that the workflow examples (Example 4) and the extended
+//! transaction models of [3, 8] rely on.
+
+use crate::skeleton::{EventAttrs, TaskAgent};
+use event_algebra::SymbolTable;
+
+/// A typical (non-transactional) application: `start` then `finish` or
+/// `fail`. `fail` is immediate — the scheduler cannot delay or reject it.
+pub fn typical_application(name: &str, table: &mut SymbolTable) -> TaskAgent {
+    TaskAgent::builder(name)
+        .state("initial")
+        .state("executing")
+        .state("done")
+        .state("failed")
+        .event("start", EventAttrs::triggerable())
+        .event("finish", EventAttrs::controllable())
+        .event("fail", EventAttrs::immediate())
+        .transition("initial", "start", "executing")
+        .transition("executing", "finish", "done")
+        .transition("executing", "fail", "failed")
+        .build(table)
+}
+
+/// An RDA (remote database access) transaction: `start`, then `commit`
+/// (controllable — permission is requested) or `abort` (immediate — the
+/// scheduler has no choice but to accept it, Section 3.3).
+pub fn rda_transaction(name: &str, table: &mut SymbolTable) -> TaskAgent {
+    TaskAgent::builder(name)
+        .state("initial")
+        .state("active")
+        .state("committed")
+        .state("aborted")
+        .event("start", EventAttrs::triggerable())
+        .event("commit", EventAttrs::controllable())
+        .event("abort", EventAttrs::immediate())
+        .transition("initial", "start", "active")
+        .transition("active", "commit", "committed")
+        .transition("active", "abort", "aborted")
+        .build(table)
+}
+
+/// A compensatable task: after committing, a compensating step can undo
+/// its effect (Example 4's `book`/`cancel` pair collapsed into one agent).
+pub fn compensatable_task(name: &str, table: &mut SymbolTable) -> TaskAgent {
+    TaskAgent::builder(name)
+        .state("initial")
+        .state("active")
+        .state("committed")
+        .state("aborted")
+        .state("compensated")
+        .event("start", EventAttrs::triggerable())
+        .event("commit", EventAttrs::controllable())
+        .event("abort", EventAttrs::immediate())
+        .event("compensate", EventAttrs::triggerable())
+        .transition("initial", "start", "active")
+        .transition("active", "commit", "committed")
+        .transition("active", "abort", "aborted")
+        .transition("committed", "compensate", "compensated")
+        .build(table)
+}
+
+/// A transaction with a visible precommit (prepared) state — the shape a
+/// two-phase commit participant exposes. The paper's travel example is
+/// motivated by databases that *lack* this state.
+pub fn two_phase_participant(name: &str, table: &mut SymbolTable) -> TaskAgent {
+    TaskAgent::builder(name)
+        .state("initial")
+        .state("active")
+        .state("prepared")
+        .state("committed")
+        .state("aborted")
+        .event("start", EventAttrs::triggerable())
+        .event("prepare", EventAttrs::controllable())
+        .event("commit", EventAttrs::controllable())
+        .event("abort", EventAttrs::immediate())
+        .transition("initial", "start", "active")
+        .transition("active", "prepare", "prepared")
+        .transition("active", "abort", "aborted")
+        .transition("prepared", "commit", "committed")
+        .transition("prepared", "abort", "aborted")
+        .build(table)
+}
+
+/// A task that loops: each iteration enters and exits a critical section
+/// (Example 13's shape). The loop illustrates "arbitrary tasks": the
+/// skeleton has a cycle, so event *types* recur while event *instances*
+/// are distinguished by the per-agent counter (Section 5).
+pub fn looping_task(name: &str, table: &mut SymbolTable) -> TaskAgent {
+    TaskAgent::builder(name)
+        .state("idle")
+        .state("critical")
+        .state("stopped")
+        .event("enter", EventAttrs::controllable())
+        .event("exit", EventAttrs::controllable())
+        .event("stop", EventAttrs::immediate())
+        .transition("idle", "enter", "critical")
+        .transition("critical", "exit", "idle")
+        .transition("idle", "stop", "stopped")
+        .build(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rda_transaction_shape() {
+        let mut t = SymbolTable::new();
+        let mut a = rda_transaction("buy", &mut t);
+        let start = a.event_named("start").unwrap();
+        let commit = a.event_named("commit").unwrap();
+        let abort = a.event_named("abort").unwrap();
+        a.fire(start).unwrap();
+        // Both commit and abort available from active.
+        assert_eq!(a.available().len(), 2);
+        a.fire(commit).unwrap();
+        assert!(a.is_terminal());
+        // Abort path:
+        let mut b = rda_transaction("buy2", &mut t);
+        b.fire(start).unwrap();
+        b.fire(abort).unwrap();
+        assert!(b.is_terminal());
+        // Attributes: commit controllable, abort immediate.
+        assert!(a.events[commit].attrs.controllable);
+        assert!(!a.events[abort].attrs.controllable);
+        assert!(!a.events[abort].attrs.rejectable);
+        assert!(a.events[start].attrs.triggerable);
+    }
+
+    #[test]
+    fn typical_application_shape() {
+        let mut t = SymbolTable::new();
+        let mut a = typical_application("app", &mut t);
+        a.fire(a.event_named("start").unwrap()).unwrap();
+        a.fire(a.event_named("fail").unwrap()).unwrap();
+        assert!(a.is_terminal());
+    }
+
+    #[test]
+    fn compensatable_task_can_undo() {
+        let mut t = SymbolTable::new();
+        let mut a = compensatable_task("book", &mut t);
+        a.fire(a.event_named("start").unwrap()).unwrap();
+        a.fire(a.event_named("commit").unwrap()).unwrap();
+        assert!(!a.is_terminal(), "compensation still available");
+        a.fire(a.event_named("compensate").unwrap()).unwrap();
+        assert!(a.is_terminal());
+    }
+
+    #[test]
+    fn two_phase_has_visible_precommit() {
+        let mut t = SymbolTable::new();
+        let mut a = two_phase_participant("p", &mut t);
+        a.fire(a.event_named("start").unwrap()).unwrap();
+        a.fire(a.event_named("prepare").unwrap()).unwrap();
+        assert_eq!(a.states[a.current], "prepared");
+        // Abort still possible from prepared.
+        assert!(a.can_fire(a.event_named("abort").unwrap()));
+    }
+
+    #[test]
+    fn looping_task_cycles() {
+        let mut t = SymbolTable::new();
+        let mut a = looping_task("t1", &mut t);
+        let enter = a.event_named("enter").unwrap();
+        let exit = a.event_named("exit").unwrap();
+        for _ in 0..5 {
+            a.fire(enter).unwrap();
+            a.fire(exit).unwrap();
+        }
+        assert_eq!(a.states[a.current], "idle");
+        a.fire(a.event_named("stop").unwrap()).unwrap();
+        assert!(a.is_terminal());
+    }
+
+    #[test]
+    fn distinct_agents_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = rda_transaction("x", &mut t);
+        let b = rda_transaction("y", &mut t);
+        assert_ne!(a.literal_of(0), b.literal_of(0));
+        assert_eq!(t.len(), 6);
+    }
+}

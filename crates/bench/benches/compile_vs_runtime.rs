@@ -1,0 +1,76 @@
+//! Experiment C2: "much of the required symbolic reasoning can be
+//! precompiled, leading to efficiency at runtime." One-time compilation
+//! cost (guard synthesis / automaton construction) versus the per-message
+//! runtime cost it buys (constant-time guard reduction / table lookup),
+//! as dependency size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use event_algebra::{residuate, satisfiable, DependencyMachine, Literal, SymbolId};
+use guard::{CompiledWorkflow, GuardScope};
+use testkit::{chain, klein_pipeline, symbols};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for &n in &[2usize, 4, 6, 8] {
+        let (_, syms) = symbols(n);
+        let deps = klein_pipeline(&syms);
+        group.bench_with_input(BenchmarkId::new("guards", n), &n, |b, _| {
+            b.iter(|| CompiledWorkflow::compile(&deps, GuardScope::Mentioning).guards.len())
+        });
+        group.bench_with_input(BenchmarkId::new("automata", n), &n, |b, _| {
+            b.iter(|| {
+                deps.iter().map(|d| DependencyMachine::compile(d).state_count()).sum::<usize>()
+            })
+        });
+        let ch = chain(&syms);
+        group.bench_with_input(BenchmarkId::new("guards-chain", n), &n, |b, _| {
+            b.iter(|| {
+                CompiledWorkflow::compile(std::slice::from_ref(&ch), GuardScope::Mentioning)
+                    .guards
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    for &n in &[4usize, 8] {
+        let (_, syms) = symbols(n);
+        let deps = klein_pipeline(&syms);
+        let compiled = CompiledWorkflow::compile(&deps, GuardScope::Mentioning);
+        let last = Literal::pos(*syms.last().unwrap());
+        let g = compiled.guard(last);
+        let fact = Literal::pos(syms[n - 2]);
+        // Precompiled guard: one reduction per arriving announcement.
+        group.bench_with_input(BenchmarkId::new("guard-reduce", n), &n, |b, _| {
+            b.iter(|| g.assume_occurred(fact).holds_now())
+        });
+        // Automata runtime: one table step per event.
+        let machines: Vec<DependencyMachine> =
+            deps.iter().map(DependencyMachine::compile).collect();
+        group.bench_with_input(BenchmarkId::new("automata-step", n), &n, |b, _| {
+            b.iter(|| {
+                machines
+                    .iter()
+                    .map(|m| m.step(m.initial, fact).index())
+                    .sum::<usize>()
+            })
+        });
+        // Uncompiled baseline: the centralized scheduler's runtime work —
+        // residuate every dependency and re-check satisfiability.
+        group.bench_with_input(BenchmarkId::new("residuate-and-check", n), &n, |b, _| {
+            b.iter(|| {
+                deps.iter()
+                    .map(|d| satisfiable(&residuate(d, fact)) as usize)
+                    .sum::<usize>()
+            })
+        });
+        let _ = SymbolId(0);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Experiment C4 (wall-clock side): end-to-end scheduling cost as the
+//! workflow widens — independent work should scale linearly in total
+//! work for every engine, with the distributed engine spreading it.
+
+use baseline::Engine;
+use bench::{disjoint_workload, run_central, run_distributed};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(15);
+    for &pairs in &[4u32, 16, 32] {
+        let w = disjoint_workload(pairs, pairs.min(16));
+        group.bench_with_input(BenchmarkId::new("distributed", pairs), &pairs, |b, _| {
+            b.iter(|| {
+                let r = run_distributed(&w, 1);
+                assert!(r.all_satisfied());
+                r.duration
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("central-symbolic", pairs), &pairs, |b, _| {
+            b.iter(|| {
+                let r = run_central(&w, 1, Engine::Symbolic);
+                assert!(r.all_satisfied());
+                r.duration
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

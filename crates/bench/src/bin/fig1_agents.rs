@@ -1,0 +1,24 @@
+//! Experiment F1: regenerate Figure 1 — the common task agents (a typical
+//! application and an RDA transaction), plus the library variants used by
+//! the workflow examples.
+
+use agent::library::{
+    compensatable_task, looping_task, rda_transaction, two_phase_participant,
+    typical_application,
+};
+use event_algebra::SymbolTable;
+
+fn main() {
+    println!("== Figure 1: some common task agents ==\n");
+    let mut table = SymbolTable::new();
+    for agent in [
+        typical_application("app", &mut table),
+        rda_transaction("rda", &mut table),
+        compensatable_task("comp", &mut table),
+        two_phase_participant("p2pc", &mut table),
+        looping_task("looper", &mut table),
+    ] {
+        print!("{}", agent.render());
+        println!();
+    }
+}

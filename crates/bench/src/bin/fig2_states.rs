@@ -1,0 +1,43 @@
+//! Experiment F2: regenerate Figure 2 — the scheduler state machines of
+//! `D< = ē + f̄ + e·f` and `D→ = ē + f` — and, with `--universe`,
+//! Example 1's trace universe and denotations (X1).
+
+use event_algebra::{denotation, parse_expr, DependencyMachine, Expr, SymbolTable};
+
+fn main() {
+    let universe = std::env::args().any(|a| a == "--universe");
+    let mut table = SymbolTable::new();
+    let d_prec = parse_expr("~e + ~f + e.f", &mut table).unwrap();
+    let d_arrow = parse_expr("~e + f", &mut table).unwrap();
+
+    println!("== Figure 2: scheduler states and transitions ==\n");
+    for (name, d) in [("D< = ~e + ~f + e.f", &d_prec), ("D-> = ~e + f", &d_arrow)] {
+        println!("--- {name} ---");
+        let m = DependencyMachine::compile(d);
+        print!("{}", m.render(&table));
+        println!();
+    }
+
+    if universe {
+        println!("== Example 1: universe and denotations over Γ = {{e, ē, f, f̄}} ==\n");
+        let syms: Vec<_> = table.ids().collect();
+        let all = event_algebra::enumerate_universe(&syms);
+        println!("|U_E| = {} traces:", all.len());
+        for u in &all {
+            println!("  {u}");
+        }
+        let e = Expr::lit(table.event("e"));
+        let f = Expr::lit(table.event("f"));
+        for (label, expr) in [
+            ("[0]", Expr::Zero),
+            ("[T]", Expr::Top),
+            ("[e]", e.clone()),
+            ("[e.f]", Expr::seq([e.clone(), f])),
+            ("[e + ~e]", Expr::or([e.clone(), Expr::lit(table.complement_of("e"))])),
+            ("[e | ~e]", Expr::And(vec![e, Expr::lit(table.complement_of("e"))])),
+        ] {
+            let d = denotation(&expr, &syms);
+            println!("{label} has {} traces", d.len());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Experiment F3: regenerate Figure 3 — the truth table of the temporal
+//! operators over the maximal traces `⟨e⟩` and `⟨ē⟩` at indices 0 and 1.
+
+use event_algebra::{SymbolTable, Trace};
+use temporal::{sat_at, TExpr};
+
+fn main() {
+    let mut table = SymbolTable::new();
+    let e = table.event("e");
+    let te = Trace::new([e]).unwrap();
+    let tne = Trace::new([e.complement()]).unwrap();
+
+    let rows: Vec<(&str, TExpr)> = vec![
+        ("!e", TExpr::not_yet(e)),
+        ("[]e", TExpr::occurred(e)),
+        ("<>e", TExpr::eventually(e)),
+        ("!~e", TExpr::not_yet(e.complement())),
+        ("[]~e", TExpr::occurred(e.complement())),
+        ("<>~e", TExpr::eventually(e.complement())),
+    ];
+
+    println!("== Figure 3: temporal operators related to events ==\n");
+    println!("{:6} | <e>,0 | <e>,1 | <~e>,0 | <~e>,1", "");
+    println!("{}", "-".repeat(42));
+    for (label, expr) in &rows {
+        let cells: Vec<&str> = [(&te, 0), (&te, 1), (&tne, 0), (&tne, 1)]
+            .iter()
+            .map(|&(u, i)| if sat_at(u, i, expr) { "x" } else { " " })
+            .collect();
+        println!(
+            "{label:6} | {:^5} | {:^5} | {:^6} | {:^6}",
+            cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    println!("\nderived identities (Example 8):");
+    let checks: Vec<(&str, TExpr, Option<TExpr>)> = vec![
+        (
+            "(a) []e + []~e != T",
+            TExpr::or([TExpr::occurred(e), TExpr::occurred(e.complement())]),
+            None,
+        ),
+        (
+            "(b) <>e + <>~e  = T",
+            TExpr::or([TExpr::eventually(e), TExpr::eventually(e.complement())]),
+            Some(TExpr::Top),
+        ),
+        (
+            "(c) <>e | <>~e  = 0",
+            TExpr::and([TExpr::eventually(e), TExpr::eventually(e.complement())]),
+            Some(TExpr::Zero),
+        ),
+        (
+            "(e) !e + []e    = T",
+            TExpr::or([TExpr::not_yet(e), TExpr::occurred(e)]),
+            Some(TExpr::Top),
+        ),
+        (
+            "(f) !e + []~e   = !e",
+            TExpr::or([TExpr::not_yet(e), TExpr::occurred(e.complement())]),
+            Some(TExpr::not_yet(e)),
+        ),
+    ];
+    for (label, lhs, rhs) in checks {
+        let verdict = match rhs {
+            Some(r) => temporal::texprs_equivalent_auto(&lhs, &r),
+            None => !temporal::texprs_equivalent_auto(&lhs, &TExpr::Top),
+        };
+        println!("  {label}: {}", if verdict { "holds" } else { "VIOLATED" });
+    }
+}

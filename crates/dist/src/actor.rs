@@ -1,0 +1,919 @@
+//! Event actors (Sections 2 and 4.3).
+//!
+//! "We instantiate an active entity or actor for each event type. Each
+//! actor maintains the current guard for its event and manages its
+//! communications." We place one actor per *symbol* (managing the event
+//! and its complement together — exactly one of them can occur, and the
+//! actor is the serialization point deciding which).
+//!
+//! The actor:
+//! - evaluates guards on [`Msg::Attempt`]s, granting, rejecting or parking;
+//! - reduces guards as [`Msg::Announce`]/[`Msg::PromiseGrant`] facts arrive
+//!   (Section 4.3's proof rules), re-evaluating parked attempts;
+//! - runs the promise protocol (Example 11) and the not-yet agreement for
+//!   `¬f` guards, with symbol-id priority for deadlock freedom;
+//! - tracks each dependency's residual to *trigger* triggerable events
+//!   that have become required (Section 3.3(b));
+//! - on rejection of an attempted event, makes the complement occur
+//!   (Section 3.3(c)).
+
+use crate::journal::{Journal, JournalKind};
+use crate::msg::Msg;
+use agent::EventAttrs;
+use event_algebra::{requires, residuate, Expr, Literal, Polarity, SymbolId};
+use sim::{Ctx, NodeId, Time};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use temporal::{
+    eventually_mask, needs, occurred_mask, status, Guard, GuardStatus, Need, ST_C, ST_D, ST_FULL,
+};
+
+/// Routing tables shared by all nodes of one execution.
+#[derive(Debug, Default, Clone)]
+pub struct Routing {
+    /// Actor node for each symbol.
+    pub actor_of: BTreeMap<SymbolId, NodeId>,
+    /// Agent node owning each symbol's events (absent for free events).
+    pub agent_of: BTreeMap<SymbolId, NodeId>,
+    /// Actors subscribed to each symbol's announcements.
+    pub subscribers_of: BTreeMap<SymbolId, Vec<NodeId>>,
+}
+
+/// Counters describing one actor's activity.
+#[derive(Debug, Clone, Default)]
+pub struct ActorStats {
+    /// Attempts received.
+    pub attempts: u64,
+    /// Attempts granted (event occurred by acceptance).
+    pub granted: u64,
+    /// Attempts rejected (guard died) — the complement occurred.
+    pub rejected: u64,
+    /// Announcements received.
+    pub announces_in: u64,
+    /// Announcements sent.
+    pub announces_out: u64,
+    /// Promises granted to other events.
+    pub promises_granted: u64,
+    /// Promise requests sent.
+    pub promises_requested: u64,
+    /// Not-yet holds granted.
+    pub holds_granted: u64,
+    /// Guard reductions performed.
+    pub reductions: u64,
+    /// Triggers sent to the agent.
+    pub triggers: u64,
+    /// Virtual time the first attempt parked, if it ever parked.
+    pub first_parked_at: Option<Time>,
+    /// Virtual time of the occurrence, if any.
+    pub occurred_at: Option<Time>,
+}
+
+/// Per-polarity scheduling state.
+#[derive(Debug, Clone)]
+pub struct LitState {
+    /// The current (reduced) guard.
+    pub guard: Guard,
+    /// The compiled guard before any reduction (for ordered rebuilds).
+    pub base_guard: Guard,
+    /// Event attributes.
+    pub attrs: EventAttrs,
+    /// An agent has requested this event and awaits a decision.
+    pub attempted: bool,
+    /// The attempt was forced by the rejection of the complement
+    /// (Section 3.3(c)) rather than requested by an agent.
+    pub forced: bool,
+    /// The guard reduced to `0`: this literal can never occur.
+    pub dead: bool,
+    /// The actor promised `◇lit` to some requester: the event is obligated.
+    pub promised_out: bool,
+    /// Promise requests currently in flight (targets).
+    pub requested_promises: BTreeSet<Literal>,
+    /// Not-yet queries in flight (target symbols).
+    pub notyet_pending: BTreeSet<SymbolId>,
+    /// Symbols currently holding still for us (granted not-yet).
+    pub notyet_granted: BTreeSet<SymbolId>,
+    /// A trigger has been sent to the agent for this literal.
+    pub triggered: bool,
+}
+
+impl LitState {
+    fn new(guard: Guard, attrs: EventAttrs) -> LitState {
+        LitState {
+            base_guard: guard.clone(),
+            guard,
+            attrs,
+            attempted: false,
+            forced: false,
+            dead: false,
+            promised_out: false,
+            requested_promises: BTreeSet::new(),
+            notyet_pending: BTreeSet::new(),
+            notyet_granted: BTreeSet::new(),
+            triggered: false,
+        }
+    }
+}
+
+/// The actor managing one symbol's event and complement.
+#[derive(Debug, Clone)]
+pub struct SymbolActor {
+    /// The symbol this actor owns.
+    pub sym: SymbolId,
+    /// The occurrence, once decided: (literal, time, global sequence).
+    pub occurred: Option<(Literal, Time, u64)>,
+    /// Scheduling state for the positive and negative literal.
+    pub pos: LitState,
+    /// See [`SymbolActor::pos`].
+    pub neg: LitState,
+    /// Residual of every dependency mentioning this symbol
+    /// (`(dep index, residual)`) — drives triggering.
+    pub dep_residuals: Vec<(usize, Expr)>,
+    /// The original dependencies (for ordered rebuilds of residuals).
+    base_deps: Vec<(usize, Expr)>,
+    /// Occurrence facts seen, by global sequence (for ordered rebuilds).
+    facts_seen: BTreeMap<u64, Literal>,
+    /// Promises received.
+    promises_seen: BTreeSet<Literal>,
+    /// Highest fact sequence already folded into the guards.
+    applied_up_to: u64,
+    /// Requesters currently holding this symbol still.
+    pub holds: BTreeSet<Literal>,
+    /// Promise requests that could not be decided yet (the event is not
+    /// attempted, or its guard is not dischargeable under the assumption
+    /// so far); re-examined whenever this actor's state advances.
+    pending_requests: BTreeSet<(Literal, Literal)>,
+    /// Shared routing.
+    pub routing: Arc<Routing>,
+    /// Lazy mode: facts are recorded as they arrive, but parked attempts
+    /// are only re-evaluated on periodic `Tick`s — the polling ablation
+    /// of experiment C3.
+    pub lazy: bool,
+    /// Optional shared execution journal.
+    pub journal: Option<Journal>,
+    /// Activity counters.
+    pub stats: ActorStats,
+}
+
+impl SymbolActor {
+    /// Create the actor for `sym` with compiled guards and attributes for
+    /// both polarities, plus the dependencies mentioning the symbol.
+    pub fn new(
+        sym: SymbolId,
+        pos_guard: Guard,
+        neg_guard: Guard,
+        pos_attrs: EventAttrs,
+        neg_attrs: EventAttrs,
+        deps: Vec<(usize, Expr)>,
+        routing: Arc<Routing>,
+    ) -> SymbolActor {
+        SymbolActor {
+            sym,
+            occurred: None,
+            pos: LitState::new(pos_guard, pos_attrs),
+            neg: LitState::new(neg_guard, neg_attrs),
+            dep_residuals: deps.clone(),
+            base_deps: deps,
+            facts_seen: BTreeMap::new(),
+            promises_seen: BTreeSet::new(),
+            applied_up_to: 0,
+            holds: BTreeSet::new(),
+            pending_requests: BTreeSet::new(),
+            routing,
+            lazy: false,
+            journal: None,
+            stats: ActorStats::default(),
+        }
+    }
+
+    fn lit_state(&mut self, lit: Literal) -> &mut LitState {
+        debug_assert_eq!(lit.symbol(), self.sym);
+        match lit.polarity() {
+            Polarity::Pos => &mut self.pos,
+            Polarity::Neg => &mut self.neg,
+        }
+    }
+
+    fn lit_state_ref(&self, lit: Literal) -> &LitState {
+        match lit.polarity() {
+            Polarity::Pos => &self.pos,
+            Polarity::Neg => &self.neg,
+        }
+    }
+
+    /// Handle one protocol message, pushing outgoing messages through
+    /// `ctx`.
+    pub fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Attempt { lit } => self.on_attempt(ctx, lit),
+            Msg::Inform { lit } => self.on_inform(ctx, lit),
+            Msg::Announce { lit, at, seq } => self.on_announce(ctx, lit, at, seq),
+            Msg::PromiseRequest { lit, for_lit } => self.on_promise_request(ctx, lit, for_lit),
+            Msg::PromiseGrant { lit } => self.on_promise_grant(ctx, lit),
+            Msg::PromiseDeny { lit } => self.on_promise_deny(lit),
+            Msg::NotYetQuery { lit, for_lit } => self.on_notyet_query(ctx, lit, for_lit),
+            Msg::NotYetGrant { lit } => self.on_notyet_grant(ctx, lit),
+            Msg::NotYetDeny { lit, occurred } => self.on_notyet_deny(ctx, lit, occurred),
+            Msg::Release { .. } => self.on_release(ctx, from),
+            Msg::Tick => self.on_tick(ctx),
+            other => panic!("actor for {:?} received non-actor message {other:?}", self.sym),
+        }
+    }
+
+    // ----- agent-facing -----
+
+    fn journal(&self, time: sim::Time, kind: JournalKind) {
+        if let Some(j) = &self.journal {
+            j.record(time, kind);
+        }
+    }
+
+    fn on_attempt(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
+        self.stats.attempts += 1;
+        self.journal(ctx.now(), JournalKind::Attempt(lit));
+        if let Some((occ, _, _)) = self.occurred {
+            let reply = if occ == lit { Msg::Granted { lit } } else { Msg::Rejected { lit } };
+            self.reply_agent(ctx, reply);
+            return;
+        }
+        self.lit_state(lit).attempted = true;
+        self.evaluate(ctx, lit);
+        self.service_pending_requests(ctx);
+    }
+
+    fn on_inform(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
+        // Immediate events: the scheduler has no choice but to accept
+        // (Section 3.3) — unless the symbol already resolved (duplicate
+        // inform after a rejection-induced complement), which is ignored.
+        if self.occurred.is_none() {
+            self.occur(ctx, lit, false);
+        }
+    }
+
+    // ----- facts -----
+
+    fn on_announce(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal, _at: Time, seq: u64) {
+        self.stats.announces_in += 1;
+        if self.facts_seen.insert(seq, lit).is_some() {
+            return; // duplicate
+        }
+        self.apply_facts(seq);
+        self.after_fact(ctx, Some(lit));
+    }
+
+    fn on_promise_grant(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
+        if self.promises_seen.insert(lit) {
+            for st in [&mut self.pos, &mut self.neg] {
+                st.guard = st.guard.assume_promised(lit);
+            }
+            self.stats.reductions += 2;
+        }
+        for l in [Literal::pos(self.sym), Literal::neg(self.sym)] {
+            self.lit_state(l).requested_promises.remove(&lit);
+        }
+        self.after_fact(ctx, None);
+    }
+
+    fn on_promise_deny(&mut self, lit: Literal) {
+        for l in [Literal::pos(self.sym), Literal::neg(self.sym)] {
+            self.lit_state(l).requested_promises.remove(&lit);
+        }
+        // The need stays; a later fact arrival re-evaluates and may retry.
+    }
+
+    /// Fold newly seen occurrence facts into both guards and the
+    /// dependency residuals. Facts are applied in global occurrence
+    /// order; when a fact arrives with a sequence *below* one already
+    /// applied (possible across links with independent latencies), both
+    /// guards and residuals are rebuilt from their compiled bases by
+    /// replaying the full ordered log — required for `◇(sequence)` atoms
+    /// and sequence dependencies, whose reductions do not commute.
+    fn apply_facts(&mut self, new_seq: u64) {
+        if new_seq < self.applied_up_to {
+            // Out-of-order arrival: full ordered replay.
+            self.pos.guard = self.pos.base_guard.clone();
+            self.neg.guard = self.neg.base_guard.clone();
+            self.dep_residuals = self.base_deps.clone();
+            for (_, &l) in self.facts_seen.iter() {
+                self.pos.guard = self.pos.guard.assume_occurred(l);
+                self.neg.guard = self.neg.guard.assume_occurred(l);
+                self.stats.reductions += 2;
+                for (_, r) in &mut self.dep_residuals {
+                    *r = residuate(r, l);
+                }
+            }
+            for &p in &self.promises_seen {
+                self.pos.guard = self.pos.guard.assume_promised(p);
+                self.neg.guard = self.neg.guard.assume_promised(p);
+            }
+            // Our own occurrence (if any) is part of the order too; it
+            // was already folded into the residuals when it happened and
+            // is replayed here through facts_seen (we record it there).
+        } else {
+            let pending: Vec<Literal> = self
+                .facts_seen
+                .range(self.applied_up_to + 1..)
+                .map(|(_, &l)| l)
+                .collect();
+            for l in pending {
+                self.pos.guard = self.pos.guard.assume_occurred(l);
+                self.neg.guard = self.neg.guard.assume_occurred(l);
+                self.stats.reductions += 2;
+                for (_, r) in &mut self.dep_residuals {
+                    *r = residuate(r, l);
+                }
+            }
+        }
+        let max_seen = self.facts_seen.keys().next_back().copied().unwrap_or(0);
+        self.applied_up_to = max_seen.max(self.applied_up_to);
+    }
+
+    /// Lazy-mode periodic wake-up: run the deferred re-evaluation.
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let was_lazy = self.lazy;
+        self.lazy = false;
+        self.after_fact(ctx, None);
+        self.lazy = was_lazy;
+    }
+
+    /// After any new information: re-evaluate parked attempts, check
+    /// triggering, and invalidate stale not-yet grants. In lazy mode the
+    /// re-evaluation is deferred to the next tick; facts were already
+    /// folded into the guards by the caller.
+    fn after_fact(&mut self, ctx: &mut Ctx<'_, Msg>, announced: Option<Literal>) {
+        // A not-yet grant we received becomes moot once that symbol
+        // resolves — drop it (the constraint is now decided by the fact).
+        if let Some(l) = announced {
+            for st in [&mut self.pos, &mut self.neg] {
+                st.notyet_granted.remove(&l.symbol());
+                st.notyet_pending.remove(&l.symbol());
+            }
+        }
+        if self.lazy {
+            return;
+        }
+        if self.occurred.is_none() {
+            for lit in [Literal::pos(self.sym), Literal::neg(self.sym)] {
+                if self.lit_state_ref(lit).attempted {
+                    self.evaluate(ctx, lit);
+                    if self.occurred.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        self.check_triggering(ctx);
+        self.service_pending_requests(ctx);
+    }
+
+    /// Trigger a triggerable own literal that has become *required*: every
+    /// remaining satisfying completion of some dependency contains it.
+    /// With an agent, the trigger is sent there (the agent performs the
+    /// task action); an agent-less free event is self-attempted — the
+    /// scheduler causes it directly, its guard still governing the
+    /// timing.
+    fn check_triggering(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.occurred.is_some() {
+            return;
+        }
+        let agent = self.routing.agent_of.get(&self.sym).copied();
+        for lit in [Literal::pos(self.sym), Literal::neg(self.sym)] {
+            let st = self.lit_state_ref(lit);
+            // Positives are proactively caused only when triggerable;
+            // complements may be decided by the scheduler whenever the
+            // positive was never attempted.
+            let eligible = if lit.is_pos() {
+                st.attrs.triggerable
+            } else {
+                !self.lit_state_ref(lit.complement()).attempted
+            };
+            if !eligible || st.triggered || st.attempted {
+                continue;
+            }
+            let required = self
+                .dep_residuals
+                .iter()
+                .any(|(_, r)| !r.is_top() && !r.is_zero() && requires(r, lit));
+            if required {
+                // A required *complement* with the positive unattempted
+                // is decided by the scheduler directly (a proactive
+                // Section 3.3(c) rejection: every satisfying completion
+                // rules the event out). A required positive goes to the
+                // agent when one exists; free events self-attempt.
+                let force_here = agent.is_none()
+                    || (!lit.is_pos()
+                        && !self.lit_state_ref(lit.complement()).attempted);
+                self.lit_state(lit).triggered = true;
+                self.stats.triggers += 1;
+                self.journal(ctx.now(), JournalKind::Triggered(lit));
+                if force_here {
+                    let st = self.lit_state(lit);
+                    st.attempted = true;
+                    st.forced = true;
+                    self.evaluate(ctx, lit);
+                    if self.occurred.is_some() {
+                        break;
+                    }
+                } else if let Some(agent) = agent {
+                    ctx.send(agent, Msg::Trigger { lit });
+                }
+            }
+        }
+    }
+
+    // ----- evaluation -----
+
+    /// The set of states `sym` could currently be in, as far as this
+    /// actor can prove: promises pin the eventual polarity, active
+    /// not-yet grants (for `lit`) pin "unresolved at this instant".
+    /// Occurred facts were already folded into the guard masks, so they
+    /// do not appear here.
+    fn possible_states(&self, lit: Literal, sym: SymbolId) -> u8 {
+        let mut m = ST_FULL;
+        for p in &self.promises_seen {
+            if p.symbol() == sym {
+                m &= eventually_mask(p.polarity());
+            }
+        }
+        if self.lit_state_ref(lit).notyet_granted.contains(&sym) {
+            m &= ST_C | ST_D;
+        }
+        m
+    }
+
+    /// Coverage evaluation: the guard holds *now* iff it is true for
+    /// every assignment of currently-possible states to its constrained
+    /// symbols. Sound under asynchrony (unannounced remote occurrences
+    /// are inside the possible sets) and complete for literal-level
+    /// guards; conjuncts with `◇(sequence)` atoms cannot witness coverage.
+    fn guard_enabled(&self, lit: Literal) -> bool {
+        let g = &self.lit_state_ref(lit).guard;
+        if g.holds_now() {
+            return true;
+        }
+        let syms: Vec<SymbolId> = g
+            .conjuncts()
+            .iter()
+            .flat_map(|c| c.constrained_symbols().map(|(s, _)| s))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if syms.is_empty() || syms.len() > 12 {
+            return false;
+        }
+        let usable: Vec<_> = g
+            .conjuncts()
+            .iter()
+            .filter(|c| c.seq_atoms().next().is_none())
+            .collect();
+        if usable.is_empty() {
+            return false;
+        }
+        let possible: Vec<u8> = syms.iter().map(|&s| self.possible_states(lit, s)).collect();
+        // Odometer over the possible state sets.
+        let mut states: Vec<u8> = possible.iter().map(|&p| p & p.wrapping_neg()).collect();
+        loop {
+            let covered = usable.iter().any(|c| {
+                syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0)
+            });
+            if !covered {
+                return false;
+            }
+            // Advance to the next state combination.
+            let mut k = 0;
+            loop {
+                if k == syms.len() {
+                    return true;
+                }
+                // Next set bit of possible[k] above states[k].
+                let above = possible[k] & !(states[k] | (states[k] - 1));
+                if above != 0 {
+                    states[k] = above & above.wrapping_neg();
+                    break;
+                }
+                states[k] = possible[k] & possible[k].wrapping_neg();
+                k += 1;
+            }
+        }
+    }
+
+    /// Decide an attempted literal: occur, reject, or park and pursue the
+    /// outstanding needs (promises / not-yet agreements).
+    fn evaluate(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
+        if self.occurred.is_some() {
+            return;
+        }
+        let held = !self.holds.is_empty();
+        let st = self.lit_state_ref(lit);
+        // Scheduler-forced literals (required complements, self-triggered
+        // free events) are decided by residual acceptance — Section 3.4's
+        // criterion over the dependencies this actor tracks — rather than
+        // guard coverage: their occurrence was already established as
+        // *required*, so the only question is the timing.
+        if st.forced && !held {
+            let acceptable = self
+                .dep_residuals
+                .iter()
+                .all(|(_, r)| event_algebra::satisfiable(&residuate(r, lit)));
+            if acceptable {
+                self.occur(ctx, lit, true);
+                return;
+            }
+        }
+        match status(&st.guard) {
+            // A guard whose compiled form carries ◇(sequence) atoms can
+            // look *prematurely* dead when announcements arrive out of
+            // order (residuating the sequence by a later event kills it;
+            // the ordered rebuild recovers the guard once the earlier
+            // fact arrives). Rejection is irreversible, so such guards
+            // park instead of rejecting — Weakened mode (the default) has
+            // no sequence atoms and keeps eager rejection.
+            GuardStatus::Dead if !st.base_guard.has_seq_atoms() => {
+                self.lit_state(lit).dead = true;
+                self.reject(ctx, lit);
+            }
+            GuardStatus::Dead => {
+                if self.stats.first_parked_at.is_none() {
+                    self.stats.first_parked_at = Some(ctx.now());
+                }
+            }
+            _ if self.guard_enabled(lit) => {
+                if !held {
+                    self.occur(ctx, lit, true);
+                }
+                // Held: wait for Release, then re-evaluate.
+            }
+            _ => {
+                if self.stats.first_parked_at.is_none() {
+                    self.stats.first_parked_at = Some(ctx.now());
+                    self.journal(ctx.now(), JournalKind::Parked(lit));
+                }
+                self.pursue_needs(ctx, lit);
+            }
+        }
+    }
+
+    /// Send the protocol messages needed to unblock `lit`, across all
+    /// conjuncts (spurious paths are suppressed at the *grant* side: a
+    /// promise to an unattempted triggerable event is given only when the
+    /// event is required — see [`SymbolActor::try_grant`]).
+    fn pursue_needs(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
+        let needs_per_conjunct = needs(&self.lit_state_ref(lit).guard);
+        let mut to_send: Vec<Msg> = Vec::new();
+        {
+            let st = self.lit_state_ref(lit);
+            for conj in &needs_per_conjunct {
+                for need in conj {
+                    match need {
+                        Need::Promise(f) => {
+                            // Skip promises already in flight — and
+                            // promises already *held*: a constraint that
+                            // survives a held promise (e.g. the {D} mask
+                            // ◇l̄∧¬l̄) needs an agreement or an occurrence,
+                            // not the same promise again.
+                            if !st.requested_promises.contains(f)
+                                && !self.promises_seen.contains(f)
+                            {
+                                to_send.push(Msg::PromiseRequest { lit: *f, for_lit: lit });
+                            }
+                        }
+                        Need::NotYetAgreement(f) => {
+                            if !st.notyet_pending.contains(&f.symbol())
+                                && !st.notyet_granted.contains(&f.symbol())
+                            {
+                                to_send.push(Msg::NotYetQuery { lit: *f, for_lit: lit });
+                            }
+                        }
+                        Need::Occurrence(_) | Need::SequenceHead(_) => {
+                            // Passive: discharged by announcements.
+                        }
+                    }
+                }
+            }
+        }
+        to_send.sort_by_key(|m| {
+            (m.literal(), matches!(m, Msg::NotYetQuery { .. }))
+        });
+        to_send.dedup();
+        for m in to_send {
+            match &m {
+                Msg::PromiseRequest { lit: f, .. } => {
+                    let target = self.routing.actor_of[&f.symbol()];
+                    self.journal(
+                        ctx.now(),
+                        JournalKind::PromiseRequested { lit: *f, for_lit: lit },
+                    );
+                    self.lit_state(lit).requested_promises.insert(*f);
+                    self.stats.promises_requested += 1;
+                    ctx.send(target, m);
+                }
+                Msg::NotYetQuery { lit: f, .. } => {
+                    let target = self.routing.actor_of[&f.symbol()];
+                    self.lit_state(lit).notyet_pending.insert(f.symbol());
+                    ctx.send(target, m);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    // ----- occurrence / rejection -----
+
+    /// The event occurs: record, notify the agent (if it asked), announce
+    /// to subscribers, release any holds we had requested.
+    fn occur(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal, by_acceptance: bool) {
+        debug_assert!(self.occurred.is_none());
+        let at = ctx.now();
+        let seq = ctx.delivery_seq();
+        self.occurred = Some((lit, at, seq));
+        self.stats.occurred_at = Some(at);
+        self.journal(at, JournalKind::Occurred(lit));
+        if by_acceptance {
+            self.stats.granted += 1;
+        }
+        // Record our own occurrence in the ordered fact log (rebuilds
+        // replay it) and advance the residuals now.
+        self.facts_seen.insert(seq, lit);
+        self.applied_up_to = self.applied_up_to.max(seq);
+        for (_, r) in &mut self.dep_residuals {
+            *r = residuate(r, lit);
+        }
+        let st = self.lit_state_ref(lit);
+        if st.attempted && !st.forced {
+            self.reply_agent(ctx, Msg::Granted { lit });
+        }
+        let other = lit.complement();
+        let ost = self.lit_state_ref(other);
+        if ost.attempted && !ost.forced {
+            self.reply_agent(ctx, Msg::Rejected { lit: other });
+        }
+        // Announce to every subscriber.
+        if let Some(subs) = self.routing.subscribers_of.get(&self.sym) {
+            let mut notified = 0;
+            for &node in subs {
+                if node != ctx.self_id {
+                    self.stats.announces_out += 1;
+                    notified += 1;
+                    ctx.send(node, Msg::Announce { lit, at, seq });
+                }
+            }
+            if notified > 0 {
+                self.journal(at, JournalKind::Announced { lit, subscribers: notified });
+            }
+        }
+        self.release_all_requested(ctx);
+        self.check_triggering(ctx);
+    }
+
+    /// The guard on an attempted event died: reject it. By Section 3.3(c),
+    /// rejecting an attempted event makes its complement occur — but the
+    /// complement's *own* guard still governs the timing, so the
+    /// complement is force-attempted through the normal machinery rather
+    /// than occurring unconditionally. If both polarities are dead the
+    /// workflow is jointly contradictory for this symbol and it stays
+    /// unresolved (reported by the executor).
+    fn reject(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
+        self.stats.rejected += 1;
+        self.journal(ctx.now(), JournalKind::Rejected(lit));
+        let was_forced = self.lit_state_ref(lit).forced;
+        self.lit_state(lit).attempted = false;
+        if !was_forced {
+            self.reply_agent(ctx, Msg::Rejected { lit });
+        }
+        self.release_all_requested(ctx);
+        let c = lit.complement();
+        if self.occurred.is_none() && !self.lit_state_ref(c).dead {
+            let st = self.lit_state(c);
+            st.attempted = true;
+            st.forced = true;
+            self.evaluate(ctx, c);
+        }
+    }
+
+    /// Release every hold we were granted or asked for (we have decided).
+    fn release_all_requested(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let mut targets: BTreeSet<SymbolId> = BTreeSet::new();
+        for st in [&mut self.pos, &mut self.neg] {
+            targets.extend(st.notyet_granted.iter().copied());
+            targets.extend(st.notyet_pending.iter().copied());
+            st.notyet_granted.clear();
+            st.notyet_pending.clear();
+        }
+        for t in targets {
+            let node = self.routing.actor_of[&t];
+            ctx.send(node, Msg::Release { lit: Literal::pos(t) });
+        }
+    }
+
+    fn reply_agent(&self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+        if let Some(&agent) = self.routing.agent_of.get(&self.sym) {
+            ctx.send(agent, msg);
+        }
+    }
+
+    // ----- promise protocol (Example 11) -----
+
+    fn on_promise_request(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal, for_lit: Literal) {
+        let requester = self.routing.actor_of[&for_lit.symbol()];
+        if let Some((occ, at, seq)) = self.occurred {
+            if occ == lit {
+                // Already occurred: the announcement is the strongest
+                // promise (re-sent in case the requester subscribed late).
+                ctx.send(requester, Msg::Announce { lit, at, seq });
+            } else {
+                ctx.send(requester, Msg::PromiseDeny { lit });
+            }
+            return;
+        }
+        if self.lit_state_ref(lit).dead {
+            ctx.send(requester, Msg::PromiseDeny { lit });
+            return;
+        }
+        if self.try_grant(ctx, lit, for_lit) {
+            return;
+        }
+        // Undecidable yet (e.g. the event's own attempt is still in
+        // flight): hold the request and re-examine as our state advances.
+        self.pending_requests.insert((lit, for_lit));
+    }
+
+    /// Grant `◇lit` to `for_lit`'s actor if we can guarantee the event:
+    /// it is attempted or triggerable, and its guard — assuming the
+    /// requester's eventual occurrence — is *eventually discharged*:
+    /// every remaining constraint of some conjunct is guaranteed to hold
+    /// once the promised events have occurred. (A constraint □f with ◇f
+    /// assumed qualifies: when f occurs, □f holds and this event follows —
+    /// the paper's conditional promise, discharged by the requester's
+    /// occurrence message.)
+    fn try_grant(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal, for_lit: Literal) -> bool {
+        let st = self.lit_state_ref(lit);
+        // An attempted event can be guaranteed outright. A triggerable
+        // event can always be guaranteed: the scheduler holds the trigger
+        // and the residual-driven backstop (check_triggering) fires it if
+        // the obligation ever becomes *required* — so the promise is a
+        // deferred obligation, and alternative disjuncts (compensation
+        // tasks) do not run unless unavoidable (Section 6).
+        let can_happen = st.attempted || st.attrs.triggerable;
+        // Multi-party consensus (Example 11 generalized): the assumption
+        // set includes *every* requester currently waiting on this
+        // literal — a fork/join's two branch commits jointly assume each
+        // other through the join's promise, and all grants go out
+        // together as one mutual commitment.
+        let mut party: BTreeSet<Literal> = self
+            .pending_requests
+            .iter()
+            .filter(|(l, _)| *l == lit)
+            .map(|&(_, f)| f)
+            .collect();
+        party.insert(for_lit);
+        let mut assumed = st.guard.clone();
+        for &p in &party {
+            assumed = assumed.assume_promised(p);
+        }
+        let mut assumptions: BTreeSet<Literal> = self.promises_seen.clone();
+        assumptions.extend(party.iter().copied());
+        // A conjunct is eventually dischargeable when every constraint is
+        // (a) implied by some assumed occurrence's final state (□f with
+        // ◇f assumed), or (b) a not-yet-style mask (admits both
+        // unresolved states): such constraints hold while the symbol is
+        // unheard-of — occurrences fold into the guard eagerly, so a
+        // surviving ¬-mask means unresolved here — and are pinned by the
+        // agreement protocol at the promised event's own occurrence.
+        let eventually_discharged = assumed.holds_now()
+            || assumed.conjuncts().iter().any(|c| {
+                c.seq_atoms().next().is_none()
+                    && c.constrained_symbols().all(|(s, m)| {
+                        assumptions.iter().any(|l| {
+                            l.symbol() == s
+                                && occurred_mask(l.polarity()) & !m == 0
+                        }) || (m & (ST_C | ST_D)) == (ST_C | ST_D)
+                    })
+            });
+        if !(can_happen && eventually_discharged) {
+            return false;
+        }
+        self.lit_state(lit).promised_out = true;
+        for &p in &party {
+            let requester = self.routing.actor_of[&p.symbol()];
+            self.stats.promises_granted += 1;
+            self.journal(ctx.now(), JournalKind::PromiseGranted(lit));
+            ctx.send(requester, Msg::PromiseGrant { lit });
+            self.pending_requests.remove(&(lit, p));
+        }
+        true
+    }
+
+    /// Re-examine held promise requests after any state change; grant the
+    /// now-grantable, deny those that became impossible, keep the rest.
+    fn service_pending_requests(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let pending: Vec<(Literal, Literal)> = self.pending_requests.iter().copied().collect();
+        for (lit, for_lit) in pending {
+            if let Some((occ, at, seq)) = self.occurred {
+                let requester = self.routing.actor_of[&for_lit.symbol()];
+                if occ == lit {
+                    ctx.send(requester, Msg::Announce { lit, at, seq });
+                } else {
+                    ctx.send(requester, Msg::PromiseDeny { lit });
+                }
+                self.pending_requests.remove(&(lit, for_lit));
+            } else if self.lit_state_ref(lit).dead {
+                let requester = self.routing.actor_of[&for_lit.symbol()];
+                ctx.send(requester, Msg::PromiseDeny { lit });
+                self.pending_requests.remove(&(lit, for_lit));
+            } else if self.try_grant(ctx, lit, for_lit) {
+                self.pending_requests.remove(&(lit, for_lit));
+            }
+        }
+    }
+
+    // ----- not-yet agreement -----
+
+    fn on_notyet_query(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal, for_lit: Literal) {
+        let requester = self.routing.actor_of[&for_lit.symbol()];
+        if let Some((occ, at, seq)) = self.occurred {
+            if occ == lit {
+                ctx.send(requester, Msg::NotYetDeny { lit, occurred: true });
+            } else {
+                // The complement occurred: ¬lit holds forever; the
+                // announcement carries that fact.
+                ctx.send(requester, Msg::Announce { lit: occ, at, seq });
+            }
+            return;
+        }
+        // Priority: when the two events have not-yet needs *on each
+        // other* (a direct agreement cycle, e.g. a mutual-exclusion
+        // specification), the smaller symbol id wins and the larger
+        // requester must yield — mutual holds would deadlock. Queries
+        // between unrelated events are always granted: holding still for
+        // a requester we do not ourselves ¬-depend on cannot close a
+        // two-cycle.
+        let competing = self.pos.notyet_pending.contains(&for_lit.symbol())
+            || self.neg.notyet_pending.contains(&for_lit.symbol());
+        if competing && self.sym < for_lit.symbol() {
+            ctx.send(requester, Msg::NotYetDeny { lit, occurred: false });
+            return;
+        }
+        self.holds.insert(for_lit);
+        self.stats.holds_granted += 1;
+        self.journal(ctx.now(), JournalKind::Held { lit, for_lit });
+        ctx.send(requester, Msg::NotYetGrant { lit });
+    }
+
+    fn on_notyet_grant(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
+        for l in [Literal::pos(self.sym), Literal::neg(self.sym)] {
+            let st = self.lit_state(l);
+            if st.notyet_pending.remove(&lit.symbol()) {
+                st.notyet_granted.insert(lit.symbol());
+            }
+        }
+        self.after_fact(ctx, None);
+    }
+
+    fn on_notyet_deny(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal, occurred: bool) {
+        for l in [Literal::pos(self.sym), Literal::neg(self.sym)] {
+            self.lit_state(l).notyet_pending.remove(&lit.symbol());
+        }
+        if occurred {
+            // The event occurred, but we have no position in the global
+            // occurrence order for it (the real announcement is still in
+            // flight and will be applied through the ordered log). Apply
+            // only the order-insensitive consequence ◇lit — promise
+            // reduction is sound in isolation, unlike occurrence
+            // reduction of ◇(sequence) atoms.
+            for st in [&mut self.pos, &mut self.neg] {
+                st.guard = st.guard.assume_promised(lit);
+            }
+            self.after_fact(ctx, Some(lit));
+        }
+        // Otherwise: we yielded; retry on the next fact arrival.
+    }
+
+    fn on_release(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId) {
+        // Clear every hold whose requester lives at the releasing actor.
+        let before = self.holds.len();
+        self.holds
+            .retain(|h| self.routing.actor_of.get(&h.symbol()) != Some(&from));
+        if self.holds.len() != before {
+            self.journal(ctx.now(), JournalKind::Released(Literal::pos(self.sym)));
+        }
+        if self.holds.is_empty() {
+            self.after_fact(ctx, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_state_construction() {
+        let g = Guard::top();
+        let st = LitState::new(g.clone(), EventAttrs::controllable());
+        assert_eq!(st.guard, g);
+        assert!(!st.attempted);
+        assert!(!st.promised_out);
+    }
+    // Full actor behavior is exercised through the executor integration
+    // tests in `exec.rs` and `tests/` — the actor is meaningless without
+    // a network around it.
+}

@@ -1,0 +1,284 @@
+//! The network-side wrapper around a [`TaskAgent`]: drives the task
+//! through its script, requests permission for controllable events,
+//! reports immediate ones, and services scheduler triggers (Section 2).
+
+use crate::msg::Msg;
+use agent::{EventIx, TaskAgent};
+use event_algebra::Literal;
+use sim::{Ctx, NodeId};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::actor::Routing;
+
+/// One planned step of a task agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptStep {
+    /// Attempt (or, for immediate events, perform) the named event.
+    Event(String),
+    /// Think time: the task works locally for this many virtual ticks
+    /// before its next step.
+    Wait(u64),
+}
+
+/// What the agent intends to do, in order. Triggers from the scheduler
+/// interleave with the script.
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    /// Steps, executed in order as the skeleton allows.
+    pub steps: Vec<ScriptStep>,
+}
+
+impl Script {
+    /// A script attempting the named events in order.
+    pub fn of(steps: &[&str]) -> Script {
+        Script {
+            steps: steps.iter().map(|s| ScriptStep::Event((*s).to_owned())).collect(),
+        }
+    }
+
+    /// A script with explicit steps (events and waits).
+    pub fn steps(steps: Vec<ScriptStep>) -> Script {
+        Script { steps }
+    }
+
+    /// Append an event step.
+    pub fn then(mut self, name: &str) -> Script {
+        self.steps.push(ScriptStep::Event(name.to_owned()));
+        self
+    }
+
+    /// Append a think-time step.
+    pub fn wait(mut self, ticks: u64) -> Script {
+        self.steps.push(ScriptStep::Wait(ticks));
+        self
+    }
+}
+
+/// A resolved script step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Event(EventIx),
+    Wait(u64),
+}
+
+/// The agent process: a task skeleton plus a driver.
+#[derive(Debug, Clone)]
+pub struct AgentNode {
+    /// The task skeleton.
+    pub agent: TaskAgent,
+    script: VecDeque<Step>,
+    pending_triggers: VecDeque<EventIx>,
+    /// An attempt outstanding at the actor (event index).
+    waiting: Option<EventIx>,
+    /// A wait step in progress (think time; resumes on the timer kick).
+    sleeping: bool,
+    /// Events that were rejected (their complements occurred).
+    pub rejected: Vec<EventIx>,
+    /// The literals this agent fired, in order (local view).
+    pub fired: Vec<Literal>,
+    routing: Arc<Routing>,
+}
+
+impl AgentNode {
+    /// Wrap `agent` with a script (event names must exist in the agent).
+    pub fn new(agent: TaskAgent, script: &Script, routing: Arc<Routing>) -> AgentNode {
+        let steps = script
+            .steps
+            .iter()
+            .map(|step| match step {
+                ScriptStep::Event(name) => Step::Event(
+                    agent
+                        .event_named(name)
+                        .unwrap_or_else(|| panic!("agent {} has no event {name}", agent.name)),
+                ),
+                ScriptStep::Wait(t) => Step::Wait(*t),
+            })
+            .collect();
+        AgentNode {
+            agent,
+            script: steps,
+            pending_triggers: VecDeque::new(),
+            waiting: None,
+            sleeping: false,
+            rejected: Vec::new(),
+            fired: Vec::new(),
+            routing,
+        }
+    }
+
+    fn actor_for(&self, ev: EventIx) -> NodeId {
+        let lit = self.agent.literal_of(ev);
+        self.routing.actor_of[&lit.symbol()]
+    }
+
+    /// Handle a message from the scheduler (or the initial kick / a
+    /// think-time wake-up).
+    pub fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+        match msg {
+            Msg::Kick => {
+                self.sleeping = false;
+            }
+            Msg::Granted { lit } => {
+                if let Some(ev) = self.waiting.take() {
+                    debug_assert_eq!(self.agent.literal_of(ev), lit);
+                    self.fire(ctx, ev);
+                }
+            }
+            Msg::Rejected { lit } => {
+                if let Some(ev) = self.waiting.take() {
+                    debug_assert_eq!(self.agent.literal_of(ev), lit);
+                    self.rejected.push(ev);
+                }
+            }
+            Msg::Trigger { lit } => {
+                if let Some(ev) = self
+                    .agent
+                    .events
+                    .iter()
+                    .position(|e| e.literal == lit)
+                {
+                    if !self.pending_triggers.contains(&ev) {
+                        self.pending_triggers.push_back(ev);
+                    }
+                }
+            }
+            other => panic!("agent {} received {other:?}", self.agent.name),
+        }
+        self.advance(ctx);
+    }
+
+    /// Fire a granted/triggered event locally and notify of any events
+    /// that have become unreachable (their complements occurred).
+    fn fire(&mut self, ctx: &mut Ctx<'_, Msg>, ev: EventIx) {
+        let before = self.reachable_events();
+        self.agent.fire(ev).expect("scheduler granted an illegal transition");
+        self.fired.push(self.agent.literal_of(ev));
+        // Complements: events reachable before but not after are now
+        // impossible in this task — their complements occur.
+        let after = self.reachable_events();
+        for e in before {
+            if e != ev && !after.contains(&e) && !self.fired.contains(&self.agent.literal_of(e)) {
+                let lit = self.agent.literal_of(e);
+                ctx.send(self.actor_for(e), Msg::Inform { lit: lit.complement() });
+            }
+        }
+    }
+
+    /// Events reachable (fireable eventually) from the current state.
+    fn reachable_events(&self) -> Vec<EventIx> {
+        let mut reach_states = vec![false; self.agent.states.len()];
+        let mut stack = vec![self.agent.current];
+        reach_states[self.agent.current] = true;
+        while let Some(s) = stack.pop() {
+            for &(from, _, to) in &self.agent.transitions {
+                if from == s && !reach_states[to] {
+                    reach_states[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        let mut evs: Vec<EventIx> = self
+            .agent
+            .transitions
+            .iter()
+            .filter(|&&(from, _, _)| reach_states[from])
+            .map(|&(_, e, _)| e)
+            .collect();
+        evs.sort_unstable();
+        evs.dedup();
+        evs
+    }
+
+    /// Take the next action: service a trigger if possible, else the next
+    /// script step.
+    fn advance(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.waiting.is_some() || self.sleeping {
+            return;
+        }
+        // Triggers first (the scheduler's proactive requests).
+        if let Some(pos) = self
+            .pending_triggers
+            .iter()
+            .position(|&ev| self.agent.can_fire(ev))
+        {
+            let ev = self.pending_triggers.remove(pos).expect("index valid");
+            self.start_attempt(ctx, ev);
+            return;
+        }
+        // Script steps: skip steps that can no longer fire.
+        while let Some(&step) = self.script.front() {
+            match step {
+                Step::Wait(ticks) => {
+                    self.script.pop_front();
+                    self.sleeping = true;
+                    // Wake ourselves after the think time.
+                    ctx.send_after(ctx.self_id, Msg::Kick, ticks);
+                    return;
+                }
+                Step::Event(ev) => {
+                    if self.agent.can_fire(ev) {
+                        self.script.pop_front();
+                        self.start_attempt(ctx, ev);
+                        return;
+                    }
+                    // Unfireable right now: if it can never fire again,
+                    // drop it; otherwise wait (a trigger may move the
+                    // state machine).
+                    if self.reachable_events().contains(&ev) {
+                        return;
+                    }
+                    self.script.pop_front();
+                }
+            }
+        }
+    }
+
+    fn start_attempt(&mut self, ctx: &mut Ctx<'_, Msg>, ev: EventIx) {
+        let lit = self.agent.literal_of(ev);
+        let attrs = self.agent.events[ev].attrs;
+        if attrs.controllable {
+            self.waiting = Some(ev);
+            ctx.send(self.actor_for(ev), Msg::Attempt { lit });
+        } else {
+            // Immediate: fire locally and inform.
+            self.fire(ctx, ev);
+            ctx.send(self.actor_for(ev), Msg::Inform { lit });
+            self.advance(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agent::library::rda_transaction;
+    use event_algebra::SymbolTable;
+
+    #[test]
+    fn script_resolution_panics_on_unknown_event() {
+        let mut t = SymbolTable::new();
+        let a = rda_transaction("x", &mut t);
+        let routing = Arc::new(Routing::default());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            AgentNode::new(a, &Script::of(&["frobnicate"]), routing)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn script_of_builds_steps() {
+        let s = Script::of(&["start", "commit"]);
+        assert_eq!(
+            s.steps,
+            vec![
+                ScriptStep::Event("start".into()),
+                ScriptStep::Event("commit".into())
+            ]
+        );
+        let s2 = Script::of(&["start"]).wait(10).then("commit");
+        assert_eq!(s2.steps.len(), 3);
+        assert_eq!(s2.steps[1], ScriptStep::Wait(10));
+    }
+    // Behavior under scheduling is covered by the executor tests.
+}

@@ -1,0 +1,579 @@
+//! The distributed executor: compiles a workflow into per-event guards,
+//! instantiates one actor per symbol and one node per task agent on a
+//! simulated network, runs to quiescence, and reports the realized trace
+//! together with satisfaction verdicts for every dependency.
+//!
+//! This is the end-to-end pipeline the paper describes: declarative
+//! specification → guard synthesis (Section 4.2) → localized, distributed
+//! evaluation (Section 4.3) — with **no centralized scheduler** in the
+//! running system.
+
+use crate::actor::{ActorStats, Routing, SymbolActor};
+use crate::agent_node::{AgentNode, Script};
+use crate::msg::Msg;
+use agent::{EventAttrs, TaskAgent};
+use event_algebra::{normalize, satisfies, Expr, Literal, SymbolId, SymbolTable, Trace};
+use guard::{CompiledWorkflow, GuardScope};
+use sim::{Ctx, Network, NodeId, Process, SimConfig, SiteId, Time};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use temporal::Guard;
+
+/// How sequence atoms in guards are handled at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardMode {
+    /// Keep `◇(sequence)` atoms and reduce them by residuation — fully
+    /// faithful to Definition 2.
+    Faithful,
+    /// Apply the paper's "small insight": replace sequences by
+    /// conjunctions of eventualities; the other events' guards enforce the
+    /// order. Enables promise-based consensus through sequences.
+    #[default]
+    Weakened,
+}
+
+/// A task agent placed on a site with a script.
+pub struct AgentSpec {
+    /// The site the agent (and its events' actors) live on.
+    pub site: SiteId,
+    /// The task skeleton.
+    pub agent: TaskAgent,
+    /// The driver script.
+    pub script: Script,
+}
+
+/// An event without an agent (used by benches and algebra-level tests):
+/// the executor injects an `Attempt`/`Inform` for it directly.
+pub struct FreeEventSpec {
+    /// Site of the event's actor.
+    pub site: SiteId,
+    /// The event literal.
+    pub lit: Literal,
+    /// Its attributes.
+    pub attrs: EventAttrs,
+    /// Attempt the event this long after start (`None`: never attempted).
+    pub attempt_after: Option<Time>,
+}
+
+/// Everything needed to run one workflow.
+pub struct WorkflowSpec {
+    /// Names of events.
+    pub table: SymbolTable,
+    /// The intertask dependencies.
+    pub dependencies: Vec<Expr>,
+    /// Task agents.
+    pub agents: Vec<AgentSpec>,
+    /// Agent-less events.
+    pub free_events: Vec<FreeEventSpec>,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecConfig {
+    /// Network parameters.
+    pub sim: SimConfig,
+    /// Sequence-atom handling.
+    pub guard_mode: GuardMode,
+    /// Upper bound on message deliveries (safety valve).
+    pub max_steps: u64,
+    /// Lazy re-evaluation ablation (experiment C3): actors defer parked
+    /// re-evaluation to periodic ticks of this period, broadcast for the
+    /// given number of rounds. `None` = the paper's eager scheduler.
+    pub lazy: Option<(Time, u32)>,
+    /// Record a structured journal of every scheduling decision.
+    pub journal: bool,
+}
+
+impl ExecConfig {
+    /// Default config with a given seed.
+    pub fn seeded(seed: u64) -> ExecConfig {
+        ExecConfig {
+            sim: SimConfig { seed, ..SimConfig::default() },
+            guard_mode: GuardMode::default(),
+            max_steps: 1_000_000,
+            lazy: None,
+            journal: false,
+        }
+    }
+}
+
+/// One network node: an event actor, an agent, or the lazy-mode ticker.
+#[derive(Clone)]
+pub enum Node {
+    /// Per-symbol event actor.
+    Actor(SymbolActor),
+    /// Task-agent driver.
+    Agent(AgentNode),
+    /// Broadcasts `Tick` to all actors every period, for a bounded number
+    /// of rounds (lazy ablation).
+    Ticker {
+        /// Actor nodes to tick.
+        actors: Vec<NodeId>,
+        /// Tick period in virtual time. The self-message latency is 1, so
+        /// the ticker re-sends `period/1` Kicks... (period is modeled by
+        /// chained self-sends; see `on_message`).
+        period: Time,
+        /// Remaining rounds.
+        rounds: u32,
+        /// Countdown of self-hops until the next broadcast.
+        countdown: Time,
+    },
+}
+
+impl Process<Msg> for Node {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match self {
+            Node::Actor(a) => a.handle(ctx, from, msg),
+            Node::Agent(a) => a.handle(ctx, msg),
+            Node::Ticker { actors, period, rounds, countdown } => {
+                // Self-messages have latency ≥ 1 tick; chain them to
+                // approximate the period, then broadcast.
+                if *rounds == 0 {
+                    return;
+                }
+                if *countdown > 1 {
+                    *countdown -= 1;
+                } else {
+                    for &a in actors.iter() {
+                        ctx.send(a, Msg::Tick);
+                    }
+                    *rounds -= 1;
+                    *countdown = *period;
+                }
+                if *rounds > 0 {
+                    ctx.send(ctx.self_id, Msg::Kick);
+                }
+            }
+        }
+    }
+}
+
+/// The outcome of one distributed run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Events that occurred, in occurrence order.
+    pub trace: Trace,
+    /// Occurrence details: literal, virtual time, global sequence.
+    pub occurrences: Vec<(Literal, Time, u64)>,
+    /// Symbols never resolved by quiescence.
+    pub unresolved: Vec<SymbolId>,
+    /// The trace extended with complements of unresolved symbols — the
+    /// maximal trace against which dependencies are judged.
+    pub maximal_trace: Trace,
+    /// Per-dependency satisfaction on the maximal trace.
+    pub satisfied: Vec<bool>,
+    /// Virtual time at quiescence.
+    pub duration: Time,
+    /// Deliveries performed.
+    pub steps: u64,
+    /// Network statistics.
+    pub net: sim::NetStats,
+    /// Per-symbol actor statistics.
+    pub actor_stats: BTreeMap<SymbolId, ActorStats>,
+    /// Events still parked (attempted, undecided) at quiescence.
+    pub parked: Vec<Literal>,
+    /// Promises granted but unfulfilled at quiescence.
+    pub broken_promises: Vec<Literal>,
+    /// The execution journal (empty unless `ExecConfig::journal`).
+    pub journal: Vec<crate::journal::JournalEntry>,
+}
+
+impl RunReport {
+    /// `true` if every dependency is satisfied on the maximal trace.
+    pub fn all_satisfied(&self) -> bool {
+        self.satisfied.iter().all(|&s| s)
+    }
+}
+
+/// The assembled network, ready to run on either executor.
+pub struct BuiltWorkflow {
+    /// `(site, node)` pairs; agents first, then actors.
+    pub nodes: Vec<(SiteId, Node)>,
+    /// Shared routing tables.
+    pub routing: Arc<Routing>,
+    /// Seed messages.
+    pub injections: Vec<(NodeId, NodeId, Msg)>,
+    /// All symbols, in actor order.
+    pub symbols: Vec<SymbolId>,
+    /// The shared journal, when enabled.
+    pub journal: Option<crate::journal::Journal>,
+}
+
+/// Compile guards and assemble the nodes for `spec`.
+pub fn build_workflow(spec: &WorkflowSpec, config: ExecConfig) -> BuiltWorkflow {
+    let compiled = CompiledWorkflow::compile(&spec.dependencies, GuardScope::Mentioning);
+
+    // ----- gather all symbols and their attributes/sites -----
+    let mut attrs_of: BTreeMap<Literal, EventAttrs> = BTreeMap::new();
+    let mut site_of_sym: BTreeMap<SymbolId, SiteId> = BTreeMap::new();
+    let mut symbols: BTreeSet<SymbolId> = compiled.symbols.clone();
+    for a in &spec.agents {
+        for ev in &a.agent.events {
+            symbols.insert(ev.literal.symbol());
+            attrs_of.insert(ev.literal, ev.attrs);
+            // Complements occur by rejection/unreachability, never by
+            // attempt: immediate.
+            attrs_of.insert(ev.literal.complement(), EventAttrs::immediate());
+            site_of_sym.insert(ev.literal.symbol(), a.site);
+        }
+    }
+    for f in &spec.free_events {
+        symbols.insert(f.lit.symbol());
+        attrs_of.insert(f.lit, f.attrs);
+        attrs_of.entry(f.lit.complement()).or_insert_with(EventAttrs::immediate);
+        site_of_sym.insert(f.lit.symbol(), f.site);
+    }
+
+    // ----- assign node ids: agents first, then actors -----
+    let mut routing = Routing::default();
+    let agent_count = spec.agents.len();
+    let symbol_list: Vec<SymbolId> = symbols.iter().copied().collect();
+    for (ix, &s) in symbol_list.iter().enumerate() {
+        routing.actor_of.insert(s, NodeId((agent_count + ix) as u32));
+    }
+    for (aix, a) in spec.agents.iter().enumerate() {
+        for ev in &a.agent.events {
+            routing.agent_of.insert(ev.literal.symbol(), NodeId(aix as u32));
+        }
+    }
+
+    // ----- interest/subscription map -----
+    // Actor t is interested in symbol s if any of t's guards mention s or
+    // a dependency mentioning t also mentions s (residual tracking).
+    let mut interest: BTreeMap<SymbolId, BTreeSet<SymbolId>> = BTreeMap::new();
+    for &t in &symbol_list {
+        let mut set = BTreeSet::new();
+        for lit in [Literal::pos(t), Literal::neg(t)] {
+            set.extend(compiled.guard(lit).symbols());
+        }
+        for d in &spec.dependencies {
+            if d.mentions(t) {
+                set.extend(d.symbols());
+            }
+        }
+        set.remove(&t);
+        interest.insert(t, set);
+    }
+    for &s in &symbol_list {
+        let subs: Vec<NodeId> = symbol_list
+            .iter()
+            .filter(|&&t| t != s && interest[&t].contains(&s))
+            .map(|t| routing.actor_of[t])
+            .collect();
+        routing.subscribers_of.insert(s, subs);
+    }
+    let routing = Arc::new(routing);
+    let lazy = config.lazy.is_some();
+    let journal = config.journal.then(crate::journal::Journal::new);
+
+    // ----- instantiate nodes -----
+    let mut nodes: Vec<(SiteId, Node)> = Vec::new();
+    for a in &spec.agents {
+        nodes.push((
+            a.site,
+            Node::Agent(AgentNode::new(a.agent.clone(), &a.script, Arc::clone(&routing))),
+        ));
+    }
+    let adapt = |g: Guard| match config.guard_mode {
+        GuardMode::Faithful => g,
+        GuardMode::Weakened => g.weaken_sequences(),
+    };
+    for &s in &symbol_list {
+        let pos = Literal::pos(s);
+        let neg = Literal::neg(s);
+        let deps: Vec<(usize, Expr)> = spec
+            .dependencies
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.mentions(s))
+            .map(|(ix, d)| (ix, normalize(d)))
+            .collect();
+        let mut actor = SymbolActor::new(
+            s,
+            adapt(compiled.guard(pos)),
+            adapt(compiled.guard(neg)),
+            attrs_of.get(&pos).copied().unwrap_or_else(EventAttrs::controllable),
+            attrs_of.get(&neg).copied().unwrap_or_else(EventAttrs::immediate),
+            deps,
+            Arc::clone(&routing),
+        );
+        actor.lazy = lazy;
+        actor.journal = journal.clone();
+        let site = site_of_sym.get(&s).copied().unwrap_or(SiteId(0));
+        nodes.push((site, Node::Actor(actor)));
+    }
+    if let Some((period, rounds)) = config.lazy {
+        let actors: Vec<NodeId> = routing.actor_of.values().copied().collect();
+        nodes.push((
+            SiteId(0),
+            Node::Ticker { actors, period, rounds, countdown: period },
+        ));
+    }
+
+    // ----- seed messages -----
+    let mut injections = Vec::new();
+    for aix in 0..agent_count {
+        let id = NodeId(aix as u32);
+        injections.push((id, id, Msg::Kick));
+    }
+    if config.lazy.is_some() {
+        let ticker = NodeId((nodes.len() - 1) as u32);
+        injections.push((ticker, ticker, Msg::Kick));
+    }
+    for f in &spec.free_events {
+        if f.attempt_after.is_some() {
+            let actor = routing.actor_of[&f.lit.symbol()];
+            let msg = if f.attrs.controllable {
+                Msg::Attempt { lit: f.lit }
+            } else {
+                Msg::Inform { lit: f.lit }
+            };
+            injections.push((actor, actor, msg));
+        }
+    }
+    BuiltWorkflow { nodes, routing, injections, symbols: symbol_list, journal }
+}
+
+/// Assemble a report from finished actors.
+fn collect_report(
+    spec: &WorkflowSpec,
+    symbol_list: &[SymbolId],
+    actor_for: impl Fn(SymbolId) -> usize,
+    nodes: &[Node],
+    duration: Time,
+    steps: u64,
+    net: sim::NetStats,
+) -> RunReport {
+    let mut occurrences: Vec<(Literal, Time, u64)> = Vec::new();
+    let mut unresolved: Vec<SymbolId> = Vec::new();
+    let mut actor_stats = BTreeMap::new();
+    let mut parked = Vec::new();
+    let mut broken_promises = Vec::new();
+    for &s in symbol_list {
+        let Node::Actor(a) = &nodes[actor_for(s)] else { unreachable!() };
+        actor_stats.insert(s, a.stats.clone());
+        match a.occurred {
+            Some(occ) => occurrences.push(occ),
+            None => {
+                unresolved.push(s);
+                for (lit, st) in [(Literal::pos(s), &a.pos), (Literal::neg(s), &a.neg)] {
+                    if st.attempted {
+                        parked.push(lit);
+                    }
+                    if st.promised_out {
+                        broken_promises.push(lit);
+                    }
+                }
+            }
+        }
+    }
+    occurrences.sort_by_key(|&(_, t, q)| (t, q));
+    let trace = Trace::new(occurrences.iter().map(|&(l, _, _)| l))
+        .expect("actors enforce single resolution per symbol");
+    let mut maximal_events: Vec<Literal> = occurrences.iter().map(|&(l, _, _)| l).collect();
+    maximal_events.extend(unresolved.iter().map(|&s| Literal::neg(s)));
+    let maximal_trace =
+        Trace::new(maximal_events).expect("complement extension cannot clash");
+    let satisfied = spec
+        .dependencies
+        .iter()
+        .map(|d| satisfies(&maximal_trace, d))
+        .collect();
+    RunReport {
+        trace,
+        occurrences,
+        unresolved,
+        maximal_trace,
+        satisfied,
+        duration,
+        steps,
+        net,
+        actor_stats,
+        parked,
+        broken_promises,
+        journal: Vec::new(),
+    }
+}
+
+/// Compile and run a workflow on the deterministic simulated network.
+pub fn run_workflow(spec: &WorkflowSpec, config: ExecConfig) -> RunReport {
+    let built = build_workflow(spec, config);
+    let routing = Arc::clone(&built.routing);
+    let journal = built.journal.clone();
+    let mut net: Network<Msg, Node> = Network::new(config.sim, built.nodes);
+    for (from, to, msg) in built.injections {
+        net.inject(from, to, msg);
+    }
+    let max_steps = if config.max_steps == 0 { 1_000_000 } else { config.max_steps };
+    let steps = net.run_to_quiescence(max_steps);
+    let duration = net.now();
+    let stats = net.stats().clone();
+    let all: Vec<Node> = net.into_nodes();
+    let mut report = collect_report(
+        spec,
+        &built.symbols,
+        |s| routing.actor_of[&s].0 as usize,
+        &all,
+        duration,
+        steps,
+        stats,
+    );
+    if let Some(j) = journal {
+        report.journal = j.entries();
+    }
+    report
+}
+
+/// Compile and run a workflow on the threaded executor (crossbeam
+/// channels, one OS thread per node). Nondeterministic: used by the
+/// safety property tests.
+pub fn run_workflow_threaded(spec: &WorkflowSpec, config: ExecConfig) -> RunReport {
+    let built = build_workflow(spec, config);
+    let routing = Arc::clone(&built.routing);
+    let max = if config.max_steps == 0 { 1_000_000 } else { config.max_steps };
+    let all = sim::run_threaded(built.nodes, built.injections, max);
+    collect_report(
+        spec,
+        &built.symbols,
+        |s| routing.actor_of[&s].0 as usize,
+        &all,
+        0,
+        0,
+        sim::NetStats::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agent::library::rda_transaction;
+    use event_algebra::parse_expr;
+
+    /// Example 11: D→ and its transpose — both events' guards are
+    /// mutually `◇`; the promise consensus must let both occur.
+    #[test]
+    fn example11_mutual_promises() {
+        let mut table = SymbolTable::new();
+        let d1 = parse_expr("~e + f", &mut table).unwrap();
+        let d2 = parse_expr("~f + e", &mut table).unwrap();
+        let e = table.event("e");
+        let f = table.event("f");
+        let spec = WorkflowSpec {
+            table,
+            dependencies: vec![d1, d2],
+            agents: vec![],
+            free_events: vec![
+                FreeEventSpec {
+                    site: SiteId(0),
+                    lit: e,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+                FreeEventSpec {
+                    site: SiteId(1),
+                    lit: f,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+            ],
+        };
+        let report = run_workflow(&spec, ExecConfig::seeded(7));
+        assert!(report.all_satisfied(), "{report:?}");
+        assert_eq!(report.trace.len(), 2, "both events occur: {report:?}");
+        assert!(report.parked.is_empty());
+        assert!(report.broken_promises.is_empty());
+    }
+
+    /// Example 10: with D<'s guards, f parks until ē occurs.
+    #[test]
+    fn example10_parking_until_complement() {
+        let mut table = SymbolTable::new();
+        let d = parse_expr("~e + ~f + e.f", &mut table).unwrap();
+        let e = table.event("e");
+        let f = table.event("f");
+        let spec = WorkflowSpec {
+            table,
+            dependencies: vec![d],
+            agents: vec![],
+            free_events: vec![
+                FreeEventSpec {
+                    site: SiteId(0),
+                    lit: f,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+                FreeEventSpec {
+                    site: SiteId(1),
+                    lit: e.complement(),
+                    attrs: EventAttrs::immediate(),
+                    attempt_after: Some(50),
+                },
+            ],
+        };
+        let report = run_workflow(&spec, ExecConfig::seeded(3));
+        assert!(report.all_satisfied(), "{report:?}");
+        // Both resolved: ē then f.
+        assert_eq!(report.trace.events(), &[e.complement(), f], "{report:?}");
+        // f parked before ē arrived.
+        let f_stats = &report.actor_stats[&f.symbol()];
+        assert!(f_stats.first_parked_at.is_some());
+    }
+
+    /// D< with both events attempted: e must precede f in every run.
+    #[test]
+    fn d_precedes_orders_events() {
+        for seed in 0..20 {
+            let mut table = SymbolTable::new();
+            let d = parse_expr("~e + ~f + e.f", &mut table).unwrap();
+            let e = table.event("e");
+            let f = table.event("f");
+            let spec = WorkflowSpec {
+                table,
+                dependencies: vec![d],
+                agents: vec![],
+                free_events: vec![
+                    FreeEventSpec {
+                        site: SiteId(0),
+                        lit: e,
+                        attrs: EventAttrs::controllable(),
+                        attempt_after: Some(1),
+                    },
+                    FreeEventSpec {
+                        site: SiteId(1),
+                        lit: f,
+                        attrs: EventAttrs::controllable(),
+                        attempt_after: Some(1),
+                    },
+                ],
+            };
+            let report = run_workflow(&spec, ExecConfig::seeded(seed));
+            assert!(report.all_satisfied(), "seed {seed}: {report:?}");
+        }
+    }
+
+    /// An RDA transaction whose agent aborts: the commit becomes
+    /// unreachable and its complement is informed, satisfying `~commit`-
+    /// style dependencies.
+    #[test]
+    fn abort_produces_commit_complement() {
+        let mut table = SymbolTable::new();
+        let t1 = rda_transaction("t1", &mut table);
+        let commit = table.lookup("t1.commit").map(Literal::pos).unwrap();
+        let spec = WorkflowSpec {
+            table,
+            dependencies: vec![],
+            agents: vec![AgentSpec {
+                site: SiteId(0),
+                agent: t1,
+                script: Script::of(&["start", "abort"]),
+            }],
+            free_events: vec![],
+        };
+        let report = run_workflow(&spec, ExecConfig::seeded(1));
+        assert!(
+            report.maximal_trace.contains(commit.complement()),
+            "{report:?}"
+        );
+        assert!(!report.unresolved.contains(&commit.symbol()), "informed, not implicit");
+    }
+}

@@ -1,0 +1,160 @@
+//! Execution journal: a structured, time-stamped record of every
+//! scheduling decision an execution makes — occurrences, parks,
+//! rejections, announcements, promises, holds and triggers. Invaluable
+//! for debugging dependency specifications ("why did my compensation
+//! run?") and for the experiment harness's message accounting.
+
+use event_algebra::{Literal, SymbolTable};
+use parking_lot::Mutex;
+use sim::Time;
+use std::fmt;
+use std::sync::Arc;
+
+/// One recorded scheduling step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalKind {
+    /// An agent's attempt arrived at the actor.
+    Attempt(Literal),
+    /// The event occurred (by acceptance, triggering, inform, or forced
+    /// complement).
+    Occurred(Literal),
+    /// The attempt parked (guard not yet discharged).
+    Parked(Literal),
+    /// The attempt was rejected (guard dead) — the complement was forced.
+    Rejected(Literal),
+    /// The occurrence was announced to `subscribers` actors.
+    Announced {
+        /// The occurred event.
+        lit: Literal,
+        /// How many subscribers were notified.
+        subscribers: usize,
+    },
+    /// A promise `◇lit` was requested on behalf of `for_lit`.
+    PromiseRequested {
+        /// The event whose promise is requested.
+        lit: Literal,
+        /// The blocked requester.
+        for_lit: Literal,
+    },
+    /// The promise was granted (the event is now obligated).
+    PromiseGranted(Literal),
+    /// The promise was denied.
+    PromiseDenied(Literal),
+    /// A not-yet hold was granted on `lit` to `for_lit`'s actor.
+    Held {
+        /// The held event.
+        lit: Literal,
+        /// The requester it is held for.
+        for_lit: Literal,
+    },
+    /// The hold on this actor was released.
+    Released(Literal),
+    /// A triggerable event was proactively triggered (Section 3.3(b)).
+    Triggered(Literal),
+}
+
+/// A journal entry with its virtual timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Virtual time of the step.
+    pub time: Time,
+    /// What happened.
+    pub kind: JournalKind,
+}
+
+/// A shared, append-only journal (one per execution).
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    entries: Arc<Mutex<Vec<JournalEntry>>>,
+}
+
+impl Journal {
+    /// Fresh empty journal.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Append an entry.
+    pub fn record(&self, time: Time, kind: JournalKind) {
+        self.entries.lock().push(JournalEntry { time, kind });
+    }
+
+    /// Snapshot the entries in record order.
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Render a human-readable timeline using the workflow's event names.
+    pub fn render(&self, table: &SymbolTable) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for e in self.entries().iter() {
+            let _ = writeln!(out, "{:>6}  {}", e.time, e.kind.display(table));
+        }
+        out
+    }
+}
+
+impl JournalKind {
+    /// Render with event names.
+    pub fn display(&self, table: &SymbolTable) -> String {
+        let n = |l: &Literal| table.literal_name(*l);
+        match self {
+            JournalKind::Attempt(l) => format!("attempt   {}", n(l)),
+            JournalKind::Occurred(l) => format!("OCCURRED  {}", n(l)),
+            JournalKind::Parked(l) => format!("parked    {}", n(l)),
+            JournalKind::Rejected(l) => format!("REJECTED  {}", n(l)),
+            JournalKind::Announced { lit, subscribers } => {
+                format!("announce  {} -> {} subscribers", n(lit), subscribers)
+            }
+            JournalKind::PromiseRequested { lit, for_lit } => {
+                format!("promise?  {} (for {})", n(lit), n(for_lit))
+            }
+            JournalKind::PromiseGranted(l) => format!("promise+  {}", n(l)),
+            JournalKind::PromiseDenied(l) => format!("promise-  {}", n(l)),
+            JournalKind::Held { lit, for_lit } => {
+                format!("hold      {} (for {})", n(lit), n(for_lit))
+            }
+            JournalKind::Released(l) => format!("release   {}", n(l)),
+            JournalKind::Triggered(l) => format!("TRIGGER   {}", n(l)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::SymbolTable;
+
+    #[test]
+    fn journal_records_and_renders() {
+        let mut t = SymbolTable::new();
+        let e = t.event("commit");
+        let j = Journal::new();
+        assert!(j.is_empty());
+        j.record(3, JournalKind::Attempt(e));
+        j.record(5, JournalKind::Occurred(e));
+        assert_eq!(j.len(), 2);
+        let s = j.render(&t);
+        assert!(s.contains("attempt   commit"), "{s}");
+        assert!(s.contains("OCCURRED  commit"), "{s}");
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let j = Journal::new();
+        let j2 = j.clone();
+        j2.record(1, JournalKind::Released(Literal::pos(event_algebra::SymbolId(0))));
+        assert_eq!(j.len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! The distributed event-centric scheduler of Singh (ICDE 1996) — the
+//! paper's headline system.
+//!
+//! A workflow's dependencies are compiled into localized temporal guards
+//! (crate `guard`); one [`SymbolActor`] per event evaluates its own guard,
+//! exchanging `□e` announcements, `◇e` promises (Example 11) and not-yet
+//! agreements over a simulated distributed network (crate `sim`). Task
+//! agents (crate `agent`) request permission for controllable events,
+//! report immediate ones, and service triggers. No centralized scheduler
+//! exists anywhere in the running system.
+
+#![warn(missing_docs)]
+
+mod actor;
+mod agent_node;
+mod exec;
+mod journal;
+mod msg;
+pub mod param;
+
+pub use actor::{ActorStats, LitState, Routing, SymbolActor};
+pub use journal::{Journal, JournalEntry, JournalKind};
+pub use agent_node::{AgentNode, Script, ScriptStep};
+pub use exec::{
+    build_workflow, run_workflow, run_workflow_threaded, AgentSpec, BuiltWorkflow, ExecConfig,
+    FreeEventSpec, GuardMode, Node, RunReport, WorkflowSpec,
+};
+pub use msg::Msg;

@@ -1,0 +1,168 @@
+//! The wire protocol of the distributed event-centric scheduler
+//! (Sections 2 and 4.3).
+//!
+//! Three kinds of traffic flow through the network:
+//!
+//! 1. **agent ↔ actor** — permission requests for controllable events,
+//!    notifications of immediate events, grants/rejections, and proactive
+//!    triggers;
+//! 2. **actor → actor** — `□e` occurrence announcements (Section 4.3);
+//! 3. **actor ↔ actor consensus** — `◇e` promises (Example 11) and the
+//!    not-yet agreement used for `¬e` guards.
+
+use event_algebra::Literal;
+use sim::Time;
+
+/// A message of the scheduling protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Executor → agent: start driving your script (carries no literal).
+    Kick,
+    /// Ticker → actor: lazy-mode periodic re-evaluation (the ablation of
+    /// experiment C3; carries no literal).
+    Tick,
+
+    // ----- agent → actor -----
+    /// A task agent requests permission for a controllable event.
+    Attempt {
+        /// The event being attempted.
+        lit: Literal,
+    },
+    /// A task agent reports an immediate (nonrejectable, nondelayable)
+    /// event such as `abort`: the scheduler has no choice but to accept.
+    Inform {
+        /// The event that happened.
+        lit: Literal,
+    },
+
+    // ----- actor → agent -----
+    /// Permission granted: the event has (logically) occurred; the agent
+    /// fires the transition.
+    Granted {
+        /// The attempted event.
+        lit: Literal,
+    },
+    /// Permission permanently denied (the guard reduced to `0`).
+    Rejected {
+        /// The attempted event.
+        lit: Literal,
+    },
+    /// The scheduler proactively causes a triggerable event
+    /// (Section 3.3(b)).
+    Trigger {
+        /// The event to perform.
+        lit: Literal,
+    },
+
+    // ----- actor → actor -----
+    /// `□e`: the event occurred (with its occurrence timestamp, so
+    /// receivers can apply facts in temporal order — the "consistent view
+    /// of the temporal order of events" of Section 6).
+    Announce {
+        /// The occurred event.
+        lit: Literal,
+        /// Virtual time of the occurrence.
+        at: Time,
+        /// Global occurrence sequence number.
+        seq: u64,
+    },
+    /// Request: "promise `◇lit` so that `for_lit` may proceed"
+    /// (Example 11's consensus).
+    PromiseRequest {
+        /// The event whose promise is requested.
+        lit: Literal,
+        /// The requester's event (the granter may assume `◇for_lit`).
+        for_lit: Literal,
+    },
+    /// Grant of `◇lit`: the granter's event is now obligated to occur.
+    PromiseGrant {
+        /// The promised event.
+        lit: Literal,
+    },
+    /// The promise cannot be given (the event is dead or cannot be
+    /// guaranteed).
+    PromiseDeny {
+        /// The event whose promise was requested.
+        lit: Literal,
+    },
+    /// Query: "has `lit`'s symbol resolved? if not, hold it until I
+    /// decide" — the agreement protocol behind `¬f` guards.
+    NotYetQuery {
+        /// The event asked about.
+        lit: Literal,
+        /// The requester's event.
+        for_lit: Literal,
+    },
+    /// `lit` has not occurred; its actor holds it pending `Release`.
+    NotYetGrant {
+        /// The queried event.
+        lit: Literal,
+    },
+    /// The query cannot be granted now (the event occurred, or priority
+    /// says the requester must yield). The requester re-queries when new
+    /// facts arrive.
+    NotYetDeny {
+        /// The queried event.
+        lit: Literal,
+        /// `true` if the denial is because the event already occurred.
+        occurred: bool,
+    },
+    /// The requester of a hold has decided (occurred, died, or gave up):
+    /// the held event may proceed.
+    Release {
+        /// The previously held event.
+        lit: Literal,
+    },
+}
+
+impl Msg {
+    /// The literal this message concerns (`None` for [`Msg::Kick`]).
+    pub fn literal(&self) -> Option<Literal> {
+        match self {
+            Msg::Kick | Msg::Tick => None,
+            Msg::Attempt { lit }
+            | Msg::Inform { lit }
+            | Msg::Granted { lit }
+            | Msg::Rejected { lit }
+            | Msg::Trigger { lit }
+            | Msg::Announce { lit, .. }
+            | Msg::PromiseRequest { lit, .. }
+            | Msg::PromiseGrant { lit }
+            | Msg::PromiseDeny { lit }
+            | Msg::NotYetQuery { lit, .. }
+            | Msg::NotYetGrant { lit }
+            | Msg::NotYetDeny { lit, .. }
+            | Msg::Release { lit } => Some(*lit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::{Literal, SymbolId};
+
+    #[test]
+    fn literal_extraction_covers_all_variants() {
+        let l = Literal::pos(SymbolId(3));
+        let msgs = [
+            Msg::Attempt { lit: l },
+            Msg::Inform { lit: l },
+            Msg::Granted { lit: l },
+            Msg::Rejected { lit: l },
+            Msg::Trigger { lit: l },
+            Msg::Announce { lit: l, at: 5, seq: 1 },
+            Msg::PromiseRequest { lit: l, for_lit: l.complement() },
+            Msg::PromiseGrant { lit: l },
+            Msg::PromiseDeny { lit: l },
+            Msg::NotYetQuery { lit: l, for_lit: l.complement() },
+            Msg::NotYetGrant { lit: l },
+            Msg::NotYetDeny { lit: l, occurred: false },
+            Msg::Release { lit: l },
+        ];
+        for m in msgs {
+            assert_eq!(m.literal(), Some(l), "{m:?}");
+        }
+        assert_eq!(Msg::Kick.literal(), None);
+    }
+}

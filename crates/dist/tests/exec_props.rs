@@ -1,0 +1,151 @@
+//! End-to-end property tests of the distributed scheduler: safety on
+//! random workflows, empirical liveness on the well-behaved Klein
+//! families, determinism per seed, and threaded-executor safety.
+
+use agent::EventAttrs;
+use dist::{run_workflow, run_workflow_threaded, ExecConfig, FreeEventSpec, GuardMode, WorkflowSpec};
+use event_algebra::{Expr, Literal, SymbolId, SymbolTable};
+use proptest::prelude::*;
+use sim::{LatencyModel, SimConfig, SiteId};
+use testkit::Gen;
+
+fn spec_with_free_events(
+    deps: Vec<Expr>,
+    syms: &[SymbolId],
+    spread_sites: bool,
+) -> WorkflowSpec {
+    let mut table = SymbolTable::new();
+    for (i, _) in syms.iter().enumerate() {
+        table.intern(&format!("e{i}"));
+    }
+    let free_events = syms
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| FreeEventSpec {
+            site: SiteId(if spread_sites { i as u32 } else { 0 }),
+            lit: Literal::pos(s),
+            attrs: EventAttrs::controllable(),
+            attempt_after: Some(1),
+        })
+        .collect();
+    WorkflowSpec { table, dependencies: deps, agents: vec![], free_events }
+}
+
+fn config(seed: u64, mode: GuardMode) -> ExecConfig {
+    ExecConfig {
+        sim: SimConfig {
+            seed,
+            latency: LatencyModel::Uniform { min: 1, max: 30 },
+            fifo_links: true,
+        },
+        guard_mode: mode,
+        max_steps: 200_000,
+        lazy: None,
+        journal: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SAFETY: whatever happens (parking, promises, rejections), when a
+    /// run resolves every symbol through the protocol, the realized trace
+    /// satisfies every dependency — the operational face of Theorem 6.
+    /// Runs where some event stays parked are judged on the complemented
+    /// maximal extension only if nothing was left undecided.
+    #[test]
+    fn random_workflows_are_safe(seed in 0u64..500, gen_seed in 0u64..50) {
+        let syms: Vec<SymbolId> = (0..4).map(SymbolId).collect();
+        let mut g = Gen::new(gen_seed);
+        let deps = g.workflow(&syms, 2, 2);
+        for mode in [GuardMode::Weakened, GuardMode::Faithful] {
+            let spec = spec_with_free_events(deps.clone(), &syms, true);
+            let report = run_workflow(&spec, config(seed, mode));
+            prop_assert!(report.steps < 200_000, "runaway at seed {seed}");
+            if report.unresolved.is_empty() && report.broken_promises.is_empty() {
+                prop_assert!(
+                    report.all_satisfied(),
+                    "UNSAFE seed {seed} mode {mode:?}: {report:#?} deps {deps:?}"
+                );
+            }
+        }
+    }
+
+    /// Determinism: identical seeds give identical traces.
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..100, gen_seed in 0u64..20) {
+        let syms: Vec<SymbolId> = (0..4).map(SymbolId).collect();
+        let mut g = Gen::new(gen_seed);
+        let deps = g.workflow(&syms, 2, 2);
+        let r1 = run_workflow(&spec_with_free_events(deps.clone(), &syms, true), config(seed, GuardMode::Weakened));
+        let r2 = run_workflow(&spec_with_free_events(deps, &syms, true), config(seed, GuardMode::Weakened));
+        prop_assert_eq!(r1.trace, r2.trace);
+        prop_assert_eq!(r1.duration, r2.duration);
+        prop_assert_eq!(r1.net.sent_total, r2.net.sent_total);
+    }
+
+    /// LIVENESS (empirical) on the Klein pipeline family: all events
+    /// resolve and every precedence holds, across seeds.
+    #[test]
+    fn klein_pipeline_completes(seed in 0u64..200, n in 3usize..6) {
+        let syms: Vec<SymbolId> = (0..n as u32).map(SymbolId).collect();
+        let deps = testkit::klein_pipeline(&syms);
+        let spec = spec_with_free_events(deps, &syms, true);
+        let report = run_workflow(&spec, config(seed, GuardMode::Weakened));
+        prop_assert!(report.all_satisfied(), "seed {seed}: {report:#?}");
+        prop_assert!(report.unresolved.is_empty(), "seed {seed}: {report:#?}");
+        // Every event occurred positively, in pipeline order.
+        let evs = report.trace.events();
+        prop_assert_eq!(evs.len(), n);
+        for w in syms.windows(2) {
+            let a = evs.iter().position(|&l| l == Literal::pos(w[0])).expect("occurred");
+            let b = evs.iter().position(|&l| l == Literal::pos(w[1])).expect("occurred");
+            prop_assert!(a < b, "order violated at seed {seed}: {:?}", report.trace);
+        }
+    }
+
+    /// The arrow fan-out family (one root enabling many leaves via D→)
+    /// completes with every leaf occurring after the promises settle.
+    #[test]
+    fn arrow_fanout_completes(seed in 0u64..100, n in 2usize..5) {
+        let syms: Vec<SymbolId> = (0..=n as u32).map(SymbolId).collect();
+        let deps = testkit::arrow_fanout(syms[0], &syms[1..]);
+        let spec = spec_with_free_events(deps, &syms, true);
+        let report = run_workflow(&spec, config(seed, GuardMode::Weakened));
+        prop_assert!(report.all_satisfied(), "seed {seed}: {report:#?}");
+        prop_assert!(report.unresolved.is_empty(), "seed {seed}: {report:#?}");
+    }
+}
+
+/// Threaded executor: real concurrency, safety only (schedules are
+/// nondeterministic). Uses the Klein pipeline to also check liveness
+/// under threads.
+#[test]
+fn threaded_pipeline_is_safe() {
+    for round in 0..5 {
+        let syms: Vec<SymbolId> = (0..4).map(SymbolId).collect();
+        let deps = testkit::klein_pipeline(&syms);
+        let spec = spec_with_free_events(deps, &syms, true);
+        let report = run_workflow_threaded(&spec, config(round, GuardMode::Weakened));
+        assert!(report.all_satisfied(), "round {round}: {report:#?}");
+        assert!(report.unresolved.is_empty(), "round {round}: {report:#?}");
+    }
+}
+
+/// The same random workflows run threaded: safety assertions only.
+#[test]
+fn threaded_random_workflows_are_safe() {
+    for gen_seed in 0..8u64 {
+        let syms: Vec<SymbolId> = (0..4).map(SymbolId).collect();
+        let mut g = Gen::new(gen_seed);
+        let deps = g.workflow(&syms, 2, 2);
+        let spec = spec_with_free_events(deps.clone(), &syms, true);
+        let report = run_workflow_threaded(&spec, config(gen_seed, GuardMode::Weakened));
+        if report.unresolved.is_empty() && report.broken_promises.is_empty() {
+            assert!(
+                report.all_satisfied(),
+                "UNSAFE threaded gen {gen_seed}: {report:#?} deps {deps:?}"
+            );
+        }
+    }
+}

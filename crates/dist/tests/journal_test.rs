@@ -1,0 +1,96 @@
+//! The execution journal records a coherent timeline of scheduling
+//! decisions.
+
+use agent::EventAttrs;
+use dist::{run_workflow, ExecConfig, FreeEventSpec, JournalKind, WorkflowSpec};
+use event_algebra::{parse_expr, Literal, SymbolTable};
+use sim::SiteId;
+
+#[test]
+fn journal_captures_the_d_precedes_story() {
+    let mut table = SymbolTable::new();
+    let d = parse_expr("~e + ~f + e.f", &mut table).unwrap();
+    let e = table.event("e");
+    let f = table.event("f");
+    let spec = WorkflowSpec {
+        table,
+        dependencies: vec![d],
+        agents: vec![],
+        free_events: vec![
+            FreeEventSpec {
+                site: SiteId(0),
+                lit: f,
+                attrs: EventAttrs::controllable(),
+                attempt_after: Some(1),
+            },
+            FreeEventSpec {
+                site: SiteId(1),
+                lit: e,
+                attrs: EventAttrs::controllable(),
+                attempt_after: Some(1),
+            },
+        ],
+    };
+    let mut config = ExecConfig::seeded(5);
+    config.journal = true;
+    let report = run_workflow(&spec, config);
+    assert!(report.all_satisfied(), "{report:#?}");
+    assert!(!report.journal.is_empty());
+
+    // Attempts precede occurrences; every occurrence in the trace is
+    // journaled; timestamps are non-decreasing.
+    let mut last = 0;
+    for entry in &report.journal {
+        assert!(entry.time >= last, "timeline out of order");
+        last = entry.time;
+    }
+    for &(lit, _, _) in &report.occurrences {
+        assert!(
+            report
+                .journal
+                .iter()
+                .any(|en| en.kind == JournalKind::Occurred(lit)),
+            "occurrence {lit} missing from journal"
+        );
+    }
+    let attempt_pos = report
+        .journal
+        .iter()
+        .position(|en| matches!(en.kind, JournalKind::Attempt(l) if l == f))
+        .expect("f's attempt journaled");
+    let occur_pos = report
+        .journal
+        .iter()
+        .position(|en| en.kind == JournalKind::Occurred(f))
+        .expect("f occurred");
+    assert!(attempt_pos < occur_pos, "attempt recorded before occurrence");
+
+    // The rendered timeline mentions the named events.
+    let rendered = dist::Journal::new();
+    for en in &report.journal {
+        rendered.record(en.time, en.kind.clone());
+    }
+    let text = rendered.render(&spec.table);
+    assert!(text.contains("OCCURRED  e"), "{text}");
+    let _ = Literal::pos(event_algebra::SymbolId(0));
+}
+
+#[test]
+fn journal_is_empty_when_disabled() {
+    let mut table = SymbolTable::new();
+    let d = parse_expr("~e + f", &mut table).unwrap();
+    let e = table.event("e");
+    let spec = WorkflowSpec {
+        table,
+        dependencies: vec![d],
+        agents: vec![],
+        free_events: vec![FreeEventSpec {
+            site: SiteId(0),
+            lit: e,
+            attrs: EventAttrs::controllable(),
+            attempt_after: Some(1),
+        }],
+    };
+    let report = run_workflow(&spec, ExecConfig::seeded(1));
+    assert!(report.journal.is_empty());
+}

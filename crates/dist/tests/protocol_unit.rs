@@ -1,0 +1,261 @@
+//! Protocol-level unit tests: hand-built actors on a minimal network,
+//! driving individual messages and asserting the exact protocol behavior
+//! (grant/park/announce/promise/hold), independent of the executor's
+//! compilation pipeline.
+
+use agent::EventAttrs;
+use dist::{Msg, Node, Routing, SymbolActor};
+use event_algebra::{Expr, Literal, SymbolId};
+use sim::{LatencyModel, Network, NodeId, SimConfig, SiteId};
+use std::sync::Arc;
+use temporal::Guard;
+
+fn fixed_net(nodes: Vec<(SiteId, Node)>) -> Network<Msg, Node> {
+    Network::new(
+        SimConfig { seed: 1, latency: LatencyModel::Fixed(1), fifo_links: true },
+        nodes,
+    )
+}
+
+fn actor_node(
+    sym: u32,
+    pos_guard: Guard,
+    attrs: EventAttrs,
+    deps: Vec<(usize, Expr)>,
+    routing: &Arc<Routing>,
+) -> Node {
+    Node::Actor(SymbolActor::new(
+        SymbolId(sym),
+        pos_guard,
+        Guard::top(),
+        attrs,
+        EventAttrs::immediate(),
+        deps,
+        Arc::clone(routing),
+    ))
+}
+
+fn occurred(net: &Network<Msg, Node>, node: NodeId) -> Option<Literal> {
+    match net.node(node) {
+        Node::Actor(a) => a.occurred.map(|(l, _, _)| l),
+        _ => None,
+    }
+}
+
+#[test]
+fn top_guard_attempt_occurs_and_announces() {
+    let e = SymbolId(0);
+    let f = SymbolId(1);
+    let mut routing = Routing::default();
+    routing.actor_of.insert(e, NodeId(0));
+    routing.actor_of.insert(f, NodeId(1));
+    // f's actor subscribes to e's announcements.
+    routing.subscribers_of.insert(e, vec![NodeId(1)]);
+    routing.subscribers_of.insert(f, vec![]);
+    let routing = Arc::new(routing);
+    // f's guard: □e — parked until e's announcement arrives.
+    let mut net = fixed_net(vec![
+        (SiteId(0), actor_node(0, Guard::top(), EventAttrs::controllable(), vec![], &routing)),
+        (
+            SiteId(1),
+            actor_node(
+                1,
+                Guard::occurred(Literal::pos(e)),
+                EventAttrs::controllable(),
+                vec![],
+                &routing,
+            ),
+        ),
+    ]);
+    // Attempt f first: parks.
+    net.inject(NodeId(1), NodeId(1), Msg::Attempt { lit: Literal::pos(f) });
+    net.run_to_quiescence(100);
+    assert_eq!(occurred(&net, NodeId(1)), None, "f must park on []e");
+    // Attempt e: occurs, announcement releases f.
+    net.inject(NodeId(0), NodeId(0), Msg::Attempt { lit: Literal::pos(e) });
+    net.run_to_quiescence(100);
+    assert_eq!(occurred(&net, NodeId(0)), Some(Literal::pos(e)));
+    assert_eq!(occurred(&net, NodeId(1)), Some(Literal::pos(f)));
+}
+
+#[test]
+fn inform_bypasses_guards() {
+    let e = SymbolId(0);
+    let mut routing = Routing::default();
+    routing.actor_of.insert(e, NodeId(0));
+    routing.subscribers_of.insert(e, vec![]);
+    let routing = Arc::new(routing);
+    // Guard 0 — yet an Inform (immediate event, e.g. abort) must pass.
+    let mut net = fixed_net(vec![(
+        SiteId(0),
+        actor_node(0, Guard::bottom(), EventAttrs::immediate(), vec![], &routing),
+    )]);
+    net.inject(NodeId(0), NodeId(0), Msg::Inform { lit: Literal::pos(e) });
+    net.run_to_quiescence(100);
+    assert_eq!(occurred(&net, NodeId(0)), Some(Literal::pos(e)));
+}
+
+#[test]
+fn duplicate_informs_are_idempotent() {
+    let e = SymbolId(0);
+    let mut routing = Routing::default();
+    routing.actor_of.insert(e, NodeId(0));
+    routing.subscribers_of.insert(e, vec![]);
+    let routing = Arc::new(routing);
+    let mut net = fixed_net(vec![(
+        SiteId(0),
+        actor_node(0, Guard::top(), EventAttrs::immediate(), vec![], &routing),
+    )]);
+    net.inject(NodeId(0), NodeId(0), Msg::Inform { lit: Literal::pos(e) });
+    net.inject(NodeId(0), NodeId(0), Msg::Inform { lit: Literal::neg(e) });
+    net.run_to_quiescence(100);
+    // First inform wins; the conflicting one is ignored.
+    assert_eq!(occurred(&net, NodeId(0)), Some(Literal::pos(e)));
+}
+
+#[test]
+fn promise_flow_between_two_actors() {
+    // e's guard: ◇f. f's guard: ⊤ but f is only attempted later.
+    let e = SymbolId(0);
+    let f = SymbolId(1);
+    let mut routing = Routing::default();
+    routing.actor_of.insert(e, NodeId(0));
+    routing.actor_of.insert(f, NodeId(1));
+    routing.subscribers_of.insert(e, vec![NodeId(1)]);
+    routing.subscribers_of.insert(f, vec![NodeId(0)]);
+    let routing = Arc::new(routing);
+    let mut net = fixed_net(vec![
+        (
+            SiteId(0),
+            actor_node(
+                0,
+                Guard::eventually(Literal::pos(f)),
+                EventAttrs::controllable(),
+                vec![],
+                &routing,
+            ),
+        ),
+        (SiteId(1), actor_node(1, Guard::top(), EventAttrs::controllable(), vec![], &routing)),
+    ]);
+    // e attempts; its promise request reaches f's actor, which cannot
+    // grant yet (f not attempted, not triggerable): request held pending.
+    net.inject(NodeId(0), NodeId(0), Msg::Attempt { lit: Literal::pos(e) });
+    net.run_to_quiescence(100);
+    assert_eq!(occurred(&net, NodeId(0)), None, "e waits for the promise");
+    // f attempts: grantable now; the held request is serviced, e proceeds.
+    net.inject(NodeId(1), NodeId(1), Msg::Attempt { lit: Literal::pos(f) });
+    net.run_to_quiescence(100);
+    assert_eq!(occurred(&net, NodeId(1)), Some(Literal::pos(f)));
+    assert_eq!(occurred(&net, NodeId(0)), Some(Literal::pos(e)));
+}
+
+#[test]
+fn not_yet_agreement_holds_and_releases() {
+    // e's guard: ¬f (Example 9.6's G(D<, e)).
+    let e = SymbolId(0);
+    let f = SymbolId(1);
+    let mut routing = Routing::default();
+    routing.actor_of.insert(e, NodeId(0));
+    routing.actor_of.insert(f, NodeId(1));
+    routing.subscribers_of.insert(e, vec![NodeId(1)]);
+    routing.subscribers_of.insert(f, vec![NodeId(0)]);
+    let routing = Arc::new(routing);
+    let mut net = fixed_net(vec![
+        (
+            SiteId(0),
+            actor_node(
+                0,
+                Guard::not_yet(Literal::pos(f)),
+                EventAttrs::controllable(),
+                vec![],
+                &routing,
+            ),
+        ),
+        (SiteId(1), actor_node(1, Guard::top(), EventAttrs::controllable(), vec![], &routing)),
+    ]);
+    net.inject(NodeId(0), NodeId(0), Msg::Attempt { lit: Literal::pos(e) });
+    net.run_to_quiescence(100);
+    // e got the agreement and occurred; f was held during the window.
+    assert_eq!(occurred(&net, NodeId(0)), Some(Literal::pos(e)));
+    let Node::Actor(fa) = net.node(NodeId(1)) else { unreachable!() };
+    assert!(fa.holds.is_empty(), "hold released after e decided");
+    assert!(fa.stats.holds_granted >= 1);
+    // f can still occur afterwards.
+    net.inject(NodeId(1), NodeId(1), Msg::Attempt { lit: Literal::pos(f) });
+    net.run_to_quiescence(100);
+    assert_eq!(occurred(&net, NodeId(1)), Some(Literal::pos(f)));
+}
+
+#[test]
+fn rejection_forces_complement_through_its_guard() {
+    // e's guard: 0 (can never occur). Attempting e rejects it and the
+    // complement occurs (Section 3.3(c)).
+    let e = SymbolId(0);
+    let mut routing = Routing::default();
+    routing.actor_of.insert(e, NodeId(0));
+    routing.subscribers_of.insert(e, vec![]);
+    let routing = Arc::new(routing);
+    let mut net = fixed_net(vec![(
+        SiteId(0),
+        actor_node(0, Guard::bottom(), EventAttrs::controllable(), vec![], &routing),
+    )]);
+    net.inject(NodeId(0), NodeId(0), Msg::Attempt { lit: Literal::pos(e) });
+    net.run_to_quiescence(100);
+    assert_eq!(occurred(&net, NodeId(0)), Some(Literal::neg(e)));
+    let Node::Actor(a) = net.node(NodeId(0)) else { unreachable!() };
+    assert_eq!(a.stats.rejected, 1);
+}
+
+#[test]
+fn attempt_after_occurrence_is_idempotent() {
+    let e = SymbolId(0);
+    let mut routing = Routing::default();
+    routing.actor_of.insert(e, NodeId(0));
+    routing.subscribers_of.insert(e, vec![]);
+    let routing = Arc::new(routing);
+    let mut net = fixed_net(vec![(
+        SiteId(0),
+        actor_node(0, Guard::top(), EventAttrs::controllable(), vec![], &routing),
+    )]);
+    net.inject(NodeId(0), NodeId(0), Msg::Attempt { lit: Literal::pos(e) });
+    net.run_to_quiescence(100);
+    let Node::Actor(a) = net.node(NodeId(0)) else { unreachable!() };
+    let (l1, t1, s1) = a.occurred.unwrap();
+    net.inject(NodeId(0), NodeId(0), Msg::Attempt { lit: Literal::pos(e) });
+    net.run_to_quiescence(100);
+    let Node::Actor(a) = net.node(NodeId(0)) else { unreachable!() };
+    assert_eq!(a.occurred.unwrap(), (l1, t1, s1), "occurrence is immutable");
+    assert_eq!(a.stats.attempts, 2);
+    assert_eq!(a.stats.granted, 1);
+}
+
+#[test]
+fn announcements_tolerate_reordering_for_sequence_guards() {
+    // Faithful-mode guard ◇(a·b) at actor c: facts □a (seq 10) and □b
+    // (seq 20) arriving *out of order* must still discharge correctly.
+    let a = Literal::pos(SymbolId(0));
+    let b = Literal::pos(SymbolId(1));
+    let c = SymbolId(2);
+    let mut routing = Routing::default();
+    routing.actor_of.insert(c, NodeId(0));
+    routing.subscribers_of.insert(c, vec![]);
+    let routing = Arc::new(routing);
+    let seq_guard = Guard::eventually_expr(&Expr::seq([Expr::lit(a), Expr::lit(b)]));
+    let mut net = fixed_net(vec![(
+        SiteId(0),
+        actor_node(2, seq_guard, EventAttrs::controllable(), vec![], &routing),
+    )]);
+    net.inject(NodeId(0), NodeId(0), Msg::Attempt { lit: Literal::pos(c) });
+    // Deliver b's announcement (occurrence seq 20) before a's (seq 10):
+    // naive in-arrival-order residuation would kill the sequence.
+    net.inject(NodeId(0), NodeId(0), Msg::Announce { lit: b, at: 20, seq: 20 });
+    net.run_to_quiescence(100);
+    assert_eq!(occurred(&net, NodeId(0)), None);
+    net.inject(NodeId(0), NodeId(0), Msg::Announce { lit: a, at: 10, seq: 10 });
+    net.run_to_quiescence(100);
+    assert_eq!(
+        occurred(&net, NodeId(0)),
+        Some(Literal::pos(c)),
+        "ordered rebuild recovered a-before-b"
+    );
+}

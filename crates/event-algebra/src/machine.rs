@@ -1,0 +1,284 @@
+//! Dependency state machines (Figure 2 and the automata of [2]).
+//!
+//! Enforcing a dependency symbolically walks a finite machine whose states
+//! are the distinct residuals of the dependency and whose transitions are
+//! residuation by the events of `Γ_D` (events outside `Γ_D` never change
+//! the state, by rule R6). This is exactly the per-dependency automaton of
+//! Attie et al. [2], obtained here for free from residuation; the machine
+//! also powers the centralized baseline scheduler and the triggering
+//! analysis.
+
+use crate::expr::Expr;
+use crate::norm::normalize;
+use crate::residue::{residuate, requires, satisfiable};
+use crate::symbol::{Literal, SymbolTable};
+use crate::trace::Trace;
+use std::collections::HashMap;
+
+/// Index of a state in a [`DependencyMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The state's index into [`DependencyMachine::states`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The residual state machine of one dependency.
+#[derive(Debug, Clone)]
+pub struct DependencyMachine {
+    /// The (normalized) dependency this machine enforces.
+    pub dependency: Expr,
+    /// All reachable residuals; `states[initial]` is the dependency itself.
+    pub states: Vec<Expr>,
+    /// The start state.
+    pub initial: StateId,
+    /// Transition function over `Γ_D`; literals outside the alphabet
+    /// self-loop implicitly.
+    pub transitions: HashMap<(StateId, Literal), StateId>,
+    /// `Γ_D`: the relevant literals, closed under complement.
+    pub alphabet: Vec<Literal>,
+}
+
+impl DependencyMachine {
+    /// Compile `dependency` into its residual machine by breadth-first
+    /// exploration. Terminates because residuation strictly removes the
+    /// residuated symbol from the expression.
+    pub fn compile(dependency: &Expr) -> DependencyMachine {
+        let dep = normalize(dependency);
+        let alphabet: Vec<Literal> = dep.gamma().into_iter().collect();
+        let mut states: Vec<Expr> = vec![dep.clone()];
+        let mut index: HashMap<Expr, StateId> = HashMap::new();
+        index.insert(dep.clone(), StateId(0));
+        let mut transitions = HashMap::new();
+        let mut frontier = vec![StateId(0)];
+        while let Some(sid) = frontier.pop() {
+            let state = states[sid.index()].clone();
+            for &lit in &alphabet {
+                if !state.mentions(lit.symbol()) {
+                    continue; // R6: self-loop, left implicit.
+                }
+                let next = residuate(&state, lit);
+                let nid = *index.entry(next.clone()).or_insert_with(|| {
+                    let id = StateId(states.len() as u32);
+                    states.push(next.clone());
+                    frontier.push(id);
+                    id
+                });
+                transitions.insert((sid, lit), nid);
+            }
+        }
+        DependencyMachine { dependency: dep, states, initial: StateId(0), transitions, alphabet }
+    }
+
+    /// Number of states (the size metric compared against guard sizes in
+    /// experiment C5).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The residual expression at `sid`.
+    pub fn state(&self, sid: StateId) -> &Expr {
+        &self.states[sid.index()]
+    }
+
+    /// Step the machine: events outside `Γ_D` self-loop.
+    pub fn step(&self, sid: StateId, lit: Literal) -> StateId {
+        self.transitions.get(&(sid, lit)).copied().unwrap_or(sid)
+    }
+
+    /// Run a whole trace from the initial state.
+    pub fn run(&self, u: &Trace) -> StateId {
+        u.events().iter().fold(self.initial, |s, &l| self.step(s, l))
+    }
+
+    /// `true` if the state is the satisfied terminal `⊤`.
+    pub fn is_accepting(&self, sid: StateId) -> bool {
+        self.state(sid).is_top()
+    }
+
+    /// `true` if the state is the violated terminal `0`.
+    pub fn is_violated(&self, sid: StateId) -> bool {
+        self.state(sid).is_zero()
+    }
+
+    /// `true` if some maximal completion from `sid` satisfies the
+    /// dependency — the safety condition a scheduler must preserve.
+    pub fn is_live(&self, sid: StateId) -> bool {
+        satisfiable(self.state(sid))
+    }
+
+    /// `true` if, at `sid`, every satisfying completion contains `lit`
+    /// (so a triggerable `lit` must be proactively triggered).
+    pub fn requires_event(&self, sid: StateId, lit: Literal) -> bool {
+        requires(self.state(sid), lit)
+    }
+
+    /// `true` if accepting `lit` at `sid` keeps the machine live — the
+    /// scheduler's acceptance test (Section 3.4 conditions 1 and 2a).
+    pub fn may_accept(&self, sid: StateId, lit: Literal) -> bool {
+        self.is_live(self.step(sid, lit))
+    }
+
+    /// Render the full transition relation, one line per edge, with state
+    /// labels — regenerates Figure 2 when applied to `D<` and `D→`.
+    pub fn render(&self, table: &SymbolTable) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "machine for {} ({} states)",
+            self.dependency.display(table),
+            self.state_count()
+        );
+        for (sid, st) in self.states.iter().enumerate() {
+            let sid = StateId(sid as u32);
+            let marker = if st.is_top() {
+                " [accept]"
+            } else if st.is_zero() {
+                " [violate]"
+            } else if sid == self.initial {
+                " [initial]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  S{}: {}{}", sid.0, st.display(table), marker);
+            let mut edges: Vec<(&Literal, &StateId)> = self
+                .transitions
+                .iter()
+                .filter(|((s, _), _)| *s == sid)
+                .map(|((_, l), t)| (l, t))
+                .collect();
+            edges.sort();
+            for (l, t) in edges {
+                let _ = writeln!(out, "    --{}--> S{}", table.literal_name(*l), t.0);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::satisfies;
+    use crate::symbol::SymbolId;
+    use crate::trace::enumerate_maximal;
+
+    fn setup() -> (SymbolTable, Literal, Literal) {
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        (t, e, f)
+    }
+
+    fn d_precedes(e: Literal, f: Literal) -> Expr {
+        Expr::or([
+            Expr::lit(e.complement()),
+            Expr::lit(f.complement()),
+            Expr::seq([Expr::lit(e), Expr::lit(f)]),
+        ])
+    }
+
+    fn d_arrow(e: Literal, f: Literal) -> Expr {
+        Expr::or([Expr::lit(e.complement()), Expr::lit(f)])
+    }
+
+    #[test]
+    fn figure2_d_precedes_machine_shape() {
+        let (_, e, f) = setup();
+        let m = DependencyMachine::compile(&d_precedes(e, f));
+        // States: D<, ⊤, f+f̄, ē, 0 — exactly the five of Figure 2.
+        assert_eq!(m.state_count(), 5);
+        assert!(m.is_accepting(m.step(m.initial, e.complement())));
+        assert!(m.is_accepting(m.step(m.initial, f.complement())));
+        let after_e = m.step(m.initial, e);
+        assert_eq!(*m.state(after_e), Expr::or([Expr::lit(f), Expr::lit(f.complement())]));
+        let after_f = m.step(m.initial, f);
+        assert_eq!(*m.state(after_f), Expr::lit(e.complement()));
+        assert!(m.is_violated(m.step(after_f, e)));
+        assert!(m.is_accepting(m.step(after_f, e.complement())));
+    }
+
+    #[test]
+    fn figure2_d_arrow_machine_shape() {
+        let (_, e, f) = setup();
+        let m = DependencyMachine::compile(&d_arrow(e, f));
+        // States: D→, ⊤, f (after e), ē (after f̄), and 0.
+        assert_eq!(m.state_count(), 5);
+        assert_eq!(*m.state(m.step(m.initial, f.complement())), Expr::lit(e.complement()));
+        assert!(m.is_accepting(m.step(m.initial, f)));
+        assert!(m.is_accepting(m.step(m.initial, e.complement())));
+        let after_e = m.step(m.initial, e);
+        assert_eq!(*m.state(after_e), Expr::lit(f));
+        assert!(m.is_violated(m.step(after_e, f.complement())));
+    }
+
+    #[test]
+    fn machine_accepts_exactly_the_satisfying_maximal_traces() {
+        let (_, e, f) = setup();
+        let syms = [SymbolId(0), SymbolId(1)];
+        for d in [d_precedes(e, f), d_arrow(e, f)] {
+            let m = DependencyMachine::compile(&d);
+            for u in enumerate_maximal(&syms) {
+                assert_eq!(m.is_accepting(m.run(&u)), satisfies(&u, &d), "D={d} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn irrelevant_events_self_loop() {
+        let (_, e, f) = setup();
+        let m = DependencyMachine::compile(&d_arrow(e, f));
+        let g = Literal::pos(SymbolId(7));
+        assert_eq!(m.step(m.initial, g), m.initial);
+    }
+
+    #[test]
+    fn may_accept_blocks_dead_states() {
+        let (_, e, f) = setup();
+        let m = DependencyMachine::compile(&d_precedes(e, f));
+        let after_f = m.step(m.initial, f);
+        assert!(!m.may_accept(after_f, e), "e after f violates D<");
+        assert!(m.may_accept(after_f, e.complement()));
+        assert!(m.may_accept(m.initial, e));
+    }
+
+    #[test]
+    fn requires_event_in_states() {
+        let (_, e, f) = setup();
+        let m = DependencyMachine::compile(&d_arrow(e, f));
+        let after_e = m.step(m.initial, e);
+        assert!(m.requires_event(after_e, f));
+        assert!(!m.requires_event(m.initial, f));
+    }
+
+    #[test]
+    fn render_mentions_all_states() {
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        let m = DependencyMachine::compile(&d_precedes(e, f));
+        let s = m.render(&t);
+        assert!(s.contains("[accept]"), "{s}");
+        assert!(s.contains("[violate]"), "{s}");
+        assert!(s.contains("[initial]"), "{s}");
+        assert!(s.contains("--~e--> "), "{s}");
+    }
+
+    #[test]
+    fn chain_dependency_machine_is_linear_plus_kills() {
+        // e1·e2·e3: states ⊤,0 and the 4 suffixes.
+        let lits: Vec<Literal> = (0..3).map(|i| Literal::pos(SymbolId(i))).collect();
+        let d = Expr::seq(lits.iter().map(|&l| Expr::lit(l)));
+        let m = DependencyMachine::compile(&d);
+        assert_eq!(m.state_count(), 5); // e1e2e3, e2e3, e3, ⊤, 0
+        let mut s = m.initial;
+        for &l in &lits {
+            s = m.step(s, l);
+        }
+        assert!(m.is_accepting(s));
+    }
+}

@@ -1,0 +1,127 @@
+//! Normalization into the form required by the residuation rules.
+//!
+//! The paper's symbolic residuation equations (Section 3.4) "assume that
+//! the given expression is in a form where there is no `|` or `+` in the
+//! scope of `·`", obtainable "by repeated application of the distribution
+//! laws" (`·` distributes over `+` and over `|`, both validated by the
+//! trace semantics — see `semantics::tests`). This module implements that
+//! normalization: after [`normalize`], every `Seq` node contains only
+//! literals.
+
+use crate::expr::Expr;
+
+/// `true` if no `+` or `|` occurs in the scope of `·` (and `Seq`s are
+/// flat literal sequences) — the precondition of rules R3/R7/R8.
+pub fn is_normal(e: &Expr) -> bool {
+    match e {
+        Expr::Zero | Expr::Top | Expr::Lit(_) => true,
+        Expr::Seq(v) => v.iter().all(|p| matches!(p, Expr::Lit(_))),
+        Expr::Or(v) | Expr::And(v) => v.iter().all(is_normal),
+    }
+}
+
+/// Rewrite `e` into an equivalent expression with no `+`/`|` under `·`.
+///
+/// Distribution can blow up exponentially in principle; dependency
+/// expressions in workflow specifications are small (the common ones are
+/// two-to-four literals), and long event chains `e₁·…·eₙ` are already
+/// normal, so this is not a hot path.
+pub fn normalize(e: &Expr) -> Expr {
+    match e {
+        Expr::Zero | Expr::Top | Expr::Lit(_) => e.clone(),
+        Expr::Or(v) => Expr::or(v.iter().map(normalize)),
+        Expr::And(v) => Expr::and(v.iter().map(normalize)),
+        Expr::Seq(v) => {
+            let mut acc = Expr::Top;
+            for p in v {
+                acc = product(acc, normalize(p));
+            }
+            acc
+        }
+    }
+}
+
+/// The normalized product `a · b` of two already-normal expressions,
+/// distributing `·` outward over `+` and `|` on either side.
+fn product(a: Expr, b: Expr) -> Expr {
+    match (a, b) {
+        (Expr::Zero, _) | (_, Expr::Zero) => Expr::Zero,
+        (Expr::Top, x) | (x, Expr::Top) => x,
+        // (x₁ + x₂)·b = x₁·b + x₂·b   and symmetrically on the right.
+        (Expr::Or(xs), b) => Expr::or(xs.into_iter().map(|x| product(x, b.clone()))),
+        (a, Expr::Or(ys)) => Expr::or(ys.into_iter().map(|y| product(a.clone(), y))),
+        // (x₁ | x₂)·b = x₁·b | x₂·b   and symmetrically on the right.
+        (Expr::And(xs), b) => Expr::and(xs.into_iter().map(|x| product(x, b.clone()))),
+        (a, Expr::And(ys)) => Expr::and(ys.into_iter().map(|y| product(a.clone(), y))),
+        // Both sides are literals or literal sequences: plain sequencing.
+        (a, b) => Expr::seq([a, b]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::equivalent_auto;
+    use crate::symbol::SymbolId;
+
+    fn ev(i: u32) -> Expr {
+        Expr::event(SymbolId(i))
+    }
+
+    #[test]
+    fn literals_and_constants_are_normal() {
+        assert!(is_normal(&Expr::Top));
+        assert!(is_normal(&Expr::Zero));
+        assert!(is_normal(&ev(0)));
+        assert!(is_normal(&Expr::seq([ev(0), ev(1)])));
+    }
+
+    #[test]
+    fn or_under_seq_is_not_normal() {
+        let e = Expr::Seq(vec![Expr::Or(vec![ev(0), ev(1)]), ev(2)]);
+        assert!(!is_normal(&e));
+        let n = normalize(&e);
+        assert!(is_normal(&n));
+        assert!(equivalent_auto(&e, &n));
+    }
+
+    #[test]
+    fn and_under_seq_is_not_normal() {
+        let e = Expr::Seq(vec![ev(2), Expr::And(vec![ev(0), ev(1)])]);
+        assert!(!is_normal(&e));
+        let n = normalize(&e);
+        assert!(is_normal(&n));
+        assert!(equivalent_auto(&e, &n));
+    }
+
+    #[test]
+    fn nested_mixed_normalizes_and_preserves_meaning() {
+        // ((a+b)|(c)) · (d+e) with distinct symbols.
+        let e = Expr::Seq(vec![
+            Expr::And(vec![Expr::Or(vec![ev(0), ev(1)]), ev(2)]),
+            Expr::Or(vec![ev(3), ev(4)]),
+        ]);
+        let n = normalize(&e);
+        assert!(is_normal(&n));
+        assert!(equivalent_auto(&e, &n));
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let e = Expr::Seq(vec![Expr::Or(vec![ev(0), ev(1)]), ev(2)]);
+        let n = normalize(&e);
+        assert_eq!(normalize(&n), n);
+    }
+
+    #[test]
+    fn normal_form_of_dependencies_from_the_paper() {
+        // D< = ē + f̄ + e·f is already normal.
+        let d = Expr::or([
+            Expr::comp(SymbolId(0)),
+            Expr::comp(SymbolId(1)),
+            Expr::seq([ev(0), ev(1)]),
+        ]);
+        assert!(is_normal(&d));
+        assert_eq!(normalize(&d), d);
+    }
+}

@@ -1,0 +1,446 @@
+//! Residuation: the scheduler's symbolic state transition (Section 3.4).
+//!
+//! `E/e` denotes the remaining obligation after event `e` occurs. The
+//! model-theoretic definition (Semantics 6) is
+//!
+//! > `v ⊨ E₁/E₂` iff `∀u: u ⊨ E₂ ⇒ (uv ∈ U_E ⇒ uv ⊨ E₁)`
+//!
+//! and the paper characterizes it symbolically by rewrite rules R1–R8 over
+//! normalized expressions (Theorem 1 asserts their soundness; our property
+//! tests check the symbolic result against [`residual_oracle`] on every
+//! future that can actually follow `e`).
+
+use crate::expr::Expr;
+use crate::norm::{is_normal, normalize};
+use crate::symbol::{Literal, SymbolId};
+use crate::trace::{enumerate_universe, Trace};
+use crate::semantics::satisfies;
+use std::collections::HashMap;
+
+/// Symbolic residuation `e_expr / by` implementing rules R1–R8.
+///
+/// The input is normalized first if needed (rules R3/R7/R8 require no
+/// `+`/`|` in the scope of `·`). The result is again normal.
+pub fn residuate(e: &Expr, by: Literal) -> Expr {
+    if is_normal(e) {
+        residuate_normal(e, by)
+    } else {
+        residuate_normal(&normalize(e), by)
+    }
+}
+
+/// Residuation on an expression known to be normal.
+fn residuate_normal(e: &Expr, by: Literal) -> Expr {
+    match e {
+        // R1: 0/e = 0.
+        Expr::Zero => Expr::Zero,
+        // R2: ⊤/e = ⊤.
+        Expr::Top => Expr::Top,
+        Expr::Lit(l) => {
+            if *l == by {
+                // R3 with an empty tail: e/e = ⊤.
+                Expr::Top
+            } else if l.is_complement_of(by) {
+                // R8 degenerate: ē/e = 0 — `e` occurred, `ē` is impossible.
+                Expr::Zero
+            } else {
+                // R6: untouched symbols are unaffected.
+                Expr::Lit(*l)
+            }
+        }
+        // R4: (E₁+E₂)/e = E₁/e + E₂/e.
+        Expr::Or(v) => Expr::or(v.iter().map(|p| residuate_normal(p, by))),
+        // R5: (E₁|E₂)/e = (E₁/e)|(E₂/e).
+        Expr::And(v) => Expr::and(v.iter().map(|p| residuate_normal(p, by))),
+        Expr::Seq(v) => {
+            // Normal form: v is a flat literal sequence.
+            if !e.mentions(by.symbol()) {
+                // R6.
+                return e.clone();
+            }
+            match v.first() {
+                Some(Expr::Lit(head)) if *head == by => {
+                    // R3: (e·E)/e = E.
+                    Expr::seq(v[1..].iter().cloned())
+                }
+                // R7/R8: `by`'s symbol occurs in the sequence but not as the
+                // head event — the required ordering (or the complement-
+                // freedom) can no longer be met, so the residual is 0.
+                _ => Expr::Zero,
+            }
+        }
+    }
+}
+
+/// Residuate by a whole trace: `((E/u₁)/u₂)/…` — the scheduler state after
+/// the events of `u` have occurred in order.
+pub fn residuate_trace(e: &Expr, u: &Trace) -> Expr {
+    let mut acc = normalize(e);
+    for &l in u.events() {
+        acc = residuate_normal(&acc, l);
+    }
+    acc
+}
+
+/// Model-theoretic residual per Semantics 6, restricted to futures over
+/// `syms` *excluding* `by`'s symbol (after `e` occurs, no future trace can
+/// contain `e` or `ē`, so those are the only futures the scheduler can
+/// ever see; on futures mentioning `by`'s symbol the definition is
+/// vacuously permissive and the symbolic rules intentionally differ).
+pub fn residual_oracle(e: &Expr, by: Literal, syms: &[SymbolId]) -> Vec<Trace> {
+    let all = enumerate_universe(syms);
+    let futures: Vec<&Trace> = all.iter().filter(|v| !v.resolves(by.symbol())).collect();
+    let by_traces: Vec<&Trace> = all.iter().filter(|u| u.contains(by)).collect();
+    futures
+        .into_iter()
+        .filter(|v| {
+            by_traces.iter().all(|u| match u.concat(v) {
+                Some(uv) => satisfies(&uv, e),
+                None => true,
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Check Theorem 1 for one `(E, by)` instance: the symbolic residual and
+/// the model-theoretic residual agree on every realizable future.
+pub fn residuation_sound(e: &Expr, by: Literal, syms: &[SymbolId]) -> bool {
+    let symbolic = residuate(e, by);
+    let oracle = residual_oracle(e, by, syms);
+    enumerate_universe(syms)
+        .into_iter()
+        .filter(|v| !v.resolves(by.symbol()))
+        .all(|v| satisfies(&v, &symbolic) == oracle.contains(&v))
+}
+
+/// Does some *maximal completion* starting from residual state `e` reach
+/// `⊤`? I.e., is there an ordering and polarity resolution of `e`'s
+/// remaining symbols whose residual chain ends satisfied?
+///
+/// This is the "may prevent some proper traces" check of Section 3.4(2a):
+/// a scheduler accepting an event whose residual is non-zero but
+/// unsatisfiable would generate only improper traces.
+pub fn satisfiable(e: &Expr) -> bool {
+    let mut memo = HashMap::new();
+    satisfiable_memo(&normalize(e), &mut memo)
+}
+
+fn satisfiable_memo(e: &Expr, memo: &mut HashMap<Expr, bool>) -> bool {
+    match e {
+        Expr::Top => return true,
+        Expr::Zero => return false,
+        _ => {}
+    }
+    if let Some(&r) = memo.get(e) {
+        return r;
+    }
+    // Events of symbols outside Γ_E never change the residual (R6), so it
+    // suffices to resolve E's own symbols in every order and polarity.
+    let syms = e.symbols();
+    let mut found = false;
+    'outer: for &s in &syms {
+        for lit in [Literal::pos(s), Literal::neg(s)] {
+            let next = residuate_normal(e, lit);
+            if satisfiable_memo(&next, memo) {
+                found = true;
+                break 'outer;
+            }
+        }
+    }
+    memo.insert(e.clone(), found);
+    found
+}
+
+/// Like [`satisfiable`] but with `avoid` forbidden from occurring: the
+/// search may resolve `avoid`'s symbol only to the complement, and only at
+/// whatever position the completion chooses (residuals by distinct symbols
+/// do not commute across sequences, so the position matters).
+///
+/// `requires(D, e)` — "every remaining satisfying completion contains `e`"
+/// — is `satisfiable(D) && !satisfiable_avoiding(D, e)`; this drives
+/// proactive triggering of triggerable events.
+pub fn satisfiable_avoiding(e: &Expr, avoid: Literal) -> bool {
+    let mut memo = HashMap::new();
+    sat_avoiding_memo(&normalize(e), avoid, &mut memo)
+}
+
+fn sat_avoiding_memo(e: &Expr, avoid: Literal, memo: &mut HashMap<Expr, bool>) -> bool {
+    match e {
+        Expr::Top => return true,
+        Expr::Zero => return false,
+        _ => {}
+    }
+    if let Some(&r) = memo.get(e) {
+        return r;
+    }
+    let syms = e.symbols();
+    let mut found = false;
+    'outer: for &s in &syms {
+        for lit in [Literal::pos(s), Literal::neg(s)] {
+            if lit == avoid {
+                continue;
+            }
+            let next = residuate_normal(e, lit);
+            if sat_avoiding_memo(&next, avoid, memo) {
+                found = true;
+                break 'outer;
+            }
+        }
+    }
+    memo.insert(e.clone(), found);
+    found
+}
+
+/// `true` if every maximal completion from state `e` that satisfies the
+/// dependency includes the event `lit` — i.e. `lit` has become *required*
+/// and a triggerable event should be proactively triggered (Section 3.3(b)).
+pub fn requires(e: &Expr, lit: Literal) -> bool {
+    satisfiable(e) && !satisfiable_avoiding(e, lit)
+}
+
+/// Like [`satisfiable`], but no literal in `avoid` may be used. With
+/// `avoid` = the complements of a set of *inevitable* events (events some
+/// task guarantees to perform, like the exit of an entered critical
+/// section), this decides whether a residual can still be met in a future
+/// consistent with those guarantees.
+pub fn satisfiable_avoiding_all(
+    e: &Expr,
+    avoid: &std::collections::BTreeSet<Literal>,
+) -> bool {
+    fn go(
+        e: &Expr,
+        avoid: &std::collections::BTreeSet<Literal>,
+        memo: &mut HashMap<Expr, bool>,
+    ) -> bool {
+        match e {
+            Expr::Top => return true,
+            Expr::Zero => return false,
+            _ => {}
+        }
+        if let Some(&r) = memo.get(e) {
+            return r;
+        }
+        let syms = e.symbols();
+        let mut found = false;
+        'outer: for &s in &syms {
+            for lit in [Literal::pos(s), Literal::neg(s)] {
+                if avoid.contains(&lit) {
+                    continue;
+                }
+                let next = residuate_normal(e, lit);
+                if go(&next, avoid, memo) {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        memo.insert(e.clone(), found);
+        found
+    }
+    let mut memo = HashMap::new();
+    go(&normalize(e), avoid, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn setup() -> (SymbolTable, Literal, Literal) {
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        (t, e, f)
+    }
+
+    fn d_precedes(e: Literal, f: Literal) -> Expr {
+        // D< = ē + f̄ + e·f.
+        Expr::or([
+            Expr::lit(e.complement()),
+            Expr::lit(f.complement()),
+            Expr::seq([Expr::lit(e), Expr::lit(f)]),
+        ])
+    }
+
+    fn d_arrow(e: Literal, f: Literal) -> Expr {
+        // D→ = ē + f.
+        Expr::or([Expr::lit(e.complement()), Expr::lit(f)])
+    }
+
+    #[test]
+    fn example6_residuals() {
+        let (_, e, f) = setup();
+        // (ē + f̄ + e·f)/e = f̄ + f.
+        let d = d_precedes(e, f);
+        let r = residuate(&d, e);
+        assert_eq!(r, Expr::or([Expr::lit(f), Expr::lit(f.complement())]));
+        // (ē + f)/f̄ = ē.
+        let r2 = residuate(&d_arrow(e, f), f.complement());
+        assert_eq!(r2, Expr::lit(e.complement()));
+    }
+
+    #[test]
+    fn figure2_d_precedes_walk() {
+        let (_, e, f) = setup();
+        let d = d_precedes(e, f);
+        // Complements satisfy D< immediately.
+        assert_eq!(residuate(&d, e.complement()), Expr::Top);
+        assert_eq!(residuate(&d, f.complement()), Expr::Top);
+        // After e: f or f̄ may happen, then ⊤ either way.
+        let after_e = residuate(&d, e);
+        assert_eq!(residuate(&after_e, f), Expr::Top);
+        assert_eq!(residuate(&after_e, f.complement()), Expr::Top);
+        // After f: only ē leads to ⊤; e violates.
+        let after_f = residuate(&d, f);
+        assert_eq!(after_f, Expr::lit(e.complement()));
+        assert_eq!(residuate(&after_f, e.complement()), Expr::Top);
+        assert_eq!(residuate(&after_f, e), Expr::Zero);
+    }
+
+    #[test]
+    fn figure2_d_arrow_walk() {
+        let (_, e, f) = setup();
+        let d = d_arrow(e, f);
+        assert_eq!(residuate(&d, e.complement()), Expr::Top);
+        assert_eq!(residuate(&d, f), Expr::Top);
+        // After e, f must still occur.
+        assert_eq!(residuate(&d, e), Expr::lit(f));
+    }
+
+    #[test]
+    fn atom_rules() {
+        let (_, e, _) = setup();
+        assert_eq!(residuate(&Expr::lit(e), e), Expr::Top); // e/e = ⊤
+        assert_eq!(residuate(&Expr::lit(e.complement()), e), Expr::Zero); // ē/e = 0
+        assert_eq!(residuate(&Expr::Zero, e), Expr::Zero); // R1
+        assert_eq!(residuate(&Expr::Top, e), Expr::Top); // R2
+    }
+
+    #[test]
+    fn r7_r8_sequence_kills() {
+        let (mut t, e, f) = setup();
+        let g = t.event("g");
+        // (f·e)/e = 0: e is needed later in the sequence.
+        assert_eq!(residuate(&Expr::seq([Expr::lit(f), Expr::lit(e)]), e), Expr::Zero);
+        // (ē·f)/e = 0: ē can no longer occur.
+        assert_eq!(
+            residuate(&Expr::seq([Expr::lit(e.complement()), Expr::lit(f)]), e),
+            Expr::Zero
+        );
+        // (f·g)/e = f·g: untouched (R6).
+        let fg = Expr::seq([Expr::lit(f), Expr::lit(g)]);
+        assert_eq!(residuate(&fg, e), fg);
+    }
+
+    #[test]
+    fn residuate_distributes_over_or_and_and() {
+        let (mut t, e, f) = setup();
+        let g = t.event("g");
+        let d = Expr::or([Expr::lit(f), Expr::and([Expr::lit(g), Expr::lit(e)])]);
+        let r = residuate(&d, e);
+        assert_eq!(r, Expr::or([Expr::lit(f), Expr::lit(g)]));
+    }
+
+    #[test]
+    fn residuate_trace_chains() {
+        let (_, e, f) = setup();
+        let d = d_precedes(e, f);
+        let u = Trace::new([e, f]).unwrap();
+        assert_eq!(residuate_trace(&d, &u), Expr::Top);
+        let u2 = Trace::new([f, e]).unwrap();
+        assert_eq!(residuate_trace(&d, &u2), Expr::Zero);
+    }
+
+    #[test]
+    fn soundness_on_paper_dependencies() {
+        let (t, e, f) = setup();
+        let syms: Vec<SymbolId> = t.ids().collect();
+        for d in [d_precedes(e, f), d_arrow(e, f)] {
+            for by in [e, e.complement(), f, f.complement()] {
+                assert!(residuation_sound(&d, by, &syms), "D={d} by={by}");
+            }
+        }
+    }
+
+    #[test]
+    fn soundness_on_sequences_and_conjunctions() {
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        let g = t.event("g");
+        let syms: Vec<SymbolId> = t.ids().collect();
+        let cases = [
+            Expr::seq([Expr::lit(e), Expr::lit(f), Expr::lit(g)]),
+            Expr::and([Expr::lit(e), Expr::or([Expr::lit(f), Expr::lit(g.complement())])]),
+            Expr::or([Expr::seq([Expr::lit(e), Expr::lit(f)]), Expr::lit(g)]),
+            Expr::and([
+                Expr::or([Expr::lit(e.complement()), Expr::lit(f)]),
+                Expr::or([Expr::lit(f.complement()), Expr::lit(g)]),
+            ]),
+        ];
+        for d in cases {
+            for by in [e, e.complement(), f, f.complement(), g, g.complement()] {
+                assert!(residuation_sound(&d, by, &syms), "D={d} by={by}");
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_trace_residual_is_top_iff_satisfied() {
+        let (t, e, f) = setup();
+        let syms: Vec<SymbolId> = t.ids().collect();
+        let d = d_precedes(e, f);
+        for u in crate::trace::enumerate_maximal(&syms) {
+            let residual = residuate_trace(&d, &u);
+            let sat = satisfies(&u, &d);
+            assert_eq!(residual.is_top(), sat, "u={u}");
+            assert_eq!(residual.is_zero(), !sat, "u={u}");
+        }
+    }
+
+    #[test]
+    fn satisfiability_of_states() {
+        let (_, e, f) = setup();
+        assert!(satisfiable(&Expr::Top));
+        assert!(!satisfiable(&Expr::Zero));
+        assert!(satisfiable(&d_precedes(e, f)));
+        assert!(satisfiable(&Expr::seq([Expr::lit(e), Expr::lit(f)])));
+        // e | ē collapses to 0 in the constructor already.
+        assert!(!satisfiable(&Expr::and([Expr::lit(e), Expr::lit(e.complement())])));
+    }
+
+    #[test]
+    fn requires_drives_triggering() {
+        let (_, e, f) = setup();
+        // After e occurs in D→ = ē + f, the residual is f: f is required.
+        let state = residuate(&d_arrow(e, f), e);
+        assert!(requires(&state, f));
+        assert!(!requires(&state, e));
+        // In the initial state nothing is required yet.
+        assert!(!requires(&d_arrow(e, f), f));
+        // In D< after f, ē is required.
+        let s2 = residuate(&d_precedes(e, f), f);
+        assert!(requires(&s2, e.complement()));
+    }
+
+    #[test]
+    fn satisfiable_avoiding_blocks_the_only_witness() {
+        let (_, e, f) = setup();
+        let state = Expr::lit(f);
+        assert!(satisfiable_avoiding(&state, f.complement()));
+        assert!(!satisfiable_avoiding(&state, f));
+        let _ = e;
+    }
+
+    #[test]
+    fn satisfiable_avoiding_respects_sequence_positions() {
+        // D = e·f̄ avoiding f is satisfiable by ⟨e f̄⟩; a naive search that
+        // resolves f's symbol first would wrongly report unsatisfiable.
+        let (_, e, f) = setup();
+        let d = Expr::seq([Expr::lit(e), Expr::lit(f.complement())]);
+        assert!(satisfiable_avoiding(&d, f));
+        assert!(!satisfiable_avoiding(&d, f.complement()));
+        assert!(!satisfiable_avoiding(&d, e));
+    }
+}

@@ -1,0 +1,286 @@
+//! Static workflow analysis at compilation time.
+//!
+//! Section 6: "The underlying execution mechanism should provide a
+//! consistent view of the temporal order of events. The compilation
+//! phase can detect these conditions and add messages to ensure that
+//! there are no problems." This module is that compilation phase: it
+//! inspects a workflow before execution and reports
+//!
+//! - **joint contradictions** — the dependencies admit no common
+//!   satisfying trace at all (each may be satisfiable alone);
+//! - **dead events** — events that can never occur in any satisfying
+//!   trace (their guards are `0`; an attempt will be rejected);
+//! - **forced events** — events that occur in *every* satisfying trace
+//!   (if not triggerable, the workflow's liveness depends on their agent
+//!   attempting them);
+//! - **consensus pairs** — events whose guards mutually require each
+//!   other's eventual occurrence (`◇`-cycles, Example 11): the promise
+//!   protocol will be exercised;
+//! - **agreement pairs** — events whose guards contain `¬` constraints
+//!   on each other: the not-yet agreement with its priority rule will be
+//!   exercised (potential hold contention).
+
+use crate::workflow::{CompiledWorkflow, GuardScope};
+use event_algebra::{normalize, residuate, Expr, Literal, SymbolId};
+use std::collections::{BTreeSet, HashMap};
+use temporal::{needs, Need};
+
+/// The report produced by [`analyze`].
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// No trace satisfies all dependencies together.
+    pub jointly_contradictory: bool,
+    /// Events that can never occur in a satisfying execution.
+    pub dead: Vec<Literal>,
+    /// Events that occur in every satisfying execution.
+    pub forced: Vec<Literal>,
+    /// Pairs whose guards mutually require `◇` of each other
+    /// (Example 11's consensus requirement).
+    pub consensus_pairs: Vec<(Literal, Literal)>,
+    /// Pairs `(e, f)` where `e`'s guard needs agreement that `f` has not
+    /// yet occurred *and* vice versa (direct hold cycles; the runtime
+    /// breaks them by symbol priority).
+    pub agreement_cycles: Vec<(Literal, Literal)>,
+}
+
+impl Analysis {
+    /// `true` when nothing problematic was found.
+    pub fn is_clean(&self) -> bool {
+        !self.jointly_contradictory
+            && self.dead.is_empty()
+            && self.consensus_pairs.is_empty()
+            && self.agreement_cycles.is_empty()
+    }
+}
+
+/// Joint satisfiability of a set of residuals: does some maximal
+/// completion drive *all* of them to `⊤`? Product search with
+/// memoization; exponential in the worst case, fine at workflow sizes.
+fn jointly_satisfiable(states: &[Expr], memo: &mut HashMap<Vec<Expr>, bool>) -> bool {
+    if states.iter().any(Expr::is_zero) {
+        return false;
+    }
+    if states.iter().all(Expr::is_top) {
+        return true;
+    }
+    if let Some(&r) = memo.get(states) {
+        return r;
+    }
+    let mut syms: BTreeSet<SymbolId> = BTreeSet::new();
+    for s in states {
+        syms.extend(s.symbols());
+    }
+    let mut found = false;
+    'outer: for &sym in &syms {
+        for lit in [Literal::pos(sym), Literal::neg(sym)] {
+            let next: Vec<Expr> = states.iter().map(|s| residuate(s, lit)).collect();
+            if jointly_satisfiable(&next, memo) {
+                found = true;
+                break 'outer;
+            }
+        }
+    }
+    memo.insert(states.to_vec(), found);
+    found
+}
+
+/// Like [`jointly_satisfiable`] but with one literal forbidden (or, with
+/// `forbidden = l`, deciding whether some joint completion avoids `l`).
+fn jointly_satisfiable_avoiding(
+    states: &[Expr],
+    forbidden: Literal,
+    memo: &mut HashMap<Vec<Expr>, bool>,
+) -> bool {
+    if states.iter().any(Expr::is_zero) {
+        return false;
+    }
+    if states.iter().all(Expr::is_top) {
+        return true;
+    }
+    if let Some(&r) = memo.get(states) {
+        return r;
+    }
+    let mut syms: BTreeSet<SymbolId> = BTreeSet::new();
+    for s in states {
+        syms.extend(s.symbols());
+    }
+    let mut found = false;
+    'outer: for &sym in &syms {
+        for lit in [Literal::pos(sym), Literal::neg(sym)] {
+            if lit == forbidden {
+                continue;
+            }
+            let next: Vec<Expr> = states.iter().map(|s| residuate(s, lit)).collect();
+            if jointly_satisfiable_avoiding(&next, forbidden, memo) {
+                found = true;
+                break 'outer;
+            }
+        }
+    }
+    memo.insert(states.to_vec(), found);
+    found
+}
+
+/// Analyze a workflow's dependencies at compile time.
+pub fn analyze(dependencies: &[Expr]) -> Analysis {
+    let compiled = CompiledWorkflow::compile(dependencies, GuardScope::Mentioning);
+    let states: Vec<Expr> = dependencies.iter().map(normalize).collect();
+    let mut report = Analysis::default();
+
+    let mut memo = HashMap::new();
+    report.jointly_contradictory = !jointly_satisfiable(&states, &mut memo);
+
+    // Dead / forced events: quantify over joint completions.
+    let mut literals: BTreeSet<Literal> = BTreeSet::new();
+    for s in &compiled.symbols {
+        literals.insert(Literal::pos(*s));
+        literals.insert(Literal::neg(*s));
+    }
+    if !report.jointly_contradictory {
+        for &lit in &literals {
+            let mut memo_a = HashMap::new();
+            // Dead: no joint completion contains lit — equivalently,
+            // restricting completions to resolve lit's symbol positively
+            // (forbidding the complement) leaves nothing satisfiable.
+            if !jointly_satisfiable_avoiding(&states, lit.complement(), &mut memo_a) {
+                report.dead.push(lit);
+                continue;
+            }
+            let mut memo_b = HashMap::new();
+            if !jointly_satisfiable_avoiding(&states, lit, &mut memo_b) {
+                report.forced.push(lit);
+            }
+        }
+    }
+
+    // Consensus / agreement pairs from the compiled guards' needs.
+    let mut promise_needs: Vec<(Literal, Literal)> = Vec::new();
+    let mut notyet_needs: Vec<(Literal, Literal)> = Vec::new();
+    for &lit in &literals {
+        let g = compiled.guard(lit).weaken_sequences();
+        for conj in needs(&g) {
+            for n in conj {
+                match n {
+                    Need::Promise(f) => promise_needs.push((lit, f)),
+                    Need::NotYetAgreement(f) => notyet_needs.push((lit, f)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    for &(a, b) in &promise_needs {
+        if a < b && promise_needs.contains(&(b, a)) {
+            report.consensus_pairs.push((a, b));
+        }
+    }
+    for &(a, b) in &notyet_needs {
+        if a.symbol() < b.symbol() && notyet_needs.iter().any(|&(x, y)| x.symbol() == b.symbol() && y.symbol() == a.symbol()) {
+            report.agreement_cycles.push((a, b));
+        }
+    }
+    report.consensus_pairs.dedup();
+    report.agreement_cycles.dedup();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::{parse_expr, SymbolTable};
+
+    #[test]
+    fn clean_workflow_is_clean() {
+        let mut t = SymbolTable::new();
+        let d = parse_expr("~e + ~f + e.f", &mut t).unwrap();
+        let a = analyze(&[d]);
+        assert!(!a.jointly_contradictory);
+        assert!(a.dead.is_empty(), "{a:?}");
+        assert!(a.forced.is_empty(), "{a:?}");
+    }
+
+    #[test]
+    fn detects_joint_contradiction() {
+        // d1 requires e and f (conjunction with e·f order); d2 requires
+        // f before e — individually satisfiable, jointly impossible.
+        let mut t = SymbolTable::new();
+        let d1 = parse_expr("e.f", &mut t).unwrap();
+        let d2 = parse_expr("f.e", &mut t).unwrap();
+        assert!(event_algebra::satisfiable(&d1));
+        assert!(event_algebra::satisfiable(&d2));
+        let a = analyze(&[d1, d2]);
+        assert!(a.jointly_contradictory, "{a:?}");
+    }
+
+    #[test]
+    fn detects_dead_and_forced_events() {
+        let mut t = SymbolTable::new();
+        // e must never occur; f must occur.
+        let d1 = parse_expr("~e", &mut t).unwrap();
+        let d2 = parse_expr("f", &mut t).unwrap();
+        let e = t.event("e");
+        let f = t.event("f");
+        let a = analyze(&[d1, d2]);
+        assert!(a.dead.contains(&e), "{a:?}");
+        assert!(a.forced.contains(&e.complement()), "{a:?}");
+        assert!(a.forced.contains(&f), "{a:?}");
+        assert!(a.dead.contains(&f.complement()), "{a:?}");
+    }
+
+    #[test]
+    fn detects_consensus_pairs() {
+        // Example 11: D→ and its transpose give e ↦ ◇f and f ↦ ◇e.
+        let mut t = SymbolTable::new();
+        let d1 = parse_expr("~e + f", &mut t).unwrap();
+        let d2 = parse_expr("~f + e", &mut t).unwrap();
+        let e = t.event("e");
+        let f = t.event("f");
+        let a = analyze(&[d1, d2]);
+        assert!(
+            a.consensus_pairs.contains(&(e, f)) || a.consensus_pairs.contains(&(f, e)),
+            "{a:?}"
+        );
+    }
+
+    #[test]
+    fn detects_agreement_cycles() {
+        // Ground mutual exclusion (Example 13 for one iteration pair, in
+        // both directions): each enter's guard carries ¬ on the other
+        // enter — the not-yet agreement with priority will be exercised.
+        let mut t = SymbolTable::new();
+        let d12 = parse_expr("b2.b1 + ~e1 + ~b2 + e1.b2", &mut t).unwrap();
+        let d21 = parse_expr("b1.b2 + ~e2 + ~b1 + e2.b1", &mut t).unwrap();
+        let a = analyze(&[d12, d21]);
+        assert!(!a.jointly_contradictory);
+        assert!(!a.agreement_cycles.is_empty(), "{a:?}");
+    }
+
+    #[test]
+    fn opposing_precedences_need_promises_not_agreements() {
+        // e < f plus f < e: jointly "not both occur". The conjoined
+        // guards strengthen ¬f ∧ (◇ē+□e)-style into promises of the
+        // complements, so no agreement cycle is reported.
+        let mut t = SymbolTable::new();
+        let d1 = parse_expr("~e + ~f + e.f", &mut t).unwrap();
+        let d2 = parse_expr("~f + ~e + f.e", &mut t).unwrap();
+        let a = analyze(&[d1, d2]);
+        assert!(!a.jointly_contradictory);
+        assert!(a.agreement_cycles.is_empty(), "{a:?}");
+        assert!(a.dead.is_empty(), "either may occur (just not both): {a:?}");
+    }
+
+    #[test]
+    fn contradictory_random_pair_from_the_wild() {
+        // The pair that motivated the dead-ness fix: dep1 requires e2's
+        // occurrence, dep2 requires ē3·ē2 ordering — jointly they still
+        // admit completions; analysis agrees with exhaustive search.
+        let mut t = SymbolTable::new();
+        let d1 = parse_expr("e1 | e2.e1 | (e0 + ~e0)", &mut t).unwrap();
+        let d2 = parse_expr("~e3.~e2", &mut t).unwrap();
+        let a = analyze(&[d1.clone(), d2.clone()]);
+        let syms: Vec<SymbolId> = d1.symbols().union(&d2.symbols()).copied().collect();
+        let brute = event_algebra::enumerate_maximal(&syms)
+            .iter()
+            .any(|u| event_algebra::satisfies(u, &d1) && event_algebra::satisfies(u, &d2));
+        assert_eq!(!a.jointly_contradictory, brute);
+    }
+}

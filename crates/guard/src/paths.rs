@@ -1,0 +1,206 @@
+//! `Π(D)` path enumeration and path-based guard synthesis
+//! (Definition 3, Lemma 5).
+//!
+//! `Π(D)` is the set of event sequences `ρ = e₁…eₙ` over `Γ_D` (pairwise
+//! distinct symbols) with `((D/e₁)/…)/eₙ = ⊤`. Lemma 5 states that
+//! Definition 2's guard equals the sum over paths containing `e` of the
+//! closed-form sequence guard
+//!
+//! ```text
+//! G(e₁…e_k…e_n, e_k) = □e₁|…|□e_{k-1} | ¬e_{k+1}|…|¬e_n | ◇(e_{k+1}·…·e_n)
+//! ```
+//!
+//! This module implements both sides; the property test equating them with
+//! Definition 2 is the mechanical proof of Lemma 5 over small alphabets.
+
+use event_algebra::{normalize, residuate, Expr, Literal, Trace};
+use temporal::Guard;
+
+/// Enumerate `Π(D)`: all residual paths from `D` to `⊤` over `Γ_D`.
+///
+/// Returned traces use each symbol at most once; events outside `Γ_D` are
+/// irrelevant (they self-loop, rule R6) and are not included.
+pub fn paths_to_top(d: &Expr) -> Vec<Trace> {
+    let d = normalize(d);
+    // Paths range over all of Γ_D's symbols, each used at most once —
+    // including events the current residual no longer mentions (they
+    // self-loop by R6 but still extend the sequence, e.g. ⟨f̄ e⟩ ∈ Π(D<)).
+    let syms: Vec<event_algebra::SymbolId> = d.symbols().into_iter().collect();
+    let mut out = Vec::new();
+    let mut current: Vec<Literal> = Vec::new();
+    let mut used = vec![false; syms.len()];
+    fn go(
+        state: &Expr,
+        syms: &[event_algebra::SymbolId],
+        used: &mut Vec<bool>,
+        current: &mut Vec<Literal>,
+        out: &mut Vec<Trace>,
+    ) {
+        if state.is_zero() {
+            return;
+        }
+        if state.is_top() {
+            out.push(Trace::new(current.iter().copied()).expect("distinct by construction"));
+        }
+        for i in 0..syms.len() {
+            if used[i] {
+                continue;
+            }
+            used[i] = true;
+            for lit in [Literal::pos(syms[i]), Literal::neg(syms[i])] {
+                let next = residuate(state, lit);
+                current.push(lit);
+                go(&next, syms, used, current, out);
+                current.pop();
+            }
+            used[i] = false;
+        }
+    }
+    go(&d, &syms, &mut used, &mut current, &mut out);
+    out
+}
+
+/// The closed-form guard of event `path[k]` within the pure sequence
+/// dependency `path[0]·…·path[n-1]` (0-indexed `k`).
+pub fn path_guard(path: &Trace, k: usize) -> Guard {
+    let events = path.events();
+    assert!(k < events.len(), "position out of range");
+    let mut g = Guard::top();
+    for &before in &events[..k] {
+        g = g.and(&Guard::occurred(before));
+    }
+    let after = &events[k + 1..];
+    for &later in after {
+        g = g.and(&Guard::not_yet(later));
+    }
+    if !after.is_empty() {
+        let seq = Expr::seq(after.iter().map(|&l| Expr::lit(l)));
+        g = g.and(&Guard::eventually_expr(&seq));
+    }
+    g
+}
+
+/// Lemma 5's right-hand side: the sum over all `ρ ∈ Π(D)` containing `e`
+/// of the path guard at `e`'s position.
+pub fn guard_via_paths(d: &Expr, e: Literal) -> Guard {
+    let mut g = Guard::bottom();
+    for path in paths_to_top(d) {
+        for (k, &l) in path.events().iter().enumerate() {
+            if l == e {
+                g = g.or(&path_guard(&path, k));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::GuardSynth;
+    use event_algebra::SymbolTable;
+    use temporal::guards_equivalent_auto;
+
+    fn setup() -> (SymbolTable, Literal, Literal) {
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        (t, e, f)
+    }
+
+    fn d_precedes(e: Literal, f: Literal) -> Expr {
+        Expr::or([
+            Expr::lit(e.complement()),
+            Expr::lit(f.complement()),
+            Expr::seq([Expr::lit(e), Expr::lit(f)]),
+        ])
+    }
+
+    #[test]
+    fn paths_of_single_atom() {
+        let (_, e, _) = setup();
+        let paths = paths_to_top(&Expr::lit(e));
+        // Only ⟨e⟩ drives the atom to ⊤.
+        assert_eq!(paths, vec![Trace::new([e]).unwrap()]);
+    }
+
+    #[test]
+    fn paths_of_d_precedes_end_satisfied() {
+        use event_algebra::{residuate_trace, satisfies};
+        let (_, e, f) = setup();
+        let d = d_precedes(e, f);
+        let paths = paths_to_top(&d);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert!(residuate_trace(&d, p).is_top(), "{p}");
+            assert!(satisfies(p, &d), "{p}");
+        }
+        // ⟨f e⟩ is not a path (violates), ⟨e f⟩ is.
+        assert!(paths.contains(&Trace::new([e, f]).unwrap()));
+        assert!(!paths.contains(&Trace::new([f, e]).unwrap()));
+    }
+
+    #[test]
+    fn paths_of_zero_and_top() {
+        assert!(paths_to_top(&Expr::Zero).is_empty());
+        // ⊤ is satisfied by the empty path.
+        assert_eq!(paths_to_top(&Expr::Top), vec![Trace::empty()]);
+    }
+
+    #[test]
+    fn path_guard_closed_form() {
+        let mut t = SymbolTable::new();
+        let a = t.event("a");
+        let b = t.event("b");
+        let c = t.event("c");
+        let p = Trace::new([a, b, c]).unwrap();
+        // Guard of b: □a | ¬c | ◇c.
+        let g = path_guard(&p, 1);
+        let expected = Guard::occurred(a)
+            .and(&Guard::not_yet(c))
+            .and(&Guard::eventually(c));
+        assert!(guards_equivalent_auto(&g, &expected));
+        // Guard of the last event: everything before occurred.
+        let g_last = path_guard(&p, 2);
+        let exp_last = Guard::occurred(a).and(&Guard::occurred(b));
+        assert!(guards_equivalent_auto(&g_last, &exp_last));
+    }
+
+    #[test]
+    fn lemma5_on_paper_dependencies() {
+        let (_, e, f) = setup();
+        let d_arrow = Expr::or([Expr::lit(e.complement()), Expr::lit(f)]);
+        let mut s = GuardSynth::new();
+        for d in [d_precedes(e, f), d_arrow] {
+            for lit in [e, e.complement(), f, f.complement()] {
+                let def2 = s.guard(&d, lit);
+                let via = guard_via_paths(&d, lit);
+                assert!(
+                    guards_equivalent_auto(&def2, &via),
+                    "D={d} e={lit}: {def2:?} vs {via:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma5_on_chain() {
+        let mut t = SymbolTable::new();
+        let lits: Vec<Literal> = ["a", "b", "c"].iter().map(|n| t.event(n)).collect();
+        let d = Expr::seq(lits.iter().map(|&l| Expr::lit(l)));
+        let mut s = GuardSynth::new();
+        for &lit in &lits {
+            let def2 = s.guard(&d, lit);
+            let via = guard_via_paths(&d, lit);
+            assert!(guards_equivalent_auto(&def2, &via), "e={lit}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "position out of range")]
+    fn path_guard_bounds_checked() {
+        let (_, e, _) = setup();
+        let p = Trace::new([e]).unwrap();
+        let _ = path_guard(&p, 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Workflow-level guard compilation.
+//!
+//! A workflow `W` is a set of dependencies. The guard on an event `e` due
+//! to `W` is the conjunction of the guards due to the dependencies that
+//! mention `e`'s symbol (Section 4.2) — dependencies over foreign symbols
+//! contribute `⊤` by the independence theorems (Theorems 2/4), which the
+//! property tests verify. [`CompiledWorkflow`] is the precompiled artifact
+//! the schedulers consume: one guard per literal, per-dependency machines
+//! for triggering analysis, and the subscription map that tells each event
+//! which other events' announcements it needs.
+
+use crate::synth::GuardSynth;
+use event_algebra::{DependencyMachine, Expr, Literal, SymbolId};
+use std::collections::{BTreeMap, BTreeSet};
+use temporal::Guard;
+
+/// Which dependencies contribute to an event's conjoined guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardScope {
+    /// Only dependencies mentioning the event's symbol (the paper's
+    /// choice, enabling distribution).
+    #[default]
+    Mentioning,
+    /// Every dependency in the workflow (the literal reading of
+    /// Definition 4; used to validate that the restriction is harmless).
+    All,
+}
+
+/// A workflow compiled into localized event guards.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkflow {
+    /// The dependencies, as given.
+    pub dependencies: Vec<Expr>,
+    /// Per-literal conjoined guard. Contains an entry for every literal of
+    /// every dependency's `Γ_D`.
+    pub guards: BTreeMap<Literal, Guard>,
+    /// Per-literal, per-dependency guards (for Definition 4 / Theorem 6
+    /// checks and for diagnostics).
+    pub per_dependency: BTreeMap<Literal, Vec<(usize, Guard)>>,
+    /// The residual machine of each dependency (triggering analysis and
+    /// the baseline schedulers reuse these).
+    pub machines: Vec<DependencyMachine>,
+    /// All symbols mentioned by the workflow.
+    pub symbols: BTreeSet<SymbolId>,
+}
+
+impl CompiledWorkflow {
+    /// Compile a workflow: synthesize `G(D, e)` for every dependency `D`
+    /// and every literal `e` in scope, and conjoin per literal.
+    pub fn compile(dependencies: &[Expr], scope: GuardScope) -> CompiledWorkflow {
+        let mut synth = GuardSynth::new();
+        let mut symbols = BTreeSet::new();
+        for d in dependencies {
+            symbols.extend(d.symbols());
+        }
+        let all_literals: BTreeSet<Literal> = symbols
+            .iter()
+            .flat_map(|&s| [Literal::pos(s), Literal::neg(s)])
+            .collect();
+        let mut guards = BTreeMap::new();
+        let mut per_dependency: BTreeMap<Literal, Vec<(usize, Guard)>> = BTreeMap::new();
+        for &lit in &all_literals {
+            let mut combined = Guard::top();
+            let mut per_dep = Vec::new();
+            for (ix, d) in dependencies.iter().enumerate() {
+                let relevant = match scope {
+                    GuardScope::Mentioning => d.mentions(lit.symbol()),
+                    GuardScope::All => true,
+                };
+                if !relevant {
+                    continue;
+                }
+                let g = synth.guard(d, lit);
+                combined = combined.and(&g);
+                per_dep.push((ix, g));
+            }
+            guards.insert(lit, combined);
+            per_dependency.insert(lit, per_dep);
+        }
+        let machines = dependencies.iter().map(DependencyMachine::compile).collect();
+        CompiledWorkflow {
+            dependencies: dependencies.to_vec(),
+            guards,
+            per_dependency,
+            machines,
+            symbols,
+        }
+    }
+
+    /// The conjoined guard on `lit` (`⊤` for literals outside the
+    /// workflow's alphabet).
+    pub fn guard(&self, lit: Literal) -> Guard {
+        self.guards.get(&lit).cloned().unwrap_or_else(Guard::top)
+    }
+
+    /// The guard of `lit` due to dependency `ix` alone (`⊤` if that
+    /// dependency is out of scope for `lit`).
+    pub fn guard_due_to(&self, lit: Literal, ix: usize) -> Guard {
+        self.per_dependency
+            .get(&lit)
+            .and_then(|v| v.iter().find(|(i, _)| *i == ix))
+            .map(|(_, g)| g.clone())
+            .unwrap_or_else(Guard::top)
+    }
+
+    /// The symbols whose announcements `lit`'s actor must subscribe to:
+    /// every symbol its guard mentions (excluding its own).
+    pub fn subscriptions(&self, lit: Literal) -> BTreeSet<SymbolId> {
+        let mut s = self.guard(lit).symbols();
+        s.remove(&lit.symbol());
+        s
+    }
+
+    /// Total size of all guards (node count of the rendered `T`
+    /// expressions) — the size metric for experiment C5.
+    pub fn total_guard_size(&self) -> usize {
+        self.guards.values().map(|g| g.to_texpr().node_count()).sum()
+    }
+
+    /// The largest single event's guard (node count) — what one actor
+    /// actually stores and evaluates locally.
+    pub fn max_guard_size(&self) -> usize {
+        self.guards.values().map(|g| g.to_texpr().node_count()).max().unwrap_or(0)
+    }
+
+    /// Total automata size (state count across dependency machines).
+    pub fn total_machine_states(&self) -> usize {
+        self.machines.iter().map(DependencyMachine::state_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::SymbolTable;
+    use temporal::guards_equivalent_auto;
+
+    fn travel() -> (SymbolTable, Vec<Expr>) {
+        // Example 4: (1) s̄_buy + s_book, (2) c̄_buy + c_book·c_buy,
+        // (3) c̄_book + c_buy + s_cancel.
+        let mut t = SymbolTable::new();
+        let s_buy = t.event("s_buy");
+        let c_buy = t.event("c_buy");
+        let s_book = t.event("s_book");
+        let c_book = t.event("c_book");
+        let s_cancel = t.event("s_cancel");
+        let d1 = Expr::or([Expr::lit(s_buy.complement()), Expr::lit(s_book)]);
+        let d2 = Expr::or([
+            Expr::lit(c_buy.complement()),
+            Expr::seq([Expr::lit(c_book), Expr::lit(c_buy)]),
+        ]);
+        let d3 = Expr::or([
+            Expr::lit(c_book.complement()),
+            Expr::lit(c_buy),
+            Expr::lit(s_cancel),
+        ]);
+        (t, vec![d1, d2, d3])
+    }
+
+    #[test]
+    fn compiles_travel_workflow() {
+        let (mut t, deps) = travel();
+        let w = CompiledWorkflow::compile(&deps, GuardScope::Mentioning);
+        assert_eq!(w.symbols.len(), 5);
+        assert_eq!(w.guards.len(), 10);
+        assert_eq!(w.machines.len(), 3);
+        // c_buy is mentioned by d2 and d3: its guard conjoins both.
+        let c_buy = t.event("c_buy");
+        assert_eq!(w.per_dependency[&c_buy].len(), 2);
+        // s_buy is mentioned only by d1.
+        let s_buy = t.event("s_buy");
+        assert_eq!(w.per_dependency[&s_buy].len(), 1);
+    }
+
+    #[test]
+    fn guard_of_foreign_literal_is_top() {
+        let (_, deps) = travel();
+        let w = CompiledWorkflow::compile(&deps, GuardScope::Mentioning);
+        let foreign = Literal::pos(SymbolId(99));
+        assert!(w.guard(foreign).is_top());
+        assert!(w.subscriptions(foreign).is_empty());
+    }
+
+    #[test]
+    fn mentioning_scope_matches_all_scope_semantically_on_guards_product() {
+        // For each literal, conjoining over mentioning deps differs from
+        // conjoining over all deps only by guards of foreign deps — and a
+        // trace generated under one is generated under the other exactly
+        // when it satisfies the workflow (checked in the theorem tests).
+        // Here we sanity-check that both compile and foreign-dep guards
+        // are not trivially ⊤ (they gate on dependency satisfaction).
+        let (mut t, deps) = travel();
+        let w_all = CompiledWorkflow::compile(&deps, GuardScope::All);
+        let s_cancel = t.event("s_cancel");
+        // d1 does not mention s_cancel; under All scope it contributes a
+        // guard gating on d1's eventual satisfaction.
+        let g = w_all.guard_due_to(s_cancel, 0);
+        assert!(!g.is_bottom());
+    }
+
+    #[test]
+    fn subscriptions_cover_guard_symbols() {
+        let (mut t, deps) = travel();
+        let w = CompiledWorkflow::compile(&deps, GuardScope::Mentioning);
+        let c_buy = t.event("c_buy");
+        let subs = w.subscriptions(c_buy);
+        assert!(!subs.contains(&c_buy.symbol()));
+        // c_buy's guard involves c_book (ordering) and s_cancel (dep 3).
+        let c_book = t.event("c_book");
+        assert!(subs.contains(&c_book.symbol()), "{subs:?}");
+    }
+
+    #[test]
+    fn klein_arrow_guard_in_workflow() {
+        // Single dependency D→: guard of e must be ◇f (cf. Example 11).
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        let d = Expr::or([Expr::lit(e.complement()), Expr::lit(f)]);
+        let w = CompiledWorkflow::compile(std::slice::from_ref(&d), GuardScope::Mentioning);
+        assert_eq!(w.guard(e), Guard::eventually(f));
+        assert!(w.guard(f).is_top());
+    }
+
+    #[test]
+    fn conjoined_guard_equals_product_of_per_dep_guards() {
+        let (_, deps) = travel();
+        let w = CompiledWorkflow::compile(&deps, GuardScope::Mentioning);
+        for (lit, per_dep) in &w.per_dependency {
+            let product = per_dep
+                .iter()
+                .fold(Guard::top(), |acc, (_, g)| acc.and(g));
+            assert!(
+                guards_equivalent_auto(&product, &w.guard(*lit)),
+                "literal {lit}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_metrics_are_positive() {
+        let (_, deps) = travel();
+        let w = CompiledWorkflow::compile(&deps, GuardScope::Mentioning);
+        assert!(w.total_guard_size() > 0);
+        assert!(w.total_machine_states() > deps.len());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the paper's guard-calculation results
+//! (Section 4.4): Theorems 2 and 4 (independence), Lemma 3 (case split),
+//! Lemma 5 (path-based synthesis) and Theorem 6 (correctness of
+//! generation), each on randomly generated dependencies.
+
+use event_algebra::{Expr, Literal, SymbolId};
+use guard::theorems::{check_lemma3, check_lemma5, check_thm2, check_thm4, check_thm6};
+use guard::GuardScope;
+use proptest::prelude::*;
+
+fn lit_in(range: std::ops::Range<u32>) -> impl Strategy<Value = Literal> {
+    (range, any::<bool>()).prop_map(|(s, pos)| {
+        if pos {
+            Literal::pos(SymbolId(s))
+        } else {
+            Literal::neg(SymbolId(s))
+        }
+    })
+}
+
+fn expr_over(range: std::ops::Range<u32>) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        6 => lit_in(range).prop_map(Expr::lit),
+        1 => Just(Expr::Top),
+        1 => Just(Expr::Zero),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..=3).prop_map(Expr::or),
+            prop::collection::vec(inner.clone(), 2..=2).prop_map(Expr::and),
+            prop::collection::vec(inner, 2..=2).prop_map(Expr::seq),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 2: `G(D+E,e) = G(D,e)+G(E,e)` for disjoint alphabets.
+    #[test]
+    fn thm2_or_split(
+        d in expr_over(0..2),
+        e2 in expr_over(2..4),
+        ev in lit_in(0..4),
+    ) {
+        prop_assert!(check_thm2(&d, &e2, ev));
+    }
+
+    /// Theorem 4: `G(D|E,e) = G(D,e)|G(E,e)` for disjoint alphabets.
+    #[test]
+    fn thm4_and_split(
+        d in expr_over(0..2),
+        e2 in expr_over(2..4),
+        ev in lit_in(0..4),
+    ) {
+        prop_assert!(check_thm4(&d, &e2, ev));
+    }
+
+    /// Lemma 3: `G(D,e) = ¬g|G(D,e) + □g|G(D/g,e)` for any `g ∉ {e,ē}`
+    /// (under the sequence-tail side condition — see `check_lemma3`'s
+    /// reproduction note).
+    #[test]
+    fn lemma3_case_split(
+        d in expr_over(0..3),
+        ev in lit_in(0..3),
+        g in lit_in(0..4),
+    ) {
+        prop_assert!(check_lemma3(&d, ev, g));
+    }
+
+    /// Lemma 5: Definition 2 equals the Π(D) path-based synthesis, for
+    /// events in `Γ_D` of non-degenerate dependencies (for `e ∉ Γ_D` the
+    /// path sum is empty while `G(D,e)` gates on `D`'s satisfiability —
+    /// the lemma is about participating events).
+    #[test]
+    fn lemma5_paths(d in expr_over(0..3), ev in lit_in(0..3)) {
+        prop_assume!(!d.is_top() && !d.is_zero());
+        prop_assume!(d.mentions(ev.symbol()));
+        prop_assert!(check_lemma5(&d, ev));
+    }
+
+    /// Theorem 6, single dependency: the guard-generated maximal traces
+    /// are exactly the satisfying ones — under both guard scopes.
+    /// Degenerate dependencies (`0`, `⊤`, unsatisfiable) are excluded:
+    /// a workflow containing `0` admits no correct execution at all, and
+    /// the paper's scheduler would reject it statically.
+    #[test]
+    fn thm6_single_dependency(d in expr_over(0..3)) {
+        prop_assume!(!d.is_top() && !d.is_zero() && event_algebra::satisfiable(&d));
+        prop_assert!(
+            check_thm6(std::slice::from_ref(&d), GuardScope::Mentioning).is_ok(),
+            "mentioning scope failed for {d}"
+        );
+        prop_assert!(
+            check_thm6(std::slice::from_ref(&d), GuardScope::All).is_ok(),
+            "all scope failed for {d}"
+        );
+    }
+
+    /// Theorem 6, multi-dependency workflows.
+    #[test]
+    fn thm6_workflows(
+        d1 in expr_over(0..3),
+        d2 in expr_over(0..3),
+    ) {
+        for d in [&d1, &d2] {
+            prop_assume!(!d.is_top() && !d.is_zero() && event_algebra::satisfiable(d));
+        }
+        let w = vec![d1, d2];
+        prop_assert!(
+            check_thm6(&w, GuardScope::Mentioning).is_ok(),
+            "mentioning scope failed for {w:?}"
+        );
+        prop_assert!(check_thm6(&w, GuardScope::All).is_ok(), "all scope failed for {w:?}");
+    }
+
+    /// Theorem 6 with overlapping three-dependency workflows over a
+    /// slightly larger alphabet.
+    #[test]
+    fn thm6_three_dependencies(
+        d1 in expr_over(0..2),
+        d2 in expr_over(1..3),
+        d3 in expr_over(2..4),
+    ) {
+        for d in [&d1, &d2, &d3] {
+            prop_assume!(!d.is_top() && !d.is_zero() && event_algebra::satisfiable(d));
+        }
+        let w = vec![d1, d2, d3];
+        prop_assert!(check_thm6(&w, GuardScope::Mentioning).is_ok(), "failed for {w:?}");
+    }
+}

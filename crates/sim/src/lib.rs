@@ -1,0 +1,18 @@
+//! A deterministic discrete-event distributed-system simulator.
+//!
+//! This crate is the execution substrate substituting for the paper's
+//! distributed actor prototype (see DESIGN.md §5, "Substitutions"): it
+//! provides sites, nodes, latency models, per-link FIFO or reordering
+//! delivery, a virtual clock, and traffic statistics — everything the
+//! event-centric scheduler of the `dist` crate needs to run *distributed*
+//! executions reproducibly on one machine.
+
+#![warn(missing_docs)]
+
+mod net;
+mod stats;
+mod threaded;
+
+pub use net::{Ctx, LatencyModel, Network, NodeId, Process, SimConfig, SiteId, Time};
+pub use stats::NetStats;
+pub use threaded::run_threaded;

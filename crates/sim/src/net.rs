@@ -1,0 +1,472 @@
+//! A deterministic discrete-event message-passing network.
+//!
+//! This is the execution substrate standing in for the paper's distributed
+//! actor prototype [15]: nodes (actors/agents) are placed on sites, and
+//! messages between them experience configurable latencies — small within
+//! a site, larger and jittered across sites. Delivery is driven by a
+//! single virtual-time event queue with deterministic tie-breaking, so
+//! every run is exactly reproducible from its seed while still exhibiting
+//! genuine asynchrony (messages reorder across links).
+
+use crate::stats::NetStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Address of a node (an actor or task agent) in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// A physical site; message latency depends on whether the endpoints
+/// share a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+/// Virtual time, in abstract ticks.
+pub type Time = u64;
+
+/// How message latencies are sampled.
+#[derive(Debug, Clone, Copy)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Fixed(Time),
+    /// Uniform in `[min, max]` regardless of placement.
+    Uniform {
+        /// Minimum latency.
+        min: Time,
+        /// Maximum latency (inclusive).
+        max: Time,
+    },
+    /// Intra-site messages take `local`; inter-site messages are uniform
+    /// in `[remote_min, remote_max]` — the model used by the scalability
+    /// experiments.
+    PerHop {
+        /// Latency within a site.
+        local: Time,
+        /// Minimum cross-site latency.
+        remote_min: Time,
+        /// Maximum cross-site latency (inclusive).
+        remote_max: Time,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> LatencyModel {
+        LatencyModel::PerHop { local: 1, remote_min: 10, remote_max: 20 }
+    }
+}
+
+/// Network configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// RNG seed; two runs with equal seeds and inputs are identical.
+    pub seed: u64,
+    /// Latency sampling model.
+    pub latency: LatencyModel,
+    /// When `true`, messages on the same (src, dst) link never overtake
+    /// each other (per-link FIFO), as most transports guarantee.
+    pub fifo_links: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig { seed: 0xC0FFEE, latency: LatencyModel::default(), fifo_links: true }
+    }
+}
+
+/// Context handed to a process while it handles a message: lets it send
+/// messages and read the clock.
+pub struct Ctx<'a, M> {
+    /// The node currently executing.
+    pub self_id: NodeId,
+    now: Time,
+    delivery_seq: u64,
+    outbox: &'a mut Vec<(NodeId, M, Time)>,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Global delivery sequence number of the message being handled —
+    /// a total order consistent with virtual time, used to timestamp
+    /// event occurrences unambiguously.
+    pub fn delivery_seq(&self) -> u64 {
+        self.delivery_seq
+    }
+
+    /// Send `msg` to `to` (delivery latency is sampled by the network).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg, 0));
+    }
+
+    /// Send `msg` to `to` after an extra delay on top of the sampled
+    /// network latency — used for timers and agent think time.
+    pub fn send_after(&mut self, to: NodeId, msg: M, extra_delay: Time) {
+        self.outbox.push((to, msg, extra_delay));
+    }
+
+    /// Construct a context manually — for test harnesses and exhaustive
+    /// interleaving exploration that drive [`Process`] nodes without a
+    /// [`Network`].
+    pub fn manual(
+        self_id: NodeId,
+        now: Time,
+        delivery_seq: u64,
+        outbox: &mut Vec<(NodeId, M, Time)>,
+    ) -> Ctx<'_, M> {
+        Ctx { self_id, now, delivery_seq, outbox }
+    }
+
+    /// Construct a context for the threaded executor, where virtual time
+    /// is the global delivery counter.
+    pub(crate) fn for_threaded(
+        self_id: NodeId,
+        seq: u64,
+        outbox: &mut Vec<(NodeId, M, Time)>,
+    ) -> Ctx<'_, M> {
+        Ctx { self_id, now: seq, delivery_seq: seq, outbox }
+    }
+}
+
+/// A message-driven process living on a node.
+pub trait Process<M> {
+    /// Handle one delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+}
+
+#[derive(Debug)]
+struct InFlight<M> {
+    at: Time,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+// Order by (at, seq) — seq breaks ties deterministically.
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated network: owns the nodes, the event queue and the clock.
+pub struct Network<M, P: Process<M>> {
+    nodes: Vec<P>,
+    sites: Vec<SiteId>,
+    queue: BinaryHeap<Reverse<InFlight<M>>>,
+    time: Time,
+    seq: u64,
+    rng: SmallRng,
+    config: SimConfig,
+    link_clock: HashMap<(NodeId, NodeId), Time>,
+    stats: NetStats,
+}
+
+impl<M, P: Process<M>> Network<M, P> {
+    /// Build a network from `(site, process)` pairs; node ids are assigned
+    /// in order.
+    pub fn new(config: SimConfig, nodes: impl IntoIterator<Item = (SiteId, P)>) -> Network<M, P> {
+        let (sites, nodes): (Vec<SiteId>, Vec<P>) = nodes.into_iter().unzip();
+        Network {
+            nodes,
+            sites,
+            queue: BinaryHeap::new(),
+            time: 0,
+            seq: 0,
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            link_clock: HashMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The site of `node`.
+    pub fn site_of(&self, node: NodeId) -> SiteId {
+        self.sites[node.0 as usize]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// Immutable access to a node's process (for post-run inspection).
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a node's process.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn sample_latency(&mut self, from: NodeId, to: NodeId) -> Time {
+        let lat = match self.config.latency {
+            LatencyModel::Fixed(t) => t,
+            LatencyModel::Uniform { min, max } => self.rng.random_range(min..=max),
+            LatencyModel::PerHop { local, remote_min, remote_max } => {
+                if self.site_of(from) == self.site_of(to) {
+                    local
+                } else {
+                    self.rng.random_range(remote_min..=remote_max)
+                }
+            }
+        };
+        lat.max(1)
+    }
+
+    /// Inject a message from the outside world (e.g. a task agent's user
+    /// request), delivered after sampled latency.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.enqueue(from, to, msg, 0);
+    }
+
+    fn enqueue(&mut self, from: NodeId, to: NodeId, msg: M, extra: Time) {
+        let latency = self.sample_latency(from, to) + extra;
+        let mut at = self.time + latency;
+        if self.config.fifo_links {
+            let clock = self.link_clock.entry((from, to)).or_insert(0);
+            at = at.max(*clock + 1);
+            *clock = at;
+        }
+        let remote = self.site_of(from) != self.site_of(to);
+        self.stats.record_send(remote, latency);
+        self.seq += 1;
+        self.queue.push(Reverse(InFlight { at, seq: self.seq, from, to, msg }));
+    }
+
+    /// Deliver the next message, if any. Returns `false` when quiescent.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(m)) = self.queue.pop() else {
+            return false;
+        };
+        self.time = self.time.max(m.at);
+        let to_site = self.site_of(m.to).0;
+        self.stats.record_delivery(to_site);
+        let mut outbox: Vec<(NodeId, M, Time)> = Vec::new();
+        {
+            let node = &mut self.nodes[m.to.0 as usize];
+            let mut ctx = Ctx {
+                self_id: m.to,
+                now: self.time,
+                delivery_seq: self.stats.delivered_total,
+                outbox: &mut outbox,
+            };
+            node.on_message(&mut ctx, m.from, m.msg);
+        }
+        for (to, msg, extra) in outbox {
+            self.enqueue(m.to, to, msg, extra);
+        }
+        true
+    }
+
+    /// Run until no messages remain or `max_steps` deliveries happened.
+    /// Returns the number of deliveries performed.
+    pub fn run_to_quiescence(&mut self, max_steps: u64) -> u64 {
+        let mut steps = 0;
+        while steps < max_steps && self.step() {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Consume the network, returning its nodes for post-run inspection.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every `u64` message back, decremented, until zero.
+    struct Countdown {
+        received: Vec<(Time, u64)>,
+    }
+
+    impl Process<u64> for Countdown {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+            self.received.push((ctx.now(), msg));
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    fn two_nodes(config: SimConfig) -> Network<u64, Countdown> {
+        Network::new(
+            config,
+            [
+                (SiteId(0), Countdown { received: vec![] }),
+                (SiteId(1), Countdown { received: vec![] }),
+            ],
+        )
+    }
+
+    #[test]
+    fn ping_pong_terminates_and_counts() {
+        let mut net = two_nodes(SimConfig::default());
+        net.inject(NodeId(0), NodeId(1), 5);
+        let steps = net.run_to_quiescence(1_000);
+        assert_eq!(steps, 6); // 5,4,3,2,1,0
+        assert_eq!(net.stats().sent_total, 6);
+        assert_eq!(net.stats().delivered_total, 6);
+        assert_eq!(net.node(NodeId(1)).received.len(), 3);
+        assert_eq!(net.node(NodeId(0)).received.len(), 3);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = two_nodes(SimConfig {
+                seed,
+                latency: LatencyModel::Uniform { min: 1, max: 50 },
+                fifo_links: false,
+            });
+            net.inject(NodeId(0), NodeId(1), 8);
+            net.run_to_quiescence(1_000);
+            (net.now(), net.node(NodeId(1)).received.clone())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds give different timings");
+    }
+
+    #[test]
+    fn time_is_monotone_and_advances() {
+        let mut net = two_nodes(SimConfig::default());
+        net.inject(NodeId(0), NodeId(1), 3);
+        let mut last = 0;
+        while net.step() {
+            assert!(net.now() >= last);
+            last = net.now();
+        }
+        assert!(last > 0);
+    }
+
+    /// Records deliveries without replying.
+    struct Sink {
+        received: Vec<(Time, u64)>,
+    }
+
+    impl Process<u64> for Sink {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeId, msg: u64) {
+            self.received.push((ctx.now(), msg));
+        }
+    }
+
+    fn two_sinks(config: SimConfig) -> Network<u64, Sink> {
+        Network::new(
+            config,
+            [(SiteId(0), Sink { received: vec![] }), (SiteId(1), Sink { received: vec![] })],
+        )
+    }
+
+    #[test]
+    fn fifo_links_preserve_order() {
+        let mut net = two_sinks(SimConfig {
+            seed: 7,
+            latency: LatencyModel::Uniform { min: 1, max: 100 },
+            fifo_links: true,
+        });
+        // All messages flow node0 → node1 on one link: with FIFO on, they
+        // must arrive in injection order despite jittered latencies.
+        for i in 0..20u64 {
+            net.inject(NodeId(0), NodeId(1), 100 + i);
+        }
+        net.run_to_quiescence(10_000);
+        let seen: Vec<u64> = net.node(NodeId(1)).received.iter().map(|&(_, m)| m).collect();
+        assert_eq!(seen, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_fifo_links_can_reorder() {
+        // With wide jitter and FIFO off, some pair must reorder.
+        let mut net = two_sinks(SimConfig {
+            seed: 1,
+            latency: LatencyModel::Uniform { min: 1, max: 1000 },
+            fifo_links: false,
+        });
+        for i in 0..50u64 {
+            net.inject(NodeId(0), NodeId(1), 100 + i);
+        }
+        net.run_to_quiescence(10_000);
+        let seen: Vec<u64> = net.node(NodeId(1)).received.iter().map(|&(_, m)| m).collect();
+        let sorted = {
+            let mut s = seen.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_ne!(seen, sorted, "expected at least one reordering");
+    }
+
+    #[test]
+    fn per_hop_latency_distinguishes_sites() {
+        let config = SimConfig {
+            seed: 3,
+            latency: LatencyModel::PerHop { local: 1, remote_min: 50, remote_max: 60 },
+            fifo_links: false,
+        };
+        let mut net = Network::new(
+            config,
+            [
+                (SiteId(0), Countdown { received: vec![] }),
+                (SiteId(0), Countdown { received: vec![] }),
+                (SiteId(1), Countdown { received: vec![] }),
+            ],
+        );
+        net.inject(NodeId(0), NodeId(1), 0); // local
+        net.inject(NodeId(0), NodeId(2), 0); // remote
+        net.run_to_quiescence(10);
+        let local_t = net.node(NodeId(1)).received[0].0;
+        let remote_t = net.node(NodeId(2)).received[0].0;
+        assert!(local_t <= 2, "local {local_t}");
+        assert!(remote_t >= 50, "remote {remote_t}");
+        assert_eq!(net.stats().sent_remote, 1);
+        assert_eq!(net.stats().sent_total, 2);
+    }
+
+    #[test]
+    fn quiescence_on_empty_queue() {
+        let mut net = two_nodes(SimConfig::default());
+        assert_eq!(net.run_to_quiescence(10), 0);
+        assert!(!net.step());
+        assert_eq!(net.in_flight(), 0);
+    }
+}

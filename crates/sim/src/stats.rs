@@ -1,0 +1,96 @@
+//! Traffic statistics collected by the simulated network — the raw
+//! measurements behind the locality/scalability experiments (C1, C3, C4).
+
+/// Counters describing one run's traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Deliveries handled per site — the per-site load whose maximum is
+    /// the system's bottleneck (experiment C1/C4).
+    pub per_site_deliveries: std::collections::BTreeMap<u32, u64>,
+    /// Messages sent, total.
+    pub sent_total: u64,
+    /// Messages that crossed a site boundary.
+    pub sent_remote: u64,
+    /// Messages delivered.
+    pub delivered_total: u64,
+    /// Sum of sampled latencies (for mean latency).
+    pub latency_sum: u64,
+    /// Histogram of latencies in power-of-two buckets
+    /// (`bucket[i]` counts latencies in `[2^i, 2^(i+1))`).
+    pub latency_buckets: [u64; 16],
+}
+
+impl NetStats {
+    pub(crate) fn record_send(&mut self, remote: bool, latency: u64) {
+        self.sent_total += 1;
+        if remote {
+            self.sent_remote += 1;
+        }
+        self.latency_sum += latency;
+        let bucket = (63 - latency.max(1).leading_zeros() as usize).min(15);
+        self.latency_buckets[bucket] += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self, site: u32) {
+        self.delivered_total += 1;
+        *self.per_site_deliveries.entry(site).or_insert(0) += 1;
+    }
+
+    /// The busiest site's delivery count.
+    pub fn max_site_load(&self) -> u64 {
+        self.per_site_deliveries.values().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of traffic that crossed sites (0.0 when nothing was sent).
+    pub fn remote_fraction(&self) -> f64 {
+        if self.sent_total == 0 {
+            0.0
+        } else {
+            self.sent_remote as f64 / self.sent_total as f64
+        }
+    }
+
+    /// Mean sampled latency (0.0 when nothing was sent).
+    pub fn mean_latency(&self) -> f64 {
+        if self.sent_total == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.sent_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut s = NetStats::default();
+        s.record_send(false, 1);
+        s.record_send(true, 16);
+        s.record_delivery(0);
+        assert_eq!(s.sent_total, 2);
+        assert_eq!(s.sent_remote, 1);
+        assert_eq!(s.delivered_total, 1);
+        assert!((s.remote_fraction() - 0.5).abs() < 1e-9);
+        assert!((s.mean_latency() - 8.5).abs() < 1e-9);
+        assert_eq!(s.latency_buckets[0], 1);
+        assert_eq!(s.latency_buckets[4], 1);
+        assert_eq!(s.max_site_load(), 1);
+    }
+
+    #[test]
+    fn empty_stats_divide_safely() {
+        let s = NetStats::default();
+        assert_eq!(s.remote_fraction(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn huge_latency_clamps_to_last_bucket() {
+        let mut s = NetStats::default();
+        s.record_send(false, u64::MAX);
+        assert_eq!(s.latency_buckets[15], 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! A threaded executor for the same [`Process`] nodes as [`Network`]:
+//! every node runs on its own OS thread with a channel inbox, so the
+//! actor code is exercised under *real* concurrency and nondeterministic
+//! interleavings (runs are checked for safety, not for bitwise equality
+//! with the deterministic simulator).
+//!
+//! [`Network`]: crate::Network
+
+use crate::net::{Ctx, NodeId, Process, SiteId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Envelope<M> {
+    from: NodeId,
+    msg: M,
+}
+
+/// Run `nodes` under threads until quiescence (no message in flight and
+/// all inboxes drained), returning the nodes for inspection.
+///
+/// `injections` seeds the run. Quiescence is tracked with an in-flight
+/// counter: it is incremented at send time and decremented only after the
+/// receiving node has fully processed the message (including enqueueing
+/// its replies), so a zero counter means the system is silent.
+pub fn run_threaded<M, P>(
+    nodes: Vec<(SiteId, P)>,
+    injections: Vec<(NodeId, NodeId, M)>,
+    max_messages: u64,
+) -> Vec<P>
+where
+    M: Send + 'static,
+    P: Process<M> + Send + 'static,
+{
+    let n = nodes.len();
+    let in_flight = Arc::new(AtomicU64::new(0));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    for (from, to, msg) in injections {
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        senders[to.0 as usize]
+            .send(Envelope { from, msg })
+            .expect("receiver alive");
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (ix, ((_site, mut proc_), rx)) in nodes.into_iter().zip(receivers).enumerate() {
+        let senders = senders.clone();
+        let in_flight = Arc::clone(&in_flight);
+        let delivered = Arc::clone(&delivered);
+        let self_id = NodeId(ix as u32);
+        handles.push(std::thread::spawn(move || {
+            loop {
+                match rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok(env) => {
+                        let seq = delivered.fetch_add(1, Ordering::SeqCst) + 1;
+                        let mut outbox: Vec<(NodeId, M, u64)> = Vec::new();
+                        {
+                            let mut ctx = Ctx::for_threaded(self_id, seq, &mut outbox);
+                            proc_.on_message(&mut ctx, env.from, env.msg);
+                        }
+                        // The threaded executor has no virtual clock:
+                        // extra delays degrade to immediate sends.
+                        for (to, msg, _extra) in outbox {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
+                            let _ = senders[to.0 as usize].send(Envelope { from: self_id, msg });
+                        }
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    Err(_) => {
+                        if delivered.load(Ordering::SeqCst) >= max_messages {
+                            return proc_; // over budget: bail out
+                        }
+                        // Quiescent: no message queued or being processed
+                        // anywhere (the counter is decremented only after
+                        // replies are enqueued, so zero is conclusive).
+                        if in_flight.load(Ordering::SeqCst) == 0 && rx.is_empty() {
+                            return proc_;
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    // Senders on the main thread must drop so threads can detect closure;
+    // we instead rely on the quiescence condition above.
+    drop(senders);
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Ctx, NodeId, Process, SiteId};
+
+    struct Counter {
+        seen: u64,
+    }
+
+    impl Process<u64> for Counter {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+            self.seen += 1;
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_ping_pong_reaches_quiescence() {
+        let nodes = vec![
+            (SiteId(0), Counter { seen: 0 }),
+            (SiteId(1), Counter { seen: 0 }),
+        ];
+        let out = run_threaded(nodes, vec![(NodeId(0), NodeId(1), 9)], 10_000);
+        let total: u64 = out.iter().map(|c| c.seen).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn threaded_many_senders() {
+        let nodes: Vec<(SiteId, Counter)> =
+            (0..8).map(|i| (SiteId(i % 2), Counter { seen: 0 })).collect();
+        let injections: Vec<(NodeId, NodeId, u64)> =
+            (0..8).map(|i| (NodeId(i), NodeId((i + 1) % 8), 5)).collect();
+        let out = run_threaded(nodes, injections, 100_000);
+        let total: u64 = out.iter().map(|c| c.seen).sum();
+        assert_eq!(total, 8 * 6);
+    }
+}

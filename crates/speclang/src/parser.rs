@@ -1,0 +1,652 @@
+//! Parser for the workflow specification language.
+//!
+//! ```text
+//! workflow travel {
+//!     event buy::start   { triggerable };
+//!     event buy::commit  { controllable } @ site 1;
+//!     event buy::abort   { immediate };
+//!
+//!     dep d1: ~buy::start + book::start;
+//!     dep d2: book::commit < buy::commit;          // Klein precedence
+//!     dep d3: buy::start -> book::start;           // Klein arrow
+//!     dep d4: compensate(book, buy, cancel);       // macro
+//!     dep d5: mutex(b1[x], e1[x], b2[y]);          // parametrized
+//! }
+//! ```
+//!
+//! `::` separates an agent prefix from its event (interned as
+//! `agent.event`, matching [`agent::TaskAgent`] registration). `.` is the
+//! sequencing operator. Precedences: `->`/`<` (lowest, top level only),
+//! `+`, `|`, `.`, atoms.
+
+use crate::ast::{
+    expand_macro, klein_arrow, klein_precedes, AgentDecl, DepDecl, EventDecl, ScriptItem,
+    WorkflowDecl,
+};
+use event_algebra::{PExpr, PLit, Polarity, Term};
+use std::fmt;
+
+/// A parse error with line/column context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Plus,
+    Pipe,
+    Dot,
+    Tilde,
+    Arrow,
+    Less,
+    At,
+    Zero,
+    Top,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> SpecError {
+        SpecError { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, usize, usize)>, SpecError> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and // comments.
+            loop {
+                match self.peek() {
+                    Some(b) if b.is_ascii_whitespace() => {
+                        self.bump();
+                    }
+                    Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                        while let Some(b) = self.bump() {
+                            if b == b'\n' {
+                                break;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek() else { break };
+            let tok = match b {
+                b'{' => {
+                    self.bump();
+                    Tok::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    Tok::RBrace
+                }
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b'[' => {
+                    self.bump();
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    Tok::RBracket
+                }
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'+' => {
+                    self.bump();
+                    Tok::Plus
+                }
+                b'|' => {
+                    self.bump();
+                    Tok::Pipe
+                }
+                b'.' => {
+                    self.bump();
+                    Tok::Dot
+                }
+                b'~' => {
+                    self.bump();
+                    Tok::Tilde
+                }
+                b'<' => {
+                    self.bump();
+                    Tok::Less
+                }
+                b'@' => {
+                    self.bump();
+                    Tok::At
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        Tok::Arrow
+                    } else {
+                        return Err(self.err("expected '->'"));
+                    }
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b':') {
+                        return Err(self.err("stray '::' outside an identifier"));
+                    }
+                    Tok::Colon
+                }
+                b'0' => {
+                    self.bump();
+                    Tok::Zero
+                }
+                b if b.is_ascii_digit() => {
+                    let mut n: u64 = 0;
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_digit() {
+                            n = n * 10 + u64::from(d - b'0');
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Num(n)
+                }
+                b if b.is_ascii_alphabetic() || b == b'_' => {
+                    let mut name = String::new();
+                    loop {
+                        match self.peek() {
+                            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                                name.push(c as char);
+                                self.bump();
+                            }
+                            Some(b':') if self.src.get(self.pos + 1) == Some(&b':') => {
+                                self.bump();
+                                self.bump();
+                                name.push('.');
+                            }
+                            _ => break,
+                        }
+                    }
+                    if name == "T" {
+                        Tok::Top
+                    } else {
+                        Tok::Ident(name)
+                    }
+                }
+                other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+            };
+            out.push((tok, line, col));
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err_at(&self, message: impl Into<String>) -> SpecError {
+        let (line, col) = self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|&(_, l, c)| (l, c))
+            .unwrap_or((0, 0));
+        SpecError { line, col, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), SpecError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err_at(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SpecError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err_at(format!("expected {what}"))),
+        }
+    }
+
+    fn workflow(&mut self) -> Result<WorkflowDecl, SpecError> {
+        let kw = self.ident("'workflow'")?;
+        if kw != "workflow" {
+            return Err(self.err_at("expected 'workflow'"));
+        }
+        let name = self.ident("workflow name")?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut events = Vec::new();
+        let mut agents = Vec::new();
+        let mut deps = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::Ident(kw)) if kw == "event" => {
+                    self.pos += 1;
+                    events.push(self.event_decl()?);
+                }
+                Some(Tok::Ident(kw)) if kw == "agent" => {
+                    self.pos += 1;
+                    agents.push(self.agent_decl()?);
+                }
+                Some(Tok::Ident(kw)) if kw == "dep" => {
+                    self.pos += 1;
+                    deps.push(self.dep_decl()?);
+                }
+                _ => return Err(self.err_at("expected 'event', 'agent', 'dep' or '}'")),
+            }
+        }
+        if self.pos != self.toks.len() {
+            return Err(self.err_at("trailing input after workflow"));
+        }
+        Ok(WorkflowDecl { name, events, agents, deps })
+    }
+
+    /// `agent NAME: KIND (@ site N)? ({ script: item, item, ... })? ;`
+    fn agent_decl(&mut self) -> Result<AgentDecl, SpecError> {
+        let name = self.ident("agent name")?;
+        self.expect(&Tok::Colon, "':'")?;
+        let kind = self.ident("agent kind")?;
+        let mut decl = AgentDecl { name, kind, site: 0, script: Vec::new() };
+        if self.peek() == Some(&Tok::At) {
+            self.pos += 1;
+            let kw = self.ident("'site'")?;
+            if kw != "site" {
+                return Err(self.err_at("expected 'site'"));
+            }
+            match self.next() {
+                Some(Tok::Num(n)) => decl.site = n as u32,
+                Some(Tok::Zero) => decl.site = 0,
+                _ => return Err(self.err_at("expected site number")),
+            }
+        }
+        if self.peek() == Some(&Tok::LBrace) {
+            self.pos += 1;
+            let kw = self.ident("'script'")?;
+            if kw != "script" {
+                return Err(self.err_at("expected 'script'"));
+            }
+            self.expect(&Tok::Colon, "':'")?;
+            if self.peek() != Some(&Tok::RBrace) {
+                loop {
+                    match self.next() {
+                        Some(Tok::Ident(w)) if w == "wait" => match self.next() {
+                            Some(Tok::Num(n)) => decl.script.push(ScriptItem::Wait(n)),
+                            Some(Tok::Zero) => decl.script.push(ScriptItem::Wait(0)),
+                            _ => return Err(self.err_at("expected wait duration")),
+                        },
+                        Some(Tok::Ident(ev)) => decl.script.push(ScriptItem::Event(ev)),
+                        _ => return Err(self.err_at("expected script step")),
+                    }
+                    match self.next() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RBrace) => break,
+                        _ => return Err(self.err_at("expected ',' or '}'")),
+                    }
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.expect(&Tok::Semi, "';'")?;
+        Ok(decl)
+    }
+
+    fn event_decl(&mut self) -> Result<EventDecl, SpecError> {
+        let name = self.ident("event name")?;
+        let mut decl = EventDecl {
+            name,
+            controllable: false,
+            triggerable: false,
+            immediate: false,
+            site: None,
+        };
+        if self.peek() == Some(&Tok::LBrace) {
+            self.pos += 1;
+            loop {
+                let attr = self.ident("attribute")?;
+                match attr.as_str() {
+                    "controllable" => decl.controllable = true,
+                    "triggerable" => decl.triggerable = true,
+                    "immediate" => decl.immediate = true,
+                    other => return Err(self.err_at(format!("unknown attribute {other}"))),
+                }
+                match self.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RBrace) => break,
+                    _ => return Err(self.err_at("expected ',' or '}'")),
+                }
+            }
+        }
+        if self.peek() == Some(&Tok::At) {
+            self.pos += 1;
+            let kw = self.ident("'site'")?;
+            if kw != "site" {
+                return Err(self.err_at("expected 'site'"));
+            }
+            match self.next() {
+                Some(Tok::Num(n)) => decl.site = Some(n as u32),
+                Some(Tok::Zero) => decl.site = Some(0),
+                _ => return Err(self.err_at("expected site number")),
+            }
+        }
+        self.expect(&Tok::Semi, "';'")?;
+        // Defaults: an event with no attributes is controllable.
+        if !decl.controllable && !decl.triggerable && !decl.immediate {
+            decl.controllable = true;
+        }
+        Ok(decl)
+    }
+
+    fn dep_decl(&mut self) -> Result<DepDecl, SpecError> {
+        // Optional label before ':'.
+        let label = if let (Some(Tok::Ident(name)), Some((Tok::Colon, _, _))) =
+            (self.peek().cloned(), self.toks.get(self.pos + 1))
+        {
+            self.pos += 2;
+            Some(name)
+        } else {
+            return Err(self.err_at("expected 'dep <label>:'"));
+        };
+        let body = self.klein_expr()?;
+        self.expect(&Tok::Semi, "';'")?;
+        Ok(DepDecl { label, body })
+    }
+
+    /// `expr ('->' expr | '<' expr)?` — Klein sugar at the top level.
+    fn klein_expr(&mut self) -> Result<PExpr, SpecError> {
+        let lhs = self.or_expr()?;
+        match self.peek() {
+            Some(Tok::Arrow) => {
+                self.pos += 1;
+                let rhs = self.or_expr()?;
+                Ok(klein_arrow(lhs, rhs))
+            }
+            Some(Tok::Less) => {
+                self.pos += 1;
+                let rhs = self.or_expr()?;
+                Ok(klein_precedes(lhs, rhs))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<PExpr, SpecError> {
+        let mut parts = vec![self.and_expr()?];
+        while self.peek() == Some(&Tok::Plus) {
+            self.pos += 1;
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { PExpr::Or(parts) })
+    }
+
+    fn and_expr(&mut self) -> Result<PExpr, SpecError> {
+        let mut parts = vec![self.seq_expr()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.pos += 1;
+            parts.push(self.seq_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { PExpr::And(parts) })
+    }
+
+    fn seq_expr(&mut self) -> Result<PExpr, SpecError> {
+        let mut parts = vec![self.atom()?];
+        while self.peek() == Some(&Tok::Dot) {
+            self.pos += 1;
+            parts.push(self.atom()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { PExpr::Seq(parts) })
+    }
+
+    fn atom(&mut self) -> Result<PExpr, SpecError> {
+        match self.next() {
+            Some(Tok::Tilde) => {
+                let inner = self.atom()?;
+                Ok(crate::ast::complement(inner))
+            }
+            Some(Tok::Zero) => Ok(PExpr::Zero),
+            Some(Tok::Top) => Ok(PExpr::Top),
+            Some(Tok::LParen) => {
+                let e = self.klein_expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                // Parameter tuple?
+                let mut args: Vec<Term> = Vec::new();
+                if self.peek() == Some(&Tok::LBracket) {
+                    self.pos += 1;
+                    loop {
+                        match self.next() {
+                            Some(Tok::Ident(v)) => args.push(Term::Var(v)),
+                            Some(Tok::Num(n)) => args.push(Term::Val(n)),
+                            Some(Tok::Zero) => args.push(Term::Val(0)),
+                            _ => return Err(self.err_at("expected parameter")),
+                        }
+                        match self.next() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RBracket) => break,
+                            _ => return Err(self.err_at("expected ',' or ']'")),
+                        }
+                    }
+                    return Ok(PExpr::Lit(PLit {
+                        event: event_algebra::PEvent::new(&name, args),
+                        polarity: Polarity::Pos,
+                    }));
+                }
+                // Macro call?
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let mut margs = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            margs.push(self.klein_expr()?);
+                            match self.next() {
+                                Some(Tok::Comma) => continue,
+                                Some(Tok::RParen) => break,
+                                _ => return Err(self.err_at("expected ',' or ')'")),
+                            }
+                        }
+                    } else {
+                        self.pos += 1;
+                    }
+                    return expand_macro(&name, &margs).map_err(|m| self.err_at(m));
+                }
+                Ok(PExpr::lit(&name, &[]))
+            }
+            _ => Err(self.err_at("expected an atom")),
+        }
+    }
+}
+
+/// Parse a workflow specification file.
+pub fn parse_workflow(src: &str) -> Result<WorkflowDecl, SpecError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser { toks, pos: 0 };
+    p.workflow()
+}
+
+/// Parse a bare dependency expression (with Klein sugar, macros and
+/// parameters).
+pub fn parse_dependency(src: &str) -> Result<PExpr, SpecError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.klein_expr()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err_at("trailing input"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::{Binding, SymbolTable};
+
+    #[test]
+    fn parses_travel_workflow() {
+        let src = r#"
+            workflow travel {
+                event buy::start   { triggerable };
+                event buy::commit  { controllable } @ site 1;
+                event buy::abort   { immediate };
+                event book::start  { triggerable };
+                event book::commit { controllable };
+                event cancel::start { triggerable };
+
+                // Example 4's three dependencies:
+                dep d1: ~buy::start + book::start;
+                dep d2: ~buy::commit + book::commit . buy::commit;
+                dep d3: ~book::commit + buy::commit + cancel::start;
+            }
+        "#;
+        let w = parse_workflow(src).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(w.name, "travel");
+        assert_eq!(w.events.len(), 6);
+        assert_eq!(w.deps.len(), 3);
+        assert!(w.deps.iter().all(DepDecl::is_ground));
+        assert_eq!(w.events[1].site, Some(1));
+        assert!(w.events[2].immediate);
+        // d2 grounds to ~buy.commit + book.commit·buy.commit.
+        let mut t = SymbolTable::new();
+        let g = w.deps[1].body.instantiate(&Binding::new(), &mut t);
+        assert!(t.lookup("buy.commit").is_some());
+        assert!(t.lookup("book.commit").is_some());
+        assert!(matches!(g, event_algebra::Expr::Or(_)));
+    }
+
+    #[test]
+    fn klein_sugar_parses() {
+        let mut t = SymbolTable::new();
+        let d = parse_dependency("e < f").unwrap().instantiate(&Binding::new(), &mut t);
+        let expected = event_algebra::parse_expr("~e + ~f + e.f", &mut t).unwrap();
+        assert_eq!(d, expected);
+        let d2 = parse_dependency("e -> f").unwrap().instantiate(&Binding::new(), &mut t);
+        let expected2 = event_algebra::parse_expr("~e + f", &mut t).unwrap();
+        assert_eq!(d2, expected2);
+    }
+
+    #[test]
+    fn macro_calls_parse() {
+        let d = parse_dependency("commit_dep(book, buy)").unwrap();
+        let mut t = SymbolTable::new();
+        let g = d.instantiate(&Binding::new(), &mut t);
+        assert!(t.lookup("book.commit").is_some());
+        let _ = g;
+        assert!(parse_dependency("unknown_macro(a)").is_err());
+    }
+
+    #[test]
+    fn parametrized_deps_parse() {
+        let d = parse_dependency("mutex(b1[x], e1[x], b2[y])").unwrap();
+        assert_eq!(d.vars().len(), 2);
+        let d2 = parse_dependency("~f[y] + g[y]").unwrap();
+        assert_eq!(d2.vars().len(), 1);
+        let d3 = parse_dependency("e[3] -> f[3]").unwrap();
+        assert!(d3.vars().is_empty());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_workflow("workflow x {\n  dep d1 ~e;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse_workflow("workflow x { event ; }").is_err());
+        assert!(parse_dependency("e +").is_err());
+        assert!(parse_dependency("e ^ f").is_err());
+    }
+
+    #[test]
+    fn comments_and_defaults() {
+        let w = parse_workflow(
+            "workflow w {\n// only a comment\nevent e;\ndep d: e -> e2;\n}",
+        )
+        .unwrap();
+        assert!(w.events[0].controllable, "default attribute");
+        assert_eq!(w.deps.len(), 1);
+    }
+
+    #[test]
+    fn zero_and_top_parse_in_deps() {
+        assert_eq!(parse_dependency("0").unwrap(), PExpr::Zero);
+        assert_eq!(parse_dependency("T").unwrap(), PExpr::Top);
+    }
+}

@@ -1,0 +1,154 @@
+//! Semantic equivalence of temporal expressions and guards by exhaustive
+//! enumeration of maximal traces — the oracle behind the theorem tests.
+
+use crate::guard_repr::Guard;
+use crate::semantics::sat_at;
+use crate::texpr::TExpr;
+use event_algebra::{enumerate_maximal, SymbolId};
+use std::collections::BTreeSet;
+
+/// Collect the symbols a temporal expression mentions.
+pub fn texpr_symbols(e: &TExpr) -> BTreeSet<SymbolId> {
+    let mut acc = BTreeSet::new();
+    fn go(e: &TExpr, acc: &mut BTreeSet<SymbolId>) {
+        match e {
+            TExpr::Zero | TExpr::Top => {}
+            TExpr::Occ(l) => {
+                acc.insert(l.symbol());
+            }
+            TExpr::Not(x) | TExpr::Always(x) | TExpr::Eventually(x) => go(x, acc),
+            TExpr::Seq(v) | TExpr::Or(v) | TExpr::And(v) => {
+                for p in v {
+                    go(p, acc);
+                }
+            }
+        }
+    }
+    go(e, &mut acc);
+    acc
+}
+
+/// `a ≡ b` over every (maximal trace, index) pair on `syms`.
+pub fn texprs_equivalent(a: &TExpr, b: &TExpr, syms: &[SymbolId]) -> bool {
+    enumerate_maximal(syms).iter().all(|u| {
+        (0..=u.len()).all(|i| sat_at(u, i, a) == sat_at(u, i, b))
+    })
+}
+
+/// `a ≡ b` over the union of their own symbol sets.
+pub fn texprs_equivalent_auto(a: &TExpr, b: &TExpr) -> bool {
+    let syms: Vec<SymbolId> = texpr_symbols(a).union(&texpr_symbols(b)).copied().collect();
+    texprs_equivalent(a, b, &syms)
+}
+
+/// Guard equivalence by trace enumeration — exact even in the presence of
+/// `◇(sequence)` atoms, unlike [`Guard::equiv_masks`].
+pub fn guards_equivalent(a: &Guard, b: &Guard, syms: &[SymbolId]) -> bool {
+    enumerate_maximal(syms)
+        .iter()
+        .all(|u| (0..=u.len()).all(|i| a.eval(u, i) == b.eval(u, i)))
+}
+
+/// Guard equivalence over the union of the guards' own symbols.
+pub fn guards_equivalent_auto(a: &Guard, b: &Guard) -> bool {
+    let syms: Vec<SymbolId> = a.symbols().union(&b.symbols()).copied().collect();
+    guards_equivalent(a, b, &syms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::{Expr, Literal, SymbolTable};
+
+    fn setup() -> (SymbolTable, Literal, Literal) {
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        (t, e, f)
+    }
+
+    #[test]
+    fn guard_and_its_texpr_rendering_agree() {
+        let (_, e, f) = setup();
+        let guards = [
+            Guard::not_yet(f),
+            Guard::eventually(e.complement()).or(&Guard::occurred(e)),
+            Guard::eventually_expr(&Expr::seq([Expr::lit(e), Expr::lit(f)])),
+            Guard::occurred(e).and(&Guard::not_yet(f)),
+        ];
+        for g in &guards {
+            let te = g.to_texpr();
+            let syms: Vec<SymbolId> = g.symbols().into_iter().collect();
+            assert!(
+                enumerate_maximal(&syms).iter().all(|u| (0..=u.len())
+                    .all(|i| g.eval(u, i) == sat_at(u, i, &te))),
+                "{te}"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_equivalence_matches_trace_equivalence() {
+        let (_, e, f) = setup();
+        let pairs = [
+            (
+                Guard::not_yet(e).or(&Guard::occurred(e.complement())),
+                Guard::not_yet(e),
+                true,
+            ),
+            (Guard::eventually(e), Guard::occurred(e), false),
+            (
+                Guard::eventually(e).or(&Guard::eventually(e.complement())),
+                Guard::top(),
+                true,
+            ),
+            (Guard::not_yet(f), Guard::not_yet(e), false),
+        ];
+        for (a, b, expected) in pairs {
+            assert_eq!(a.equiv_masks(&b), expected, "{a:?} vs {b:?}");
+            assert_eq!(guards_equivalent_auto(&a, &b), expected, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn seq_guard_differs_from_weakened_guard_semantically() {
+        // ◇(e·f) vs ◇e|◇f differ exactly on traces where f precedes e.
+        let (_, e, f) = setup();
+        let strict = Guard::eventually_expr(&Expr::seq([Expr::lit(e), Expr::lit(f)]));
+        let weak = strict.weaken_sequences();
+        assert!(!guards_equivalent_auto(&strict, &weak));
+        let u = event_algebra::Trace::new([f, e]).unwrap();
+        assert!(!strict.eval(&u, 2));
+        assert!(weak.eval(&u, 2));
+    }
+
+    #[test]
+    fn texpr_equivalence_examples() {
+        let (_, e, _) = setup();
+        // Stability: □(Occ e) ≡ Occ e.
+        assert!(texprs_equivalent_auto(
+            &TExpr::Always(Box::new(TExpr::Occ(e))),
+            &TExpr::Occ(e)
+        ));
+        // □¬e ≢ ¬e.
+        assert!(!texprs_equivalent_auto(
+            &TExpr::Always(Box::new(TExpr::not_yet(e))),
+            &TExpr::not_yet(e)
+        ));
+        // ◇e + ◇ē ≡ ⊤.
+        assert!(texprs_equivalent_auto(
+            &TExpr::or([TExpr::eventually(e), TExpr::eventually(e.complement())]),
+            &TExpr::Top
+        ));
+    }
+
+    #[test]
+    fn texpr_symbols_collects_everything() {
+        let (_, e, f) = setup();
+        let t = TExpr::or([
+            TExpr::not_yet(e),
+            TExpr::Eventually(Box::new(TExpr::Seq(vec![TExpr::Occ(f), TExpr::Occ(e)]))),
+        ]);
+        assert_eq!(texpr_symbols(&t).len(), 2);
+    }
+}

@@ -1,0 +1,834 @@
+//! Canonical guard representation and the simplifier (Sections 4.2–4.3).
+//!
+//! At any (maximal trace, index) pair, each symbol `s` is in exactly one
+//! of four *knowledge states*:
+//!
+//! | state | meaning                                   | atoms true        |
+//! |-------|-------------------------------------------|-------------------|
+//! | `A`   | `e` has occurred                          | `□e ◇e ¬ē`        |
+//! | `B`   | `ē` has occurred                          | `□ē ◇ē ¬e`        |
+//! | `C`   | neither yet; `e` will occur               | `◇e ¬e ¬ē`        |
+//! | `D`   | neither yet; `ē` will occur               | `◇ē ¬e ¬ē`        |
+//!
+//! Every guard atom over a literal (`□l`, `◇l`, `¬l`) denotes a subset of
+//! `{A,B,C,D}`, so a conjunction of atoms is a *mask* per symbol, and a
+//! guard is a union of such conjuncts (DNF). On this representation the
+//! identities of Example 8 — `◇e + ◇ē = ⊤`, `◇e | ◇ē = 0`, `¬e + □e = ⊤`,
+//! `¬e | □e = 0`, `¬e + □ē = ¬e` — are decided *exactly* by mask algebra.
+//!
+//! The one construct that escapes per-symbol masks is `◇(E)` for a
+//! sequence `E = l₁·l₂·…` (order matters across symbols). Those are kept
+//! as symbolic atoms and reduced by residuation as occurrence facts
+//! arrive; Definition 2's "small insight" (replacing sequences by
+//! conjunctions, sound because the other events' guards enforce the
+//! order) is available as [`Guard::weaken_sequences`].
+
+use crate::texpr::TExpr;
+use event_algebra::{normalize, residuate, satisfies, Expr, Literal, Polarity, SymbolId, Trace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bit for state `A` (the event occurred).
+pub const ST_A: u8 = 1;
+/// Bit for state `B` (the complement occurred).
+pub const ST_B: u8 = 2;
+/// Bit for state `C` (neither yet; the event will occur).
+pub const ST_C: u8 = 4;
+/// Bit for state `D` (neither yet; the complement will occur).
+pub const ST_D: u8 = 8;
+/// All four states — an unconstrained symbol.
+pub const ST_FULL: u8 = 15;
+
+/// The mask of `□l`: the literal has occurred.
+pub fn occurred_mask(pol: Polarity) -> u8 {
+    match pol {
+        Polarity::Pos => ST_A,
+        Polarity::Neg => ST_B,
+    }
+}
+
+/// The mask of `◇l`: the literal has occurred or is guaranteed to.
+pub fn eventually_mask(pol: Polarity) -> u8 {
+    match pol {
+        Polarity::Pos => ST_A | ST_C,
+        Polarity::Neg => ST_B | ST_D,
+    }
+}
+
+/// The mask of `¬l`: the literal has not occurred yet.
+pub fn not_yet_mask(pol: Polarity) -> u8 {
+    match pol {
+        Polarity::Pos => ST_B | ST_C | ST_D,
+        Polarity::Neg => ST_A | ST_C | ST_D,
+    }
+}
+
+/// The knowledge state of `sym` on maximal trace `u` at index `i`.
+pub fn state_on(u: &Trace, i: usize, sym: SymbolId) -> u8 {
+    let pos = Literal::pos(sym);
+    let neg = Literal::neg(sym);
+    if u.contains_by(pos, i) {
+        ST_A
+    } else if u.contains_by(neg, i) {
+        ST_B
+    } else if u.contains(pos) {
+        ST_C
+    } else if u.contains(neg) {
+        ST_D
+    } else {
+        panic!("trace {u} is not maximal for symbol {sym}");
+    }
+}
+
+/// One DNF conjunct: a mask per constrained symbol plus residual `◇(seq)`
+/// atoms.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Conjunct {
+    /// Per-symbol state masks; absent symbols are unconstrained
+    /// ([`ST_FULL`]). Invariant: stored masks are never `0` or `ST_FULL`.
+    masks: BTreeMap<SymbolId, u8>,
+    /// `◇(l₁·l₂·…)` atoms, each with ≥ 2 literals (single literals fold
+    /// into the mask) over pairwise distinct symbols.
+    seqs: BTreeSet<Vec<Literal>>,
+}
+
+impl Conjunct {
+    /// The unconstrained conjunct (`⊤`).
+    pub fn top() -> Conjunct {
+        Conjunct::default()
+    }
+
+    /// `true` if no constraints remain — the conjunct (hence the guard)
+    /// holds now.
+    pub fn is_top(&self) -> bool {
+        self.masks.is_empty() && self.seqs.is_empty()
+    }
+
+    /// The mask for `sym` (`ST_FULL` when unconstrained).
+    pub fn mask(&self, sym: SymbolId) -> u8 {
+        self.masks.get(&sym).copied().unwrap_or(ST_FULL)
+    }
+
+    /// Constrained symbols, in order.
+    pub fn constrained_symbols(&self) -> impl Iterator<Item = (SymbolId, u8)> + '_ {
+        self.masks.iter().map(|(&s, &m)| (s, m))
+    }
+
+    /// The residual sequence atoms.
+    pub fn seq_atoms(&self) -> impl Iterator<Item = &Vec<Literal>> {
+        self.seqs.iter()
+    }
+
+    /// Intersect a mask constraint; returns `false` if the conjunct dies.
+    #[must_use]
+    fn constrain(&mut self, sym: SymbolId, mask: u8) -> bool {
+        let m = self.mask(sym) & mask;
+        if m == 0 {
+            return false;
+        }
+        if m == ST_FULL {
+            self.masks.remove(&sym);
+        } else {
+            self.masks.insert(sym, m);
+        }
+        true
+    }
+
+    /// `self` implies `other`: every state vector satisfying `self`
+    /// satisfies `other` (used for absorption).
+    fn implies(&self, other: &Conjunct) -> bool {
+        other
+            .masks
+            .iter()
+            .all(|(&s, &om)| self.mask(s) & !om == 0)
+            && other.seqs.is_subset(&self.seqs)
+    }
+
+    /// All symbols this conjunct mentions (masks and sequence atoms).
+    pub fn symbols(&self) -> BTreeSet<SymbolId> {
+        let mut out: BTreeSet<SymbolId> = self.masks.keys().copied().collect();
+        for seq in &self.seqs {
+            out.extend(seq.iter().map(|l| l.symbol()));
+        }
+        out
+    }
+
+    /// Evaluate on a maximal trace at an index (sequence atoms are
+    /// index-independent because embedded algebra expressions are
+    /// index-monotone and the trace is maximal).
+    pub fn eval(&self, u: &Trace, i: usize) -> bool {
+        self.masks.iter().all(|(&s, &m)| state_on(u, i, s) & m != 0)
+            && self.seqs.iter().all(|seq| {
+                let e = Expr::seq(seq.iter().map(|&l| Expr::lit(l)));
+                satisfies(u, &e)
+            })
+    }
+}
+
+/// A guard: a disjunction of [`Conjunct`]s, kept canonical (sorted,
+/// deduplicated, absorption-reduced). The empty disjunction is `0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Guard {
+    conjuncts: Vec<Conjunct>,
+}
+
+impl Guard {
+    /// The guard `⊤` — the event may always occur.
+    pub fn top() -> Guard {
+        Guard { conjuncts: vec![Conjunct::top()] }
+    }
+
+    /// The guard `0` — the event may never occur.
+    pub fn bottom() -> Guard {
+        Guard { conjuncts: Vec::new() }
+    }
+
+    /// The atomic guard `□l`.
+    pub fn occurred(l: Literal) -> Guard {
+        Guard::from_mask(l.symbol(), occurred_mask(l.polarity()))
+    }
+
+    /// The atomic guard `◇l`.
+    pub fn eventually(l: Literal) -> Guard {
+        Guard::from_mask(l.symbol(), eventually_mask(l.polarity()))
+    }
+
+    /// The atomic guard `¬l`.
+    pub fn not_yet(l: Literal) -> Guard {
+        Guard::from_mask(l.symbol(), not_yet_mask(l.polarity()))
+    }
+
+    /// A single-symbol mask guard.
+    pub fn from_mask(sym: SymbolId, mask: u8) -> Guard {
+        if mask == 0 {
+            return Guard::bottom();
+        }
+        let mut c = Conjunct::top();
+        let ok = c.constrain(sym, mask);
+        debug_assert!(ok);
+        Guard { conjuncts: vec![c] }
+    }
+
+    /// `◇(E)` for an algebra expression: `◇` distributes over `+` and `|`
+    /// (embedded expressions are index-monotone), single literals fold to
+    /// mask atoms, and literal sequences stay symbolic.
+    pub fn eventually_expr(e: &Expr) -> Guard {
+        fn go(e: &Expr) -> Guard {
+            match e {
+                Expr::Zero => Guard::bottom(),
+                Expr::Top => Guard::top(),
+                Expr::Lit(l) => Guard::eventually(*l),
+                Expr::Or(v) => v.iter().fold(Guard::bottom(), |acc, p| acc.or(&go(p))),
+                Expr::And(v) => v.iter().fold(Guard::top(), |acc, p| acc.and(&go(p))),
+                Expr::Seq(v) => {
+                    let lits: Vec<Literal> = v
+                        .iter()
+                        .map(|p| match p {
+                            Expr::Lit(l) => *l,
+                            other => panic!("normalized Seq contains non-literal {other}"),
+                        })
+                        .collect();
+                    let mut c = Conjunct::top();
+                    c.seqs.insert(lits);
+                    Guard { conjuncts: vec![c] }
+                }
+            }
+        }
+        go(&normalize(e))
+    }
+
+    /// The conjuncts (canonical order).
+    pub fn conjuncts(&self) -> &[Conjunct] {
+        &self.conjuncts
+    }
+
+    /// Disjunction.
+    pub fn or(&self, other: &Guard) -> Guard {
+        let mut cs = self.conjuncts.clone();
+        cs.extend(other.conjuncts.iter().cloned());
+        Guard::canonical(cs)
+    }
+
+    /// Conjunction (cross product of conjuncts).
+    pub fn and(&self, other: &Guard) -> Guard {
+        let mut cs = Vec::new();
+        for a in &self.conjuncts {
+            'pairs: for b in &other.conjuncts {
+                let mut c = a.clone();
+                for (&s, &m) in &b.masks {
+                    if !c.constrain(s, m) {
+                        // This particular pair is contradictory; the other
+                        // b-conjuncts may still combine with `a`.
+                        continue 'pairs;
+                    }
+                }
+                c.seqs.extend(b.seqs.iter().cloned());
+                cs.push(c);
+            }
+        }
+        Guard::canonical(cs)
+    }
+
+    /// Canonicalize: drop dead conjuncts, sort, dedupe, absorb, and merge
+    /// sibling conjuncts that differ in a single symbol's mask.
+    fn canonical(mut cs: Vec<Conjunct>) -> Guard {
+        // Absorption: drop any conjunct that implies another.
+        let mut keep: Vec<Conjunct> = Vec::with_capacity(cs.len());
+        cs.sort();
+        cs.dedup();
+        for c in cs {
+            if keep.iter().any(|k| c.implies(k)) {
+                continue;
+            }
+            keep.retain(|k| !k.implies(&c));
+            keep.push(c);
+        }
+        // Merge: two conjuncts identical except one symbol's mask unite
+        // into a single conjunct with the mask union (repeat to fixpoint).
+        loop {
+            let mut merged = false;
+            'pairs: for i in 0..keep.len() {
+                for j in (i + 1)..keep.len() {
+                    if keep[i].seqs != keep[j].seqs {
+                        continue;
+                    }
+                    let (a, b) = (&keep[i], &keep[j]);
+                    let syms: BTreeSet<SymbolId> =
+                        a.masks.keys().chain(b.masks.keys()).copied().collect();
+                    let diffs: Vec<SymbolId> = syms
+                        .into_iter()
+                        .filter(|&s| a.mask(s) != b.mask(s))
+                        .collect();
+                    if let [only] = diffs[..] {
+                        let union = a.mask(only) | b.mask(only);
+                        let mut c = a.clone();
+                        if union == ST_FULL {
+                            c.masks.remove(&only);
+                        } else {
+                            c.masks.insert(only, union);
+                        }
+                        keep.swap_remove(j);
+                        keep.swap_remove(i);
+                        // Re-run absorption against the merged conjunct.
+                        keep.retain(|k| !k.implies(&c));
+                        if !keep.iter().any(|k| c.implies(k)) {
+                            keep.push(c);
+                        }
+                        merged = true;
+                        break 'pairs;
+                    }
+                }
+            }
+            if !merged {
+                break;
+            }
+        }
+        keep.sort();
+        Guard { conjuncts: keep }
+    }
+
+    /// `true` if this is syntactically `0` (no conjunct left) — for
+    /// literal-level guards this is also semantic falsity.
+    pub fn is_bottom(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// `true` if some conjunct is fully discharged — the guard holds *now*
+    /// regardless of any other symbol's state.
+    pub fn holds_now(&self) -> bool {
+        self.conjuncts.iter().any(Conjunct::is_top)
+    }
+
+    /// Semantic tautology check.
+    ///
+    /// Exact for guards without sequence atoms (enumerates the 4ⁿ state
+    /// vectors of the constrained symbols); conjuncts carrying sequence
+    /// atoms are conservatively treated as non-covering, so `true` is
+    /// always sound.
+    pub fn is_top(&self) -> bool {
+        if self.holds_now() {
+            return true;
+        }
+        let syms: Vec<SymbolId> = self
+            .conjuncts
+            .iter()
+            .flat_map(|c| c.masks.keys().copied())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if syms.len() > 12 {
+            return false; // give up: callers fall back to semantic checks
+        }
+        let usable: Vec<&Conjunct> =
+            self.conjuncts.iter().filter(|c| c.seqs.is_empty()).collect();
+        if usable.is_empty() {
+            return false;
+        }
+        // Enumerate state vectors; each symbol independently takes A/B/C/D.
+        let mut states = vec![ST_A; syms.len()];
+        loop {
+            let covered = usable.iter().any(|c| {
+                syms.iter()
+                    .zip(&states)
+                    .all(|(&s, &st)| c.mask(s) & st != 0)
+            });
+            if !covered {
+                return false;
+            }
+            // Advance the odometer.
+            let mut k = 0;
+            loop {
+                if k == syms.len() {
+                    return true;
+                }
+                states[k] <<= 1;
+                if states[k] > ST_D {
+                    states[k] = ST_A;
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Exact semantic equivalence for guards without sequence atoms;
+    /// guards with sequence atoms compare structurally (callers needing
+    /// exact equivalence with sequences use trace enumeration — see
+    /// `equiv::guards_equivalent`).
+    pub fn equiv_masks(&self, other: &Guard) -> bool {
+        if self == other {
+            return true;
+        }
+        if self.has_seq_atoms() || other.has_seq_atoms() {
+            return false;
+        }
+        let syms: Vec<SymbolId> = self
+            .conjuncts
+            .iter()
+            .chain(other.conjuncts.iter())
+            .flat_map(|c| c.masks.keys().copied())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut states = vec![ST_A; syms.len()];
+        loop {
+            let eva = self.conjuncts.iter().any(|c| {
+                syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0)
+            });
+            let evb = other.conjuncts.iter().any(|c| {
+                syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0)
+            });
+            if eva != evb {
+                return false;
+            }
+            let mut k = 0;
+            loop {
+                if k == syms.len() {
+                    return true;
+                }
+                states[k] <<= 1;
+                if states[k] > ST_D {
+                    states[k] = ST_A;
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// `true` if any conjunct carries a `◇(sequence)` atom.
+    pub fn has_seq_atoms(&self) -> bool {
+        self.conjuncts.iter().any(|c| !c.seqs.is_empty())
+    }
+
+    /// Evaluate on a maximal trace at an index — the reference semantics
+    /// used in the Theorem 6 checks.
+    pub fn eval(&self, u: &Trace, i: usize) -> bool {
+        self.conjuncts.iter().any(|c| c.eval(u, i))
+    }
+
+    /// All symbols the guard mentions — these are the events whose
+    /// announcements the owning actor must subscribe to.
+    pub fn symbols(&self) -> BTreeSet<SymbolId> {
+        self.conjuncts.iter().flat_map(|c| c.symbols()).collect()
+    }
+
+    /// Replace every `◇(l₁·…·lₖ)` atom by the conjunction `◇l₁|…|◇lₖ` —
+    /// the paper's "small insight" in Section 4.2: the guards on the other
+    /// events already enforce the order, so an event's own guard only
+    /// needs the eventual occurrences.
+    pub fn weaken_sequences(&self) -> Guard {
+        let mut out = Vec::new();
+        'conj: for c in &self.conjuncts {
+            let mut n = Conjunct { masks: c.masks.clone(), seqs: BTreeSet::new() };
+            for seq in &c.seqs {
+                for &l in seq {
+                    if !n.constrain(l.symbol(), eventually_mask(l.polarity())) {
+                        continue 'conj;
+                    }
+                }
+            }
+            out.push(n);
+        }
+        Guard::canonical(out)
+    }
+
+    /// Incorporate the fact "`l` has occurred" (an arriving `□l`
+    /// announcement): Section 4.3's proof rules. For each conjunct, the
+    /// symbol's constraint is resolved (`□l`, `◇l` → discharged; `¬l` → the
+    /// conjunct dies; complements symmetrically), and sequence atoms are
+    /// residuated by `l`.
+    pub fn assume_occurred(&self, l: Literal) -> Guard {
+        self.assume_mask(l.symbol(), occurred_mask(l.polarity()), Some(l))
+    }
+
+    /// Incorporate the fact "`l` is guaranteed to occur" (an arriving `◇l`
+    /// promise): `◇l` constraints discharge, `◇l̄`/`□l̄` constraints die,
+    /// `□l` and `¬l` remain (the paper: they are "unaffected when ◇e is
+    /// received").
+    pub fn assume_promised(&self, l: Literal) -> Guard {
+        self.assume_mask(l.symbol(), eventually_mask(l.polarity()), None)
+    }
+
+    fn assume_mask(&self, sym: SymbolId, closure: u8, occurred: Option<Literal>) -> Guard {
+        let mut out = Vec::new();
+        'conj: for c in &self.conjuncts {
+            let mut n = Conjunct::top();
+            // Masks: intersect with the closure; discharge when implied.
+            for (&s, &m) in &c.masks {
+                if s == sym {
+                    if m & closure == 0 {
+                        continue 'conj; // contradiction: conjunct dies
+                    }
+                    if closure & !m == 0 {
+                        continue; // constraint discharged forever
+                    }
+                    if !n.constrain(s, m & closure) {
+                        continue 'conj;
+                    }
+                } else if !n.constrain(s, m) {
+                    continue 'conj;
+                }
+            }
+            // Sequence atoms: residuate on occurrence facts.
+            for seq in &c.seqs {
+                if let Some(l) = occurred {
+                    if seq.iter().any(|x| x.symbol() == sym) {
+                        let e = Expr::seq(seq.iter().map(|&x| Expr::lit(x)));
+                        match residuate(&e, l) {
+                            Expr::Zero => continue 'conj,
+                            Expr::Top => {}
+                            Expr::Lit(rest) => {
+                                if !n.constrain(
+                                    rest.symbol(),
+                                    eventually_mask(rest.polarity()),
+                                ) {
+                                    continue 'conj;
+                                }
+                            }
+                            Expr::Seq(v) => {
+                                let lits: Vec<Literal> = v
+                                    .iter()
+                                    .map(|p| match p {
+                                        Expr::Lit(x) => *x,
+                                        other => {
+                                            panic!("residual of literal seq not literal: {other}")
+                                        }
+                                    })
+                                    .collect();
+                                n.seqs.insert(lits);
+                            }
+                            other => panic!("unexpected seq residual {other}"),
+                        }
+                        continue;
+                    }
+                }
+                n.seqs.insert(seq.clone());
+            }
+            out.push(n);
+        }
+        Guard::canonical(out)
+    }
+}
+
+impl Guard {
+    /// Render the guard back into `T` syntax, choosing minimal atom
+    /// combinations per mask (table-driven).
+    pub fn to_texpr(&self) -> TExpr {
+        if self.is_bottom() {
+            return TExpr::Zero;
+        }
+        let parts = self.conjuncts.iter().map(|c| {
+            let mut factors: Vec<TExpr> = Vec::new();
+            for (&s, &m) in &c.masks {
+                factors.push(mask_to_texpr(s, m));
+            }
+            for seq in &c.seqs {
+                factors.push(TExpr::Eventually(Box::new(TExpr::Seq(
+                    seq.iter().map(|&l| TExpr::Occ(l)).collect(),
+                ))));
+            }
+            TExpr::and(factors)
+        });
+        TExpr::or(parts)
+    }
+}
+
+/// Render one symbol's mask as the minimal `T` combination, per the
+/// 16-entry table derived from the state/atom correspondence.
+fn mask_to_texpr(s: SymbolId, m: u8) -> TExpr {
+    let e = Literal::pos(s);
+    let ne = Literal::neg(s);
+    let box_e = TExpr::occurred(e);
+    let box_ne = TExpr::occurred(ne);
+    let dia_e = TExpr::eventually(e);
+    let dia_ne = TExpr::eventually(ne);
+    let not_e = TExpr::not_yet(e);
+    let not_ne = TExpr::not_yet(ne);
+    match m {
+        0 => TExpr::Zero,
+        1 => box_e,                                              // {A} = □e
+        2 => box_ne,                                             // {B} = □ē
+        3 => TExpr::or([box_e, box_ne]),                         // {A,B}
+        4 => TExpr::and([dia_e, not_e]),                         // {C}
+        5 => dia_e,                                              // {A,C} = ◇e
+        6 => TExpr::or([box_ne, TExpr::and([dia_e, not_e])]),    // {B,C}
+        7 => TExpr::or([dia_e, box_ne]),                         // {A,B,C}
+        8 => TExpr::and([dia_ne, not_ne]),                       // {D}
+        9 => TExpr::or([box_e, TExpr::and([dia_ne, not_ne])]),   // {A,D}
+        10 => dia_ne,                                            // {B,D} = ◇ē
+        11 => TExpr::or([dia_ne, box_e]),                        // {A,B,D}
+        12 => TExpr::and([not_e, not_ne]),                       // {C,D}
+        13 => not_ne,                                            // {A,C,D} = ¬ē
+        14 => not_e,                                             // {B,C,D} = ¬e
+        _ => TExpr::Top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::SymbolTable;
+
+    fn setup() -> (SymbolTable, Literal, Literal) {
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        (t, e, f)
+    }
+
+    #[test]
+    fn example8_identities() {
+        let (_, e, _) = setup();
+        // (a) □e + □ē ≠ ⊤.
+        assert!(!Guard::occurred(e).or(&Guard::occurred(e.complement())).is_top());
+        // (b) ◇e + ◇ē = ⊤.
+        assert!(Guard::eventually(e).or(&Guard::eventually(e.complement())).is_top());
+        // (c) ◇e | ◇ē = 0.
+        assert!(Guard::eventually(e).and(&Guard::eventually(e.complement())).is_bottom());
+        // (d) ◇e + □ē ≠ ⊤.
+        assert!(!Guard::eventually(e).or(&Guard::occurred(e.complement())).is_top());
+        // (e) ¬e is the boolean complement of □e.
+        assert!(Guard::not_yet(e).or(&Guard::occurred(e)).is_top());
+        assert!(Guard::not_yet(e).and(&Guard::occurred(e)).is_bottom());
+        // (f) ¬e + □ē = ¬e.
+        let lhs = Guard::not_yet(e).or(&Guard::occurred(e.complement()));
+        assert!(lhs.equiv_masks(&Guard::not_yet(e)));
+        assert_eq!(lhs, Guard::not_yet(e));
+    }
+
+    #[test]
+    fn box_entails_diamond_in_masks() {
+        let (_, e, _) = setup();
+        // □e + ◇e = ◇e; □e | ◇e = □e.
+        assert_eq!(Guard::occurred(e).or(&Guard::eventually(e)), Guard::eventually(e));
+        assert_eq!(Guard::occurred(e).and(&Guard::eventually(e)), Guard::occurred(e));
+    }
+
+    #[test]
+    fn paper_reduction_of_d_precedes_guard() {
+        // (¬f|¬f̄) + □f̄ reduces to ¬f (end of Example 9.6).
+        let (_, _, f) = setup();
+        let lhs = Guard::not_yet(f)
+            .and(&Guard::not_yet(f.complement()))
+            .or(&Guard::occurred(f.complement()));
+        assert_eq!(lhs, Guard::not_yet(f));
+    }
+
+    #[test]
+    fn example9_8_shape_is_canonical() {
+        // ◇ē + □e has two conjuncts that cannot merge: {B,D} ∪ {A}.
+        let (_, e, _) = setup();
+        let g = Guard::eventually(e.complement()).or(&Guard::occurred(e));
+        assert_eq!(g.conjuncts().len(), 1, "masks on one symbol merge: {{A,B,D}}");
+        assert_eq!(g.conjuncts()[0].mask(e.symbol()), ST_A | ST_B | ST_D);
+        let rendered = g.to_texpr();
+        // Renders as ◇ē + □e per the mask table.
+        assert_eq!(
+            rendered,
+            TExpr::or([TExpr::eventually(e.complement()), TExpr::occurred(e)])
+        );
+    }
+
+    #[test]
+    fn and_cross_product_kills_contradictions() {
+        let (_, e, f) = setup();
+        let g1 = Guard::occurred(e).or(&Guard::eventually(f));
+        let g2 = Guard::not_yet(e);
+        let g = g1.and(&g2);
+        // □e|¬e dies; ◇f|¬e survives.
+        assert_eq!(g.conjuncts().len(), 1);
+        assert!(!g.is_bottom());
+    }
+
+    #[test]
+    fn assume_occurred_proof_rules() {
+        let (_, e, f) = setup();
+        // □e arriving reduces ◇e and □e to ⊤ and ¬e to 0.
+        assert!(Guard::eventually(e).assume_occurred(e).is_top());
+        assert!(Guard::occurred(e).assume_occurred(e).is_top());
+        assert!(Guard::not_yet(e).assume_occurred(e).is_bottom());
+        // □ē arriving reduces □e/◇e to 0 and ¬e to ⊤.
+        assert!(Guard::occurred(e).assume_occurred(e.complement()).is_bottom());
+        assert!(Guard::eventually(e).assume_occurred(e.complement()).is_bottom());
+        assert!(Guard::not_yet(e).assume_occurred(e.complement()).is_top());
+        // Unrelated symbols are untouched.
+        let g = Guard::eventually(f);
+        assert_eq!(g.assume_occurred(e), g);
+    }
+
+    #[test]
+    fn assume_promised_proof_rules() {
+        let (_, e, _) = setup();
+        // ◇e arriving discharges ◇e…
+        assert!(Guard::eventually(e).assume_promised(e).is_top());
+        // …kills ◇ē and □ē…
+        assert!(Guard::eventually(e.complement()).assume_promised(e).is_bottom());
+        assert!(Guard::occurred(e.complement()).assume_promised(e).is_bottom());
+        // …and leaves □e and ¬e pending (narrowed but not discharged).
+        assert!(!Guard::occurred(e).assume_promised(e).holds_now());
+        assert!(!Guard::occurred(e).assume_promised(e).is_bottom());
+        assert!(!Guard::not_yet(e).assume_promised(e).holds_now());
+        assert!(!Guard::not_yet(e).assume_promised(e).is_bottom());
+    }
+
+    #[test]
+    fn seq_atoms_residuate_on_occurrence() {
+        let (_, e, f) = setup();
+        let seq = Expr::seq([Expr::lit(e), Expr::lit(f)]);
+        let g = Guard::eventually_expr(&seq);
+        assert!(g.has_seq_atoms());
+        // After e occurs, ◇(e·f) becomes ◇f.
+        let after_e = g.assume_occurred(e);
+        assert_eq!(after_e, Guard::eventually(f));
+        // After f occurs first, ◇(e·f) is dead.
+        let after_f = g.assume_occurred(f);
+        assert!(after_f.is_bottom());
+        // ē kills it too.
+        assert!(g.assume_occurred(e.complement()).is_bottom());
+    }
+
+    #[test]
+    fn eventually_expr_distributes() {
+        let (_, e, f) = setup();
+        // ◇(e + f) = ◇e + ◇f.
+        let g = Guard::eventually_expr(&Expr::or([Expr::lit(e), Expr::lit(f)]));
+        assert_eq!(g, Guard::eventually(e).or(&Guard::eventually(f)));
+        // ◇(e | f) = ◇e | ◇f.
+        let g2 = Guard::eventually_expr(&Expr::and([Expr::lit(e), Expr::lit(f)]));
+        assert_eq!(g2, Guard::eventually(e).and(&Guard::eventually(f)));
+        // ◇⊤ = ⊤, ◇0 = 0.
+        assert!(Guard::eventually_expr(&Expr::Top).is_top());
+        assert!(Guard::eventually_expr(&Expr::Zero).is_bottom());
+        // ◇(f̄ + f) = ⊤ (used in Example 9.6).
+        let g3 = Guard::eventually_expr(&Expr::or([
+            Expr::lit(f),
+            Expr::lit(f.complement()),
+        ]));
+        assert!(g3.is_top());
+    }
+
+    #[test]
+    fn weaken_sequences_is_the_small_insight() {
+        let (_, e, f) = setup();
+        let g = Guard::eventually_expr(&Expr::seq([Expr::lit(e), Expr::lit(f)]));
+        let w = g.weaken_sequences();
+        assert!(!w.has_seq_atoms());
+        assert_eq!(w, Guard::eventually(e).and(&Guard::eventually(f)));
+    }
+
+    #[test]
+    fn eval_matches_mask_semantics() {
+        let (_, e, f) = setup();
+        let u = Trace::new([e, f]).unwrap();
+        // ¬f holds at indices 0 and 1, not at 2.
+        let g = Guard::not_yet(f);
+        assert!(g.eval(&u, 0));
+        assert!(g.eval(&u, 1));
+        assert!(!g.eval(&u, 2));
+        // ◇ē + □e: at 0 — e will occur but hasn't; ◇ē false, □e false → false.
+        let g2 = Guard::eventually(e.complement()).or(&Guard::occurred(e));
+        assert!(!g2.eval(&u, 0));
+        assert!(g2.eval(&u, 1));
+    }
+
+    #[test]
+    fn eval_seq_atom_is_whole_trace() {
+        let (_, e, f) = setup();
+        let g = Guard::eventually_expr(&Expr::seq([Expr::lit(e), Expr::lit(f)]));
+        let u = Trace::new([e, f]).unwrap();
+        let v = Trace::new([f, e]).unwrap();
+        for i in 0..=2 {
+            assert!(g.eval(&u, i));
+            assert!(!g.eval(&v, i));
+        }
+    }
+
+    #[test]
+    fn symbols_cover_masks_and_seqs() {
+        let (_, e, f) = setup();
+        let g = Guard::not_yet(e)
+            .and(&Guard::eventually_expr(&Expr::seq([Expr::lit(e), Expr::lit(f)])));
+        let syms = g.symbols();
+        assert!(syms.contains(&e.symbol()));
+        assert!(syms.contains(&f.symbol()));
+    }
+
+    #[test]
+    fn canonical_merges_adjacent_masks() {
+        let (_, e, f) = setup();
+        // (◇e|¬e) + □e = ◇e  ({C} ∪ {A} = {A,C}).
+        let g = Guard::eventually(e)
+            .and(&Guard::not_yet(e))
+            .or(&Guard::occurred(e));
+        assert_eq!(g, Guard::eventually(e));
+        let _ = f;
+    }
+
+    #[test]
+    fn to_texpr_roundtrip_samples() {
+        let (_, e, f) = setup();
+        let samples = [
+            Guard::top(),
+            Guard::bottom(),
+            Guard::not_yet(f),
+            Guard::eventually(e.complement()).or(&Guard::occurred(e)),
+            Guard::occurred(e).and(&Guard::eventually(f)),
+        ];
+        for g in &samples {
+            let te = g.to_texpr();
+            // Spot-check agreement on all maximal traces over {e,f}.
+            let syms = [e.symbol(), f.symbol()];
+            for u in event_algebra::enumerate_maximal(&syms) {
+                for i in 0..=u.len() {
+                    assert_eq!(
+                        g.eval(&u, i),
+                        crate::semantics::sat_at(&u, i, &te),
+                        "guard {g:?} texpr {te} at {u},{i}"
+                    );
+                }
+            }
+        }
+    }
+}

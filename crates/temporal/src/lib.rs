@@ -1,0 +1,39 @@
+//! The temporal guard language `T` of Singh (ICDE 1996), Section 4.
+//!
+//! Guards are the localized conditions under which events may occur.
+//! This crate provides:
+//!
+//! - [`TExpr`] — the syntax of `T` (`□`, `◇`, `¬` over event atoms and the
+//!   algebra operators, Syntax 5–6);
+//! - [`sat_at`] — the indexed semantics over maximal traces
+//!   (Semantics 7–14), which regenerates the truth table of Figure 3;
+//! - [`Guard`] — a canonical DNF representation over per-symbol knowledge
+//!   states, on which the identities of Example 8 are decided exactly,
+//!   with symbolic `◇(sequence)` atoms reduced by residuation;
+//! - [`Fact`], [`Knowledge`], [`status`], [`needs`] — the announcement
+//!   machinery of Section 4.3 (`□e` occurrence messages, `◇e` promises,
+//!   and the reduction proof rules);
+//! - equivalence oracles by exhaustive trace enumeration for the theorem
+//!   tests.
+
+#![warn(missing_docs)]
+
+mod equiv;
+mod guard_repr;
+mod message;
+mod parse;
+mod semantics;
+mod texpr;
+
+pub use equiv::{
+    guards_equivalent, guards_equivalent_auto, texpr_symbols, texprs_equivalent,
+    texprs_equivalent_auto,
+};
+pub use guard_repr::{
+    eventually_mask, not_yet_mask, occurred_mask, state_on, Conjunct, Guard, ST_A, ST_B, ST_C,
+    ST_D, ST_FULL,
+};
+pub use message::{needs, status, Fact, GuardStatus, Know, Knowledge, Need};
+pub use parse::{parse_texpr, TParseError};
+pub use semantics::{sat_at, sat_profile};
+pub use texpr::{TExpr, TExprDisplay};

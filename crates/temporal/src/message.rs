@@ -1,0 +1,308 @@
+//! Announcement facts and event-local knowledge (Section 4.3).
+//!
+//! When an event occurs, `□e` announcements flow to the actors of
+//! dependent events; `◇e` promises flow during the consensus protocol.
+//! Each actor keeps a [`Knowledge`] map of what it has heard, applies
+//! arriving [`Fact`]s to its [`Guard`] via the proof rules, and inspects
+//! the [`GuardStatus`] to decide whether to allow a parked event.
+
+use crate::guard_repr::{
+    eventually_mask, not_yet_mask, occurred_mask, Guard, ST_A, ST_B, ST_C, ST_D, ST_FULL,
+};
+use event_algebra::{Literal, Polarity, SymbolId};
+use std::collections::BTreeMap;
+
+/// A fact an actor can learn about another event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fact {
+    /// `□l`: the event has occurred.
+    Occurred(Literal),
+    /// `◇l`: the event is guaranteed to occur (a promise).
+    Promised(Literal),
+}
+
+impl Fact {
+    /// The literal the fact is about.
+    pub fn literal(self) -> Literal {
+        match self {
+            Fact::Occurred(l) | Fact::Promised(l) => l,
+        }
+    }
+
+    /// The set of knowledge states (now or in the future) consistent with
+    /// this fact.
+    pub fn closure_mask(self) -> u8 {
+        match self {
+            Fact::Occurred(l) => occurred_mask(l.polarity()),
+            Fact::Promised(l) => eventually_mask(l.polarity()),
+        }
+    }
+}
+
+/// What one actor knows about one symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Know {
+    /// Heard `□e` or `□ē`.
+    Occurred(Polarity),
+    /// Heard a promise `◇e` or `◇ē` (not yet confirmed occurred).
+    Promised(Polarity),
+}
+
+/// An actor's accumulated knowledge about remote events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Knowledge {
+    map: BTreeMap<SymbolId, Know>,
+}
+
+impl Knowledge {
+    /// Empty knowledge.
+    pub fn new() -> Knowledge {
+        Knowledge::default()
+    }
+
+    /// Learn a fact. Occurrence supersedes promise; conflicting
+    /// occurrences are impossible in `U_E` and panic loudly, since they
+    /// indicate a broken execution substrate.
+    pub fn learn(&mut self, fact: Fact) {
+        let l = fact.literal();
+        let entry = self.map.get(&l.symbol()).copied();
+        let next = match (entry, fact) {
+            (Some(Know::Occurred(p)), Fact::Occurred(l2)) => {
+                assert_eq!(
+                    p,
+                    l2.polarity(),
+                    "both an event and its complement reported occurred"
+                );
+                Know::Occurred(p)
+            }
+            (Some(Know::Occurred(p)), Fact::Promised(_)) => Know::Occurred(p),
+            (_, Fact::Occurred(l2)) => Know::Occurred(l2.polarity()),
+            (Some(Know::Promised(p)), Fact::Promised(l2)) => {
+                assert_eq!(p, l2.polarity(), "promises for both polarities received");
+                Know::Promised(p)
+            }
+            (None, Fact::Promised(l2)) => Know::Promised(l2.polarity()),
+        };
+        self.map.insert(l.symbol(), next);
+    }
+
+    /// What this actor knows about `sym`.
+    pub fn about(&self, sym: SymbolId) -> Option<Know> {
+        self.map.get(&sym).copied()
+    }
+
+    /// The set of knowledge states the symbol could *currently* be in,
+    /// as far as this actor can tell.
+    pub fn possible_states(&self, sym: SymbolId) -> u8 {
+        match self.map.get(&sym) {
+            Some(Know::Occurred(Polarity::Pos)) => ST_A,
+            Some(Know::Occurred(Polarity::Neg)) => ST_B,
+            Some(Know::Promised(Polarity::Pos)) => ST_A | ST_C,
+            Some(Know::Promised(Polarity::Neg)) => ST_B | ST_D,
+            None => ST_FULL,
+        }
+    }
+
+    /// Number of symbols with any knowledge.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been learned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The scheduling status of a guard after reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardStatus {
+    /// Some conjunct is fully discharged: the event may occur now.
+    EnabledNow,
+    /// No conjunct is discharged, but some could still be: park.
+    Blocked,
+    /// Every conjunct is dead: the event may never occur.
+    Dead,
+}
+
+/// Classify a (reduced) guard.
+pub fn status(g: &Guard) -> GuardStatus {
+    if g.holds_now() {
+        GuardStatus::EnabledNow
+    } else if g.is_bottom() {
+        GuardStatus::Dead
+    } else {
+        GuardStatus::Blocked
+    }
+}
+
+/// A single outstanding requirement of a blocked conjunct.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Need {
+    /// Discharged by hearing `□l`.
+    Occurrence(Literal),
+    /// Discharged by a promise `◇l` (weaker than occurrence — preferred,
+    /// because it can be granted before the event happens).
+    Promise(Literal),
+    /// Requires agreement that `l` has *not yet* occurred at the instant
+    /// this event occurs (the `¬l` consensus of Section 4.3).
+    NotYetAgreement(Literal),
+    /// A residual `◇(l₁·…)` sequence: needs the head to occur first.
+    SequenceHead(Literal),
+}
+
+/// For each conjunct of `g`, the facts that would discharge it — the
+/// input to the promise/consensus protocol. Conjuncts are returned in
+/// canonical order; an empty inner vector means the conjunct already
+/// holds. A constraint may require several facts at once: the `{C}` mask
+/// (`◇l ∧ ¬l`) needs a promise *and* a not-yet agreement.
+pub fn needs(g: &Guard) -> Vec<Vec<Need>> {
+    g.conjuncts()
+        .iter()
+        .map(|c| {
+            let mut out = Vec::new();
+            for (s, m) in c.constrained_symbols() {
+                let pos = Literal::pos(s);
+                let neg = Literal::neg(s);
+                // Choose the weakest discharging facts for the mask. An
+                // exact ¬l mask uses the paper's not-yet agreement rather
+                // than a promise of the complement: agreement does not
+                // constrain the future of l's symbol.
+                if m == not_yet_mask(Polarity::Pos) {
+                    out.push(Need::NotYetAgreement(pos));
+                } else if m == not_yet_mask(Polarity::Neg) {
+                    out.push(Need::NotYetAgreement(neg));
+                } else if eventually_mask(Polarity::Pos) & !m == 0 {
+                    out.push(Need::Promise(pos));
+                } else if eventually_mask(Polarity::Neg) & !m == 0 {
+                    out.push(Need::Promise(neg));
+                } else if occurred_mask(Polarity::Pos) & !m == 0 {
+                    out.push(Need::Occurrence(pos));
+                } else if occurred_mask(Polarity::Neg) & !m == 0 {
+                    out.push(Need::Occurrence(neg));
+                } else if m == ST_C {
+                    // ◇l ∧ ¬l: promised but not yet occurred at this
+                    // instant.
+                    out.push(Need::Promise(pos));
+                    out.push(Need::NotYetAgreement(pos));
+                } else if m == ST_D {
+                    out.push(Need::Promise(neg));
+                    out.push(Need::NotYetAgreement(neg));
+                } else if m == (ST_C | ST_D) {
+                    // ¬l ∧ ¬l̄: neither resolved yet at this instant.
+                    out.push(Need::NotYetAgreement(pos));
+                } else {
+                    // Remaining composite masks (e.g. {A,B}): discharged
+                    // by an occurrence of whichever polarity the mask
+                    // admits as a final state.
+                    if m & ST_A != 0 {
+                        out.push(Need::Occurrence(pos));
+                    }
+                    if m & ST_B != 0 {
+                        out.push(Need::Occurrence(neg));
+                    }
+                }
+            }
+            for seq in c.seq_atoms() {
+                if let Some(&head) = seq.first() {
+                    out.push(Need::SequenceHead(head));
+                }
+            }
+            out.sort();
+            out.dedup();
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::SymbolTable;
+
+    fn setup() -> (SymbolTable, Literal, Literal) {
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        (t, e, f)
+    }
+
+    #[test]
+    fn knowledge_learning_and_states() {
+        let (_, e, f) = setup();
+        let mut k = Knowledge::new();
+        assert_eq!(k.possible_states(e.symbol()), ST_FULL);
+        k.learn(Fact::Promised(e));
+        assert_eq!(k.possible_states(e.symbol()), ST_A | ST_C);
+        k.learn(Fact::Occurred(e));
+        assert_eq!(k.possible_states(e.symbol()), ST_A);
+        // Promise after occurrence is a no-op.
+        k.learn(Fact::Promised(e));
+        assert_eq!(k.about(e.symbol()), Some(Know::Occurred(Polarity::Pos)));
+        k.learn(Fact::Occurred(f.complement()));
+        assert_eq!(k.possible_states(f.symbol()), ST_B);
+        assert_eq!(k.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "complement")]
+    fn conflicting_occurrences_panic() {
+        let (_, e, _) = setup();
+        let mut k = Knowledge::new();
+        k.learn(Fact::Occurred(e));
+        k.learn(Fact::Occurred(e.complement()));
+    }
+
+    #[test]
+    fn status_classification() {
+        let (_, e, _) = setup();
+        assert_eq!(status(&Guard::top()), GuardStatus::EnabledNow);
+        assert_eq!(status(&Guard::bottom()), GuardStatus::Dead);
+        assert_eq!(status(&Guard::occurred(e)), GuardStatus::Blocked);
+    }
+
+    #[test]
+    fn example10_message_sequence() {
+        // Guards from D< (Example 9): G(f) = ◇ē + □e. f is attempted
+        // first: blocked. ē occurs, □ē arrives: enabled.
+        let (_, e, _) = setup();
+        let g_f = Guard::eventually(e.complement()).or(&Guard::occurred(e));
+        assert_eq!(status(&g_f), GuardStatus::Blocked);
+        let after = g_f.assume_occurred(e.complement());
+        assert_eq!(status(&after), GuardStatus::EnabledNow);
+    }
+
+    #[test]
+    fn needs_reports_weakest_discharging_facts() {
+        let (_, e, f) = setup();
+        // ◇f → a promise of f suffices.
+        assert_eq!(needs(&Guard::eventually(f)), vec![vec![Need::Promise(f)]]);
+        // □e → must hear the occurrence.
+        assert_eq!(needs(&Guard::occurred(e)), vec![vec![Need::Occurrence(e)]]);
+        // ¬f → not-yet agreement.
+        assert_eq!(
+            needs(&Guard::not_yet(f)),
+            vec![vec![Need::NotYetAgreement(f)]]
+        );
+        // ◇ē + □e → two conjuncts... but they merge into one mask {A,B,D};
+        // the mask is not dischargeable by a single promise, falls back to
+        // reporting per the table.
+        let g = Guard::eventually(e.complement()).or(&Guard::occurred(e));
+        let n = needs(&g);
+        assert_eq!(n.len(), g.conjuncts().len());
+    }
+
+    #[test]
+    fn needs_empty_for_top() {
+        assert_eq!(needs(&Guard::top()), vec![Vec::<Need>::new()]);
+    }
+
+    #[test]
+    fn fact_closures() {
+        let (_, e, _) = setup();
+        assert_eq!(Fact::Occurred(e).closure_mask(), ST_A);
+        assert_eq!(Fact::Promised(e).closure_mask(), ST_A | ST_C);
+        assert_eq!(Fact::Occurred(e.complement()).closure_mask(), ST_B);
+        assert_eq!(Fact::Promised(e.complement()).closure_mask(), ST_B | ST_D);
+    }
+}

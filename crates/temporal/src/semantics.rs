@@ -1,0 +1,209 @@
+//! Indexed semantics of `T` over maximal traces (Semantics 7–14).
+//!
+//! `u ⊨ᵢ E` is evaluated at a pair of a trace and an index `i` counting
+//! how many events have occurred so far (`i = 0` means nothing has
+//! happened yet). Top-level evaluation uses *maximal* traces (`U_T`):
+//! every symbol is eventually resolved to the event or its complement —
+//! this is what makes `◇e + ◇ē = ⊤` a theorem (Example 8b).
+//!
+//! Because traces are finite (single occurrence over a finite alphabet),
+//! nothing changes after index `size(u)`, so the `□`/`◇` quantifiers range
+//! over `i..=size(u)`.
+
+use crate::texpr::TExpr;
+use event_algebra::Trace;
+
+/// `u ⊨ᵢ E` (Semantics 7–14).
+pub fn sat_at(u: &Trace, i: usize, e: &TExpr) -> bool {
+    match e {
+        TExpr::Zero => false,
+        TExpr::Top => true,
+        // Semantics 7: the event occurred among the first i events.
+        TExpr::Occ(l) => u.contains_by(*l, i),
+        TExpr::Or(v) => v.iter().any(|p| sat_at(u, i, p)),
+        TExpr::And(v) => v.iter().all(|p| sat_at(u, i, p)),
+        TExpr::Not(x) => !sat_at(u, i, x),
+        TExpr::Always(x) => (i..=u.len()).all(|j| sat_at(u, j, x)),
+        TExpr::Eventually(x) => (i..=u.len()).any(|j| sat_at(u, j, x)),
+        TExpr::Seq(v) => sat_seq(u, i, v),
+    }
+}
+
+/// Semantics 9, n-ary: `u ⊨ᵢ E₁·E₂` iff `∃j ≤ i: u ⊨ⱼ E₁ ∧ u^j ⊨ᵢ₋ⱼ E₂`,
+/// where `u^j` drops the first `j` events.
+fn sat_seq(u: &Trace, i: usize, parts: &[TExpr]) -> bool {
+    match parts {
+        [] => true,
+        [only] => sat_at(u, i, only),
+        [head, rest @ ..] => (0..=i.min(u.len())).any(|j| {
+            sat_at(u, j, head) && sat_seq(&u.suffix(j), i - j, rest)
+        }),
+    }
+}
+
+/// Evaluate at every index of a maximal trace: `result[i] = u ⊨ᵢ E`.
+pub fn sat_profile(u: &Trace, e: &TExpr) -> Vec<bool> {
+    (0..=u.len()).map(|i| sat_at(u, i, e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::{Literal, SymbolId, Trace};
+
+    fn l(i: u32) -> Literal {
+        Literal::pos(SymbolId(i))
+    }
+    fn tr(lits: &[Literal]) -> Trace {
+        Trace::new(lits.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn example7_indexed_satisfaction() {
+        // u = ⟨e f g⟩ (a maximal trace over three symbols).
+        let (e, f, g) = (l(0), l(1), l(2));
+        let u = tr(&[e, f, g]);
+        // u ⊨₀ ◇g.
+        assert!(sat_at(&u, 0, &TExpr::eventually(g)));
+        // u ⊨₀ ¬e | ¬f | ¬g.
+        assert!(sat_at(
+            &u,
+            0,
+            &TExpr::and([TExpr::not_yet(e), TExpr::not_yet(f), TExpr::not_yet(g)])
+        ));
+        // u ⊨₀ ◇(f·g).
+        let fg = TExpr::Seq(vec![TExpr::Occ(f), TExpr::Occ(g)]);
+        assert!(sat_at(&u, 0, &TExpr::Eventually(Box::new(fg))));
+        // u ⊨₁ □e | ¬f | ¬g.
+        assert!(sat_at(
+            &u,
+            1,
+            &TExpr::and([TExpr::occurred(e), TExpr::not_yet(f), TExpr::not_yet(g)])
+        ));
+        // u ⊭₁ e·f but u ⊨₂ e·f.
+        let ef = TExpr::Seq(vec![TExpr::Occ(e), TExpr::Occ(f)]);
+        assert!(!sat_at(&u, 1, &ef));
+        assert!(sat_at(&u, 2, &ef));
+    }
+
+    #[test]
+    fn figure3_truth_table() {
+        // The table of Figure 3: Γ = {e, ē}, traces ⟨e⟩ and ⟨ē⟩ at
+        // indices 0 and 1.
+        let e = l(0);
+        let te = tr(&[e]);
+        let tne = tr(&[e.complement()]);
+        let not_e = TExpr::not_yet(e);
+        let box_e = TExpr::occurred(e);
+        let dia_e = TExpr::eventually(e);
+        let not_ne = TExpr::not_yet(e.complement());
+        let box_ne = TExpr::occurred(e.complement());
+        let dia_ne = TExpr::eventually(e.complement());
+        // Row ¬e: ✓ at (⟨e⟩,0), ✗ at (⟨e⟩,1), ✓ at (⟨ē⟩,0), ✓ at (⟨ē⟩,1).
+        assert_eq!(
+            [sat_at(&te, 0, &not_e), sat_at(&te, 1, &not_e), sat_at(&tne, 0, &not_e), sat_at(&tne, 1, &not_e)],
+            [true, false, true, true]
+        );
+        // Row □e: only (⟨e⟩,1).
+        assert_eq!(
+            [sat_at(&te, 0, &box_e), sat_at(&te, 1, &box_e), sat_at(&tne, 0, &box_e), sat_at(&tne, 1, &box_e)],
+            [false, true, false, false]
+        );
+        // Row ◇e: (⟨e⟩,0) and (⟨e⟩,1).
+        assert_eq!(
+            [sat_at(&te, 0, &dia_e), sat_at(&te, 1, &dia_e), sat_at(&tne, 0, &dia_e), sat_at(&tne, 1, &dia_e)],
+            [true, true, false, false]
+        );
+        // Row ¬ē: all but (⟨ē⟩,1).
+        assert_eq!(
+            [sat_at(&te, 0, &not_ne), sat_at(&te, 1, &not_ne), sat_at(&tne, 0, &not_ne), sat_at(&tne, 1, &not_ne)],
+            [true, true, true, false]
+        );
+        // Row □ē: only (⟨ē⟩,1).
+        assert_eq!(
+            [sat_at(&te, 0, &box_ne), sat_at(&te, 1, &box_ne), sat_at(&tne, 0, &box_ne), sat_at(&tne, 1, &box_ne)],
+            [false, false, false, true]
+        );
+        // Row ◇ē: (⟨ē⟩,0) and (⟨ē⟩,1).
+        assert_eq!(
+            [sat_at(&te, 0, &dia_ne), sat_at(&te, 1, &dia_ne), sat_at(&tne, 0, &dia_ne), sat_at(&tne, 1, &dia_ne)],
+            [false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn stability_box_e_equals_e() {
+        // □(Occ e) = Occ e on every (maximal trace, index).
+        let e = l(0);
+        for u in [tr(&[e, l(1)]), tr(&[l(1), e]), tr(&[e.complement(), l(1)])] {
+            for i in 0..=u.len() {
+                assert_eq!(
+                    sat_at(&u, i, &TExpr::Always(Box::new(TExpr::Occ(e)))),
+                    sat_at(&u, i, &TExpr::Occ(e)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn box_not_e_differs_from_not_e() {
+        // □¬e ≠ ¬e: before e occurs on ⟨e⟩, ¬e holds but □¬e does not.
+        let e = l(0);
+        let u = tr(&[e]);
+        let not_e = TExpr::not_yet(e);
+        let box_not_e = TExpr::Always(Box::new(TExpr::not_yet(e)));
+        assert!(sat_at(&u, 0, &not_e));
+        assert!(!sat_at(&u, 0, &box_not_e));
+    }
+
+    #[test]
+    fn box_entails_diamond() {
+        let e = l(0);
+        let u = tr(&[e]);
+        for i in 0..=u.len() {
+            if sat_at(&u, i, &TExpr::occurred(e)) {
+                assert!(sat_at(&u, i, &TExpr::eventually(e)));
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_algebra_atoms_are_monotone_in_index() {
+        use event_algebra::Expr;
+        let (e, f) = (l(0), l(1));
+        let exprs = [
+            Expr::lit(e),
+            Expr::seq([Expr::lit(e), Expr::lit(f)]),
+            Expr::or([Expr::lit(e.complement()), Expr::lit(f)]),
+        ];
+        for ex in &exprs {
+            let te = TExpr::embed(ex);
+            for u in [tr(&[e, f]), tr(&[f, e]), tr(&[e.complement(), f])] {
+                let profile = sat_profile(&u, &te);
+                for w in profile.windows(2) {
+                    assert!(!w[0] || w[1], "monotone violated for {ex} on {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eventually_of_embedded_expr_is_whole_trace_satisfaction() {
+        use event_algebra::{satisfies, Expr};
+        let (e, f) = (l(0), l(1));
+        let ex = Expr::seq([Expr::lit(e), Expr::lit(f)]);
+        let te = TExpr::eventually_expr(&ex);
+        for u in [tr(&[e, f]), tr(&[f, e]), tr(&[e, f.complement()])] {
+            for i in 0..=u.len() {
+                assert_eq!(sat_at(&u, i, &te), satisfies(&u, &ex), "u={u} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sat_profile_length() {
+        let e = l(0);
+        let u = tr(&[e, l(1)]);
+        assert_eq!(sat_profile(&u, &TExpr::occurred(e)).len(), 3);
+    }
+}

@@ -1,0 +1,285 @@
+//! Syntax of the temporal guard language `T` (Section 4.1).
+//!
+//! `T` extends the event algebra `E` with `□E` (always), `◇E` (eventually)
+//! and `¬E` (not yet) — Syntax 5–6. The coercion of an `E`-atom into `T`
+//! reads "has occurred by the current index" (Semantics 7), which together
+//! with stability gives `□e = e` while `□¬e ≠ ¬e`.
+
+use event_algebra::{Expr, Literal, SymbolTable};
+use std::fmt;
+
+/// A temporal expression of `T`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TExpr {
+    /// `0` — never satisfied.
+    Zero,
+    /// `⊤` — always satisfied.
+    Top,
+    /// A coerced `E`-atom: event `l` *has occurred* by the current index
+    /// (Semantics 7). By stability this equals `□l`.
+    Occ(Literal),
+    /// `¬E` — `E` does not (yet) hold (Semantics 14).
+    Not(Box<TExpr>),
+    /// `□E` — `E` holds at every index from here on (Semantics 12).
+    Always(Box<TExpr>),
+    /// `◇E` — `E` holds at some index from here on (Semantics 13).
+    Eventually(Box<TExpr>),
+    /// `E₁ · E₂ · …` — indexed sequencing (Semantics 9).
+    Seq(Vec<TExpr>),
+    /// `E₁ + E₂ + …` — disjunction (Semantics 8).
+    Or(Vec<TExpr>),
+    /// `E₁ | E₂ | …` — conjunction (Semantics 10).
+    And(Vec<TExpr>),
+}
+
+impl TExpr {
+    /// `□l` — the event has occurred (written `Occ` since `□l = l` by
+    /// stability).
+    pub fn occurred(l: Literal) -> TExpr {
+        TExpr::Occ(l)
+    }
+
+    /// `¬l` — the event has not occurred yet.
+    pub fn not_yet(l: Literal) -> TExpr {
+        TExpr::Not(Box::new(TExpr::Occ(l)))
+    }
+
+    /// `◇l` — the event is guaranteed to occur eventually.
+    pub fn eventually(l: Literal) -> TExpr {
+        TExpr::Eventually(Box::new(TExpr::Occ(l)))
+    }
+
+    /// Coerce an algebra expression into `T` (Syntax 5). Every `E`-operator
+    /// has a fresh indexed reading, so the structure is mapped node by node.
+    pub fn embed(e: &Expr) -> TExpr {
+        match e {
+            Expr::Zero => TExpr::Zero,
+            Expr::Top => TExpr::Top,
+            Expr::Lit(l) => TExpr::Occ(*l),
+            Expr::Seq(v) => TExpr::Seq(v.iter().map(TExpr::embed).collect()),
+            Expr::Or(v) => TExpr::Or(v.iter().map(TExpr::embed).collect()),
+            Expr::And(v) => TExpr::And(v.iter().map(TExpr::embed).collect()),
+        }
+    }
+
+    /// `◇E` for an algebra expression — the shape Definition 2 produces
+    /// for the "what must still happen" part of a guard.
+    pub fn eventually_expr(e: &Expr) -> TExpr {
+        TExpr::Eventually(Box::new(TExpr::embed(e)))
+    }
+
+    /// n-ary disjunction with unit/absorbing collapsing.
+    pub fn or(parts: impl IntoIterator<Item = TExpr>) -> TExpr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                TExpr::Zero => {}
+                TExpr::Top => return TExpr::Top,
+                TExpr::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        out.sort();
+        out.dedup();
+        match out.len() {
+            0 => TExpr::Zero,
+            1 => out.pop().expect("len checked"),
+            _ => TExpr::Or(out),
+        }
+    }
+
+    /// n-ary conjunction with unit/absorbing collapsing.
+    pub fn and(parts: impl IntoIterator<Item = TExpr>) -> TExpr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                TExpr::Top => {}
+                TExpr::Zero => return TExpr::Zero,
+                TExpr::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        out.sort();
+        out.dedup();
+        match out.len() {
+            0 => TExpr::Top,
+            1 => out.pop().expect("len checked"),
+            _ => TExpr::And(out),
+        }
+    }
+
+    /// Node count, as a size measure for benches.
+    pub fn node_count(&self) -> usize {
+        match self {
+            TExpr::Zero | TExpr::Top | TExpr::Occ(_) => 1,
+            TExpr::Not(x) | TExpr::Always(x) | TExpr::Eventually(x) => 1 + x.node_count(),
+            TExpr::Seq(v) | TExpr::Or(v) | TExpr::And(v) => {
+                1 + v.iter().map(TExpr::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Render with event names.
+    pub fn display<'a>(&'a self, table: &'a SymbolTable) -> TExprDisplay<'a> {
+        TExprDisplay { expr: self, table: Some(table) }
+    }
+}
+
+/// Display adaptor for [`TExpr`].
+pub struct TExprDisplay<'a> {
+    expr: &'a TExpr,
+    table: Option<&'a SymbolTable>,
+}
+
+fn precedence(e: &TExpr) -> u8 {
+    match e {
+        TExpr::Or(_) => 0,
+        TExpr::And(_) => 1,
+        TExpr::Seq(_) => 2,
+        _ => 3,
+    }
+}
+
+impl fmt::Display for TExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        TExprDisplay { expr: self, table: None }.fmt(f)
+    }
+}
+
+impl fmt::Display for TExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn lit(l: Literal, t: Option<&SymbolTable>) -> String {
+            match t {
+                Some(t) => t.literal_name(l),
+                None => l.to_string(),
+            }
+        }
+        fn go(
+            e: &TExpr,
+            t: Option<&SymbolTable>,
+            parent: u8,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let prec = precedence(e);
+            let paren = prec < parent;
+            if paren {
+                write!(f, "(")?;
+            }
+            match e {
+                TExpr::Zero => write!(f, "0")?,
+                TExpr::Top => write!(f, "T")?,
+                TExpr::Occ(l) => write!(f, "[]{}", lit(*l, t))?,
+                TExpr::Not(x) => {
+                    write!(f, "!")?;
+                    // ¬e prints as !e, not ![]e: the paper's notation.
+                    if let TExpr::Occ(l) = **x {
+                        write!(f, "{}", lit(l, t))?;
+                    } else {
+                        go(x, t, 3, f)?;
+                    }
+                }
+                TExpr::Always(x) => {
+                    write!(f, "[]")?;
+                    go(x, t, 3, f)?;
+                }
+                TExpr::Eventually(x) => {
+                    write!(f, "<>")?;
+                    // ◇e prints as <>e, not <>[]e.
+                    if let TExpr::Occ(l) = **x {
+                        write!(f, "{}", lit(l, t))?;
+                    } else {
+                        go(x, t, 3, f)?;
+                    }
+                }
+                TExpr::Seq(v) => {
+                    for (i, p) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ".")?;
+                        }
+                        go(p, t, prec + 1, f)?;
+                    }
+                }
+                TExpr::Or(v) => {
+                    for (i, p) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " + ")?;
+                        }
+                        go(p, t, prec + 1, f)?;
+                    }
+                }
+                TExpr::And(v) => {
+                    for (i, p) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " | ")?;
+                        }
+                        go(p, t, prec + 1, f)?;
+                    }
+                }
+            }
+            if paren {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        // A bare `Occ` at top level still prints as `[]e` to make the
+        // "has occurred" reading explicit.
+        go(self.expr, self.table, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::{SymbolId, SymbolTable};
+
+    fn l(i: u32) -> Literal {
+        Literal::pos(SymbolId(i))
+    }
+
+    #[test]
+    fn constructors_collapse_units() {
+        assert_eq!(TExpr::or([TExpr::Zero, TExpr::occurred(l(0))]), TExpr::occurred(l(0)));
+        assert_eq!(TExpr::or([TExpr::Top, TExpr::occurred(l(0))]), TExpr::Top);
+        assert_eq!(TExpr::and([TExpr::Top, TExpr::occurred(l(0))]), TExpr::occurred(l(0)));
+        assert_eq!(TExpr::and([TExpr::Zero, TExpr::occurred(l(0))]), TExpr::Zero);
+    }
+
+    #[test]
+    fn embed_maps_structure() {
+        let mut t = SymbolTable::new();
+        let e = t.event("e");
+        let f = t.event("f");
+        let d = Expr::or([Expr::lit(e.complement()), Expr::seq([Expr::lit(e), Expr::lit(f)])]);
+        let te = TExpr::embed(&d);
+        match te {
+            TExpr::Or(v) => {
+                assert_eq!(v.len(), 2);
+                assert!(v.contains(&TExpr::Occ(e.complement())));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_renders_operators() {
+        let g = TExpr::or([
+            TExpr::eventually(l(1).complement()),
+            TExpr::occurred(l(0)),
+        ]);
+        let s = g.to_string();
+        assert!(s.contains("<>"), "{s}");
+        assert!(s.contains("[]"), "{s}");
+        let n = TExpr::not_yet(l(0));
+        assert!(n.to_string().starts_with('!'), "{n}");
+    }
+
+    #[test]
+    fn node_count() {
+        assert_eq!(TExpr::occurred(l(0)).node_count(), 1);
+        assert_eq!(TExpr::not_yet(l(0)).node_count(), 2);
+        assert_eq!(
+            TExpr::or([TExpr::not_yet(l(0)), TExpr::eventually(l(1))]).node_count(),
+            5
+        );
+    }
+}

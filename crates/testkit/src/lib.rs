@@ -1,0 +1,197 @@
+//! Shared test/bench support: random dependency and workflow generators,
+//! plus the canonical workload families used by the experiment harness.
+
+#![warn(missing_docs)]
+
+use event_algebra::{Expr, Literal, SymbolId, SymbolTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator of random event-algebra expressions and workflows.
+pub struct Gen {
+    rng: SmallRng,
+}
+
+impl Gen {
+    /// New generator from a seed.
+    pub fn new(seed: u64) -> Gen {
+        Gen { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// A random literal over `syms`.
+    pub fn literal(&mut self, syms: &[SymbolId]) -> Literal {
+        let s = syms[self.rng.random_range(0..syms.len())];
+        if self.rng.random_bool(0.5) {
+            Literal::pos(s)
+        } else {
+            Literal::neg(s)
+        }
+    }
+
+    /// A random expression over `syms` with at most `depth` operator
+    /// levels. Sequences draw distinct symbols (repeated symbols collapse
+    /// to `0` anyway).
+    pub fn expr(&mut self, syms: &[SymbolId], depth: usize) -> Expr {
+        if depth == 0 || self.rng.random_bool(0.3) {
+            return match self.rng.random_range(0..10) {
+                0 => Expr::Top,
+                1 => Expr::Zero,
+                _ => Expr::lit(self.literal(syms)),
+            };
+        }
+        let arity = self.rng.random_range(2..=3);
+        match self.rng.random_range(0..3) {
+            0 => Expr::or((0..arity).map(|_| self.expr(syms, depth - 1))),
+            1 => Expr::and((0..arity).map(|_| self.expr(syms, depth - 1))),
+            _ => {
+                // A sequence of distinct literals.
+                let mut pool: Vec<SymbolId> = syms.to_vec();
+                let mut parts = Vec::new();
+                for _ in 0..arity.min(pool.len()) {
+                    let ix = self.rng.random_range(0..pool.len());
+                    let s = pool.swap_remove(ix);
+                    let lit = if self.rng.random_bool(0.5) {
+                        Literal::pos(s)
+                    } else {
+                        Literal::neg(s)
+                    };
+                    parts.push(Expr::lit(lit));
+                }
+                Expr::seq(parts)
+            }
+        }
+    }
+
+    /// A random *satisfiable, non-trivial* dependency (resamples until the
+    /// expression is neither `0` nor `⊤` and has a satisfying completion).
+    pub fn dependency(&mut self, syms: &[SymbolId], depth: usize) -> Expr {
+        loop {
+            let e = self.expr(syms, depth);
+            if !e.is_top() && !e.is_zero() && event_algebra::satisfiable(&e) {
+                return e;
+            }
+        }
+    }
+
+    /// A random workflow: `n` dependencies over `syms`.
+    pub fn workflow(&mut self, syms: &[SymbolId], n: usize, depth: usize) -> Vec<Expr> {
+        (0..n).map(|_| self.dependency(syms, depth)).collect()
+    }
+
+    /// A random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.random_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    /// Access the underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// `n` fresh symbols named `e0..` in a fresh table.
+pub fn symbols(n: usize) -> (SymbolTable, Vec<SymbolId>) {
+    let mut t = SymbolTable::new();
+    let syms = (0..n).map(|i| t.intern(&format!("e{i}"))).collect();
+    (t, syms)
+}
+
+/// Workload family: the chain dependency `e₁·e₂·…·eₙ` (strict pipeline).
+pub fn chain(syms: &[SymbolId]) -> Expr {
+    Expr::seq(syms.iter().map(|&s| Expr::lit(Literal::pos(s))))
+}
+
+/// Workload family: `n-1` Klein precedences forming a pipeline
+/// (`e₁<e₂, e₂<e₃, …`) — the decomposed version of [`chain`].
+pub fn klein_pipeline(syms: &[SymbolId]) -> Vec<Expr> {
+    syms.windows(2)
+        .map(|w| {
+            let (a, b) = (Literal::pos(w[0]), Literal::pos(w[1]));
+            Expr::or([
+                Expr::lit(a.complement()),
+                Expr::lit(b.complement()),
+                Expr::seq([Expr::lit(a), Expr::lit(b)]),
+            ])
+        })
+        .collect()
+}
+
+/// Workload family: a fan-out of arrows from a root (`r→e₁, r→e₂, …`).
+pub fn arrow_fanout(root: SymbolId, leaves: &[SymbolId]) -> Vec<Expr> {
+    leaves
+        .iter()
+        .map(|&l| {
+            Expr::or([
+                Expr::lit(Literal::neg(root)),
+                Expr::lit(Literal::pos(l)),
+            ])
+        })
+        .collect()
+}
+
+/// Workload family: `k` independent Klein-arrow pairs over disjoint
+/// symbols (`e₂ᵢ → e₂ᵢ₊₁`) — exercises the Theorem 2/4 independence fast
+/// path when combined with `+`/`|`.
+pub fn disjoint_arrows(syms: &[SymbolId]) -> Vec<Expr> {
+    syms.chunks_exact(2)
+        .map(|w| {
+            Expr::or([
+                Expr::lit(Literal::neg(w[0])),
+                Expr::lit(Literal::pos(w[1])),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let (_, syms) = symbols(4);
+        let a: Vec<Expr> = {
+            let mut g = Gen::new(9);
+            (0..5).map(|_| g.expr(&syms, 3)).collect()
+        };
+        let b: Vec<Expr> = {
+            let mut g = Gen::new(9);
+            (0..5).map(|_| g.expr(&syms, 3)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dependency_is_satisfiable_nontrivial() {
+        let (_, syms) = symbols(4);
+        let mut g = Gen::new(3);
+        for _ in 0..20 {
+            let d = g.dependency(&syms, 2);
+            assert!(!d.is_top() && !d.is_zero());
+            assert!(event_algebra::satisfiable(&d));
+        }
+    }
+
+    #[test]
+    fn workload_families_have_expected_shapes() {
+        let (_, syms) = symbols(6);
+        assert!(matches!(chain(&syms), Expr::Seq(_)));
+        assert_eq!(klein_pipeline(&syms).len(), 5);
+        assert_eq!(arrow_fanout(syms[0], &syms[1..]).len(), 5);
+        assert_eq!(disjoint_arrows(&syms).len(), 3);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut g = Gen::new(1);
+        let p = g.permutation(10);
+        let mut q = p.clone();
+        q.sort_unstable();
+        assert_eq!(q, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,46 @@
+//! Extended-transaction models as pure dependency sets: a saga with
+//! compensation, a contingency pair, and a fork/join diamond — all
+//! scheduled by the same distributed guard machinery, no bespoke
+//! scheduler logic per model (the paper's Section 1 claim).
+
+use constrained_events::models::{contingency, diamond, saga};
+
+fn show(label: &str, report: &constrained_events::RunReport, wf: &constrained_events::Workflow) {
+    let names: Vec<&str> = report
+        .trace
+        .events()
+        .iter()
+        .filter(|l| l.is_pos())
+        .filter_map(|l| wf.spec.table.name(l.symbol()))
+        .collect();
+    println!("{label}");
+    println!("  events: {names:?}");
+    println!("  all dependencies satisfied: {}\n", report.all_satisfied());
+    assert!(report.all_satisfied());
+}
+
+fn main() {
+    println!("== Extended transaction models on distributed guards ==\n");
+
+    let wf = saga(4, 3, None);
+    show("saga (4 steps, success):", &wf.run(11), &wf);
+
+    let wf = saga(4, 3, Some(2));
+    let r = wf.run(11);
+    show("saga (step 2 aborts -> steps 0 and 1 compensated):", &r, &wf);
+
+    let wf = contingency(3, false);
+    show("contingency (primary succeeds):", &wf.run(7), &wf);
+
+    let wf = contingency(3, true);
+    show("contingency (primary aborts -> alternate commits):", &wf.run(7), &wf);
+
+    let wf = diamond(3);
+    let r = wf.run(5);
+    show("diamond fork/join (sink starts after both branches):", &r, &wf);
+    println!(
+        "the join was coordinated by an n-party conditional promise: both branch\n\
+         commits assumed each other through the sink's ◇-promise (Example 11,\n\
+         generalized), then discharged it by occurring."
+    );
+}

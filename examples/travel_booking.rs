@@ -1,0 +1,82 @@
+//! Example 4 (and its parametrized form, Example 12) from the paper: a
+//! travel workflow that buys a non-refundable airline ticket and books a
+//! refundable rental car at *different enterprises* — no two-phase commit
+//! is possible, so the coordination is expressed as three declarative
+//! dependencies:
+//!
+//! 1. `~buy.start + book.start`          — initiate book if buy starts;
+//! 2. `~buy.commit + book.commit . buy.commit` — buy (non-compensatable)
+//!    commits only after book, so committing buy commits the workflow;
+//! 3. `~book.commit + buy.commit + cancel.start` — compensate book by
+//!    cancel if buy fails to commit.
+//!
+//! Two runs: the success path (both commit, no compensation) and the
+//! failure path (buy aborts; the scheduler *triggers* the compensating
+//! cancel task on its own accord — Section 3.3(b)).
+
+use constrained_events::agents::library::{rda_transaction, typical_application};
+use constrained_events::{Script, WorkflowBuilder};
+
+fn build(buy_script: &[&str]) -> constrained_events::Workflow {
+    let mut b = WorkflowBuilder::new("travel");
+    let buy = rda_transaction("buy", b.table());
+    let book = rda_transaction("book", b.table());
+    let cancel = typical_application("cancel", b.table());
+    b.add_agent(0, buy, Script::of(buy_script));
+    // book's start is triggerable: dependency 1 will cause it. The agent
+    // itself only plans to commit once started.
+    b.add_agent(1, book, Script::of(&["commit"]));
+    // cancel runs only when triggered (no script of its own).
+    b.add_agent(2, cancel, Script::of(&[]));
+    b.dependency_str("~buy::start + book::start").unwrap();
+    b.dependency_str("~buy::commit + book::commit . buy::commit").unwrap();
+    b.dependency_str("~book::commit + buy::commit + cancel::start").unwrap();
+    b.build()
+}
+
+fn main() {
+    println!("== Travel workflow (Example 4) ==\n");
+
+    // ---- success path ----
+    let wf = build(&["start", "commit"]);
+    println!("guards synthesized from the three dependencies:");
+    for ev in ["buy.start", "book.start", "buy.commit", "book.commit", "cancel.start"] {
+        println!("  G({ev}) = {}", wf.guard_text(ev).unwrap());
+    }
+    let report = wf.run(2026);
+    println!("\nsuccess path:");
+    println!("  trace: {}", report.trace);
+    println!("  all dependencies satisfied: {}", report.all_satisfied());
+    assert!(report.all_satisfied());
+    let table = &wf.spec.table;
+    let commit = table.lookup("buy.commit").unwrap();
+    assert!(report
+        .trace
+        .contains(constrained_events::Literal::pos(commit)));
+    // book.commit precedes buy.commit (dependency 2).
+    let evs = report.trace.events();
+    let b = evs
+        .iter()
+        .position(|l| table.name(l.symbol()) == Some("book.commit") && l.is_pos())
+        .expect("book committed");
+    let a = evs
+        .iter()
+        .position(|l| table.name(l.symbol()) == Some("buy.commit") && l.is_pos())
+        .expect("buy committed");
+    assert!(b < a, "book commits before buy");
+    println!("  book.commit precedes buy.commit: ok");
+
+    // ---- failure path: buy aborts, cancel is triggered ----
+    let wf = build(&["start", "abort"]);
+    let report = wf.run(2026);
+    println!("\nfailure path (buy aborts):");
+    println!("  trace: {}", report.trace);
+    println!("  all dependencies satisfied: {}", report.all_satisfied());
+    assert!(report.all_satisfied());
+    let table = &wf.spec.table;
+    let cancel_started = report.trace.events().iter().any(|l| {
+        table.name(l.symbol()) == Some("cancel.start") && l.is_pos()
+    });
+    assert!(cancel_started, "the scheduler triggered the compensation");
+    println!("  compensation (cancel.start) was proactively triggered: ok");
+}

@@ -1,0 +1,7 @@
+//! Repository facade for the reproduction of Singh's ICDE 1996 paper
+//! *Synthesizing Distributed Constrained Events from Transactional
+//! Workflow Specifications*. Re-exports the [`constrained_events`] crate;
+//! see README.md, DESIGN.md and EXPERIMENTS.md at the repository root,
+//! and the `examples/` directory for runnable walkthroughs.
+
+pub use constrained_events::*;

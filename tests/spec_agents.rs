@@ -1,0 +1,86 @@
+//! Integration: fully-declarative workflow files — agents with kinds,
+//! sites and scripts, plus dependencies — parse straight into executable
+//! workflows.
+
+use constrained_events::WorkflowBuilder;
+
+const TRAVEL: &str = r#"
+    workflow travel {
+        agent buy:    rda @ site 0 { script: start, wait 5, commit };
+        agent book:   rda @ site 1 { script: commit };
+        agent cancel: app @ site 2 { script: };
+
+        dep d1: ~buy::start + book::start;
+        dep d2: ~buy::commit + book::commit . buy::commit;
+        dep d3: ~book::commit + buy::commit + cancel::start;
+    }
+"#;
+
+#[test]
+fn declarative_travel_runs_end_to_end() {
+    let wf = WorkflowBuilder::from_spec(TRAVEL).unwrap().build();
+    assert_eq!(wf.spec.agents.len(), 3);
+    assert_eq!(wf.spec.dependencies.len(), 3);
+    for seed in 0..15 {
+        let report = wf.run(seed);
+        assert!(report.all_satisfied(), "seed {seed}: {report:#?}");
+        let names: Vec<&str> = report
+            .trace
+            .events()
+            .iter()
+            .filter(|l| l.is_pos())
+            .filter_map(|l| wf.spec.table.name(l.symbol()))
+            .collect();
+        assert!(names.contains(&"buy.commit"), "seed {seed}: {names:?}");
+        assert!(names.contains(&"book.commit"), "seed {seed}: {names:?}");
+        assert!(!names.contains(&"cancel.start"), "seed {seed}: {names:?}");
+    }
+}
+
+#[test]
+fn failing_agent_triggers_compensation_from_spec() {
+    let src = TRAVEL.replace("start, wait 5, commit", "start, abort");
+    let wf = WorkflowBuilder::from_spec(&src).unwrap().build();
+    let report = wf.run(3);
+    assert!(report.all_satisfied(), "{report:#?}");
+    let names: Vec<&str> = report
+        .trace
+        .events()
+        .iter()
+        .filter(|l| l.is_pos())
+        .filter_map(|l| wf.spec.table.name(l.symbol()))
+        .collect();
+    assert!(names.contains(&"cancel.start"), "{names:?}");
+}
+
+#[test]
+fn unknown_agent_kind_is_rejected() {
+    let src = "workflow w { agent x: martian; }";
+    assert!(WorkflowBuilder::from_spec(src).is_err());
+}
+
+#[test]
+fn agent_scripts_support_think_time() {
+    let src = r#"
+        workflow w {
+            agent a: rda @ site 0 { script: start, wait 30, commit };
+            agent b: rda @ site 1 { script: start, commit };
+            dep d: a::commit < b::commit;
+        }
+    "#;
+    let wf = WorkflowBuilder::from_spec(src).unwrap().build();
+    let report = wf.run(9);
+    assert!(report.all_satisfied(), "{report:#?}");
+    // a's think time delays its commit; b's commit still waits for a's.
+    let evs = report.trace.events();
+    let table = &wf.spec.table;
+    let a = evs
+        .iter()
+        .position(|l| l.is_pos() && table.name(l.symbol()) == Some("a.commit"))
+        .expect("a committed");
+    let bpos = evs
+        .iter()
+        .position(|l| l.is_pos() && table.name(l.symbol()) == Some("b.commit"))
+        .expect("b committed");
+    assert!(a < bpos, "{}", report.trace);
+}

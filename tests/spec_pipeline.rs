@@ -1,0 +1,72 @@
+//! Integration: the declarative pipeline end to end — parse a workflow
+//! specification file, compile guards, and execute.
+
+use constrained_events::{GuardScope, WorkflowBuilder};
+use guard::CompiledWorkflow;
+
+const SPEC: &str = r#"
+    workflow demo {
+        // Free events across three sites.
+        event submit              @ site 0;
+        event approve             @ site 1;
+        event reject  { immediate } @ site 1;
+        event archive { triggerable } @ site 2;
+
+        // approval only after submission; archive once approved.
+        dep d1: submit < approve;
+        dep d2: approve -> archive;
+        dep d3: submit < reject;
+    }
+"#;
+
+#[test]
+fn spec_file_compiles_and_guards_match_paper_shapes() {
+    let wf = WorkflowBuilder::from_spec(SPEC).unwrap().build();
+    assert_eq!(wf.name, "demo");
+    assert_eq!(wf.spec.dependencies.len(), 3);
+    assert_eq!(wf.spec.free_events.len(), 4);
+    // d1 is Klein's <: G(submit) = ¬approve, G(approve) = ◇~submit + □submit
+    // (Examples 9.6 and 9.8) — conjoined with d3's analogue for submit.
+    let g_approve = wf.guard_text("approve").unwrap();
+    assert!(g_approve.contains("[]submit"), "{g_approve}");
+    let compiled = CompiledWorkflow::compile(&wf.spec.dependencies, GuardScope::Mentioning);
+    assert_eq!(compiled.machines.len(), 3);
+}
+
+#[test]
+fn parametrized_deps_flow_to_templates() {
+    let src = r#"
+        workflow p {
+            event probe;
+            dep d1: ~f[y] + g[y];
+            dep d2: probe -> probe2;
+        }
+    "#;
+    let wf = WorkflowBuilder::from_spec(src).unwrap().build();
+    assert_eq!(wf.templates.len(), 1);
+    assert_eq!(wf.spec.dependencies.len(), 1);
+    assert_eq!(wf.templates[0].vars().len(), 1);
+}
+
+#[test]
+fn spec_driven_execution_satisfies_dependencies() {
+    // Attach attempt times by rebuilding free events through the builder
+    // API (the spec file declares shapes; the harness decides schedules).
+    let mut b = WorkflowBuilder::new("exec");
+    let submit = b.add_free_event(0, "submit", constrained_events::EventAttrs::controllable(), Some(1));
+    let approve =
+        b.add_free_event(1, "approve", constrained_events::EventAttrs::controllable(), Some(1));
+    b.dependency_spec("submit < approve").unwrap();
+    let wf = b.build();
+    for seed in 0..20 {
+        let r = wf.run(seed);
+        assert!(r.all_satisfied(), "seed {seed}: {r:#?}");
+        let evs = r.trace.events();
+        if let (Some(s), Some(a)) = (
+            evs.iter().position(|&l| l == submit),
+            evs.iter().position(|&l| l == approve),
+        ) {
+            assert!(s < a, "seed {seed}: {}", r.trace);
+        }
+    }
+}
