@@ -109,11 +109,7 @@ impl TaskAgent {
 
     /// Fire `event`, moving to its target state.
     pub fn fire(&mut self, event: EventIx) -> Result<StateIx, IllegalTransition> {
-        match self
-            .transitions
-            .iter()
-            .find(|&&(from, e, _)| from == self.current && e == event)
-        {
+        match self.transitions.iter().find(|&&(from, e, _)| from == self.current && e == event) {
             Some(&(_, _, to)) => {
                 self.current = to;
                 Ok(to)
@@ -203,7 +199,13 @@ impl TaskAgent {
         let mut out = String::new();
         let _ = writeln!(out, "agent {}:", self.name);
         for (ix, s) in self.states.iter().enumerate() {
-            let mark = if ix == 0 { " (initial)" } else if self.transitions.iter().all(|&(f, _, _)| f != ix) { " (terminal)" } else { "" };
+            let mark = if ix == 0 {
+                " (initial)"
+            } else if self.transitions.iter().all(|&(f, _, _)| f != ix) {
+                " (terminal)"
+            } else {
+                ""
+            };
             let _ = writeln!(out, "  state {s}{mark}");
             for &(from, e, to) in &self.transitions {
                 if from == ix {
@@ -259,20 +261,14 @@ pub struct TaskAgentBuilder {
 impl TaskAgentBuilder {
     /// Add a state; the first added state is initial.
     pub fn state(mut self, name: &str) -> Self {
-        assert!(
-            !self.states.iter().any(|s| s == name),
-            "duplicate state {name}"
-        );
+        assert!(!self.states.iter().any(|s| s == name), "duplicate state {name}");
         self.states.push(name.to_owned());
         self
     }
 
     /// Declare a significant event.
     pub fn event(mut self, name: &str, attrs: EventAttrs) -> Self {
-        assert!(
-            !self.events.iter().any(|(n, _)| n == name),
-            "duplicate event {name}"
-        );
+        assert!(!self.events.iter().any(|(n, _)| n == name), "duplicate event {name}");
         self.events.push((name.to_owned(), attrs));
         self
     }

@@ -1,0 +1,76 @@
+//! Pass 2: distribution safety — event-wise independence (Lemma 5).
+//!
+//! The paper's distribution result needs dependencies whose events are
+//! *event-wise independent* across sites: an event's guard may only
+//! mention events whose announcements can reach its actor. Whenever the
+//! synthesized guard of either polarity of `a` mentions symbol `b`, the
+//! two actors must exchange coordination messages (`□`/`◇`
+//! announcements). Same-site or unplaced couplings are reported for
+//! visibility (`WF010`); couplings straddling two declared sites violate
+//! the independence precondition and cost cross-site messages on the
+//! critical path (`WF011`).
+
+use crate::{Ctx, Diagnostic, Report, Severity};
+use event_algebra::{Literal, SymbolId};
+use std::collections::BTreeSet;
+
+pub(crate) fn run(ctx: &Ctx<'_>, report: &mut Report) {
+    let mut pairs: BTreeSet<(SymbolId, SymbolId)> = BTreeSet::new();
+    for &sym in &ctx.compiled.symbols {
+        for lit in [Literal::pos(sym), Literal::neg(sym)] {
+            for other in ctx.compiled.subscriptions(lit) {
+                let (a, b) = if sym < other { (sym, other) } else { (other, sym) };
+                pairs.insert((a, b));
+            }
+        }
+    }
+    for (a, b) in pairs {
+        let via = ctx.deps_mentioning_all(&[a, b]);
+        let via_text = match via.len() {
+            0 => String::new(), // coupled only through conjoined guards
+            _ => format!(
+                " (coupled by {})",
+                via.iter().map(|&ix| ctx.dep_label(ix)).collect::<Vec<_>>().join(", ")
+            ),
+        };
+        let (sa, sb) = (ctx.site_of(a), ctx.site_of(b));
+        let (span_a, label_a) = ctx.event_span(a);
+        let (span_b, label_b) = ctx.event_span(b);
+        let mut d = match (sa, sb) {
+            (Some(x), Some(y)) if x != y => Diagnostic::new(
+                "WF011",
+                Severity::Warning,
+                format!(
+                    "events '{}' (site {x}) and '{}' (site {y}) are not event-wise \
+                     independent{via_text}: enforcement requires coordination messages \
+                     between sites {x} and {y} (Lemma 5 precondition fails)",
+                    ctx.sym_name(a),
+                    ctx.sym_name(b),
+                ),
+            ),
+            _ => {
+                let placement = match (sa, sb) {
+                    (Some(x), Some(_)) => {
+                        format!("they are co-located at site {x}, so messages stay local")
+                    }
+                    _ => "at least one of them is unplaced".to_owned(),
+                };
+                Diagnostic::new(
+                    "WF010",
+                    Severity::Info,
+                    format!(
+                        "events '{}' and '{}' must exchange coordination \
+                         messages{via_text}; {placement}",
+                        ctx.sym_name(a),
+                        ctx.sym_name(b),
+                    ),
+                )
+            }
+        };
+        d = d.with_span(span_a, label_a).with_span(span_b, label_b);
+        for ix in via {
+            d = d.with_span(ctx.dep_span(ix), ctx.dep_label(ix));
+        }
+        report.push(d);
+    }
+}

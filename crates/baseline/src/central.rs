@@ -54,9 +54,8 @@ struct CompiledMachine {
 impl CompiledMachine {
     fn compile(d: &Expr) -> CompiledMachine {
         let machine = DependencyMachine::compile(d);
-        let live: Vec<bool> = (0..machine.state_count())
-            .map(|s| machine.is_live(StateId(s as u32)))
-            .collect();
+        let live: Vec<bool> =
+            (0..machine.state_count()).map(|s| machine.is_live(StateId(s as u32))).collect();
         let required = (0..machine.state_count())
             .map(|s| {
                 machine
@@ -134,10 +133,7 @@ impl CentralNode {
     /// Acceptance per Section 3.4: every dependency stays satisfiable.
     fn acceptable(&self, lit: Literal) -> bool {
         match self.engine {
-            Engine::Symbolic => self
-                .residuals
-                .iter()
-                .all(|r| satisfiable(&residuate(r, lit))),
+            Engine::Symbolic => self.residuals.iter().all(|r| satisfiable(&residuate(r, lit))),
             Engine::Automata => self.machines.iter().zip(&self.states).all(|(m, &s)| {
                 let next = m.machine.step(s, lit);
                 m.live[next.index()]
@@ -151,10 +147,9 @@ impl CentralNode {
     /// attempt parks.)
     fn dead(&self, lit: Literal) -> bool {
         match self.engine {
-            Engine::Symbolic => self
-                .residuals
-                .iter()
-                .any(|r| !satisfiable_avoiding(r, lit.complement())),
+            Engine::Symbolic => {
+                self.residuals.iter().any(|r| !satisfiable_avoiding(r, lit.complement()))
+            }
             Engine::Automata => self.machines.iter().zip(&self.states).any(|(m, &s)| {
                 m.machine
                     .alphabet
@@ -206,9 +201,9 @@ impl CentralNode {
             .collect();
         for l in candidates {
             let needed = match self.engine {
-                Engine::Symbolic => self.residuals.iter().any(|r| {
-                    !r.is_top() && !r.is_zero() && requires(r, l)
-                }),
+                Engine::Symbolic => {
+                    self.residuals.iter().any(|r| !r.is_top() && !r.is_zero() && requires(r, l))
+                }
                 Engine::Automata => self.machines.iter().zip(&self.states).any(|(m, &s)| {
                     m.machine
                         .alphabet
@@ -463,10 +458,7 @@ pub fn run_centralized(spec: &WorkflowSpec, config: CentralConfig) -> RunReport 
         )),
     ));
     for &(site, lit, controllable) in &clients {
-        nodes.push((
-            site,
-            CNode::Client { lit, controllable, central: central_id, decided: None },
-        ));
+        nodes.push((site, CNode::Client { lit, controllable, central: central_id, decided: None }));
     }
 
     let mut net: Network<Msg, CNode> = Network::new(config.sim, nodes);
@@ -485,8 +477,7 @@ pub fn run_centralized(spec: &WorkflowSpec, config: CentralConfig) -> RunReport 
     let CNode::Central(central) = &all[central_id.0 as usize] else { unreachable!() };
 
     // ----- report (same shape as the distributed engine's) -----
-    let mut occurrences: Vec<(Literal, Time, u64)> =
-        central.occurred.values().copied().collect();
+    let mut occurrences: Vec<(Literal, Time, u64)> = central.occurred.values().copied().collect();
     occurrences.sort_by_key(|&(_, t, q)| (t, q));
     let unresolved: Vec<SymbolId> =
         symbols.iter().copied().filter(|s| !central.occurred.contains_key(s)).collect();
@@ -494,8 +485,7 @@ pub fn run_centralized(spec: &WorkflowSpec, config: CentralConfig) -> RunReport 
     let mut maximal: Vec<Literal> = occurrences.iter().map(|&(l, _, _)| l).collect();
     maximal.extend(unresolved.iter().map(|&s| Literal::neg(s)));
     let maximal_trace = Trace::new(maximal).expect("distinct");
-    let satisfied =
-        spec.dependencies.iter().map(|d| satisfies(&maximal_trace, d)).collect();
+    let satisfied = spec.dependencies.iter().map(|d| satisfies(&maximal_trace, d)).collect();
     RunReport {
         trace,
         occurrences,
@@ -578,10 +568,9 @@ mod tests {
             let report = run_centralized(&spec, CentralConfig::new(seed, Engine::Symbolic));
             assert!(report.all_satisfied(), "seed {seed}: {report:?}");
             let evs = report.maximal_trace.events();
-            if let (Some(pe), Some(pf)) = (
-                evs.iter().position(|&l| l == e),
-                evs.iter().position(|&l| l == f),
-            ) {
+            if let (Some(pe), Some(pf)) =
+                (evs.iter().position(|&l| l == e), evs.iter().position(|&l| l == f))
+            {
                 assert!(pe < pf, "seed {seed}: {report:?}");
             }
         }

@@ -51,21 +51,12 @@ fn bench_runtime(c: &mut Criterion) {
         let machines: Vec<DependencyMachine> =
             deps.iter().map(DependencyMachine::compile).collect();
         group.bench_with_input(BenchmarkId::new("automata-step", n), &n, |b, _| {
-            b.iter(|| {
-                machines
-                    .iter()
-                    .map(|m| m.step(m.initial, fact).index())
-                    .sum::<usize>()
-            })
+            b.iter(|| machines.iter().map(|m| m.step(m.initial, fact).index()).sum::<usize>())
         });
         // Uncompiled baseline: the centralized scheduler's runtime work —
         // residuate every dependency and re-check satisfiability.
         group.bench_with_input(BenchmarkId::new("residuate-and-check", n), &n, |b, _| {
-            b.iter(|| {
-                deps.iter()
-                    .map(|d| satisfiable(&residuate(d, fact)) as usize)
-                    .sum::<usize>()
-            })
+            b.iter(|| deps.iter().map(|d| satisfiable(&residuate(d, fact)) as usize).sum::<usize>())
         });
         let _ = SymbolId(0);
     }

@@ -45,10 +45,8 @@ fn bench_guard_modes(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[4u32, 8] {
         let w = pipeline_workload(n, n.min(8));
-        for (label, mode) in [
-            ("weakened", GuardMode::Weakened),
-            ("faithful", GuardMode::Faithful),
-        ] {
+        for (label, mode) in [("weakened", GuardMode::Weakened), ("faithful", GuardMode::Faithful)]
+        {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| {
                     let r = run_workflow(

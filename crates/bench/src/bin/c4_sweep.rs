@@ -68,12 +68,7 @@ fn main() {
             let c = run_central(&w, seed, Engine::Symbolic);
             ct.push(c.duration as f64);
         }
-        println!(
-            "pairs {:>3}: dist t {:>6.0}   central t {:>6.0}",
-            pairs,
-            mean(&dt),
-            mean(&ct)
-        );
+        println!("pairs {:>3}: dist t {:>6.0}   central t {:>6.0}", pairs, mean(&dt), mean(&ct));
     }
     println!("\n(independent work should complete in ~constant virtual time distributed;");
     println!(" the centralized scheduler is one serialization point for all of it)");

@@ -3,8 +3,7 @@
 //! the workflow examples.
 
 use agent::library::{
-    compensatable_task, looping_task, rda_transaction, two_phase_participant,
-    typical_application,
+    compensatable_task, looping_task, rda_transaction, two_phase_participant, typical_application,
 };
 use event_algebra::SymbolTable;
 

@@ -8,11 +8,12 @@
 use agent::library::rda_transaction;
 use agent::EventAttrs;
 use baseline::{run_centralized, CentralConfig, Engine};
-use dist::{run_workflow, AgentSpec, ExecConfig, FreeEventSpec, GuardMode, RunReport, Script,
-    WorkflowSpec};
+use dist::{
+    run_workflow, AgentSpec, ExecConfig, FreeEventSpec, GuardMode, RunReport, Script, WorkflowSpec,
+};
 use event_algebra::{Expr, Literal, SymbolId, SymbolTable};
-use speclang::parse_dependency;
 use sim::{LatencyModel, SimConfig, SiteId};
+use speclang::parse_dependency;
 
 /// A workload: dependencies plus free controllable events spread over
 /// sites, all attempted at start.
@@ -112,8 +113,8 @@ pub fn reactive_pipeline_spec(n: u32, think: u64) -> WorkflowSpec {
     }
     let mut deps = Vec::new();
     for i in 0..n.saturating_sub(1) {
-        let d = parse_dependency(&format!("begin_on_commit(s{i}, s{})", i + 1))
-            .expect("macro parses");
+        let d =
+            parse_dependency(&format!("begin_on_commit(s{i}, s{})", i + 1)).expect("macro parses");
         deps.push(d.instantiate(&event_algebra::Binding::new(), &mut table));
     }
     WorkflowSpec { table, dependencies: deps, agents, free_events: vec![] }
@@ -200,11 +201,7 @@ pub fn run_central(w: &Workload, seed: u64, engine: Engine) -> RunReport {
 
 /// Print an aligned table row.
 pub fn row(cols: &[String], widths: &[usize]) -> String {
-    cols.iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cols.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 /// Mean over a slice.

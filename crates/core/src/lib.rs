@@ -40,14 +40,14 @@
 
 #![warn(missing_docs)]
 
+pub use agent as agents;
+pub use baseline as centralized;
+pub use dist as distributed;
 pub use event_algebra as algebra;
-pub use temporal as logic;
 pub use guard as guards;
 pub use sim as network;
-pub use agent as agents;
-pub use dist as distributed;
-pub use baseline as centralized;
 pub use speclang as spec;
+pub use temporal as logic;
 
 pub use agent::{EventAttrs, TaskAgent};
 pub use baseline::{run_centralized, CentralConfig, Engine};

@@ -196,9 +196,7 @@ mod tests {
             assert!(r.all_satisfied(), "seed {seed}: {r:#?}");
             let evs = r.trace.events();
             let pos = |name: &str| {
-                evs.iter().position(|l| {
-                    l.is_pos() && wf.spec.table.name(l.symbol()) == Some(name)
-                })
+                evs.iter().position(|l| l.is_pos() && wf.spec.table.name(l.symbol()) == Some(name))
             };
             let (l, rt, s) = (
                 pos("left.commit").expect("left committed"),

@@ -309,11 +309,8 @@ impl SymbolActor {
             // was already folded into the residuals when it happened and
             // is replayed here through facts_seen (we record it there).
         } else {
-            let pending: Vec<Literal> = self
-                .facts_seen
-                .range(self.applied_up_to + 1..)
-                .map(|(_, &l)| l)
-                .collect();
+            let pending: Vec<Literal> =
+                self.facts_seen.range(self.applied_up_to + 1..).map(|(_, &l)| l).collect();
             for l in pending {
                 self.pos.guard = self.pos.guard.assume_occurred(l);
                 self.neg.guard = self.neg.guard.assume_occurred(l);
@@ -400,8 +397,7 @@ impl SymbolActor {
                 // rules the event out). A required positive goes to the
                 // agent when one exists; free events self-attempt.
                 let force_here = agent.is_none()
-                    || (!lit.is_pos()
-                        && !self.lit_state_ref(lit.complement()).attempted);
+                    || (!lit.is_pos() && !self.lit_state_ref(lit.complement()).attempted);
                 self.lit_state(lit).triggered = true;
                 self.stats.triggers += 1;
                 self.journal(ctx.now(), JournalKind::Triggered(lit));
@@ -460,11 +456,8 @@ impl SymbolActor {
         if syms.is_empty() || syms.len() > 12 {
             return false;
         }
-        let usable: Vec<_> = g
-            .conjuncts()
-            .iter()
-            .filter(|c| c.seq_atoms().next().is_none())
-            .collect();
+        let usable: Vec<_> =
+            g.conjuncts().iter().filter(|c| c.seq_atoms().next().is_none()).collect();
         if usable.is_empty() {
             return false;
         }
@@ -472,9 +465,9 @@ impl SymbolActor {
         // Odometer over the possible state sets.
         let mut states: Vec<u8> = possible.iter().map(|&p| p & p.wrapping_neg()).collect();
         loop {
-            let covered = usable.iter().any(|c| {
-                syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0)
-            });
+            let covered = usable
+                .iter()
+                .any(|c| syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0));
             if !covered {
                 return false;
             }
@@ -570,8 +563,7 @@ impl SymbolActor {
                             // survives a held promise (e.g. the {D} mask
                             // ◇l̄∧¬l̄) needs an agreement or an occurrence,
                             // not the same promise again.
-                            if !st.requested_promises.contains(f)
-                                && !self.promises_seen.contains(f)
+                            if !st.requested_promises.contains(f) && !self.promises_seen.contains(f)
                             {
                                 to_send.push(Msg::PromiseRequest { lit: *f, for_lit: lit });
                             }
@@ -590,9 +582,7 @@ impl SymbolActor {
                 }
             }
         }
-        to_send.sort_by_key(|m| {
-            (m.literal(), matches!(m, Msg::NotYetQuery { .. }))
-        });
+        to_send.sort_by_key(|m| (m.literal(), matches!(m, Msg::NotYetQuery { .. })));
         to_send.dedup();
         for m in to_send {
             match &m {
@@ -758,12 +748,8 @@ impl SymbolActor {
         // literal — a fork/join's two branch commits jointly assume each
         // other through the join's promise, and all grants go out
         // together as one mutual commitment.
-        let mut party: BTreeSet<Literal> = self
-            .pending_requests
-            .iter()
-            .filter(|(l, _)| *l == lit)
-            .map(|&(_, f)| f)
-            .collect();
+        let mut party: BTreeSet<Literal> =
+            self.pending_requests.iter().filter(|(l, _)| *l == lit).map(|&(_, f)| f).collect();
         party.insert(for_lit);
         let mut assumed = st.guard.clone();
         for &p in &party {
@@ -782,10 +768,10 @@ impl SymbolActor {
             || assumed.conjuncts().iter().any(|c| {
                 c.seq_atoms().next().is_none()
                     && c.constrained_symbols().all(|(s, m)| {
-                        assumptions.iter().any(|l| {
-                            l.symbol() == s
-                                && occurred_mask(l.polarity()) & !m == 0
-                        }) || (m & (ST_C | ST_D)) == (ST_C | ST_D)
+                        assumptions
+                            .iter()
+                            .any(|l| l.symbol() == s && occurred_mask(l.polarity()) & !m == 0)
+                            || (m & (ST_C | ST_D)) == (ST_C | ST_D)
                     })
             });
         if !(can_happen && eventually_discharged) {
@@ -890,8 +876,7 @@ impl SymbolActor {
     fn on_release(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId) {
         // Clear every hold whose requester lives at the releasing actor.
         let before = self.holds.len();
-        self.holds
-            .retain(|h| self.routing.actor_of.get(&h.symbol()) != Some(&from));
+        self.holds.retain(|h| self.routing.actor_of.get(&h.symbol()) != Some(&from));
         if self.holds.len() != before {
             self.journal(ctx.now(), JournalKind::Released(Literal::pos(self.sym)));
         }

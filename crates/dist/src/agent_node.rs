@@ -32,9 +32,7 @@ pub struct Script {
 impl Script {
     /// A script attempting the named events in order.
     pub fn of(steps: &[&str]) -> Script {
-        Script {
-            steps: steps.iter().map(|s| ScriptStep::Event((*s).to_owned())).collect(),
-        }
+        Script { steps: steps.iter().map(|s| ScriptStep::Event((*s).to_owned())).collect() }
     }
 
     /// A script with explicit steps (events and waits).
@@ -132,12 +130,7 @@ impl AgentNode {
                 }
             }
             Msg::Trigger { lit } => {
-                if let Some(ev) = self
-                    .agent
-                    .events
-                    .iter()
-                    .position(|e| e.literal == lit)
-                {
+                if let Some(ev) = self.agent.events.iter().position(|e| e.literal == lit) {
                     if !self.pending_triggers.contains(&ev) {
                         self.pending_triggers.push_back(ev);
                     }
@@ -197,11 +190,7 @@ impl AgentNode {
             return;
         }
         // Triggers first (the scheduler's proactive requests).
-        if let Some(pos) = self
-            .pending_triggers
-            .iter()
-            .position(|&ev| self.agent.can_fire(ev))
-        {
+        if let Some(pos) = self.pending_triggers.iter().position(|&ev| self.agent.can_fire(ev)) {
             let ev = self.pending_triggers.remove(pos).expect("index valid");
             self.start_attempt(ctx, ev);
             return;
@@ -271,10 +260,7 @@ mod tests {
         let s = Script::of(&["start", "commit"]);
         assert_eq!(
             s.steps,
-            vec![
-                ScriptStep::Event("start".into()),
-                ScriptStep::Event("commit".into())
-            ]
+            vec![ScriptStep::Event("start".into()), ScriptStep::Event("commit".into())]
         );
         let s2 = Script::of(&["start"]).wait(10).then("commit");
         assert_eq!(s2.steps.len(), 3);

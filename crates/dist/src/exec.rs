@@ -304,10 +304,7 @@ pub fn build_workflow(spec: &WorkflowSpec, config: ExecConfig) -> BuiltWorkflow 
     }
     if let Some((period, rounds)) = config.lazy {
         let actors: Vec<NodeId> = routing.actor_of.values().copied().collect();
-        nodes.push((
-            SiteId(0),
-            Node::Ticker { actors, period, rounds, countdown: period },
-        ));
+        nodes.push((SiteId(0), Node::Ticker { actors, period, rounds, countdown: period }));
     }
 
     // ----- seed messages -----
@@ -372,13 +369,8 @@ fn collect_report(
         .expect("actors enforce single resolution per symbol");
     let mut maximal_events: Vec<Literal> = occurrences.iter().map(|&(l, _, _)| l).collect();
     maximal_events.extend(unresolved.iter().map(|&s| Literal::neg(s)));
-    let maximal_trace =
-        Trace::new(maximal_events).expect("complement extension cannot clash");
-    let satisfied = spec
-        .dependencies
-        .iter()
-        .map(|d| satisfies(&maximal_trace, d))
-        .collect();
+    let maximal_trace = Trace::new(maximal_events).expect("complement extension cannot clash");
+    let satisfied = spec.dependencies.iter().map(|d| satisfies(&maximal_trace, d)).collect();
     RunReport {
         trace,
         occurrences,
@@ -570,10 +562,7 @@ mod tests {
             free_events: vec![],
         };
         let report = run_workflow(&spec, ExecConfig::seeded(1));
-        assert!(
-            report.maximal_trace.contains(commit.complement()),
-            "{report:?}"
-        );
+        assert!(report.maximal_trace.contains(commit.complement()), "{report:?}");
         assert!(!report.unresolved.contains(&commit.symbol()), "informed, not implicit");
     }
 }

@@ -19,10 +19,10 @@ mod msg;
 pub mod param;
 
 pub use actor::{ActorStats, LitState, Routing, SymbolActor};
-pub use journal::{Journal, JournalEntry, JournalKind};
 pub use agent_node::{AgentNode, Script, ScriptStep};
 pub use exec::{
     build_workflow, run_workflow, run_workflow_threaded, AgentSpec, BuiltWorkflow, ExecConfig,
     FreeEventSpec, GuardMode, Node, RunReport, WorkflowSpec,
 };
+pub use journal::{Journal, JournalEntry, JournalKind};
 pub use msg::Msg;

@@ -273,8 +273,7 @@ impl DynamicScheduler {
     /// completion of some residual ever contains* `lit` (an immediately
     /// fatal residual merely means "not yet": the attempt parks).
     fn acceptability(&self, lit: Literal) -> Acceptability {
-        let avoid: BTreeSet<Literal> =
-            self.inevitable.iter().map(|l| l.complement()).collect();
+        let avoid: BTreeSet<Literal> = self.inevitable.iter().map(|l| l.complement()).collect();
         let mut safe = true;
         for r in &self.residuals {
             if !event_algebra::satisfiable_avoiding(r, lit.complement()) {
@@ -287,7 +286,11 @@ impl DynamicScheduler {
                 safe = false;
             }
         }
-        if safe { Acceptability::Safe } else { Acceptability::Unsafe }
+        if safe {
+            Acceptability::Safe
+        } else {
+            Acceptability::Unsafe
+        }
     }
 
     fn occur(&mut self, lit: Literal) {
@@ -404,24 +407,18 @@ impl std::fmt::Debug for ParamGuard {
 
 impl ParamGuard {
     /// Build from an instantiation function.
-    pub fn new(
-        template: impl Fn(u64, &mut SymbolTable) -> Guard + Send + 'static,
-    ) -> ParamGuard {
-        ParamGuard { template: Box::new(template), instances: BTreeMap::new(), dead: BTreeSet::new() }
+    pub fn new(template: impl Fn(u64, &mut SymbolTable) -> Guard + Send + 'static) -> ParamGuard {
+        ParamGuard {
+            template: Box::new(template),
+            instances: BTreeMap::new(),
+            dead: BTreeSet::new(),
+        }
     }
 
     /// A token `value` became relevant (e.g. `f[ŷ]` occurred): ensure an
     /// instance exists, then apply the fact to that instance.
-    pub fn on_fact(
-        &mut self,
-        value: u64,
-        fact: Literal,
-        table: &mut SymbolTable,
-    ) {
-        let inst = self
-            .instances
-            .entry(value)
-            .or_insert_with(|| (self.template)(value, table));
+    pub fn on_fact(&mut self, value: u64, fact: Literal, table: &mut SymbolTable) {
+        let inst = self.instances.entry(value).or_insert_with(|| (self.template)(value, table));
         *inst = inst.assume_occurred(fact);
         if inst.holds_now() {
             // Discharged: resurrect to the template (drop the instance).
@@ -578,9 +575,7 @@ mod tests {
         let trace = s.trace();
         let evs = trace.events();
         let pos_of = |n: &str| {
-            s.table
-                .lookup(n)
-                .and_then(|sym| evs.iter().position(|&l| l == Literal::pos(sym)))
+            s.table.lookup(n).and_then(|sym| evs.iter().position(|&l| l == Literal::pos(sym)))
         };
         for k in 1..=2u64 {
             for j in 1..=2u64 {

@@ -3,17 +3,15 @@
 //! families, determinism per seed, and threaded-executor safety.
 
 use agent::EventAttrs;
-use dist::{run_workflow, run_workflow_threaded, ExecConfig, FreeEventSpec, GuardMode, WorkflowSpec};
+use dist::{
+    run_workflow, run_workflow_threaded, ExecConfig, FreeEventSpec, GuardMode, WorkflowSpec,
+};
 use event_algebra::{Expr, Literal, SymbolId, SymbolTable};
 use proptest::prelude::*;
 use sim::{LatencyModel, SimConfig, SiteId};
 use testkit::Gen;
 
-fn spec_with_free_events(
-    deps: Vec<Expr>,
-    syms: &[SymbolId],
-    spread_sites: bool,
-) -> WorkflowSpec {
+fn spec_with_free_events(deps: Vec<Expr>, syms: &[SymbolId], spread_sites: bool) -> WorkflowSpec {
     let mut table = SymbolTable::new();
     for (i, _) in syms.iter().enumerate() {
         table.intern(&format!("e{i}"));

@@ -62,8 +62,7 @@ impl Explorer {
         let trace = Trace::new(occs.iter().map(|&(_, l)| l)).expect("one per symbol");
         for d in &self.deps {
             if !satisfies(&trace, d) {
-                self.violations
-                    .push(format!("trace {trace} violates {d}"));
+                self.violations.push(format!("trace {trace} violates {d}"));
             }
         }
     }
@@ -89,10 +88,8 @@ impl Explorer {
 
 fn explore(dep_srcs: &[&str], nsyms: u32, max_paths: u64) -> (u64, Vec<String>) {
     let mut table = SymbolTable::new();
-    let deps: Vec<Expr> = dep_srcs
-        .iter()
-        .map(|s| parse_expr(s, &mut table).expect("parse"))
-        .collect();
+    let deps: Vec<Expr> =
+        dep_srcs.iter().map(|s| parse_expr(s, &mut table).expect("parse")).collect();
     let free_events = (0..nsyms)
         .map(|i| FreeEventSpec {
             site: SiteId(i),
@@ -108,14 +105,8 @@ fn explore(dep_srcs: &[&str], nsyms: u32, max_paths: u64) -> (u64, Vec<String>) 
         symbols.iter().map(|s| built.routing.actor_of[s].0 as usize).collect();
     let nodes: Vec<Node> = built.nodes.into_iter().map(|(_, n)| n).collect();
     let pending: Vec<(NodeId, NodeId, Msg)> = built.injections;
-    let mut ex = Explorer {
-        deps,
-        symbols,
-        actor_index,
-        paths: 0,
-        violations: Vec::new(),
-        max_paths,
-    };
+    let mut ex =
+        Explorer { deps, symbols, actor_index, paths: 0, violations: Vec::new(), max_paths };
     ex.dfs(State { nodes, pending, delivered: 0 });
     (ex.paths, ex.violations)
 }
@@ -144,8 +135,7 @@ fn mutual_arrows_consensus_is_safe_under_all_interleavings() {
 
 #[test]
 fn three_event_pipeline_is_safe_under_bounded_interleavings() {
-    let (paths, violations) =
-        explore(&["~e0 + ~e1 + e0.e1", "~e1 + ~e2 + e1.e2"], 3, 200_000);
+    let (paths, violations) = explore(&["~e0 + ~e1 + e0.e1", "~e1 + ~e2 + e1.e2"], 3, 200_000);
     assert!(violations.is_empty(), "{violations:?}");
     assert!(paths > 10, "explored {paths}");
 }

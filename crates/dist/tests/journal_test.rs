@@ -46,10 +46,7 @@ fn journal_captures_the_d_precedes_story() {
     }
     for &(lit, _, _) in &report.occurrences {
         assert!(
-            report
-                .journal
-                .iter()
-                .any(|en| en.kind == JournalKind::Occurred(lit)),
+            report.journal.iter().any(|en| en.kind == JournalKind::Occurred(lit)),
             "occurrence {lit} missing from journal"
         );
     }

@@ -150,9 +150,7 @@ fn uniform_access_order_across_items() {
     let trace = s.trace();
     let evs = trace.events();
     let pos = |n: &str| {
-        s.table
-            .lookup(n)
-            .and_then(|sym| evs.iter().position(|l| l.symbol() == sym && l.is_pos()))
+        s.table.lookup(n).and_then(|sym| evs.iter().position(|l| l.symbol() == sym && l.is_pos()))
     };
     let (w1a, w1b, w2a) = (
         pos("w1a[1]").unwrap(),

@@ -426,11 +426,7 @@ mod tests {
     #[test]
     fn display_uses_precedence() {
         // (ē + f̄ + e·f) — the D< dependency.
-        let d = Expr::or([
-            ne(),
-            Expr::comp(SymbolId(1)),
-            Expr::seq([e(), f()]),
-        ]);
+        let d = Expr::or([ne(), Expr::comp(SymbolId(1)), Expr::seq([e(), f()])]);
         let s = d.to_string();
         assert!(s.contains('+'), "{s}");
         assert!(s.contains('.'), "{s}");

@@ -17,6 +17,9 @@
 //!   the model-theoretic oracle used to check Theorem 1 mechanically;
 //! - [`DependencyMachine`] — the residual state machine of Figure 2,
 //!   doubling as the per-dependency automaton of the centralized baseline;
+//! - [`ProductMachine`] — budgeted reachability over the product of the
+//!   per-dependency machines, the engine of the compile-time workflow
+//!   analyzer (Section 6);
 //! - a text [`parse_expr`] parser for dependency expressions.
 //!
 //! # Example
@@ -46,6 +49,7 @@ mod machine;
 mod norm;
 mod parse;
 mod pexpr;
+mod product;
 mod residue;
 mod semantics;
 mod symbol;
@@ -56,6 +60,7 @@ pub use machine::{DependencyMachine, StateId};
 pub use norm::{is_normal, normalize};
 pub use parse::{parse_expr, ParseError};
 pub use pexpr::{Binding, PEvent, PExpr, PLit, Term};
+pub use product::{ProductId, ProductMachine, Reach, StateBudget};
 pub use residue::{
     requires, residual_oracle, residuate, residuate_trace, residuation_sound, satisfiable,
     satisfiable_avoiding, satisfiable_avoiding_all,

@@ -10,7 +10,7 @@
 
 use crate::expr::Expr;
 use crate::norm::normalize;
-use crate::residue::{residuate, requires, satisfiable};
+use crate::residue::{requires, residuate, satisfiable};
 use crate::symbol::{Literal, SymbolTable};
 use crate::trace::Trace;
 use std::collections::HashMap;
@@ -120,6 +120,59 @@ impl DependencyMachine {
     /// scheduler's acceptance test (Section 3.4 conditions 1 and 2a).
     pub fn may_accept(&self, sid: StateId, lit: Literal) -> bool {
         self.is_live(self.step(sid, lit))
+    }
+
+    /// All accepting (`⊤`) states. Every state of a compiled machine is
+    /// reachable from the initial state, so an empty result means the
+    /// dependency admits no satisfying trace at all.
+    pub fn accepting_states(&self) -> Vec<StateId> {
+        (0..self.states.len() as u32).map(StateId).filter(|&s| self.is_accepting(s)).collect()
+    }
+
+    /// `true` if the machine has any accepting state — i.e. the
+    /// dependency is satisfiable on its own.
+    pub fn has_accepting(&self) -> bool {
+        self.states.iter().any(Expr::is_top)
+    }
+
+    /// Per-state liveness by backward reachability: `live[s]` is `true`
+    /// when some accepting state is reachable from `s`. Agrees with
+    /// [`DependencyMachine::is_live`] (which decides satisfiability of the
+    /// residual expression) but costs one graph traversal for the whole
+    /// machine instead of one satisfiability check per state.
+    pub fn live_mask(&self) -> Vec<bool> {
+        let n = self.states.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (&(src, _), &dst) in &self.transitions {
+            preds[dst.index()].push(src.index());
+        }
+        let mut live = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&s| self.states[s].is_top()).collect();
+        for &s in &stack {
+            live[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &preds[s] {
+                if !live[p] {
+                    live[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        live
+    }
+
+    /// Trap states: states from which no accepting state is reachable
+    /// (the violated terminal `0` and any other dead residual). A run
+    /// entering a trap can only end with the dependency violated, so the
+    /// scheduler must reject the event that would move there.
+    pub fn trap_states(&self) -> Vec<StateId> {
+        self.live_mask()
+            .iter()
+            .enumerate()
+            .filter(|(_, &live)| !live)
+            .map(|(s, _)| StateId(s as u32))
+            .collect()
     }
 
     /// Render the full transition relation, one line per edge, with state

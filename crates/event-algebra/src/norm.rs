@@ -116,11 +116,8 @@ mod tests {
     #[test]
     fn normal_form_of_dependencies_from_the_paper() {
         // D< = ē + f̄ + e·f is already normal.
-        let d = Expr::or([
-            Expr::comp(SymbolId(0)),
-            Expr::comp(SymbolId(1)),
-            Expr::seq([ev(0), ev(1)]),
-        ]);
+        let d =
+            Expr::or([Expr::comp(SymbolId(0)), Expr::comp(SymbolId(1)), Expr::seq([ev(0), ev(1)])]);
         assert!(is_normal(&d));
         assert_eq!(normalize(&d), d);
     }

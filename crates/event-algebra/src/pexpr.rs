@@ -44,10 +44,9 @@ impl PEvent {
             .iter()
             .map(|t| match t {
                 Term::Val(v) => v.to_string(),
-                Term::Var(x) => binding
-                    .get(x)
-                    .unwrap_or_else(|| panic!("unbound variable {x}"))
-                    .to_string(),
+                Term::Var(x) => {
+                    binding.get(x).unwrap_or_else(|| panic!("unbound variable {x}")).to_string()
+                }
             })
             .collect();
         format!("{}[{}]", self.name, vals.join(","))
@@ -87,18 +86,12 @@ pub type Binding = BTreeMap<String, u64>;
 impl PExpr {
     /// Positive parametrized atom.
     pub fn lit(name: &str, args: &[Term]) -> PExpr {
-        PExpr::Lit(PLit {
-            event: PEvent::new(name, args.iter().cloned()),
-            polarity: Polarity::Pos,
-        })
+        PExpr::Lit(PLit { event: PEvent::new(name, args.iter().cloned()), polarity: Polarity::Pos })
     }
 
     /// Complement parametrized atom.
     pub fn comp(name: &str, args: &[Term]) -> PExpr {
-        PExpr::Lit(PLit {
-            event: PEvent::new(name, args.iter().cloned()),
-            polarity: Polarity::Neg,
-        })
+        PExpr::Lit(PLit { event: PEvent::new(name, args.iter().cloned()), polarity: Polarity::Neg })
     }
 
     /// All variables in the expression.
@@ -142,7 +135,6 @@ impl PExpr {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

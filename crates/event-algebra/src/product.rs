@@ -1,0 +1,353 @@
+//! Budgeted product reachability over dependency machines.
+//!
+//! The compilation phase (Section 6) must decide questions that quantify
+//! over *joint* completions of a whole workflow: do the dependencies admit
+//! any common satisfying trace, and can/must a given event occur in one?
+//! Enumerating residual-expression sets answers these but re-derives the
+//! same residuals along every interleaving. The per-dependency
+//! [`DependencyMachine`]s already collapse those residuals into finitely
+//! many states, so the joint questions become plain graph reachability in
+//! the *product* of the machines:
+//!
+//! - a product state is one [`StateId`] per machine (interned once and
+//!   shared across queries);
+//! - stepping by a literal steps every machine (rule R6 self-loops are
+//!   free — the transition map simply has no entry);
+//! - a trace jointly satisfies the workflow iff it drives every machine to
+//!   its `⊤` state, and residuation can never leave `⊤`, so joint
+//!   satisfiability is exactly reachability of the all-accepting product
+//!   state;
+//! - avoiding a literal `l` restricts the edge set, which decides the
+//!   dead/forced quantifications: a satisfying trace *containing* `l`
+//!   exists iff the all-accepting state is reachable while avoiding `l̄`.
+//!
+//! Product spaces can still be exponential in the number of machines, so
+//! every search draws from an explicit [`StateBudget`]; on exhaustion the
+//! caller receives [`Reach::Cutoff`] and is expected to surface it as a
+//! diagnostic instead of hanging.
+
+use crate::expr::Expr;
+use crate::machine::{DependencyMachine, StateId};
+use crate::symbol::Literal;
+use std::collections::HashMap;
+
+/// Index of an interned product state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProductId(pub u32);
+
+impl ProductId {
+    /// The state's index into the intern table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The outcome of a budgeted reachability query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reach {
+    /// A target state was reached.
+    Yes,
+    /// The full reachable region was explored without finding a target.
+    No,
+    /// The state budget ran out before the search completed.
+    Cutoff,
+}
+
+impl Reach {
+    /// `true` only for [`Reach::Yes`].
+    pub fn found(self) -> bool {
+        self == Reach::Yes
+    }
+
+    /// `true` only for [`Reach::Cutoff`].
+    pub fn cutoff(self) -> bool {
+        self == Reach::Cutoff
+    }
+}
+
+/// A shared allowance of product states across several queries.
+///
+/// Every *newly interned* product state costs one unit; revisiting an
+/// already-interned state is free, which is what makes the shared intern
+/// table a cache rather than mere bookkeeping.
+#[derive(Debug, Clone)]
+pub struct StateBudget {
+    limit: usize,
+    spent: usize,
+}
+
+impl StateBudget {
+    /// A budget of `limit` product states.
+    pub fn new(limit: usize) -> StateBudget {
+        StateBudget { limit, spent: 0 }
+    }
+
+    /// States charged so far.
+    pub fn spent(&self) -> usize {
+        self.spent
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// `true` once the allowance is used up.
+    pub fn exhausted(&self) -> bool {
+        self.spent >= self.limit
+    }
+
+    fn charge(&mut self) -> bool {
+        if self.spent >= self.limit {
+            return false;
+        }
+        self.spent += 1;
+        true
+    }
+}
+
+/// The product of a workflow's dependency machines, with an intern table
+/// shared across reachability queries.
+#[derive(Debug, Clone)]
+pub struct ProductMachine {
+    machines: Vec<DependencyMachine>,
+    /// Union alphabet (closed under complement), deduplicated and sorted.
+    alphabet: Vec<Literal>,
+    /// Interned product states.
+    states: Vec<Vec<StateId>>,
+    index: HashMap<Vec<StateId>, ProductId>,
+    /// Per-machine liveness masks: product states containing a trap state
+    /// of any machine are pruned (no all-accepting state lies beyond).
+    live: Vec<Vec<bool>>,
+    /// Memoized successor edges, keyed by (state, alphabet position).
+    succ: HashMap<(ProductId, u16), ProductId>,
+}
+
+impl ProductMachine {
+    /// Compile one machine per dependency and form their product.
+    pub fn compile(dependencies: &[Expr]) -> ProductMachine {
+        ProductMachine::from_machines(dependencies.iter().map(DependencyMachine::compile).collect())
+    }
+
+    /// Form the product of already-compiled machines (the compiled
+    /// workflow's machines can be reused directly).
+    pub fn from_machines(machines: Vec<DependencyMachine>) -> ProductMachine {
+        let mut alphabet: Vec<Literal> =
+            machines.iter().flat_map(|m| m.alphabet.iter().copied()).collect();
+        alphabet.sort();
+        alphabet.dedup();
+        let live = machines.iter().map(DependencyMachine::live_mask).collect();
+        let mut p = ProductMachine {
+            machines,
+            alphabet,
+            states: Vec::new(),
+            index: HashMap::new(),
+            live,
+            succ: HashMap::new(),
+        };
+        let initial: Vec<StateId> = p.machines.iter().map(|m| m.initial).collect();
+        p.index.insert(initial.clone(), ProductId(0));
+        p.states.push(initial);
+        p
+    }
+
+    /// The component machines.
+    pub fn machines(&self) -> &[DependencyMachine] {
+        &self.machines
+    }
+
+    /// The union alphabet.
+    pub fn alphabet(&self) -> &[Literal] {
+        &self.alphabet
+    }
+
+    /// The initial product state (every machine at its initial state).
+    pub fn initial(&self) -> ProductId {
+        ProductId(0)
+    }
+
+    /// Number of product states interned so far (across all queries).
+    pub fn interned_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when every component machine accepts at `pid`.
+    pub fn is_accepting(&self, pid: ProductId) -> bool {
+        self.states[pid.index()].iter().zip(&self.machines).all(|(&s, m)| m.is_accepting(s))
+    }
+
+    /// `true` when some component is in a trap state (the joint run can
+    /// no longer end with all dependencies satisfied).
+    pub fn is_doomed(&self, pid: ProductId) -> bool {
+        self.states[pid.index()].iter().zip(&self.live).any(|(&s, live)| !live[s.index()])
+    }
+
+    /// Step every machine by `lit`, interning the result. `None` when the
+    /// budget cannot pay for a newly discovered state.
+    fn step(&mut self, pid: ProductId, ix: u16, budget: &mut StateBudget) -> Option<ProductId> {
+        if let Some(&next) = self.succ.get(&(pid, ix)) {
+            return Some(next);
+        }
+        let lit = self.alphabet[ix as usize];
+        let next: Vec<StateId> = self.states[pid.index()]
+            .iter()
+            .zip(&self.machines)
+            .map(|(&s, m)| m.step(s, lit))
+            .collect();
+        let nid = match self.index.get(&next) {
+            Some(&id) => id,
+            None => {
+                if !budget.charge() {
+                    return None;
+                }
+                let id = ProductId(self.states.len() as u32);
+                self.index.insert(next.clone(), id);
+                self.states.push(next);
+                id
+            }
+        };
+        self.succ.insert((pid, ix), nid);
+        Some(nid)
+    }
+
+    /// Is an all-accepting product state reachable from the initial state,
+    /// optionally without ever taking an `avoid` edge?
+    ///
+    /// With `avoid = None` this decides joint satisfiability of the
+    /// workflow. With `avoid = Some(l)` it decides whether some jointly
+    /// satisfying maximal trace excludes `l` — the building block for the
+    /// dead/forced quantifications (residuation removes a symbol from
+    /// every residual, so untaken symbols can always be completed after
+    /// acceptance without leaving `⊤`).
+    pub fn reach_accepting(&mut self, avoid: Option<Literal>, budget: &mut StateBudget) -> Reach {
+        let mut visited = vec![false; self.states.len()];
+        let mut frontier = vec![self.initial()];
+        let mark = |visited: &mut Vec<bool>, pid: ProductId| {
+            if visited.len() <= pid.index() {
+                visited.resize(pid.index() + 1, false);
+            }
+            let seen = visited[pid.index()];
+            visited[pid.index()] = true;
+            seen
+        };
+        mark(&mut visited, self.initial());
+        let mut cutoff = false;
+        while let Some(pid) = frontier.pop() {
+            if self.is_accepting(pid) {
+                return Reach::Yes;
+            }
+            if self.is_doomed(pid) {
+                continue;
+            }
+            for ix in 0..self.alphabet.len() as u16 {
+                if avoid == Some(self.alphabet[ix as usize]) {
+                    continue;
+                }
+                match self.step(pid, ix, budget) {
+                    Some(nid) => {
+                        if !mark(&mut visited, nid) {
+                            frontier.push(nid);
+                        }
+                    }
+                    None => cutoff = true,
+                }
+            }
+        }
+        if cutoff {
+            Reach::Cutoff
+        } else {
+            Reach::No
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_expr;
+    use crate::symbol::SymbolTable;
+
+    fn deps(srcs: &[&str]) -> (SymbolTable, Vec<Expr>) {
+        let mut t = SymbolTable::new();
+        let ds = srcs.iter().map(|s| parse_expr(s, &mut t).unwrap()).collect();
+        (t, ds)
+    }
+
+    #[test]
+    fn joint_satisfiability_by_reachability() {
+        let (_, ds) = deps(&["e.f", "f.e"]);
+        let mut p = ProductMachine::compile(&ds);
+        let mut b = StateBudget::new(10_000);
+        assert_eq!(p.reach_accepting(None, &mut b), Reach::No);
+
+        let (_, ds) = deps(&["~e + f", "~f + e"]);
+        let mut p = ProductMachine::compile(&ds);
+        assert_eq!(p.reach_accepting(None, &mut b), Reach::Yes);
+    }
+
+    #[test]
+    fn avoiding_decides_dead_and_forced() {
+        let (mut t, ds) = deps(&["~e", "f"]);
+        let e = t.event("e");
+        let f = t.event("f");
+        let mut p = ProductMachine::compile(&ds);
+        let mut b = StateBudget::new(10_000);
+        // No satisfying trace contains e (avoiding ē fails): e is dead.
+        assert_eq!(p.reach_accepting(Some(e.complement()), &mut b), Reach::No);
+        // Every satisfying trace contains f (avoiding f fails): f forced.
+        assert_eq!(p.reach_accepting(Some(f), &mut b), Reach::No);
+        // Some satisfying trace avoids f̄.
+        assert_eq!(p.reach_accepting(Some(f.complement()), &mut b), Reach::Yes);
+    }
+
+    #[test]
+    fn budget_cutoff_is_reported() {
+        let (_, ds) = deps(&["~e1 + e2", "~e2 + e3", "~e3 + e4"]);
+        let mut p = ProductMachine::compile(&ds);
+        let mut b = StateBudget::new(2);
+        assert_eq!(
+            p.reach_accepting(Some(Literal::pos(crate::symbol::SymbolId(0))), &mut b),
+            Reach::Cutoff
+        );
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn intern_table_is_shared_across_queries() {
+        let (mut t, ds) = deps(&["~e + f", "~f + e"]);
+        let e = t.event("e");
+        let mut p = ProductMachine::compile(&ds);
+        let mut b = StateBudget::new(10_000);
+        let _ = p.reach_accepting(None, &mut b);
+        let after_first = b.spent();
+        // A second query over the same region pays nothing new.
+        let _ = p.reach_accepting(None, &mut b);
+        assert_eq!(b.spent(), after_first);
+        // A restricted query can only intern states the first also saw.
+        let _ = p.reach_accepting(Some(e), &mut b);
+        assert_eq!(b.spent(), after_first);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_small_workflows() {
+        use crate::semantics::satisfies;
+        use crate::trace::enumerate_maximal;
+        let cases: &[&[&str]] = &[
+            &["e.f", "f.e"],
+            &["~e + f", "~f + e"],
+            &["~e", "f"],
+            &["e1 | e2.e1 | (e0 + ~e0)", "~e3.~e2"],
+            &["~e + ~f + e.f", "~f + ~e + f.e"],
+        ];
+        for srcs in cases {
+            let (_, ds) = deps(srcs);
+            let mut syms: Vec<_> = ds.iter().flat_map(|d| d.symbols()).collect();
+            syms.sort();
+            syms.dedup();
+            let brute = enumerate_maximal(&syms).iter().any(|u| ds.iter().all(|d| satisfies(u, d)));
+            let mut p = ProductMachine::compile(&ds);
+            let mut b = StateBudget::new(100_000);
+            assert_eq!(p.reach_accepting(None, &mut b).found(), brute, "{srcs:?}");
+        }
+    }
+}

@@ -12,9 +12,9 @@
 
 use crate::expr::Expr;
 use crate::norm::{is_normal, normalize};
+use crate::semantics::satisfies;
 use crate::symbol::{Literal, SymbolId};
 use crate::trace::{enumerate_universe, Trace};
-use crate::semantics::satisfies;
 use std::collections::HashMap;
 
 /// Symbolic residuation `e_expr / by` implementing rules R1–R8.
@@ -204,10 +204,7 @@ pub fn requires(e: &Expr, lit: Literal) -> bool {
 /// task guarantees to perform, like the exit of an entered critical
 /// section), this decides whether a residual can still be met in a future
 /// consistent with those guarantees.
-pub fn satisfiable_avoiding_all(
-    e: &Expr,
-    avoid: &std::collections::BTreeSet<Literal>,
-) -> bool {
+pub fn satisfiable_avoiding_all(e: &Expr, avoid: &std::collections::BTreeSet<Literal>) -> bool {
     fn go(
         e: &Expr,
         avoid: &std::collections::BTreeSet<Literal>,
@@ -324,10 +321,7 @@ mod tests {
         // (f·e)/e = 0: e is needed later in the sequence.
         assert_eq!(residuate(&Expr::seq([Expr::lit(f), Expr::lit(e)]), e), Expr::Zero);
         // (ē·f)/e = 0: ē can no longer occur.
-        assert_eq!(
-            residuate(&Expr::seq([Expr::lit(e.complement()), Expr::lit(f)]), e),
-            Expr::Zero
-        );
+        assert_eq!(residuate(&Expr::seq([Expr::lit(e.complement()), Expr::lit(f)]), e), Expr::Zero);
         // (f·g)/e = f·g: untouched (R6).
         let fg = Expr::seq([Expr::lit(f), Expr::lit(g)]);
         assert_eq!(residuate(&fg, e), fg);

@@ -27,27 +27,22 @@ fn satisfies_seq(u: &Trace, parts: &[Expr]) -> bool {
     match parts {
         [] => true,
         [only] => satisfies(u, only),
-        [head, rest @ ..] => u
-            .splits()
-            .any(|(v, w)| satisfies(&v, head) && satisfies_seq(&w, rest)),
+        [head, rest @ ..] => {
+            u.splits().any(|(v, w)| satisfies(&v, head) && satisfies_seq(&w, rest))
+        }
     }
 }
 
 /// The denotation `[E]` restricted to the universe over `syms`:
 /// `{u ∈ U_E : u ⊨ E}`.
 pub fn denotation(e: &Expr, syms: &[SymbolId]) -> Vec<Trace> {
-    enumerate_universe(syms)
-        .into_iter()
-        .filter(|u| satisfies(u, e))
-        .collect()
+    enumerate_universe(syms).into_iter().filter(|u| satisfies(u, e)).collect()
 }
 
 /// Semantic equivalence of two expressions over the universe spanned by
 /// `syms` (which must cover both expressions' symbols to be conclusive).
 pub fn equivalent(a: &Expr, b: &Expr, syms: &[SymbolId]) -> bool {
-    enumerate_universe(syms)
-        .iter()
-        .all(|u| satisfies(u, a) == satisfies(u, b))
+    enumerate_universe(syms).iter().all(|u| satisfies(u, a) == satisfies(u, b))
 }
 
 /// Semantic equivalence over the union of the two expressions' own symbol
@@ -169,12 +164,7 @@ mod tests {
         // If v ⊨ E and uv ∈ U_E then (prepend/append)-extended traces
         // also satisfy E — the property justifying dropping ⊤ units in Seq.
         let g = Literal::pos(s(2));
-        let exprs = [
-            e(),
-            Expr::seq([e(), f()]),
-            Expr::or([ne(), f()]),
-            Expr::and([e(), f()]),
-        ];
+        let exprs = [e(), Expr::seq([e(), f()]), Expr::or([ne(), f()]), Expr::and([e(), f()])];
         for ex in &exprs {
             let base = tr(&[le(), lf()]);
             if satisfies(&base, ex) {

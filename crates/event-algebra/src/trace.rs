@@ -181,10 +181,7 @@ pub fn enumerate_universe(syms: &[SymbolId]) -> Vec<Trace> {
 ///
 /// `|U_T| = n!·2^n` (n = 5 gives 3,840 traces).
 pub fn enumerate_maximal(syms: &[SymbolId]) -> Vec<Trace> {
-    enumerate_universe(syms)
-        .into_iter()
-        .filter(|t| t.len() == syms.len())
-        .collect()
+    enumerate_universe(syms).into_iter().filter(|t| t.len() == syms.len()).collect()
 }
 
 #[cfg(test)]

@@ -19,11 +19,27 @@
 //! - **agreement pairs** — events whose guards contain `¬` constraints
 //!   on each other: the not-yet agreement with its priority rule will be
 //!   exercised (potential hold contention).
+//!
+//! The joint quantifications (contradiction, dead, forced) run as
+//! budgeted reachability over the product of the per-dependency
+//! [`DependencyMachine`](event_algebra::DependencyMachine)s — see
+//! [`event_algebra::ProductMachine`] — instead of enumerating residual
+//! expression sets: the machines collapse equivalent residuals into
+//! shared states, the product's intern table is reused across all 2·|Σ|+1
+//! queries, and an explicit state budget turns pathological workflows
+//! into a reported cutoff rather than a hang. Cycle detection here stays
+//! deliberately pairwise; the `analyze` crate layers arbitrary-length
+//! cycle detection (strongly connected components of the need graph) and
+//! structured diagnostics on top of this module.
 
 use crate::workflow::{CompiledWorkflow, GuardScope};
-use event_algebra::{normalize, residuate, Expr, Literal, SymbolId};
-use std::collections::{BTreeSet, HashMap};
+use event_algebra::{Expr, Literal, ProductMachine, Reach, StateBudget};
+use std::collections::BTreeSet;
 use temporal::{needs, Need};
+
+/// Default product-state budget for [`analyze`]. Generous: typical
+/// workflow products stay well under a thousand states.
+pub const DEFAULT_STATE_BUDGET: usize = 1 << 20;
 
 /// The report produced by [`analyze`].
 #[derive(Debug, Clone, Default)]
@@ -41,96 +57,52 @@ pub struct Analysis {
     /// yet occurred *and* vice versa (direct hold cycles; the runtime
     /// breaks them by symbol priority).
     pub agreement_cycles: Vec<(Literal, Literal)>,
+    /// `true` when the state budget ran out before every reachability
+    /// query completed: the verdicts above are sound where given, but
+    /// some dead/forced classifications may be missing and
+    /// `jointly_contradictory` may be a false negative.
+    pub incomplete: bool,
+    /// Product states explored (diagnostic metadata).
+    pub states_explored: usize,
 }
 
 impl Analysis {
-    /// `true` when nothing problematic was found.
+    /// `true` when nothing problematic was found (and the analysis ran to
+    /// completion).
     pub fn is_clean(&self) -> bool {
         !self.jointly_contradictory
             && self.dead.is_empty()
             && self.consensus_pairs.is_empty()
             && self.agreement_cycles.is_empty()
+            && !self.incomplete
     }
 }
 
-/// Joint satisfiability of a set of residuals: does some maximal
-/// completion drive *all* of them to `⊤`? Product search with
-/// memoization; exponential in the worst case, fine at workflow sizes.
-fn jointly_satisfiable(states: &[Expr], memo: &mut HashMap<Vec<Expr>, bool>) -> bool {
-    if states.iter().any(Expr::is_zero) {
-        return false;
-    }
-    if states.iter().all(Expr::is_top) {
-        return true;
-    }
-    if let Some(&r) = memo.get(states) {
-        return r;
-    }
-    let mut syms: BTreeSet<SymbolId> = BTreeSet::new();
-    for s in states {
-        syms.extend(s.symbols());
-    }
-    let mut found = false;
-    'outer: for &sym in &syms {
-        for lit in [Literal::pos(sym), Literal::neg(sym)] {
-            let next: Vec<Expr> = states.iter().map(|s| residuate(s, lit)).collect();
-            if jointly_satisfiable(&next, memo) {
-                found = true;
-                break 'outer;
-            }
-        }
-    }
-    memo.insert(states.to_vec(), found);
-    found
-}
-
-/// Like [`jointly_satisfiable`] but with one literal forbidden (or, with
-/// `forbidden = l`, deciding whether some joint completion avoids `l`).
-fn jointly_satisfiable_avoiding(
-    states: &[Expr],
-    forbidden: Literal,
-    memo: &mut HashMap<Vec<Expr>, bool>,
-) -> bool {
-    if states.iter().any(Expr::is_zero) {
-        return false;
-    }
-    if states.iter().all(Expr::is_top) {
-        return true;
-    }
-    if let Some(&r) = memo.get(states) {
-        return r;
-    }
-    let mut syms: BTreeSet<SymbolId> = BTreeSet::new();
-    for s in states {
-        syms.extend(s.symbols());
-    }
-    let mut found = false;
-    'outer: for &sym in &syms {
-        for lit in [Literal::pos(sym), Literal::neg(sym)] {
-            if lit == forbidden {
-                continue;
-            }
-            let next: Vec<Expr> = states.iter().map(|s| residuate(s, lit)).collect();
-            if jointly_satisfiable_avoiding(&next, forbidden, memo) {
-                found = true;
-                break 'outer;
-            }
-        }
-    }
-    memo.insert(states.to_vec(), found);
-    found
-}
-
-/// Analyze a workflow's dependencies at compile time.
+/// Analyze a workflow's dependencies at compile time with the default
+/// state budget.
 pub fn analyze(dependencies: &[Expr]) -> Analysis {
+    analyze_with_budget(dependencies, DEFAULT_STATE_BUDGET)
+}
+
+/// Analyze with an explicit product-state budget shared across all
+/// reachability queries.
+pub fn analyze_with_budget(dependencies: &[Expr], state_budget: usize) -> Analysis {
     let compiled = CompiledWorkflow::compile(dependencies, GuardScope::Mentioning);
-    let states: Vec<Expr> = dependencies.iter().map(normalize).collect();
     let mut report = Analysis::default();
 
-    let mut memo = HashMap::new();
-    report.jointly_contradictory = !jointly_satisfiable(&states, &mut memo);
+    let mut product = ProductMachine::from_machines(compiled.machines.clone());
+    let mut budget = StateBudget::new(state_budget);
 
-    // Dead / forced events: quantify over joint completions.
+    match product.reach_accepting(None, &mut budget) {
+        Reach::Yes => {}
+        Reach::No => report.jointly_contradictory = true,
+        Reach::Cutoff => report.incomplete = true,
+    }
+
+    // Dead / forced events: quantify over joint completions. A satisfying
+    // trace containing `lit` exists iff acceptance is reachable avoiding
+    // `lit`'s complement; one containing `lit`'s complement exists iff it
+    // is reachable avoiding `lit` itself.
     let mut literals: BTreeSet<Literal> = BTreeSet::new();
     for s in &compiled.symbols {
         literals.insert(Literal::pos(*s));
@@ -138,20 +110,25 @@ pub fn analyze(dependencies: &[Expr]) -> Analysis {
     }
     if !report.jointly_contradictory {
         for &lit in &literals {
-            let mut memo_a = HashMap::new();
-            // Dead: no joint completion contains lit — equivalently,
-            // restricting completions to resolve lit's symbol positively
-            // (forbidding the complement) leaves nothing satisfiable.
-            if !jointly_satisfiable_avoiding(&states, lit.complement(), &mut memo_a) {
-                report.dead.push(lit);
-                continue;
+            match product.reach_accepting(Some(lit.complement()), &mut budget) {
+                Reach::Yes => {}
+                Reach::No => {
+                    report.dead.push(lit);
+                    continue;
+                }
+                Reach::Cutoff => {
+                    report.incomplete = true;
+                    continue;
+                }
             }
-            let mut memo_b = HashMap::new();
-            if !jointly_satisfiable_avoiding(&states, lit, &mut memo_b) {
-                report.forced.push(lit);
+            match product.reach_accepting(Some(lit), &mut budget) {
+                Reach::No => report.forced.push(lit),
+                Reach::Cutoff => report.incomplete = true,
+                Reach::Yes => {}
             }
         }
     }
+    report.states_explored = product.interned_states();
 
     // Consensus / agreement pairs from the compiled guards' needs.
     let mut promise_needs: Vec<(Literal, Literal)> = Vec::new();
@@ -168,17 +145,26 @@ pub fn analyze(dependencies: &[Expr]) -> Analysis {
             }
         }
     }
+    promise_needs.sort();
+    promise_needs.dedup();
+    notyet_needs.sort();
+    notyet_needs.dedup();
     for &(a, b) in &promise_needs {
-        if a < b && promise_needs.contains(&(b, a)) {
+        if a < b && promise_needs.binary_search(&(b, a)).is_ok() {
             report.consensus_pairs.push((a, b));
         }
     }
+    // A hold cycle is literal-exact: `a` waits for agreement that `b` has
+    // not yet occurred while `b` waits on `a` — comparing symbols alone
+    // would conflate `¬f` with `¬f̄`, which constrain different runs.
     for &(a, b) in &notyet_needs {
-        if a.symbol() < b.symbol() && notyet_needs.iter().any(|&(x, y)| x.symbol() == b.symbol() && y.symbol() == a.symbol()) {
+        if a < b && notyet_needs.binary_search(&(b, a)).is_ok() {
             report.agreement_cycles.push((a, b));
         }
     }
+    report.consensus_pairs.sort();
     report.consensus_pairs.dedup();
+    report.agreement_cycles.sort();
     report.agreement_cycles.dedup();
     report
 }
@@ -186,7 +172,7 @@ pub fn analyze(dependencies: &[Expr]) -> Analysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use event_algebra::{parse_expr, SymbolTable};
+    use event_algebra::{parse_expr, SymbolId, SymbolTable};
 
     #[test]
     fn clean_workflow_is_clean() {
@@ -196,6 +182,7 @@ mod tests {
         assert!(!a.jointly_contradictory);
         assert!(a.dead.is_empty(), "{a:?}");
         assert!(a.forced.is_empty(), "{a:?}");
+        assert!(!a.incomplete);
     }
 
     #[test]
@@ -282,5 +269,46 @@ mod tests {
             .iter()
             .any(|u| event_algebra::satisfies(u, &d1) && event_algebra::satisfies(u, &d2));
         assert_eq!(!a.jointly_contradictory, brute);
+    }
+
+    #[test]
+    fn reported_pairs_are_sorted_and_globally_deduplicated() {
+        // Three arrow cycles sharing events produce pair lists whose
+        // duplicates are not adjacent — the old `dedup()`-only cleanup
+        // left repeats behind.
+        let mut t = SymbolTable::new();
+        let srcs = ["~a + b", "~b + a", "~a + c", "~c + a", "~b + c", "~c + b"];
+        let ds: Vec<Expr> = srcs.iter().map(|s| parse_expr(s, &mut t).unwrap()).collect();
+        let a = analyze(&ds);
+        let mut sorted = a.consensus_pairs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(a.consensus_pairs, sorted, "sorted and unique: {a:?}");
+        assert!(!a.consensus_pairs.is_empty());
+    }
+
+    #[test]
+    fn tight_budget_reports_incomplete_instead_of_hanging() {
+        let mut t = SymbolTable::new();
+        let srcs = ["~e1 + e2", "~e2 + e3", "~e3 + e4", "~e4 + e1"];
+        let ds: Vec<Expr> = srcs.iter().map(|s| parse_expr(s, &mut t).unwrap()).collect();
+        let a = analyze_with_budget(&ds, 3);
+        assert!(a.incomplete, "{a:?}");
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn ten_symbol_chain_completes_within_budget() {
+        // A 9-dependency arrow chain over 10 symbols: the residual-set
+        // enumeration the machines replaced blows up here; the product
+        // stays small because equivalent residuals share states.
+        let mut t = SymbolTable::new();
+        let srcs: Vec<String> = (0..9).map(|i| format!("~e{} + e{}", i, i + 1)).collect();
+        let ds: Vec<Expr> = srcs.iter().map(|s| parse_expr(s, &mut t).unwrap()).collect();
+        let a = analyze(&ds);
+        assert!(!a.incomplete, "explored {} states", a.states_explored);
+        assert!(!a.jointly_contradictory);
+        assert!(a.dead.is_empty(), "{a:?}");
+        assert!(a.states_explored <= DEFAULT_STATE_BUDGET);
     }
 }

@@ -18,7 +18,7 @@ mod synth;
 pub mod theorems;
 mod workflow;
 
-pub use analysis::{analyze, Analysis};
+pub use analysis::{analyze, analyze_with_budget, Analysis, DEFAULT_STATE_BUDGET};
 pub use paths::{guard_via_paths, path_guard, paths_to_top};
 pub use synth::{guard_of, pairwise_disjoint, GuardSynth};
 pub use workflow::{CompiledWorkflow, GuardScope};

@@ -156,9 +156,7 @@ mod tests {
         let p = Trace::new([a, b, c]).unwrap();
         // Guard of b: □a | ¬c | ◇c.
         let g = path_guard(&p, 1);
-        let expected = Guard::occurred(a)
-            .and(&Guard::not_yet(c))
-            .and(&Guard::eventually(c));
+        let expected = Guard::occurred(a).and(&Guard::not_yet(c)).and(&Guard::eventually(c));
         assert!(guards_equivalent_auto(&g, &expected));
         // Guard of the last event: everything before occurred.
         let g_last = path_guard(&p, 2);
@@ -175,10 +173,7 @@ mod tests {
             for lit in [e, e.complement(), f, f.complement()] {
                 let def2 = s.guard(&d, lit);
                 let via = guard_via_paths(&d, lit);
-                assert!(
-                    guards_equivalent_auto(&def2, &via),
-                    "D={d} e={lit}: {def2:?} vs {via:?}"
-                );
+                assert!(guards_equivalent_auto(&def2, &via), "D={d} e={lit}: {def2:?} vs {via:?}");
             }
         }
     }

@@ -42,11 +42,8 @@ impl GuardSynth {
             return g.clone();
         }
         // Γ_{D^e}: the relevant literals other than e's symbol.
-        let gamma: Vec<Literal> = d
-            .gamma()
-            .into_iter()
-            .filter(|l| l.symbol() != e.symbol())
-            .collect();
+        let gamma: Vec<Literal> =
+            d.gamma().into_iter().filter(|l| l.symbol() != e.symbol()).collect();
         // First term: e occurs before any other relevant event.
         let mut first = Guard::eventually_expr(&residuate(d, e));
         for &f in &gamma {
@@ -100,7 +97,7 @@ impl GuardSynth {
                 return acc.unwrap_or_else(Guard::top);
             }
         }
-        self.guard_normal(&d, e)
+        self.guard_normal(d, e)
     }
 
     /// Number of memoized entries (for introspection/benches).
@@ -235,12 +232,7 @@ mod tests {
         for lit in [e, f, g, h, e.complement(), g.complement()] {
             let full = s.guard(&d, lit);
             let fast = s.guard_split(&d, lit);
-            assert!(
-                guards_equivalent_auto(&full, &fast),
-                "lit {lit}: {:?} vs {:?}",
-                full,
-                fast
-            );
+            assert!(guards_equivalent_auto(&full, &fast), "lit {lit}: {full:?} vs {fast:?}");
         }
     }
 
@@ -281,9 +273,7 @@ mod tests {
         let e3 = t.event("e3");
         let d = Expr::seq([Expr::lit(e1), Expr::lit(e2), Expr::lit(e3)]);
         let g = guard_of(&d, e2);
-        let expected = Guard::occurred(e1)
-            .and(&Guard::not_yet(e3))
-            .and(&Guard::eventually(e3));
+        let expected = Guard::occurred(e1).and(&Guard::not_yet(e3)).and(&Guard::eventually(e3));
         assert!(guards_equivalent_auto(&g, &expected), "{g:?}");
     }
 }

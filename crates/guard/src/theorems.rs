@@ -97,10 +97,7 @@ pub fn check_lemma5(d: &Expr, ev: Literal) -> bool {
 /// `u_{j+1} = e`, every in-scope dependency's guard on `e` holds at `j`.
 pub fn generates(w: &CompiledWorkflow, u: &Trace) -> bool {
     u.events().iter().enumerate().all(|(j, &ev)| {
-        w.per_dependency
-            .get(&ev)
-            .map(|deps| deps.iter().all(|(_, g)| g.eval(u, j)))
-            .unwrap_or(true)
+        w.per_dependency.get(&ev).map(|deps| deps.iter().all(|(_, g)| g.eval(u, j))).unwrap_or(true)
     })
 }
 
@@ -190,11 +187,10 @@ mod tests {
     #[test]
     fn thm6_single_dependencies() {
         let (_, [e, f, _, _]) = setup4();
-        for d in [d_arrow(e, f), d_precedes(e, f), Expr::lit(e), Expr::seq([Expr::lit(e), Expr::lit(f)])] {
-            assert!(
-                check_thm6(std::slice::from_ref(&d), GuardScope::Mentioning).is_ok(),
-                "D={d}"
-            );
+        for d in
+            [d_arrow(e, f), d_precedes(e, f), Expr::lit(e), Expr::seq([Expr::lit(e), Expr::lit(f)])]
+        {
+            assert!(check_thm6(std::slice::from_ref(&d), GuardScope::Mentioning).is_ok(), "D={d}");
             assert!(check_thm6(std::slice::from_ref(&d), GuardScope::All).is_ok(), "D={d}");
         }
     }
@@ -230,11 +226,7 @@ mod tests {
                 Expr::lit(c_buy.complement()),
                 Expr::seq([Expr::lit(c_book), Expr::lit(c_buy)]),
             ]),
-            Expr::or([
-                Expr::lit(c_book.complement()),
-                Expr::lit(c_buy),
-                Expr::lit(s_cancel),
-            ]),
+            Expr::or([Expr::lit(c_book.complement()), Expr::lit(c_buy), Expr::lit(s_cancel)]),
         ];
         assert!(check_thm6(&deps, GuardScope::Mentioning).is_ok());
     }

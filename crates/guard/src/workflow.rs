@@ -53,10 +53,8 @@ impl CompiledWorkflow {
         for d in dependencies {
             symbols.extend(d.symbols());
         }
-        let all_literals: BTreeSet<Literal> = symbols
-            .iter()
-            .flat_map(|&s| [Literal::pos(s), Literal::neg(s)])
-            .collect();
+        let all_literals: BTreeSet<Literal> =
+            symbols.iter().flat_map(|&s| [Literal::pos(s), Literal::neg(s)]).collect();
         let mut guards = BTreeMap::new();
         let mut per_dependency: BTreeMap<Literal, Vec<(usize, Guard)>> = BTreeMap::new();
         for &lit in &all_literals {
@@ -149,11 +147,7 @@ mod tests {
             Expr::lit(c_buy.complement()),
             Expr::seq([Expr::lit(c_book), Expr::lit(c_buy)]),
         ]);
-        let d3 = Expr::or([
-            Expr::lit(c_book.complement()),
-            Expr::lit(c_buy),
-            Expr::lit(s_cancel),
-        ]);
+        let d3 = Expr::or([Expr::lit(c_book.complement()), Expr::lit(c_buy), Expr::lit(s_cancel)]);
         (t, vec![d1, d2, d3])
     }
 
@@ -227,13 +221,8 @@ mod tests {
         let (_, deps) = travel();
         let w = CompiledWorkflow::compile(&deps, GuardScope::Mentioning);
         for (lit, per_dep) in &w.per_dependency {
-            let product = per_dep
-                .iter()
-                .fold(Guard::top(), |acc, (_, g)| acc.and(g));
-            assert!(
-                guards_equivalent_auto(&product, &w.guard(*lit)),
-                "literal {lit}"
-            );
+            let product = per_dep.iter().fold(Guard::top(), |acc, (_, g)| acc.and(g));
+            assert!(guards_equivalent_auto(&product, &w.guard(*lit)), "literal {lit}");
         }
     }
 

@@ -46,9 +46,7 @@ where
 
     for (from, to, msg) in injections {
         in_flight.fetch_add(1, Ordering::SeqCst);
-        senders[to.0 as usize]
-            .send(Envelope { from, msg })
-            .expect("receiver alive");
+        senders[to.0 as usize].send(Envelope { from, msg }).expect("receiver alive");
     }
 
     let mut handles = Vec::with_capacity(n);
@@ -93,10 +91,7 @@ where
     // Senders on the main thread must drop so threads can detect closure;
     // we instead rely on the quiescence condition above.
     drop(senders);
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("node thread panicked"))
-        .collect()
+    handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
 }
 
 #[cfg(test)]
@@ -119,10 +114,7 @@ mod tests {
 
     #[test]
     fn threaded_ping_pong_reaches_quiescence() {
-        let nodes = vec![
-            (SiteId(0), Counter { seen: 0 }),
-            (SiteId(1), Counter { seen: 0 }),
-        ];
+        let nodes = vec![(SiteId(0), Counter { seen: 0 }), (SiteId(1), Counter { seen: 0 })];
         let out = run_threaded(nodes, vec![(NodeId(0), NodeId(1), 9)], 10_000);
         let total: u64 = out.iter().map(|c| c.seen).sum();
         assert_eq!(total, 10);

@@ -8,6 +8,37 @@
 //! (Section 5).
 
 use event_algebra::{PExpr, Term};
+use std::fmt;
+
+/// A source position (1-based line and column) attached to declarations
+/// so downstream diagnostics (the `analyze` crate and the `wfcheck` CLI)
+/// can point back into the specification file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct Span {
+    /// 1-based line (0 when synthesized, e.g. for builder-made events).
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl Span {
+    /// A span at `line`:`col`.
+    pub fn at(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+
+    /// `true` for the default span of programmatically-built declarations
+    /// that never came from a source file.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
 
 /// A parsed workflow declaration.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +73,8 @@ pub struct AgentDecl {
     pub site: u32,
     /// Driver script.
     pub script: Vec<ScriptItem>,
+    /// Where the declaration appears in the source.
+    pub span: Span,
 }
 
 /// A declared event with attributes.
@@ -57,6 +90,8 @@ pub struct EventDecl {
     pub immediate: bool,
     /// Optional site assignment (`@ site N`).
     pub site: Option<u32>,
+    /// Where the declaration appears in the source.
+    pub span: Span,
 }
 
 /// A named dependency.
@@ -67,6 +102,8 @@ pub struct DepDecl {
     /// The dependency body. Ground dependencies have no variables; bodies
     /// with variables are parametrized templates (Section 5).
     pub body: PExpr,
+    /// Where the declaration appears in the source.
+    pub span: Span,
 }
 
 impl DepDecl {
@@ -85,11 +122,7 @@ pub fn klein_arrow(e: PExpr, f: PExpr) -> PExpr {
 /// Klein's `e < f`: if both occur, `e` precedes `f` — formalized as
 /// `ē + f̄ + e·f` (Example 3).
 pub fn klein_precedes(e: PExpr, f: PExpr) -> PExpr {
-    PExpr::Or(vec![
-        complement(e.clone()),
-        complement(f.clone()),
-        PExpr::Seq(vec![e, f]),
-    ])
+    PExpr::Or(vec![complement(e.clone()), complement(f.clone()), PExpr::Seq(vec![e, f])])
 }
 
 /// Complement an atom (or map complements through `+`/`|` is *not*
@@ -222,12 +255,11 @@ mod tests {
         let d = expand_macro("begin_on_commit", &[atom("a"), atom("b")]).unwrap();
         let mut t = SymbolTable::new();
         let g = d.instantiate(&Binding::new(), &mut t);
-        let expected =
-            event_algebra::parse_expr("~b_start + a_commit.b_start", &mut {
-                let mut tt = SymbolTable::new();
-                tt.intern("b_start");
-                tt
-            });
+        let expected = event_algebra::parse_expr("~b_start + a_commit.b_start", &mut {
+            let mut tt = SymbolTable::new();
+            tt.intern("b_start");
+            tt
+        });
         // Structure check: the conjunction of ordering and initiation.
         drop(expected);
         match g {
@@ -241,11 +273,7 @@ mod tests {
     fn mutex_macro_is_example13() {
         let d = expand_macro(
             "mutex",
-            &[
-                atom_vars("b1", &["x"]),
-                atom_vars("e1", &["x"]),
-                atom_vars("b2", &["y"]),
-            ],
+            &[atom_vars("b1", &["x"]), atom_vars("e1", &["x"]), atom_vars("b2", &["y"])],
         )
         .unwrap();
         assert_eq!(d.vars().len(), 2);

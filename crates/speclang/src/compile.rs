@@ -1,6 +1,6 @@
 //! Lowering parsed workflow declarations into executable form.
 
-use crate::ast::{AgentDecl, WorkflowDecl};
+use crate::ast::{AgentDecl, Span, WorkflowDecl};
 use crate::parser::{parse_workflow, SpecError};
 use event_algebra::{Binding, Expr, Literal, PExpr, SymbolTable};
 
@@ -19,6 +19,20 @@ pub struct LoweredEvent {
     pub immediate: bool,
     /// Optional site placement.
     pub site: Option<u32>,
+    /// Source position of the declaration (synthetic when built
+    /// programmatically).
+    pub span: Span,
+}
+
+/// Provenance of one lowered dependency: its declared label and source
+/// position, aligned index-for-index with
+/// [`LoweredWorkflow::ground_deps`] (or `templates`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DepOrigin {
+    /// The `dep <label>:` name.
+    pub label: Option<String>,
+    /// Source position of the declaration.
+    pub span: Span,
 }
 
 /// A workflow lowered to ground dependencies plus parametrized templates.
@@ -33,6 +47,10 @@ pub struct LoweredWorkflow {
     /// Parametrized dependency templates (Section 5), for the dynamic
     /// scheduler.
     pub templates: Vec<PExpr>,
+    /// Label/span provenance for each entry of `ground_deps`.
+    pub dep_origins: Vec<DepOrigin>,
+    /// Label/span provenance for each entry of `templates`.
+    pub template_origins: Vec<DepOrigin>,
     /// Declared events.
     pub events: Vec<LoweredEvent>,
     /// Declared agents (instantiated from the agent library by the
@@ -54,15 +72,21 @@ impl LoweredWorkflow {
                 triggerable: e.triggerable,
                 immediate: e.immediate,
                 site: e.site,
+                span: e.span,
             })
             .collect();
         let mut ground_deps = Vec::new();
         let mut templates = Vec::new();
+        let mut dep_origins = Vec::new();
+        let mut template_origins = Vec::new();
         for d in &decl.deps {
+            let origin = DepOrigin { label: d.label.clone(), span: d.span };
             if d.is_ground() {
                 ground_deps.push(d.body.instantiate(&Binding::new(), &mut table));
+                dep_origins.push(origin);
             } else {
                 templates.push(d.body.clone());
+                template_origins.push(origin);
             }
         }
         LoweredWorkflow {
@@ -70,6 +94,8 @@ impl LoweredWorkflow {
             table,
             ground_deps,
             templates,
+            dep_origins,
+            template_origins,
             events,
             agents: decl.agents.clone(),
         }

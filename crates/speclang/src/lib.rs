@@ -15,7 +15,7 @@ mod parser;
 
 pub use ast::{
     atom, atom_vars, complement, expand_macro, klein_arrow, klein_precedes, AgentDecl, DepDecl,
-    EventDecl, ScriptItem, WorkflowDecl,
+    EventDecl, ScriptItem, Span, WorkflowDecl,
 };
-pub use compile::{LoweredEvent, LoweredWorkflow};
+pub use compile::{DepOrigin, LoweredEvent, LoweredWorkflow};
 pub use parser::{parse_dependency, parse_workflow, SpecError};

@@ -20,7 +20,7 @@
 //! `+`, `|`, `.`, atoms.
 
 use crate::ast::{
-    expand_macro, klein_arrow, klein_precedes, AgentDecl, DepDecl, EventDecl, ScriptItem,
+    expand_macro, klein_arrow, klein_precedes, AgentDecl, DepDecl, EventDecl, ScriptItem, Span,
     WorkflowDecl,
 };
 use event_algebra::{PExpr, PLit, Polarity, Term};
@@ -260,6 +260,11 @@ impl Parser {
         self.toks.get(self.pos).map(|(t, _, _)| t)
     }
 
+    /// The source position of the token about to be consumed.
+    fn span_here(&self) -> Span {
+        self.toks.get(self.pos).map(|&(_, l, c)| Span::at(l, c)).unwrap_or_default()
+    }
+
     fn next(&mut self) -> Option<Tok> {
         let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
         if t.is_some() {
@@ -301,16 +306,19 @@ impl Parser {
                     break;
                 }
                 Some(Tok::Ident(kw)) if kw == "event" => {
+                    let span = self.span_here();
                     self.pos += 1;
-                    events.push(self.event_decl()?);
+                    events.push(self.event_decl(span)?);
                 }
                 Some(Tok::Ident(kw)) if kw == "agent" => {
+                    let span = self.span_here();
                     self.pos += 1;
-                    agents.push(self.agent_decl()?);
+                    agents.push(self.agent_decl(span)?);
                 }
                 Some(Tok::Ident(kw)) if kw == "dep" => {
+                    let span = self.span_here();
                     self.pos += 1;
-                    deps.push(self.dep_decl()?);
+                    deps.push(self.dep_decl(span)?);
                 }
                 _ => return Err(self.err_at("expected 'event', 'agent', 'dep' or '}'")),
             }
@@ -322,11 +330,11 @@ impl Parser {
     }
 
     /// `agent NAME: KIND (@ site N)? ({ script: item, item, ... })? ;`
-    fn agent_decl(&mut self) -> Result<AgentDecl, SpecError> {
+    fn agent_decl(&mut self, span: Span) -> Result<AgentDecl, SpecError> {
         let name = self.ident("agent name")?;
         self.expect(&Tok::Colon, "':'")?;
         let kind = self.ident("agent kind")?;
-        let mut decl = AgentDecl { name, kind, site: 0, script: Vec::new() };
+        let mut decl = AgentDecl { name, kind, site: 0, script: Vec::new(), span };
         if self.peek() == Some(&Tok::At) {
             self.pos += 1;
             let kw = self.ident("'site'")?;
@@ -371,7 +379,7 @@ impl Parser {
         Ok(decl)
     }
 
-    fn event_decl(&mut self) -> Result<EventDecl, SpecError> {
+    fn event_decl(&mut self, span: Span) -> Result<EventDecl, SpecError> {
         let name = self.ident("event name")?;
         let mut decl = EventDecl {
             name,
@@ -379,6 +387,7 @@ impl Parser {
             triggerable: false,
             immediate: false,
             site: None,
+            span,
         };
         if self.peek() == Some(&Tok::LBrace) {
             self.pos += 1;
@@ -417,7 +426,7 @@ impl Parser {
         Ok(decl)
     }
 
-    fn dep_decl(&mut self) -> Result<DepDecl, SpecError> {
+    fn dep_decl(&mut self, span: Span) -> Result<DepDecl, SpecError> {
         // Optional label before ':'.
         let label = if let (Some(Tok::Ident(name)), Some((Tok::Colon, _, _))) =
             (self.peek().cloned(), self.toks.get(self.pos + 1))
@@ -429,7 +438,7 @@ impl Parser {
         };
         let body = self.klein_expr()?;
         self.expect(&Tok::Semi, "';'")?;
-        Ok(DepDecl { label, body })
+        Ok(DepDecl { label, body, span })
     }
 
     /// `expr ('->' expr | '<' expr)?` — Klein sugar at the top level.
@@ -636,10 +645,8 @@ mod tests {
 
     #[test]
     fn comments_and_defaults() {
-        let w = parse_workflow(
-            "workflow w {\n// only a comment\nevent e;\ndep d: e -> e2;\n}",
-        )
-        .unwrap();
+        let w = parse_workflow("workflow w {\n// only a comment\nevent e;\ndep d: e -> e2;\n}")
+            .unwrap();
         assert!(w.events[0].controllable, "default attribute");
         assert_eq!(w.deps.len(), 1);
     }

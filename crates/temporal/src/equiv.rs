@@ -30,9 +30,9 @@ pub fn texpr_symbols(e: &TExpr) -> BTreeSet<SymbolId> {
 
 /// `a ≡ b` over every (maximal trace, index) pair on `syms`.
 pub fn texprs_equivalent(a: &TExpr, b: &TExpr, syms: &[SymbolId]) -> bool {
-    enumerate_maximal(syms).iter().all(|u| {
-        (0..=u.len()).all(|i| sat_at(u, i, a) == sat_at(u, i, b))
-    })
+    enumerate_maximal(syms)
+        .iter()
+        .all(|u| (0..=u.len()).all(|i| sat_at(u, i, a) == sat_at(u, i, b)))
 }
 
 /// `a ≡ b` over the union of their own symbol sets.
@@ -44,9 +44,7 @@ pub fn texprs_equivalent_auto(a: &TExpr, b: &TExpr) -> bool {
 /// Guard equivalence by trace enumeration — exact even in the presence of
 /// `◇(sequence)` atoms, unlike [`Guard::equiv_masks`].
 pub fn guards_equivalent(a: &Guard, b: &Guard, syms: &[SymbolId]) -> bool {
-    enumerate_maximal(syms)
-        .iter()
-        .all(|u| (0..=u.len()).all(|i| a.eval(u, i) == b.eval(u, i)))
+    enumerate_maximal(syms).iter().all(|u| (0..=u.len()).all(|i| a.eval(u, i) == b.eval(u, i)))
 }
 
 /// Guard equivalence over the union of the guards' own symbols.
@@ -80,8 +78,9 @@ mod tests {
             let te = g.to_texpr();
             let syms: Vec<SymbolId> = g.symbols().into_iter().collect();
             assert!(
-                enumerate_maximal(&syms).iter().all(|u| (0..=u.len())
-                    .all(|i| g.eval(u, i) == sat_at(u, i, &te))),
+                enumerate_maximal(&syms)
+                    .iter()
+                    .all(|u| (0..=u.len()).all(|i| g.eval(u, i) == sat_at(u, i, &te))),
                 "{te}"
             );
         }
@@ -91,17 +90,9 @@ mod tests {
     fn mask_equivalence_matches_trace_equivalence() {
         let (_, e, f) = setup();
         let pairs = [
-            (
-                Guard::not_yet(e).or(&Guard::occurred(e.complement())),
-                Guard::not_yet(e),
-                true,
-            ),
+            (Guard::not_yet(e).or(&Guard::occurred(e.complement())), Guard::not_yet(e), true),
             (Guard::eventually(e), Guard::occurred(e), false),
-            (
-                Guard::eventually(e).or(&Guard::eventually(e.complement())),
-                Guard::top(),
-                true,
-            ),
+            (Guard::eventually(e).or(&Guard::eventually(e.complement())), Guard::top(), true),
             (Guard::not_yet(f), Guard::not_yet(e), false),
         ];
         for (a, b, expected) in pairs {
@@ -126,10 +117,7 @@ mod tests {
     fn texpr_equivalence_examples() {
         let (_, e, _) = setup();
         // Stability: □(Occ e) ≡ Occ e.
-        assert!(texprs_equivalent_auto(
-            &TExpr::Always(Box::new(TExpr::Occ(e))),
-            &TExpr::Occ(e)
-        ));
+        assert!(texprs_equivalent_auto(&TExpr::Always(Box::new(TExpr::Occ(e))), &TExpr::Occ(e)));
         // □¬e ≢ ¬e.
         assert!(!texprs_equivalent_auto(
             &TExpr::Always(Box::new(TExpr::not_yet(e))),

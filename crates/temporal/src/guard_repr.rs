@@ -136,10 +136,7 @@ impl Conjunct {
     /// `self` implies `other`: every state vector satisfying `self`
     /// satisfies `other` (used for absorption).
     fn implies(&self, other: &Conjunct) -> bool {
-        other
-            .masks
-            .iter()
-            .all(|(&s, &om)| self.mask(s) & !om == 0)
+        other.masks.iter().all(|(&s, &om)| self.mask(s) & !om == 0)
             && other.seqs.is_subset(&self.seqs)
     }
 
@@ -294,10 +291,8 @@ impl Guard {
                     let (a, b) = (&keep[i], &keep[j]);
                     let syms: BTreeSet<SymbolId> =
                         a.masks.keys().chain(b.masks.keys()).copied().collect();
-                    let diffs: Vec<SymbolId> = syms
-                        .into_iter()
-                        .filter(|&s| a.mask(s) != b.mask(s))
-                        .collect();
+                    let diffs: Vec<SymbolId> =
+                        syms.into_iter().filter(|&s| a.mask(s) != b.mask(s)).collect();
                     if let [only] = diffs[..] {
                         let union = a.mask(only) | b.mask(only);
                         let mut c = a.clone();
@@ -358,19 +353,16 @@ impl Guard {
         if syms.len() > 12 {
             return false; // give up: callers fall back to semantic checks
         }
-        let usable: Vec<&Conjunct> =
-            self.conjuncts.iter().filter(|c| c.seqs.is_empty()).collect();
+        let usable: Vec<&Conjunct> = self.conjuncts.iter().filter(|c| c.seqs.is_empty()).collect();
         if usable.is_empty() {
             return false;
         }
         // Enumerate state vectors; each symbol independently takes A/B/C/D.
         let mut states = vec![ST_A; syms.len()];
         loop {
-            let covered = usable.iter().any(|c| {
-                syms.iter()
-                    .zip(&states)
-                    .all(|(&s, &st)| c.mask(s) & st != 0)
-            });
+            let covered = usable
+                .iter()
+                .any(|c| syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0));
             if !covered {
                 return false;
             }
@@ -412,12 +404,14 @@ impl Guard {
             .collect();
         let mut states = vec![ST_A; syms.len()];
         loop {
-            let eva = self.conjuncts.iter().any(|c| {
-                syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0)
-            });
-            let evb = other.conjuncts.iter().any(|c| {
-                syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0)
-            });
+            let eva = self
+                .conjuncts
+                .iter()
+                .any(|c| syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0));
+            let evb = other
+                .conjuncts
+                .iter()
+                .any(|c| syms.iter().zip(&states).all(|(&s, &st)| c.mask(s) & st != 0));
             if eva != evb {
                 return false;
             }
@@ -520,10 +514,7 @@ impl Guard {
                             Expr::Zero => continue 'conj,
                             Expr::Top => {}
                             Expr::Lit(rest) => {
-                                if !n.constrain(
-                                    rest.symbol(),
-                                    eventually_mask(rest.polarity()),
-                                ) {
+                                if !n.constrain(rest.symbol(), eventually_mask(rest.polarity())) {
                                     continue 'conj;
                                 }
                             }
@@ -588,20 +579,20 @@ fn mask_to_texpr(s: SymbolId, m: u8) -> TExpr {
     let not_ne = TExpr::not_yet(ne);
     match m {
         0 => TExpr::Zero,
-        1 => box_e,                                              // {A} = □e
-        2 => box_ne,                                             // {B} = □ē
-        3 => TExpr::or([box_e, box_ne]),                         // {A,B}
-        4 => TExpr::and([dia_e, not_e]),                         // {C}
-        5 => dia_e,                                              // {A,C} = ◇e
-        6 => TExpr::or([box_ne, TExpr::and([dia_e, not_e])]),    // {B,C}
-        7 => TExpr::or([dia_e, box_ne]),                         // {A,B,C}
-        8 => TExpr::and([dia_ne, not_ne]),                       // {D}
-        9 => TExpr::or([box_e, TExpr::and([dia_ne, not_ne])]),   // {A,D}
-        10 => dia_ne,                                            // {B,D} = ◇ē
-        11 => TExpr::or([dia_ne, box_e]),                        // {A,B,D}
-        12 => TExpr::and([not_e, not_ne]),                       // {C,D}
-        13 => not_ne,                                            // {A,C,D} = ¬ē
-        14 => not_e,                                             // {B,C,D} = ¬e
+        1 => box_e,                                            // {A} = □e
+        2 => box_ne,                                           // {B} = □ē
+        3 => TExpr::or([box_e, box_ne]),                       // {A,B}
+        4 => TExpr::and([dia_e, not_e]),                       // {C}
+        5 => dia_e,                                            // {A,C} = ◇e
+        6 => TExpr::or([box_ne, TExpr::and([dia_e, not_e])]),  // {B,C}
+        7 => TExpr::or([dia_e, box_ne]),                       // {A,B,C}
+        8 => TExpr::and([dia_ne, not_ne]),                     // {D}
+        9 => TExpr::or([box_e, TExpr::and([dia_ne, not_ne])]), // {A,D}
+        10 => dia_ne,                                          // {B,D} = ◇ē
+        11 => TExpr::or([dia_ne, box_e]),                      // {A,B,D}
+        12 => TExpr::and([not_e, not_ne]),                     // {C,D}
+        13 => not_ne,                                          // {A,C,D} = ¬ē
+        14 => not_e,                                           // {B,C,D} = ¬e
         _ => TExpr::Top,
     }
 }
@@ -665,10 +656,7 @@ mod tests {
         assert_eq!(g.conjuncts()[0].mask(e.symbol()), ST_A | ST_B | ST_D);
         let rendered = g.to_texpr();
         // Renders as ◇ē + □e per the mask table.
-        assert_eq!(
-            rendered,
-            TExpr::or([TExpr::eventually(e.complement()), TExpr::occurred(e)])
-        );
+        assert_eq!(rendered, TExpr::or([TExpr::eventually(e.complement()), TExpr::occurred(e)]));
     }
 
     #[test]
@@ -742,10 +730,7 @@ mod tests {
         assert!(Guard::eventually_expr(&Expr::Top).is_top());
         assert!(Guard::eventually_expr(&Expr::Zero).is_bottom());
         // ◇(f̄ + f) = ⊤ (used in Example 9.6).
-        let g3 = Guard::eventually_expr(&Expr::or([
-            Expr::lit(f),
-            Expr::lit(f.complement()),
-        ]));
+        let g3 = Guard::eventually_expr(&Expr::or([Expr::lit(f), Expr::lit(f.complement())]));
         assert!(g3.is_top());
     }
 
@@ -799,9 +784,7 @@ mod tests {
     fn canonical_merges_adjacent_masks() {
         let (_, e, f) = setup();
         // (◇e|¬e) + □e = ◇e  ({C} ∪ {A} = {A,C}).
-        let g = Guard::eventually(e)
-            .and(&Guard::not_yet(e))
-            .or(&Guard::occurred(e));
+        let g = Guard::eventually(e).and(&Guard::not_yet(e)).or(&Guard::occurred(e));
         assert_eq!(g, Guard::eventually(e));
         let _ = f;
     }

@@ -33,7 +33,7 @@ pub use guard_repr::{
     eventually_mask, not_yet_mask, occurred_mask, state_on, Conjunct, Guard, ST_A, ST_B, ST_C,
     ST_D, ST_FULL,
 };
-pub use message::{needs, status, Fact, GuardStatus, Know, Knowledge, Need};
+pub use message::{need_edges, needs, status, Fact, GuardStatus, Know, Knowledge, Need};
 pub use parse::{parse_texpr, TParseError};
 pub use semantics::{sat_at, sat_profile};
 pub use texpr::{TExpr, TExprDisplay};

@@ -68,11 +68,7 @@ impl Knowledge {
         let entry = self.map.get(&l.symbol()).copied();
         let next = match (entry, fact) {
             (Some(Know::Occurred(p)), Fact::Occurred(l2)) => {
-                assert_eq!(
-                    p,
-                    l2.polarity(),
-                    "both an event and its complement reported occurred"
-                );
+                assert_eq!(p, l2.polarity(), "both an event and its complement reported occurred");
                 Know::Occurred(p)
             }
             (Some(Know::Occurred(p)), Fact::Promised(_)) => Know::Occurred(p),
@@ -215,6 +211,18 @@ pub fn needs(g: &Guard) -> Vec<Vec<Need>> {
         .collect()
 }
 
+/// The flattened, deduplicated requirements of a guard across all its
+/// conjuncts — the edge set a static analyzer hangs a wait-for graph on.
+/// Unlike [`needs`], which preserves the per-conjunct structure the
+/// runtime protocol wants, this answers "which facts about which other
+/// events does this guard mention at all".
+pub fn need_edges(g: &Guard) -> Vec<Need> {
+    let mut out: Vec<Need> = needs(g).into_iter().flatten().collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,10 +288,7 @@ mod tests {
         // □e → must hear the occurrence.
         assert_eq!(needs(&Guard::occurred(e)), vec![vec![Need::Occurrence(e)]]);
         // ¬f → not-yet agreement.
-        assert_eq!(
-            needs(&Guard::not_yet(f)),
-            vec![vec![Need::NotYetAgreement(f)]]
-        );
+        assert_eq!(needs(&Guard::not_yet(f)), vec![vec![Need::NotYetAgreement(f)]]);
         // ◇ē + □e → two conjuncts... but they merge into one mask {A,B,D};
         // the mask is not dischargeable by a single promise, falls back to
         // reporting per the table.

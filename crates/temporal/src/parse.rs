@@ -102,11 +102,7 @@ impl P<'_> {
         while self.eat(b'.') {
             parts.push(self.tatom()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one")
-        } else {
-            TExpr::Seq(parts)
-        })
+        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { TExpr::Seq(parts) })
     }
 
     fn tatom(&mut self) -> Result<TExpr, TParseError> {
@@ -221,10 +217,7 @@ mod tests {
             let printed = e1.display(&t).to_string();
             let e2 = parse_texpr(&printed, &mut t)
                 .unwrap_or_else(|err| panic!("reparse {printed}: {err}"));
-            assert!(
-                texprs_equivalent_auto(&e1, &e2),
-                "{s} -> {printed}: meaning changed"
-            );
+            assert!(texprs_equivalent_auto(&e1, &e2), "{s} -> {printed}: meaning changed");
         }
     }
 

@@ -35,9 +35,9 @@ fn sat_seq(u: &Trace, i: usize, parts: &[TExpr]) -> bool {
     match parts {
         [] => true,
         [only] => sat_at(u, i, only),
-        [head, rest @ ..] => (0..=i.min(u.len())).any(|j| {
-            sat_at(u, j, head) && sat_seq(&u.suffix(j), i - j, rest)
-        }),
+        [head, rest @ ..] => {
+            (0..=i.min(u.len())).any(|j| sat_at(u, j, head) && sat_seq(&u.suffix(j), i - j, rest))
+        }
     }
 }
 
@@ -101,32 +101,62 @@ mod tests {
         let dia_ne = TExpr::eventually(e.complement());
         // Row ¬e: ✓ at (⟨e⟩,0), ✗ at (⟨e⟩,1), ✓ at (⟨ē⟩,0), ✓ at (⟨ē⟩,1).
         assert_eq!(
-            [sat_at(&te, 0, &not_e), sat_at(&te, 1, &not_e), sat_at(&tne, 0, &not_e), sat_at(&tne, 1, &not_e)],
+            [
+                sat_at(&te, 0, &not_e),
+                sat_at(&te, 1, &not_e),
+                sat_at(&tne, 0, &not_e),
+                sat_at(&tne, 1, &not_e)
+            ],
             [true, false, true, true]
         );
         // Row □e: only (⟨e⟩,1).
         assert_eq!(
-            [sat_at(&te, 0, &box_e), sat_at(&te, 1, &box_e), sat_at(&tne, 0, &box_e), sat_at(&tne, 1, &box_e)],
+            [
+                sat_at(&te, 0, &box_e),
+                sat_at(&te, 1, &box_e),
+                sat_at(&tne, 0, &box_e),
+                sat_at(&tne, 1, &box_e)
+            ],
             [false, true, false, false]
         );
         // Row ◇e: (⟨e⟩,0) and (⟨e⟩,1).
         assert_eq!(
-            [sat_at(&te, 0, &dia_e), sat_at(&te, 1, &dia_e), sat_at(&tne, 0, &dia_e), sat_at(&tne, 1, &dia_e)],
+            [
+                sat_at(&te, 0, &dia_e),
+                sat_at(&te, 1, &dia_e),
+                sat_at(&tne, 0, &dia_e),
+                sat_at(&tne, 1, &dia_e)
+            ],
             [true, true, false, false]
         );
         // Row ¬ē: all but (⟨ē⟩,1).
         assert_eq!(
-            [sat_at(&te, 0, &not_ne), sat_at(&te, 1, &not_ne), sat_at(&tne, 0, &not_ne), sat_at(&tne, 1, &not_ne)],
+            [
+                sat_at(&te, 0, &not_ne),
+                sat_at(&te, 1, &not_ne),
+                sat_at(&tne, 0, &not_ne),
+                sat_at(&tne, 1, &not_ne)
+            ],
             [true, true, true, false]
         );
         // Row □ē: only (⟨ē⟩,1).
         assert_eq!(
-            [sat_at(&te, 0, &box_ne), sat_at(&te, 1, &box_ne), sat_at(&tne, 0, &box_ne), sat_at(&tne, 1, &box_ne)],
+            [
+                sat_at(&te, 0, &box_ne),
+                sat_at(&te, 1, &box_ne),
+                sat_at(&tne, 0, &box_ne),
+                sat_at(&tne, 1, &box_ne)
+            ],
             [false, false, false, true]
         );
         // Row ◇ē: (⟨ē⟩,0) and (⟨ē⟩,1).
         assert_eq!(
-            [sat_at(&te, 0, &dia_ne), sat_at(&te, 1, &dia_ne), sat_at(&tne, 0, &dia_ne), sat_at(&tne, 1, &dia_ne)],
+            [
+                sat_at(&te, 0, &dia_ne),
+                sat_at(&te, 1, &dia_ne),
+                sat_at(&tne, 0, &dia_ne),
+                sat_at(&tne, 1, &dia_ne)
+            ],
             [false, false, true, true]
         );
     }

@@ -262,10 +262,7 @@ mod tests {
 
     #[test]
     fn display_renders_operators() {
-        let g = TExpr::or([
-            TExpr::eventually(l(1).complement()),
-            TExpr::occurred(l(0)),
-        ]);
+        let g = TExpr::or([TExpr::eventually(l(1).complement()), TExpr::occurred(l(0))]);
         let s = g.to_string();
         assert!(s.contains("<>"), "{s}");
         assert!(s.contains("[]"), "{s}");
@@ -277,9 +274,6 @@ mod tests {
     fn node_count() {
         assert_eq!(TExpr::occurred(l(0)).node_count(), 1);
         assert_eq!(TExpr::not_yet(l(0)).node_count(), 2);
-        assert_eq!(
-            TExpr::or([TExpr::not_yet(l(0)), TExpr::eventually(l(1))]).node_count(),
-            5
-        );
+        assert_eq!(TExpr::or([TExpr::not_yet(l(0)), TExpr::eventually(l(1))]).node_count(), 5);
     }
 }

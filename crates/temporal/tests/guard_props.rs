@@ -32,9 +32,7 @@ fn guard_strategy() -> impl Strategy<Value = Guard> {
         Just(Guard::bottom()),
     ];
     atom.prop_recursive(3, 16, 2, |inner| {
-        (inner.clone(), inner).prop_flat_map(|(a, b)| {
-            prop_oneof![Just(a.or(&b)), Just(a.and(&b))]
-        })
+        (inner.clone(), inner).prop_flat_map(|(a, b)| prop_oneof![Just(a.or(&b)), Just(a.and(&b))])
     })
 }
 
@@ -43,11 +41,8 @@ fn seq_guard_strategy() -> impl Strategy<Value = Guard> {
     (guard_strategy(), prop::collection::vec(lit_strategy(), 2..=3)).prop_map(|(g, lits)| {
         // Distinct symbols for the sequence (repeats collapse to 0).
         let mut seen = std::collections::BTreeSet::new();
-        let seq: Vec<Expr> = lits
-            .into_iter()
-            .filter(|l| seen.insert(l.symbol()))
-            .map(Expr::lit)
-            .collect();
+        let seq: Vec<Expr> =
+            lits.into_iter().filter(|l| seen.insert(l.symbol())).map(Expr::lit).collect();
         if seq.len() < 2 {
             g
         } else {

@@ -50,11 +50,8 @@ impl Gen {
                 for _ in 0..arity.min(pool.len()) {
                     let ix = self.rng.random_range(0..pool.len());
                     let s = pool.swap_remove(ix);
-                    let lit = if self.rng.random_bool(0.5) {
-                        Literal::pos(s)
-                    } else {
-                        Literal::neg(s)
-                    };
+                    let lit =
+                        if self.rng.random_bool(0.5) { Literal::pos(s) } else { Literal::neg(s) };
                     parts.push(Expr::lit(lit));
                 }
                 Expr::seq(parts)
@@ -125,12 +122,7 @@ pub fn klein_pipeline(syms: &[SymbolId]) -> Vec<Expr> {
 pub fn arrow_fanout(root: SymbolId, leaves: &[SymbolId]) -> Vec<Expr> {
     leaves
         .iter()
-        .map(|&l| {
-            Expr::or([
-                Expr::lit(Literal::neg(root)),
-                Expr::lit(Literal::pos(l)),
-            ])
-        })
+        .map(|&l| Expr::or([Expr::lit(Literal::neg(root)), Expr::lit(Literal::pos(l))]))
         .collect()
 }
 
@@ -139,12 +131,7 @@ pub fn arrow_fanout(root: SymbolId, leaves: &[SymbolId]) -> Vec<Expr> {
 /// path when combined with `+`/`|`.
 pub fn disjoint_arrows(syms: &[SymbolId]) -> Vec<Expr> {
     syms.chunks_exact(2)
-        .map(|w| {
-            Expr::or([
-                Expr::lit(Literal::neg(w[0])),
-                Expr::lit(Literal::pos(w[1])),
-            ])
-        })
+        .map(|w| Expr::or([Expr::lit(Literal::neg(w[0])), Expr::lit(Literal::pos(w[1]))]))
         .collect()
 }
 

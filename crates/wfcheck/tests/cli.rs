@@ -1,0 +1,151 @@
+//! Drives the compiled `wfcheck` binary end to end: exit codes, text and
+//! JSON rendering, strictness flags, and the state-budget cutoff.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn write_spec(body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wfcheck-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("spec{}.wf", COUNTER.fetch_add(1, Ordering::Relaxed)));
+    std::fs::write(&path, body).expect("write spec");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wfcheck")).args(args).output().expect("spawn wfcheck")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const CLEAN: &str = "workflow chain {\n\
+                     \x20   event submit;\n\
+                     \x20   event approve;\n\
+                     \x20   dep d1: submit -> approve;\n\
+                     }\n";
+
+const DEAD: &str = "workflow dead {\n\
+                    \x20   event go;\n\
+                    \x20   dep d1: ~go;\n\
+                    }\n";
+
+const CLASH: &str = "workflow clash {\n\
+                     \x20   event pay;\n\
+                     \x20   dep want: pay;\n\
+                     \x20   dep veto: ~pay;\n\
+                     }\n";
+
+#[test]
+fn clean_spec_exits_zero_even_denying_warnings() {
+    let spec = write_spec(CLEAN);
+    let out = run(&["--deny", "warnings", spec.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("0 errors, 0 warnings"), "{}", stdout(&out));
+}
+
+#[test]
+fn dead_event_warns_with_span_and_denies() {
+    let spec = write_spec(DEAD);
+    let path = spec.to_str().unwrap();
+    let relaxed = run(&[path]);
+    assert_eq!(relaxed.status.code(), Some(0));
+    let text = stdout(&relaxed);
+    assert!(text.contains(&format!("{path}:2:5: warning[WF002]")), "{text}");
+    let strict = run(&["--deny", "warnings", path]);
+    assert_eq!(strict.status.code(), Some(1));
+}
+
+#[test]
+fn contradiction_always_fails() {
+    let spec = write_spec(CLASH);
+    let out = run(&[spec.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("error[WF001]"), "{}", stdout(&out));
+}
+
+#[test]
+fn json_output_is_structured() {
+    let spec = write_spec(DEAD);
+    let out = run(&["--json", spec.to_str().unwrap()]);
+    let text = stdout(&out);
+    let line = text.lines().next().unwrap();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"workflow\":\"dead\""), "{line}");
+    assert!(line.contains("\"code\":\"WF002\""), "{line}");
+    assert!(line.contains("\"line\":2"), "{line}");
+    assert!(line.contains("\"warnings\":1"), "{line}");
+}
+
+#[test]
+fn parse_error_is_wf000_with_position() {
+    let spec = write_spec("workflow x {\n  dep d1 ~e;\n}\n");
+    let out = run(&[spec.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("2:7: error[WF000]"), "{text}");
+}
+
+#[test]
+fn three_cycle_and_cross_site_are_denied() {
+    let ring = write_spec(
+        "workflow ring {\n\
+         \x20   event e @ site 0;\n\
+         \x20   event f @ site 1;\n\
+         \x20   event g @ site 1;\n\
+         \x20   dep d1: e -> f;\n\
+         \x20   dep d2: f -> g;\n\
+         \x20   dep d3: g -> e;\n\
+         }\n",
+    );
+    let out = run(&["--deny", "warnings", ring.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("[WF020]"), "{text}");
+    assert!(text.contains("[WF011]"), "{text}");
+    assert!(text.contains("site 0") && text.contains("site 1"), "{text}");
+}
+
+#[test]
+fn state_budget_cutoff_reports_wf006() {
+    let mut big = String::from("workflow big {\n");
+    for i in 0..10 {
+        big.push_str(&format!("    event e{i};\n"));
+    }
+    for i in 0..9 {
+        big.push_str(&format!("    dep d{i}: e{i} -> e{};\n", i + 1));
+    }
+    big.push('}');
+    let spec = write_spec(&big);
+    let path = spec.to_str().unwrap();
+    // Default budget: the product machine finishes the 10-symbol chain.
+    let full = run(&["--deny", "warnings", path]);
+    assert_eq!(full.status.code(), Some(0), "{}", stdout(&full));
+    // Tiny budget: explicit WF006 instead of an unbounded search.
+    let tight = run(&["--deny", "warnings", "--state-budget", "4", path]);
+    assert_eq!(tight.status.code(), Some(1));
+    assert!(stdout(&tight).contains("[WF006]"), "{}", stdout(&tight));
+}
+
+#[test]
+fn multiple_files_take_the_worst_exit() {
+    let good = write_spec(CLEAN);
+    let bad = write_spec(CLASH);
+    let out = run(&[good.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(run(&[]).status.code(), Some(2));
+    assert_eq!(run(&["--frobnicate", "x.wf"]).status.code(), Some(2));
+    assert_eq!(run(&["--deny", "everything", "x.wf"]).status.code(), Some(2));
+    assert_eq!(run(&["/nonexistent/missing.wf"]).status.code(), Some(2));
+    let help = run(&["--help"]);
+    assert_eq!(help.status.code(), Some(0));
+    assert!(stdout(&help).contains("USAGE"));
+}

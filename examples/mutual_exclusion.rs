@@ -11,9 +11,7 @@
 //! per-agent counters (Section 5.2). The dynamic scheduler instantiates
 //! a ground dependency for every pair of iterations on demand.
 
-use constrained_events::distributed::param::{
-    mutex_pair, DynamicScheduler, Outcome, TokenCounter,
-};
+use constrained_events::distributed::param::{mutex_pair, DynamicScheduler, Outcome, TokenCounter};
 
 fn main() {
     println!("== Mutual exclusion over looping tasks (Example 13) ==\n");
@@ -84,10 +82,7 @@ fn main() {
                 pos_of(&format!("e1[{k}]")),
                 pos_of(&format!("b2[{j}]")),
             ) {
-                assert!(
-                    !(b1 < b2 && b2 < e1),
-                    "b2[{j}] occurred inside T1's critical section {k}"
-                );
+                assert!(!(b1 < b2 && b2 < e1), "b2[{j}] occurred inside T1's critical section {k}");
             }
         }
     }

@@ -36,7 +36,9 @@ fn build(shipping_script: &[&str]) -> constrained_events::Workflow {
 }
 
 fn main() {
-    println!("== Order fulfillment (macros: commit_dep, begin_on_commit, abort_dep, compensate) ==\n");
+    println!(
+        "== Order fulfillment (macros: commit_dep, begin_on_commit, abort_dep, compensate) ==\n"
+    );
 
     // ---- happy path: everything commits, no refund ----
     let wf = build(&["commit"]); // shipping.start is triggered by begin_on_commit

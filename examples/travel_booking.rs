@@ -14,6 +14,7 @@
 //! failure path (buy aborts; the scheduler *triggers* the compensating
 //! cancel task on its own accord — Section 3.3(b)).
 
+use analyze::{analyze_dependencies, AnalyzeOptions};
 use constrained_events::agents::library::{rda_transaction, typical_application};
 use constrained_events::{Script, WorkflowBuilder};
 
@@ -37,9 +38,20 @@ fn build(buy_script: &[&str]) -> constrained_events::Workflow {
 fn main() {
     println!("== Travel workflow (Example 4) ==\n");
 
-    // ---- success path ----
+    // ---- static verification before any execution (Section 6) ----
     let wf = build(&["start", "commit"]);
-    println!("guards synthesized from the three dependencies:");
+    let verdict =
+        analyze_dependencies(&wf.spec.dependencies, &wf.spec.table, &AnalyzeOptions::default());
+    println!("wfcheck verdict before deployment:");
+    print!("{}", verdict.render_text(None));
+    // The compensation dependency couples a promise with a not-yet hold
+    // (advisory WF022), but nothing is contradictory or dead: no errors.
+    assert_eq!(verdict.exit_code(false), 0, "travel workflow must carry no errors");
+    assert!(!verdict.jointly_contradictory);
+    assert!(verdict.dead.is_empty(), "every travel event is reachable");
+
+    // ---- success path ----
+    println!("\nguards synthesized from the three dependencies:");
     for ev in ["buy.start", "book.start", "buy.commit", "book.commit", "cancel.start"] {
         println!("  G({ev}) = {}", wf.guard_text(ev).unwrap());
     }
@@ -50,9 +62,7 @@ fn main() {
     assert!(report.all_satisfied());
     let table = &wf.spec.table;
     let commit = table.lookup("buy.commit").unwrap();
-    assert!(report
-        .trace
-        .contains(constrained_events::Literal::pos(commit)));
+    assert!(report.trace.contains(constrained_events::Literal::pos(commit)));
     // book.commit precedes buy.commit (dependency 2).
     let evs = report.trace.events();
     let b = evs
@@ -74,9 +84,11 @@ fn main() {
     println!("  all dependencies satisfied: {}", report.all_satisfied());
     assert!(report.all_satisfied());
     let table = &wf.spec.table;
-    let cancel_started = report.trace.events().iter().any(|l| {
-        table.name(l.symbol()) == Some("cancel.start") && l.is_pos()
-    });
+    let cancel_started = report
+        .trace
+        .events()
+        .iter()
+        .any(|l| table.name(l.symbol()) == Some("cancel.start") && l.is_pos());
     assert!(cancel_started, "the scheduler triggered the compensation");
     println!("  compensation (cancel.start) was proactively triggered: ok");
 }

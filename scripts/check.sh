@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a merge must pass. Requires registry access for
+# the dev-dependencies (proptest, rand); in network-restricted
+# environments run scripts/shadow-check.sh instead, which mirrors the
+# registry-free crates and runs the same build/test/clippy/fmt steps.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> wfcheck --deny warnings over example specs"
+WFCHECK="$REPO/target/release/wfcheck"
+specs=("$REPO"/examples/specs/*.wf)
+"$WFCHECK" --deny warnings "${specs[@]}"
+
+echo "==> tier-1 gate passed"

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Offline verification harness: mirrors the dependency-free crates into a
+# shadow workspace (external registry deps stripped) so `cargo build` /
+# `cargo test` / `cargo clippy` run without network access. Used when the
+# crates-io mirror is unreachable; the real tier-1 gate is scripts/check.sh.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+SHADOW="${SHADOW_DIR:-/tmp/shadow-wf}"
+CRATES=(event-algebra temporal guard speclang analyze wfcheck)
+
+rm -rf "$SHADOW"
+mkdir -p "$SHADOW/crates"
+
+for c in "${CRATES[@]}"; do
+    [ -d "$REPO/crates/$c" ] || continue
+    cp -r "$REPO/crates/$c" "$SHADOW/crates/$c"
+    # Strip dev-deps on registry crates (proptest, rand) and the test
+    # files that use them.
+    sed -i '/^proptest = /d; /^rand = /d' "$SHADOW/crates/$c/Cargo.toml"
+done
+rm -f "$SHADOW"/crates/*/tests/*_props.rs \
+      "$SHADOW"/crates/*/tests/*_prop.rs \
+      "$SHADOW"/crates/*/tests/laws.rs \
+      "$SHADOW"/crates/*/tests/*.proptest-regressions
+cp "$REPO/rustfmt.toml" "$SHADOW/rustfmt.toml" 2>/dev/null || true
+
+members=""
+for c in "${CRATES[@]}"; do
+    [ -d "$SHADOW/crates/$c" ] && members="$members\"crates/$c\", "
+done
+
+cat > "$SHADOW/Cargo.toml" <<EOF
+[workspace]
+members = [$members]
+resolver = "2"
+
+[workspace.package]
+version = "0.1.0"
+edition = "2021"
+license = "MIT"
+repository = "https://example.org/constrained-events"
+
+[workspace.dependencies]
+event-algebra = { path = "crates/event-algebra" }
+temporal = { path = "crates/temporal" }
+guard = { path = "crates/guard" }
+speclang = { path = "crates/speclang" }
+analyze = { path = "crates/analyze" }
+
+[workspace.lints.rust]
+unsafe_code = "warn"
+
+[workspace.lints.clippy]
+all = { level = "warn", priority = -1 }
+dbg_macro = "warn"
+todo = "warn"
+unimplemented = "warn"
+large_types_passed_by_value = "warn"
+semicolon_if_nothing_returned = "warn"
+uninlined_format_args = "warn"
+EOF
+
+cd "$SHADOW"
+cargo build --offline "$@"
+cargo test --offline -q

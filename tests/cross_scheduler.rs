@@ -49,14 +49,10 @@ fn engines_agree_on_random_workflows() {
         let mut g = Gen::new(gen_seed);
         let deps = g.workflow(&syms, 2, 2);
         for seed in 0..5 {
-            let a = run_centralized(
-                &spec(deps.clone(), 4),
-                CentralConfig::new(seed, Engine::Symbolic),
-            );
-            let b = run_centralized(
-                &spec(deps.clone(), 4),
-                CentralConfig::new(seed, Engine::Automata),
-            );
+            let a =
+                run_centralized(&spec(deps.clone(), 4), CentralConfig::new(seed, Engine::Symbolic));
+            let b =
+                run_centralized(&spec(deps.clone(), 4), CentralConfig::new(seed, Engine::Automata));
             assert_eq!(a.trace, b.trace, "gen {gen_seed} seed {seed}");
             assert_eq!(a.satisfied, b.satisfied, "gen {gen_seed} seed {seed}");
         }
@@ -74,10 +70,8 @@ fn distributed_and_centralized_are_both_safe_on_random_workflows() {
             if d.unresolved.is_empty() && d.broken_promises.is_empty() {
                 assert!(d.all_satisfied(), "dist gen {gen_seed} seed {seed}: {d:#?}");
             }
-            let c = run_centralized(
-                &spec(deps.clone(), 4),
-                CentralConfig::new(seed, Engine::Symbolic),
-            );
+            let c =
+                run_centralized(&spec(deps.clone(), 4), CentralConfig::new(seed, Engine::Symbolic));
             if c.unresolved.is_empty() {
                 assert!(c.all_satisfied(), "central gen {gen_seed} seed {seed}: {c:#?}");
             }

@@ -34,6 +34,23 @@ fn spec_file_compiles_and_guards_match_paper_shapes() {
 }
 
 #[test]
+fn wfcheck_passes_run_against_the_spec() {
+    // The compile-phase check of the paper's Section 6: verify the spec
+    // statically before building an executable workflow from it.
+    let lowered = speclang::LoweredWorkflow::parse(SPEC).unwrap();
+    let report = analyze::analyze_workflow(&lowered, &analyze::AnalyzeOptions::default());
+    assert_eq!(report.workflow.as_deref(), Some("demo"));
+    // Nothing contradictory, dead, or forced in the demo pipeline…
+    assert_eq!(report.count(analyze::Severity::Error), 0, "{}", report.render_text(None));
+    assert!(report.dead.is_empty() && report.forced.is_empty());
+    // …but the spec places coupled events on different sites, so the
+    // Lemma 5 independence precondition fails and strict mode rejects it.
+    assert!(report.has_code("WF011"), "{}", report.render_text(None));
+    assert_eq!(report.exit_code(false), 0);
+    assert_eq!(report.exit_code(true), 1);
+}
+
+#[test]
 fn parametrized_deps_flow_to_templates() {
     let src = r#"
         workflow p {
@@ -53,7 +70,8 @@ fn spec_driven_execution_satisfies_dependencies() {
     // Attach attempt times by rebuilding free events through the builder
     // API (the spec file declares shapes; the harness decides schedules).
     let mut b = WorkflowBuilder::new("exec");
-    let submit = b.add_free_event(0, "submit", constrained_events::EventAttrs::controllable(), Some(1));
+    let submit =
+        b.add_free_event(0, "submit", constrained_events::EventAttrs::controllable(), Some(1));
     let approve =
         b.add_free_event(1, "approve", constrained_events::EventAttrs::controllable(), Some(1));
     b.dependency_spec("submit < approve").unwrap();
@@ -62,10 +80,9 @@ fn spec_driven_execution_satisfies_dependencies() {
         let r = wf.run(seed);
         assert!(r.all_satisfied(), "seed {seed}: {r:#?}");
         let evs = r.trace.events();
-        if let (Some(s), Some(a)) = (
-            evs.iter().position(|&l| l == submit),
-            evs.iter().position(|&l| l == approve),
-        ) {
+        if let (Some(s), Some(a)) =
+            (evs.iter().position(|&l| l == submit), evs.iter().position(|&l| l == approve))
+        {
             assert!(s < a, "seed {seed}: {}", r.trace);
         }
     }

@@ -34,9 +34,8 @@ fn success_path_across_seeds() {
         let wf = build(&["start", "commit"]);
         let report = wf.run(seed);
         assert!(report.all_satisfied(), "seed {seed}: {report:#?}");
-        let b = pos_of(&report, &wf, "book.commit").unwrap_or_else(|| {
-            panic!("seed {seed}: book did not commit: {}", report.trace)
-        });
+        let b = pos_of(&report, &wf, "book.commit")
+            .unwrap_or_else(|| panic!("seed {seed}: book did not commit: {}", report.trace));
         let a = pos_of(&report, &wf, "buy.commit")
             .unwrap_or_else(|| panic!("seed {seed}: buy did not commit: {}", report.trace));
         assert!(b < a, "seed {seed}: dependency 2 order violated: {}", report.trace);
@@ -73,10 +72,9 @@ fn centralized_schedulers_agree_on_correctness() {
             let wf = build(&["start", "commit"]);
             let report = wf.run_centralized(seed, engine);
             assert!(report.all_satisfied(), "seed {seed} {engine:?}: {report:#?}");
-            if let (Some(b), Some(a)) = (
-                pos_of(&report, &wf, "book.commit"),
-                pos_of(&report, &wf, "buy.commit"),
-            ) {
+            if let (Some(b), Some(a)) =
+                (pos_of(&report, &wf, "book.commit"), pos_of(&report, &wf, "buy.commit"))
+            {
                 assert!(b < a, "seed {seed} {engine:?}: order violated");
             }
         }
@@ -89,10 +87,9 @@ fn threaded_executor_is_safe_on_travel() {
         let wf = build(&["start", "commit"]);
         let report = wf.run_threaded(round);
         assert!(report.all_satisfied(), "round {round}: {report:#?}");
-        if let (Some(b), Some(a)) = (
-            pos_of(&report, &wf, "book.commit"),
-            pos_of(&report, &wf, "buy.commit"),
-        ) {
+        if let (Some(b), Some(a)) =
+            (pos_of(&report, &wf, "book.commit"), pos_of(&report, &wf, "buy.commit"))
+        {
             assert!(b < a, "round {round}: order violated: {}", report.trace);
         }
     }
