@@ -470,7 +470,7 @@ pub fn run_centralized(spec: &WorkflowSpec, config: CentralConfig) -> RunReport 
         let id = NodeId((client_base + ix) as u32);
         net.inject(id, id, Msg::Kick);
     }
-    let steps = net.run_to_quiescence(config.max_steps);
+    let outcome = net.run_to_quiescence(config.max_steps);
     let duration = net.now();
     let stats = net.stats().clone();
     let all = net.into_nodes();
@@ -493,12 +493,15 @@ pub fn run_centralized(spec: &WorkflowSpec, config: CentralConfig) -> RunReport 
         maximal_trace,
         satisfied,
         duration,
-        steps,
+        steps: outcome.steps,
         net: stats,
         actor_stats: BTreeMap::new(),
         parked: central.parked.iter().copied().collect(),
         broken_promises: Vec::new(),
         journal: Vec::new(),
+        termination: outcome.termination,
+        fault_stats: None,
+        divergence: Vec::new(),
     }
 }
 

@@ -57,6 +57,7 @@ fn bench_guard_modes(c: &mut Criterion) {
                             max_steps: 5_000_000,
                             lazy: None,
                             journal: false,
+                            reliable: None,
                         },
                     );
                     assert!(r.all_satisfied());

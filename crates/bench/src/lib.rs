@@ -130,6 +130,7 @@ pub fn run_reactive_distributed(n: u32, think: u64, seed: u64) -> RunReport {
             max_steps: 5_000_000,
             lazy: None,
             journal: false,
+            reliable: None,
         },
     )
 }
@@ -167,6 +168,7 @@ pub fn run_distributed(w: &Workload, seed: u64) -> RunReport {
             max_steps: 5_000_000,
             lazy: None,
             journal: false,
+            reliable: None,
         },
     )
 }
@@ -182,6 +184,7 @@ pub fn run_lazy(w: &Workload, seed: u64, period: u64) -> RunReport {
             max_steps: 5_000_000,
             lazy: Some((period, 400)),
             journal: false,
+            reliable: None,
         },
     )
 }

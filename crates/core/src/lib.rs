@@ -52,11 +52,12 @@ pub use temporal as logic;
 pub use agent::{EventAttrs, TaskAgent};
 pub use baseline::{run_centralized, CentralConfig, Engine};
 pub use dist::{
-    run_workflow, run_workflow_threaded, AgentSpec, ExecConfig, FreeEventSpec, GuardMode,
-    RunReport, Script, WorkflowSpec,
+    run_workflow, run_workflow_threaded, run_workflow_with_faults, AgentSpec, ExecConfig,
+    FreeEventSpec, GuardMode, ReliableConfig, RunReport, Script, WorkflowSpec,
 };
 pub use event_algebra::{Expr, Literal, SymbolId, SymbolTable, Trace};
 pub use guard::{CompiledWorkflow, GuardScope};
+pub use sim::{FaultPlan, Termination};
 pub use speclang::LoweredWorkflow;
 pub use temporal::{Guard, TExpr};
 
@@ -243,6 +244,14 @@ impl Workflow {
     /// Run with a custom executor configuration.
     pub fn run_with(&self, config: ExecConfig) -> RunReport {
         run_workflow(&self.spec, config)
+    }
+
+    /// Run with fault injection: messages are dropped, duplicated,
+    /// delayed or cut by partitions, and nodes crash and restart, as the
+    /// plan dictates. Pair with [`ExecConfig::reliable`] to keep the
+    /// protocol's guarantees on the lossy network.
+    pub fn run_faulty(&self, config: ExecConfig, plan: FaultPlan) -> RunReport {
+        run_workflow_with_faults(&self.spec, config, plan)
     }
 
     /// Run on the threaded executor (real concurrency, nondeterministic).

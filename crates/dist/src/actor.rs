@@ -62,6 +62,8 @@ pub struct ActorStats {
     pub reductions: u64,
     /// Triggers sent to the agent.
     pub triggers: u64,
+    /// Promise rounds aborted by timeout (and possibly retried).
+    pub promise_aborts: u64,
     /// Virtual time the first attempt parked, if it ever parked.
     pub first_parked_at: Option<Time>,
     /// Virtual time of the occurrence, if any.
@@ -152,6 +154,18 @@ pub struct SymbolActor {
     pub journal: Option<Journal>,
     /// Activity counters.
     pub stats: ActorStats,
+    /// When set, every outgoing promise request arms a self-addressed
+    /// [`Msg::PromiseExpire`] timer with this delay; an unanswered round
+    /// is aborted and retried so mutually-`◇` consensus cannot wedge on a
+    /// lost promise. `None` (the default) disables the timers — the
+    /// behavior on an idealized network is bit-for-bit unchanged.
+    pub promise_timeout: Option<Time>,
+    /// Give up re-entering a promise round after this many aborts (the
+    /// counterpart actor is presumed gone; the symbol is then reported
+    /// unresolved rather than looping forever).
+    pub max_promise_retries: u32,
+    /// Aborted-round counts per `(requested, requester)` pair.
+    promise_retries: BTreeMap<(Literal, Literal), u32>,
 }
 
 impl SymbolActor {
@@ -182,7 +196,17 @@ impl SymbolActor {
             lazy: false,
             journal: None,
             stats: ActorStats::default(),
+            promise_timeout: None,
+            max_promise_retries: 8,
+            promise_retries: BTreeMap::new(),
         }
+    }
+
+    /// The ordered occurrence facts this actor has recorded, keyed by
+    /// global sequence — exposed so harnesses can check that no two
+    /// actors diverge on what occurred (`□e`/`□ē` consistency).
+    pub fn facts(&self) -> &BTreeMap<u64, Literal> {
+        &self.facts_seen
     }
 
     fn lit_state(&mut self, lit: Literal) -> &mut LitState {
@@ -215,6 +239,7 @@ impl SymbolActor {
             Msg::NotYetDeny { lit, occurred } => self.on_notyet_deny(ctx, lit, occurred),
             Msg::Release { .. } => self.on_release(ctx, from),
             Msg::Tick => self.on_tick(ctx),
+            Msg::PromiseExpire { lit, for_lit } => self.on_promise_expire(ctx, lit, for_lit),
             other => panic!("actor for {:?} received non-actor message {other:?}", self.sym),
         }
     }
@@ -278,6 +303,35 @@ impl SymbolActor {
             self.lit_state(l).requested_promises.remove(&lit);
         }
         // The need stays; a later fact arrival re-evaluates and may retry.
+    }
+
+    /// The timeout armed alongside a promise request fired. If the round
+    /// is still unanswered — no grant, no deny, and our own symbol still
+    /// unresolved — abort it and re-enter: the request (or its answer)
+    /// was lost, and waiting forever would wedge the mutual-`◇`
+    /// consensus. Answered or resolved rounds make this a no-op, so a
+    /// stale timer can never disturb a healthy run.
+    fn on_promise_expire(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal, for_lit: Literal) {
+        if self.occurred.is_some() {
+            return;
+        }
+        let st = self.lit_state_ref(for_lit);
+        if !st.attempted || !st.requested_promises.contains(&lit) {
+            return; // answered (grant/deny arrived) or attempt withdrawn
+        }
+        self.stats.promise_aborts += 1;
+        self.journal(ctx.now(), JournalKind::PromiseAborted { lit, for_lit });
+        self.lit_state(for_lit).requested_promises.remove(&lit);
+        let retries = self.promise_retries.entry((lit, for_lit)).or_insert(0);
+        if *retries < self.max_promise_retries {
+            *retries += 1;
+            // Re-evaluating re-runs pursue_needs, which re-sends the
+            // request (idempotent at the granter) and arms a fresh timer.
+            self.evaluate(ctx, for_lit);
+        }
+        // Retry budget exhausted: the need stays outstanding and the
+        // symbol is reported unresolved by the executor — a permanently
+        // unreachable peer is surfaced, not masked.
     }
 
     /// Fold newly seen occurrence facts into both guards and the
@@ -594,6 +648,13 @@ impl SymbolActor {
                     );
                     self.lit_state(lit).requested_promises.insert(*f);
                     self.stats.promises_requested += 1;
+                    if let Some(timeout) = self.promise_timeout {
+                        ctx.send_after(
+                            ctx.self_id,
+                            Msg::PromiseExpire { lit: *f, for_lit: lit },
+                            timeout,
+                        );
+                    }
                     ctx.send(target, m);
                 }
                 Msg::NotYetQuery { lit: f, .. } => {
@@ -871,6 +932,49 @@ impl SymbolActor {
             self.after_fact(ctx, Some(lit));
         }
         // Otherwise: we yielded; retry on the next fact arrival.
+    }
+
+    // ----- crash recovery -----
+
+    /// Called by the executor after a crashed actor's state has been
+    /// rebuilt by replaying its write-ahead log. The replay restores all
+    /// volatile decision state, but anything this actor *sent* shortly
+    /// before the crash may be lost along with the transport's
+    /// retransmission buffer — so re-issue the durable obligations:
+    ///
+    /// - if our symbol resolved, re-announce the occurrence (receivers
+    ///   deduplicate by occurrence sequence) and re-send the agent's
+    ///   verdict (the agent ignores verdicts it is not waiting for);
+    /// - otherwise, forget which promise requests and not-yet queries
+    ///   were in flight (their fate is unknowable) and re-pursue from the
+    ///   rebuilt guards — requests are idempotent at the granter.
+    pub fn resume_after_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let Some((lit, at, seq)) = self.occurred {
+            if let Some(subs) = self.routing.subscribers_of.get(&self.sym) {
+                for &node in subs {
+                    if node != ctx.self_id {
+                        self.stats.announces_out += 1;
+                        ctx.send(node, Msg::Announce { lit, at, seq });
+                    }
+                }
+            }
+            let st = self.lit_state_ref(lit);
+            if st.attempted && !st.forced {
+                self.reply_agent(ctx, Msg::Granted { lit });
+            }
+            let other = lit.complement();
+            let ost = self.lit_state_ref(other);
+            if ost.attempted && !ost.forced {
+                self.reply_agent(ctx, Msg::Rejected { lit: other });
+            }
+            return;
+        }
+        for l in [Literal::pos(self.sym), Literal::neg(self.sym)] {
+            let st = self.lit_state(l);
+            st.requested_promises.clear();
+            st.notyet_pending.clear();
+        }
+        self.after_fact(ctx, None);
     }
 
     fn on_release(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId) {

@@ -118,14 +118,19 @@ impl AgentNode {
                 self.sleeping = false;
             }
             Msg::Granted { lit } => {
-                if let Some(ev) = self.waiting.take() {
-                    debug_assert_eq!(self.agent.literal_of(ev), lit);
+                // Accept the verdict only if it matches the outstanding
+                // attempt: after retransmissions or an actor restart, a
+                // duplicate or stale verdict can arrive when we are not
+                // (or no longer) waiting on that event — firing the wrong
+                // transition on it would corrupt the task state machine.
+                if self.waiting.map(|ev| self.agent.literal_of(ev)) == Some(lit) {
+                    let ev = self.waiting.take().expect("checked above");
                     self.fire(ctx, ev);
                 }
             }
             Msg::Rejected { lit } => {
-                if let Some(ev) = self.waiting.take() {
-                    debug_assert_eq!(self.agent.literal_of(ev), lit);
+                if self.waiting.map(|ev| self.agent.literal_of(ev)) == Some(lit) {
+                    let ev = self.waiting.take().expect("checked above");
                     self.rejected.push(ev);
                 }
             }
@@ -221,6 +226,21 @@ impl AgentNode {
                 }
             }
         }
+    }
+
+    /// Called by the executor after a crashed agent's state has been
+    /// rebuilt by replaying its write-ahead log. An outstanding attempt
+    /// is re-sent (the actor's attempt handling is idempotent, and if it
+    /// already decided, it simply re-sends the verdict). A think-time nap
+    /// is cut short — its wake-up timer died with the node.
+    pub fn resume(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let Some(ev) = self.waiting {
+            let lit = self.agent.literal_of(ev);
+            ctx.send(self.actor_for(ev), Msg::Attempt { lit });
+            return;
+        }
+        self.sleeping = false;
+        self.advance(ctx);
     }
 
     fn start_attempt(&mut self, ctx: &mut Ctx<'_, Msg>, ev: EventIx) {

@@ -10,11 +10,15 @@
 
 use crate::actor::{ActorStats, Routing, SymbolActor};
 use crate::agent_node::{AgentNode, Script};
+use crate::journal::{JournalKind, NodeStore};
 use crate::msg::Msg;
+use crate::reliable::{Reliable, ReliableConfig};
 use agent::{EventAttrs, TaskAgent};
 use event_algebra::{normalize, satisfies, Expr, Literal, SymbolId, SymbolTable, Trace};
 use guard::{CompiledWorkflow, GuardScope};
-use sim::{Ctx, Network, NodeId, Process, SimConfig, SiteId, Time};
+use sim::{
+    Ctx, FaultPlan, FaultStats, Network, NodeId, Process, SimConfig, SiteId, Termination, Time,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use temporal::Guard;
@@ -33,6 +37,7 @@ pub enum GuardMode {
 }
 
 /// A task agent placed on a site with a script.
+#[derive(Debug, Clone)]
 pub struct AgentSpec {
     /// The site the agent (and its events' actors) live on.
     pub site: SiteId,
@@ -44,6 +49,7 @@ pub struct AgentSpec {
 
 /// An event without an agent (used by benches and algebra-level tests):
 /// the executor injects an `Attempt`/`Inform` for it directly.
+#[derive(Debug, Clone, Copy)]
 pub struct FreeEventSpec {
     /// Site of the event's actor.
     pub site: SiteId,
@@ -56,6 +62,7 @@ pub struct FreeEventSpec {
 }
 
 /// Everything needed to run one workflow.
+#[derive(Debug, Clone)]
 pub struct WorkflowSpec {
     /// Names of events.
     pub table: SymbolTable,
@@ -82,6 +89,12 @@ pub struct ExecConfig {
     pub lazy: Option<(Time, u32)>,
     /// Record a structured journal of every scheduling decision.
     pub journal: bool,
+    /// Protocol hardening for lossy networks: wrap cross-node messages in
+    /// the at-least-once transport ([`Reliable`]) and arm promise-round
+    /// timeouts on the actors. `None` (the default) sends raw messages —
+    /// correct on the fault-free simulator and bit-identical to the
+    /// behavior before the fault layer existed.
+    pub reliable: Option<ReliableConfig>,
 }
 
 impl ExecConfig {
@@ -93,11 +106,16 @@ impl ExecConfig {
             max_steps: 1_000_000,
             lazy: None,
             journal: false,
+            reliable: None,
         }
     }
 }
 
 /// One network node: an event actor, an agent, or the lazy-mode ticker.
+// Actor state dwarfs the other variants, but nodes are built once into a
+// Vec and only ever borrowed after that — boxing would tax every message
+// dispatch to save memory that is never moved.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum Node {
     /// Per-symbol event actor.
@@ -176,6 +194,17 @@ pub struct RunReport {
     pub broken_promises: Vec<Literal>,
     /// The execution journal (empty unless `ExecConfig::journal`).
     pub journal: Vec<crate::journal::JournalEntry>,
+    /// Whether the run actually converged or merely ran out of budget —
+    /// a budget-exhausted report is not evidence of anything.
+    pub termination: Termination,
+    /// What the fault layer did, when a plan was installed.
+    pub fault_stats: Option<FaultStats>,
+    /// `□`-divergence detected across actors at quiescence: occurrence
+    /// sequence numbers that two actors associate with *different*
+    /// literals, as `(seq, first_seen, conflicting)`. Always empty when
+    /// the protocol keeps its consistent-temporal-order promise
+    /// (Section 6); the conformance harness asserts exactly that.
+    pub divergence: Vec<(u64, Literal, Literal)>,
 }
 
 impl RunReport {
@@ -299,6 +328,7 @@ pub fn build_workflow(spec: &WorkflowSpec, config: ExecConfig) -> BuiltWorkflow 
         );
         actor.lazy = lazy;
         actor.journal = journal.clone();
+        actor.promise_timeout = config.reliable.map(|r| r.promise_timeout);
         let site = site_of_sym.get(&s).copied().unwrap_or(SiteId(0));
         nodes.push((site, Node::Actor(actor)));
     }
@@ -338,17 +368,31 @@ fn collect_report(
     actor_for: impl Fn(SymbolId) -> usize,
     nodes: &[Node],
     duration: Time,
-    steps: u64,
+    outcome: sim::RunOutcome,
     net: sim::NetStats,
 ) -> RunReport {
+    let sim::RunOutcome { steps, termination } = outcome;
     let mut occurrences: Vec<(Literal, Time, u64)> = Vec::new();
     let mut unresolved: Vec<SymbolId> = Vec::new();
     let mut actor_stats = BTreeMap::new();
     let mut parked = Vec::new();
     let mut broken_promises = Vec::new();
+    let mut canon: BTreeMap<u64, Literal> = BTreeMap::new();
+    let mut divergence: Vec<(u64, Literal, Literal)> = Vec::new();
     for &s in symbol_list {
         let Node::Actor(a) = &nodes[actor_for(s)] else { unreachable!() };
         actor_stats.insert(s, a.stats.clone());
+        // Divergence audit: every actor's view of the global occurrence
+        // order must agree wherever the views overlap.
+        for (&seq, &lit) in a.facts() {
+            match canon.get(&seq) {
+                Some(&first) if first != lit => divergence.push((seq, first, lit)),
+                Some(_) => {}
+                None => {
+                    canon.insert(seq, lit);
+                }
+            }
+        }
         match a.occurred {
             Some(occ) => occurrences.push(occ),
             None => {
@@ -384,32 +428,201 @@ fn collect_report(
         parked,
         broken_promises,
         journal: Vec::new(),
+        termination,
+        fault_stats: None,
+        divergence,
+    }
+}
+
+/// A network node wrapped in the fault-tolerance machinery: an optional
+/// at-least-once transport ([`Reliable`]) for every cross-node message the
+/// wrapped role sends, and an optional write-ahead log ([`NodeStore`])
+/// from which the role is rebuilt after a crash.
+///
+/// With both disabled it is a transparent passthrough — the role handles
+/// messages on the real network context, with zero behavioral difference
+/// from running the role directly.
+pub struct NetNode {
+    /// The wrapped protocol role.
+    pub role: Node,
+    reliable: Option<Reliable>,
+    /// Durable storage shared across the run, plus this node's id in it.
+    store: Option<(NodeStore, u32)>,
+    /// The node as originally built (journal detached): volatile state is
+    /// reset to this on restart before the log replays over it.
+    pristine: Option<Box<Node>>,
+    journal: Option<crate::journal::Journal>,
+}
+
+impl NetNode {
+    /// Route one outgoing message: cross-node immediate sends go through
+    /// the reliability layer (when enabled); self-sends are local timers
+    /// and delayed sends are think-time — both stay raw.
+    fn forward(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, msg: Msg, extra: Time) {
+        match &mut self.reliable {
+            Some(r) if to != ctx.self_id && extra == 0 => {
+                let seq = r.send(ctx, to, msg);
+                if let Some((store, id)) = &self.store {
+                    store.record_seq(*id, to, seq);
+                }
+            }
+            _ => ctx.send_after(to, msg, extra),
+        }
+    }
+}
+
+impl Process<Msg> for NetNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        let payload = match &mut self.reliable {
+            Some(r) => match r.on_message(ctx, from, msg) {
+                Some(p) => p,
+                None => return, // ack, retry timer, or suppressed duplicate
+            },
+            None => msg,
+        };
+        // Write-ahead: log every message the role actually processes
+        // (post-dedup), so a restart can replay exactly this stream.
+        if let Some((store, id)) = &self.store {
+            store.append(*id, from, &payload);
+        }
+        if self.reliable.is_some() {
+            let mut out: Vec<(NodeId, Msg, Time)> = Vec::new();
+            {
+                let mut inner = Ctx::manual(ctx.self_id, ctx.now(), ctx.delivery_seq(), &mut out);
+                self.role.on_message(&mut inner, from, payload);
+            }
+            for (to, m, extra) in out {
+                self.forward(ctx, to, m, extra);
+            }
+        } else {
+            self.role.on_message(ctx, from, payload);
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(pristine) = &self.pristine else { return };
+        self.role = (**pristine).clone();
+        // Fresh transport state — but outgoing sequence counters continue
+        // past every number ever used, or receivers' dedup sets would
+        // silently discard the restarted node's new messages.
+        if let Some(r) = &mut self.reliable {
+            let mut fresh = Reliable::new(r.config());
+            if let Some((store, id)) = &self.store {
+                fresh.restore_seqs(store.seqs_of(*id));
+            }
+            *r = fresh;
+        }
+        // Replay the write-ahead log to rebuild volatile protocol state.
+        // Sends are suppressed: everything the pre-crash node sent was
+        // either delivered, or is covered by peers' retransmissions and
+        // the resume step below. The journal stays detached during replay
+        // so rebuilt decisions are not re-recorded.
+        let mut replayed = 0;
+        if let Some((store, id)) = &self.store {
+            let log = store.log_of(*id);
+            replayed = log.len();
+            let mut discard: Vec<(NodeId, Msg, Time)> = Vec::new();
+            let mut inner = Ctx::manual(ctx.self_id, ctx.now(), ctx.delivery_seq(), &mut discard);
+            for (from, m) in log {
+                self.role.on_message(&mut inner, from, m);
+            }
+        }
+        if let Node::Actor(a) = &mut self.role {
+            a.journal = self.journal.clone();
+        }
+        if let Some(j) = &self.journal {
+            j.record(ctx.now(), JournalKind::Restarted { node: ctx.self_id.0, replayed });
+        }
+        // Re-kick in-flight work; outputs go through the transport.
+        let mut out: Vec<(NodeId, Msg, Time)> = Vec::new();
+        {
+            let mut inner = Ctx::manual(ctx.self_id, ctx.now(), ctx.delivery_seq(), &mut out);
+            match &mut self.role {
+                Node::Actor(a) => a.resume_after_restart(&mut inner),
+                Node::Agent(a) => a.resume(&mut inner),
+                Node::Ticker { .. } => inner.send(ctx.self_id, Msg::Kick),
+            }
+        }
+        for (to, m, extra) in out {
+            self.forward(ctx, to, m, extra);
+        }
     }
 }
 
 /// Compile and run a workflow on the deterministic simulated network.
 pub fn run_workflow(spec: &WorkflowSpec, config: ExecConfig) -> RunReport {
+    run_workflow_inner(spec, config, None)
+}
+
+/// Compile and run a workflow under a [`FaultPlan`]: link faults, site
+/// partitions and crash–restarts from the plan are applied to the
+/// network, a shared [`NodeStore`] write-ahead log backs crash recovery,
+/// and (when `config.reliable` is set) every cross-node protocol message
+/// rides the at-least-once transport.
+pub fn run_workflow_with_faults(
+    spec: &WorkflowSpec,
+    config: ExecConfig,
+    plan: FaultPlan,
+) -> RunReport {
+    run_workflow_inner(spec, config, Some(plan))
+}
+
+fn run_workflow_inner(
+    spec: &WorkflowSpec,
+    config: ExecConfig,
+    plan: Option<FaultPlan>,
+) -> RunReport {
     let built = build_workflow(spec, config);
     let routing = Arc::clone(&built.routing);
     let journal = built.journal.clone();
-    let mut net: Network<Msg, Node> = Network::new(config.sim, built.nodes);
+    // Durable storage (and the pristine copies restarts reset to) are
+    // only materialized when a fault plan could actually crash a node.
+    let store = plan.is_some().then(NodeStore::new);
+    let nodes: Vec<(SiteId, NetNode)> = built
+        .nodes
+        .into_iter()
+        .enumerate()
+        .map(|(ix, (site, role))| {
+            let pristine = store.is_some().then(|| {
+                let mut p = role.clone();
+                if let Node::Actor(a) = &mut p {
+                    a.journal = None;
+                }
+                Box::new(p)
+            });
+            let node = NetNode {
+                role,
+                reliable: config.reliable.map(Reliable::new),
+                store: store.clone().map(|s| (s, ix as u32)),
+                pristine,
+                journal: journal.clone(),
+            };
+            (site, node)
+        })
+        .collect();
+    let mut net: Network<Msg, NetNode> = Network::new(config.sim, nodes);
+    if let Some(plan) = plan {
+        net.set_faults(plan);
+    }
     for (from, to, msg) in built.injections {
         net.inject(from, to, msg);
     }
     let max_steps = if config.max_steps == 0 { 1_000_000 } else { config.max_steps };
-    let steps = net.run_to_quiescence(max_steps);
+    let outcome = net.run_to_quiescence(max_steps);
     let duration = net.now();
     let stats = net.stats().clone();
-    let all: Vec<Node> = net.into_nodes();
+    let fault_stats = net.fault_stats().copied();
+    let all: Vec<Node> = net.into_nodes().into_iter().map(|n| n.role).collect();
     let mut report = collect_report(
         spec,
         &built.symbols,
         |s| routing.actor_of[&s].0 as usize,
         &all,
         duration,
-        steps,
+        outcome,
         stats,
     );
+    report.fault_stats = fault_stats;
     if let Some(j) = journal {
         report.journal = j.entries();
     }
@@ -430,7 +643,7 @@ pub fn run_workflow_threaded(spec: &WorkflowSpec, config: ExecConfig) -> RunRepo
         |s| routing.actor_of[&s].0 as usize,
         &all,
         0,
-        0,
+        sim::RunOutcome { steps: 0, termination: Termination::Quiescent },
         sim::NetStats::default(),
     )
 }

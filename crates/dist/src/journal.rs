@@ -51,6 +51,22 @@ pub enum JournalKind {
     Released(Literal),
     /// A triggerable event was proactively triggered (Section 3.3(b)).
     Triggered(Literal),
+    /// A crashed node came back and rebuilt its state from its
+    /// write-ahead log (`replayed` = messages replayed from the log).
+    Restarted {
+        /// The restarted node.
+        node: u32,
+        /// How many logged messages were replayed to rebuild state.
+        replayed: usize,
+    },
+    /// A promise round timed out and was aborted for retry (the
+    /// anti-wedge path of the `◇` consensus).
+    PromiseAborted {
+        /// The event whose promise was requested.
+        lit: Literal,
+        /// The blocked requester the round was run for.
+        for_lit: Literal,
+    },
 }
 
 /// A journal entry with its virtual timestamp.
@@ -127,7 +143,63 @@ impl JournalKind {
             }
             JournalKind::Released(l) => format!("release   {}", n(l)),
             JournalKind::Triggered(l) => format!("TRIGGER   {}", n(l)),
+            JournalKind::Restarted { node, replayed } => {
+                format!("RESTART   node {node} (replayed {replayed} messages)")
+            }
+            JournalKind::PromiseAborted { lit, for_lit } => {
+                format!("promise~  {} (for {}, timed out)", n(lit), n(for_lit))
+            }
         }
+    }
+}
+
+/// Durable per-node write-ahead log used by crash–restart recovery: the
+/// executor appends every *processed* (post-dedup) protocol message
+/// before handing it to the node, and a restarting node replays its log
+/// to re-derive exactly the volatile state it had built from those
+/// messages. Shared via `Arc`, standing in for each site's stable
+/// storage.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStore {
+    logs: Arc<Mutex<std::collections::BTreeMap<u32, MessageLog>>>,
+    seqs: Arc<Mutex<std::collections::BTreeMap<u32, SeqCounters>>>,
+}
+
+/// One node's processed-message log, in append order.
+type MessageLog = Vec<(sim::NodeId, crate::msg::Msg)>;
+/// Latest outgoing transport sequence number per receiver.
+type SeqCounters = std::collections::BTreeMap<sim::NodeId, u64>;
+
+impl NodeStore {
+    /// Fresh empty store.
+    pub fn new() -> NodeStore {
+        NodeStore::default()
+    }
+
+    /// Durably record the latest outgoing transport sequence number
+    /// `node` used towards `to`, so a restarted sender never reuses one.
+    pub fn record_seq(&self, node: u32, to: sim::NodeId, seq: u64) {
+        self.seqs.lock().entry(node).or_default().insert(to, seq);
+    }
+
+    /// The per-receiver sequence counters `node` had persisted.
+    pub fn seqs_of(&self, node: u32) -> std::collections::BTreeMap<sim::NodeId, u64> {
+        self.seqs.lock().get(&node).cloned().unwrap_or_default()
+    }
+
+    /// Append one processed message to `node`'s log.
+    pub fn append(&self, node: u32, from: sim::NodeId, msg: &crate::msg::Msg) {
+        self.logs.lock().entry(node).or_default().push((from, msg.clone()));
+    }
+
+    /// Snapshot `node`'s log in append order.
+    pub fn log_of(&self, node: u32) -> Vec<(sim::NodeId, crate::msg::Msg)> {
+        self.logs.lock().get(&node).cloned().unwrap_or_default()
+    }
+
+    /// Total messages logged across all nodes.
+    pub fn total(&self) -> usize {
+        self.logs.lock().values().map(Vec::len).sum()
     }
 }
 
@@ -156,5 +228,37 @@ mod tests {
         let j2 = j.clone();
         j2.record(1, JournalKind::Released(Literal::pos(event_algebra::SymbolId(0))));
         assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn recovery_kinds_render() {
+        let mut t = SymbolTable::new();
+        let e = t.event("pay");
+        let j = Journal::new();
+        j.record(7, JournalKind::Restarted { node: 3, replayed: 12 });
+        j.record(9, JournalKind::PromiseAborted { lit: e, for_lit: e.complement() });
+        let s = j.render(&t);
+        assert!(s.contains("RESTART   node 3 (replayed 12 messages)"), "{s}");
+        assert!(s.contains("promise~  pay"), "{s}");
+    }
+
+    #[test]
+    fn node_store_logs_per_node_and_shares_clones() {
+        use crate::msg::Msg;
+        let store = NodeStore::new();
+        let lit = Literal::pos(event_algebra::SymbolId(1));
+        store.append(2, sim::NodeId(0), &Msg::Attempt { lit });
+        store.clone().append(2, sim::NodeId(1), &Msg::Granted { lit });
+        store.append(5, sim::NodeId(2), &Msg::Kick);
+        assert_eq!(store.total(), 3);
+        let log = store.log_of(2);
+        assert_eq!(log.len(), 2, "append order preserved per node");
+        assert_eq!(log[0], (sim::NodeId(0), Msg::Attempt { lit }));
+        assert_eq!(log[1], (sim::NodeId(1), Msg::Granted { lit }));
+        assert!(store.log_of(9).is_empty());
+        store.record_seq(2, sim::NodeId(1), 7);
+        store.record_seq(2, sim::NodeId(1), 9);
+        assert_eq!(store.seqs_of(2).get(&sim::NodeId(1)), Some(&9), "latest wins");
+        assert!(store.seqs_of(3).is_empty());
     }
 }

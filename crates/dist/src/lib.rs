@@ -17,12 +17,14 @@ mod exec;
 mod journal;
 mod msg;
 pub mod param;
+mod reliable;
 
 pub use actor::{ActorStats, LitState, Routing, SymbolActor};
 pub use agent_node::{AgentNode, Script, ScriptStep};
 pub use exec::{
-    build_workflow, run_workflow, run_workflow_threaded, AgentSpec, BuiltWorkflow, ExecConfig,
-    FreeEventSpec, GuardMode, Node, RunReport, WorkflowSpec,
+    build_workflow, run_workflow, run_workflow_threaded, run_workflow_with_faults, AgentSpec,
+    BuiltWorkflow, ExecConfig, FreeEventSpec, GuardMode, NetNode, Node, RunReport, WorkflowSpec,
 };
-pub use journal::{Journal, JournalEntry, JournalKind};
+pub use journal::{Journal, JournalEntry, JournalKind, NodeStore};
 pub use msg::Msg;
+pub use reliable::{Reliable, ReliableConfig};

@@ -11,7 +11,7 @@
 //!    not-yet agreement used for `¬e` guards.
 
 use event_algebra::Literal;
-use sim::Time;
+use sim::{NodeId, Time};
 
 /// A message of the scheduling protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,13 +113,55 @@ pub enum Msg {
         /// The previously held event.
         lit: Literal,
     },
+
+    // ----- reliability layer (at-least-once delivery) -----
+    /// A protocol message wrapped in a sender-assigned per-link sequence
+    /// number. The receiver acks every copy and delivers the payload at
+    /// most once (dedup by `(sender, seq)`), so retransmission gives
+    /// at-least-once transport with exactly-once *processing*.
+    Seq {
+        /// Sender-assigned sequence number, monotone per (sender,
+        /// receiver) pair.
+        seq: u64,
+        /// The wrapped protocol message.
+        inner: Box<Msg>,
+    },
+    /// Acknowledges receipt of the envelope with this sequence number
+    /// (acks themselves are fire-and-forget: a lost ack just causes a
+    /// retransmission, which is then deduplicated).
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+    /// Self-addressed retransmission timer: if envelope `seq` to `to` is
+    /// still unacked when this fires, resend it and re-arm with backoff.
+    RetryTimer {
+        /// The receiver of the guarded envelope.
+        to: NodeId,
+        /// The guarded sequence number.
+        seq: u64,
+    },
+    /// Self-addressed promise-round timer: if the `◇lit` request made on
+    /// behalf of `for_lit` is still unanswered when this fires, the round
+    /// is aborted and re-entered, so mutually-`◇` consensus cannot wedge
+    /// on a lost or long-delayed promise.
+    PromiseExpire {
+        /// The event whose promise was requested.
+        lit: Literal,
+        /// The requester's event.
+        for_lit: Literal,
+    },
 }
 
 impl Msg {
-    /// The literal this message concerns (`None` for [`Msg::Kick`]).
+    /// The literal this message concerns (`None` for [`Msg::Kick`] and
+    /// the transport-level variants; a [`Msg::Seq`] envelope defers to
+    /// its payload).
     pub fn literal(&self) -> Option<Literal> {
         match self {
-            Msg::Kick | Msg::Tick => None,
+            Msg::Kick | Msg::Tick | Msg::Ack { .. } | Msg::RetryTimer { .. } => None,
+            Msg::Seq { inner, .. } => inner.literal(),
+            Msg::PromiseExpire { lit, .. } => Some(*lit),
             Msg::Attempt { lit }
             | Msg::Inform { lit }
             | Msg::Granted { lit }
@@ -159,10 +201,20 @@ mod tests {
             Msg::NotYetGrant { lit: l },
             Msg::NotYetDeny { lit: l, occurred: false },
             Msg::Release { lit: l },
+            Msg::Seq { seq: 9, inner: Box::new(Msg::Announce { lit: l, at: 5, seq: 1 }) },
+            Msg::PromiseExpire { lit: l, for_lit: l.complement() },
         ];
         for m in msgs {
             assert_eq!(m.literal(), Some(l), "{m:?}");
         }
         assert_eq!(Msg::Kick.literal(), None);
+        assert_eq!(Msg::Tick.literal(), None);
+        assert_eq!(Msg::Ack { seq: 1 }.literal(), None);
+        assert_eq!(Msg::RetryTimer { to: NodeId(2), seq: 1 }.literal(), None);
+        assert_eq!(
+            Msg::Seq { seq: 1, inner: Box::new(Msg::Kick) }.literal(),
+            None,
+            "envelope defers to payload"
+        );
     }
 }

@@ -382,13 +382,16 @@ enum Acceptability {
     Unsafe,
 }
 
+/// Instantiates the ground guard a template demands for one binding.
+type TemplateFn = Box<dyn Fn(u64, &mut SymbolTable) -> Guard + Send>;
+
 /// Example 14's parametrized guard: a template over a free variable whose
 /// instances appear when matching tokens occur, reduce under facts, and
 /// *resurrect* back to the template when discharged.
 pub struct ParamGuard {
     /// Template: for each binding of the free variable, this ground guard
     /// must hold (universal quantification).
-    template: Box<dyn Fn(u64, &mut SymbolTable) -> Guard + Send>,
+    template: TemplateFn,
     /// Live instances that are neither discharged nor dead.
     pub instances: BTreeMap<u64, Guard>,
     /// Bindings whose instance died (the guard is 0 overall while any

@@ -40,6 +40,7 @@ fn config(seed: u64, mode: GuardMode) -> ExecConfig {
         max_steps: 200_000,
         lazy: None,
         journal: false,
+        reliable: None,
     }
 }
 

@@ -9,10 +9,14 @@
 
 #![warn(missing_docs)]
 
+mod faults;
 mod net;
 mod stats;
 mod threaded;
 
-pub use net::{Ctx, LatencyModel, Network, NodeId, Process, SimConfig, SiteId, Time};
+pub use faults::{Crash, FaultPlan, FaultStats, LinkFaults, Partition};
+pub use net::{
+    Ctx, LatencyModel, Network, NodeId, Process, RunOutcome, SimConfig, SiteId, Termination, Time,
+};
 pub use stats::NetStats;
 pub use threaded::run_threaded;

@@ -1,0 +1,153 @@
+//! Seed-corpus regressions for the fault layer: every test pins one
+//! (workflow, fault plan, seed) triple that once exposed a bug or an
+//! interesting corner of the fault machinery, named after what it
+//! exercises. Exploration finds new cases; this file keeps them found.
+//!
+//! The corpus deliberately replays *full scheduler* scenarios through
+//! `sim`'s fault hooks (dev-dependency cycle on `dist`/`testkit` — the
+//! fault layer is meaningless without traffic to perturb).
+
+use agent::EventAttrs;
+use dist::{ExecConfig, FreeEventSpec, ReliableConfig, WorkflowSpec};
+use event_algebra::{parse_expr, Literal, SymbolId, SymbolTable};
+use sim::{FaultPlan, NodeId, SiteId, Termination};
+use testkit::conformance::{check_determinism, check_run};
+
+/// Example 11: mutually-promising events on two sites.
+fn mutual_promise_spec() -> WorkflowSpec {
+    let mut table = SymbolTable::new();
+    let d1 = parse_expr("~e + f", &mut table).unwrap();
+    let d2 = parse_expr("~f + e", &mut table).unwrap();
+    let e = table.event("e");
+    let f = table.event("f");
+    WorkflowSpec {
+        table,
+        dependencies: vec![d1, d2],
+        agents: vec![],
+        free_events: vec![
+            FreeEventSpec {
+                site: SiteId(0),
+                lit: e,
+                attrs: EventAttrs::controllable(),
+                attempt_after: Some(1),
+            },
+            FreeEventSpec {
+                site: SiteId(1),
+                lit: f,
+                attrs: EventAttrs::controllable(),
+                attempt_after: Some(1),
+            },
+        ],
+    }
+}
+
+/// A Klein pipeline of `n` events spread over `n` sites.
+fn pipeline_spec(n: u32) -> WorkflowSpec {
+    let syms: Vec<SymbolId> = (0..n).map(SymbolId).collect();
+    let mut table = SymbolTable::new();
+    for i in 0..n {
+        table.intern(&format!("e{i}"));
+    }
+    let free_events = syms
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| FreeEventSpec {
+            site: SiteId(i as u32),
+            lit: Literal::pos(s),
+            attrs: EventAttrs::controllable(),
+            attempt_after: Some(1),
+        })
+        .collect();
+    WorkflowSpec {
+        table,
+        dependencies: testkit::klein_pipeline(&syms),
+        agents: vec![],
+        free_events,
+    }
+}
+
+fn hardened(seed: u64) -> ExecConfig {
+    let mut config = ExecConfig::seeded(seed);
+    config.reliable = Some(ReliableConfig::default());
+    config
+}
+
+/// seed 17 / n = 3: the shrunk counterexample from an early
+/// `klein_pipeline_completes` failure (see
+/// `dist/tests/exec_props.proptest-regressions`). Re-pinned here under a
+/// 20% lossy link — the schedule that once wedged the pipeline must now
+/// ride out drops too.
+#[test]
+fn pipeline_seed17_survives_lossy_link() {
+    let spec = pipeline_spec(3);
+    let plan = FaultPlan::new(17).drop_rate(0.2).duplicate_rate(0.2);
+    let run = check_run(&spec, hardened(17), plan, true);
+    assert!(run.is_conformant(), "{:?}", run.failures);
+    assert_eq!(run.report.trace.len(), 3);
+}
+
+/// A duplicate storm (90% duplication): receiver-side dedup must make
+/// redelivery invisible — exactly-once processing, no double firing, and
+/// a trace identical in shape to the clean run.
+#[test]
+fn duplicate_storm_is_idempotent() {
+    let spec = mutual_promise_spec();
+    let plan = FaultPlan::new(41).duplicate_rate(0.9);
+    let run = check_run(&spec, hardened(8), plan, true);
+    assert!(run.is_conformant(), "{:?}", run.failures);
+    assert_eq!(run.report.trace.len(), 2, "each event fires exactly once");
+}
+
+/// A partition that opens before the first promise round and heals late:
+/// retransmission timers must carry the consensus across the heal.
+#[test]
+fn partition_heals_and_consensus_completes() {
+    let spec = mutual_promise_spec();
+    let plan = FaultPlan::new(23).partition(SiteId(0), SiteId(1), 0, 600);
+    let run = check_run(&spec, hardened(23), plan, true);
+    assert!(run.is_conformant(), "{:?}", run.failures);
+}
+
+/// The crash schedule from `dist/tests/crash_restart.rs`, kept in the
+/// corpus: node 0 dies at t=2 mid-round and restarts at t=100 with its
+/// state rebuilt from the write-ahead log.
+#[test]
+fn crash_restart_seed13_completes() {
+    let spec = mutual_promise_spec();
+    let plan = FaultPlan::new(13).crash(NodeId(0), 2, Some(100));
+    let run = check_run(&spec, hardened(21), plan, true);
+    assert!(run.is_conformant(), "{:?}", run.failures);
+    assert!(run.report.broken_promises.is_empty());
+}
+
+/// Chaos plan (drops + duplicates + jitter + partition) over the
+/// pipeline: the full gauntlet, plus a byte-for-byte replay check —
+/// fault injection must not leak nondeterminism into the simulation.
+#[test]
+fn pipeline_chaos_seed9_is_deterministic() {
+    let spec = pipeline_spec(4);
+    let plan = FaultPlan::new(9).drop_rate(0.2).duplicate_rate(0.2).jitter(0, 20).partition(
+        SiteId(0),
+        SiteId(1),
+        20,
+        400,
+    );
+    let run = check_run(&spec, hardened(9), plan.clone(), true);
+    assert!(run.is_conformant(), "{:?}", run.failures);
+    let failures = check_determinism(&spec, hardened(9), plan);
+    assert!(failures.is_empty(), "{failures:?}");
+}
+
+/// A fault plan with every knob at zero must be byte-identical to no
+/// plan at all: the fault layer's mere presence cannot perturb the
+/// simulation (its RNG stream is separate from latency sampling).
+#[test]
+fn empty_plan_is_transparent() {
+    let spec = mutual_promise_spec();
+    let clean = dist::run_workflow(&spec, ExecConfig::seeded(6));
+    let faulted = dist::run_workflow_with_faults(&spec, ExecConfig::seeded(6), FaultPlan::new(99));
+    assert_eq!(clean.trace, faulted.trace);
+    assert_eq!(clean.duration, faulted.duration);
+    assert_eq!(clean.steps, faulted.steps);
+    assert_eq!(faulted.termination, Termination::Quiescent);
+}

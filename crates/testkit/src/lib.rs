@@ -3,6 +3,8 @@
 
 #![warn(missing_docs)]
 
+pub mod conformance;
+
 use event_algebra::{Expr, Literal, SymbolId, SymbolTable};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

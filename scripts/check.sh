@@ -3,10 +3,26 @@
 # the dev-dependencies (proptest, rand); in network-restricted
 # environments run scripts/shadow-check.sh instead, which mirrors the
 # registry-free crates and runs the same build/test/clippy/fmt steps.
+#
+# `check.sh --faults` runs the fault-conformance tier instead: the
+# `conformance` driver sweeps every example spec through the standard
+# fault-plan matrix (clean, drop20, dup20, jitter, partition, chaos) on
+# fixed seeds with a hard step budget. Budgeted to finish well under a
+# minute.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO"
+
+if [ "${1:-}" = "--faults" ]; then
+    echo "==> cargo build --release --bin conformance"
+    cargo build --release --bin conformance
+    echo "==> conformance over examples/specs/*.wf x fault matrix"
+    "$REPO/target/release/conformance" --seeds 8 --max-steps 2000000 \
+        "$REPO"/examples/specs/*.wf
+    echo "==> fault tier passed"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release

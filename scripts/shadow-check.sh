@@ -1,38 +1,51 @@
 #!/usr/bin/env bash
-# Offline verification harness: mirrors the dependency-free crates into a
-# shadow workspace (external registry deps stripped) so `cargo build` /
-# `cargo test` / `cargo clippy` run without network access. Used when the
-# crates-io mirror is unreachable; the real tier-1 gate is scripts/check.sh.
+# Offline verification harness: mirrors the workspace into a shadow
+# directory where the registry dependencies (rand, proptest, crossbeam,
+# parking_lot) are replaced by the API-compatible stubs in scripts/stubs/,
+# so `cargo build` / `cargo test` run without network access. The stub
+# RNGs sample different streams than the real crates, so shadow-run tests
+# must assert structural properties, never exact sampled values. Property
+# tests using rich proptest strategies are stripped (the stub only
+# supports plain range strategies) and run only under the real tier-1
+# gate, scripts/check.sh. The bench crate (criterion) is skipped.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 SHADOW="${SHADOW_DIR:-/tmp/shadow-wf}"
-CRATES=(event-algebra temporal guard speclang analyze wfcheck)
+CRATES=(event-algebra temporal guard speclang analyze wfcheck sim agent dist baseline testkit core)
 
 rm -rf "$SHADOW"
-mkdir -p "$SHADOW/crates"
+mkdir -p "$SHADOW/crates" "$SHADOW/root"
 
 for c in "${CRATES[@]}"; do
     [ -d "$REPO/crates/$c" ] || continue
     cp -r "$REPO/crates/$c" "$SHADOW/crates/$c"
-    # Strip dev-deps on registry crates (proptest, rand) and the test
-    # files that use them.
-    sed -i '/^proptest = /d; /^rand = /d' "$SHADOW/crates/$c/Cargo.toml"
 done
-rm -f "$SHADOW"/crates/*/tests/*_props.rs \
-      "$SHADOW"/crates/*/tests/*_prop.rs \
-      "$SHADOW"/crates/*/tests/laws.rs \
+
+# The root package (lib facade, integration tests, examples, bins).
+for d in src tests examples; do
+    [ -d "$REPO/$d" ] && cp -r "$REPO/$d" "$SHADOW/root/$d"
+done
+sed -n '/^\[package\]/,$p' "$REPO/Cargo.toml" > "$SHADOW/root/Cargo.toml"
+
+# The registry stubs.
+cp -r "$REPO/scripts/stubs" "$SHADOW/stubs"
+
+# Strip the property-test files that need real proptest strategies
+# (prop::collection, prop_oneof, any::<T>); the simple-range fault
+# property tests stay and run against the stub.
+rm -f "$SHADOW/crates/event-algebra/tests/laws.rs" \
+      "$SHADOW/crates/temporal/tests/guard_props.rs" \
+      "$SHADOW/crates/guard/tests/theorem_props.rs" \
+      "$SHADOW/crates/analyze/tests/soundness_props.rs" \
+      "$SHADOW/crates/dist/tests/param_props.rs" \
+      "$SHADOW/crates/dist/tests/exec_props.rs" \
       "$SHADOW"/crates/*/tests/*.proptest-regressions
 cp "$REPO/rustfmt.toml" "$SHADOW/rustfmt.toml" 2>/dev/null || true
 
-members=""
-for c in "${CRATES[@]}"; do
-    [ -d "$SHADOW/crates/$c" ] && members="$members\"crates/$c\", "
-done
-
 cat > "$SHADOW/Cargo.toml" <<EOF
 [workspace]
-members = [$members]
+members = ["crates/*", "stubs/*", "root"]
 resolver = "2"
 
 [workspace.package]
@@ -45,8 +58,19 @@ repository = "https://example.org/constrained-events"
 event-algebra = { path = "crates/event-algebra" }
 temporal = { path = "crates/temporal" }
 guard = { path = "crates/guard" }
+sim = { path = "crates/sim" }
+agent = { path = "crates/agent" }
+dist = { path = "crates/dist" }
+baseline = { path = "crates/baseline" }
 speclang = { path = "crates/speclang" }
 analyze = { path = "crates/analyze" }
+wfcheck = { path = "crates/wfcheck" }
+testkit = { path = "crates/testkit" }
+constrained-events = { path = "crates/core" }
+rand = { path = "stubs/rand" }
+proptest = { path = "stubs/proptest" }
+crossbeam = { path = "stubs/crossbeam" }
+parking_lot = { path = "stubs/parking_lot" }
 
 [workspace.lints.rust]
 unsafe_code = "warn"

@@ -1,0 +1,110 @@
+//! Offline stand-in for `crossbeam` (see Cargo.toml for scope).
+
+/// MPMC channels over std sync primitives.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Send failed (never happens here: the stub channel cannot close).
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Timed receive failed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders dropped (not modelled by the stub).
+        Disconnected,
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; never fails in the stub.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.chan.queue.lock().expect("stub channel lock");
+            q.push_back(value);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message, waiting up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.chan.queue.lock().expect("stub channel lock");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) =
+                    self.chan.ready.wait_timeout(q, deadline - now).expect("stub channel lock");
+                q = guard;
+                if res.timed_out() && q.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// `true` when no message is queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.chan.queue.lock().expect("stub channel lock").is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || {
+                tx2.send(41).unwrap();
+                tx.send(42).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(41));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(42));
+            assert!(rx.is_empty());
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for `proptest` (see Cargo.toml for supported subset).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Mirror of `proptest::test_runner::Config` for the one constructor the
+/// workspace uses. The stub ignores the requested case count beyond
+/// capping it (deterministic sampling needs no large budgets offline).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Requested number of cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A range the stub can sample a case value from.
+pub trait StubStrategy {
+    /// The sampled value type.
+    type Value;
+    /// Deterministically sample case `ix` of `total`.
+    fn sample(&self, state: &mut u64) -> Self::Value;
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+macro_rules! stub_strategy_int {
+    ($($t:ty),*) => {$(
+        impl StubStrategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, state: &mut u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (splitmix(state) % span) as $t
+            }
+        }
+        impl StubStrategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, state: &mut u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    splitmix(state) as $t
+                } else {
+                    lo + (splitmix(state) % span) as $t
+                }
+            }
+        }
+    )*};
+}
+stub_strategy_int!(u8, u16, u32, u64, usize);
+
+/// Everything the test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Stub of the `proptest!` macro: expands each property to a plain
+/// `#[test]` looping over deterministically sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    // Internal arms first: the trailing catch-all would otherwise match
+    // `@cfg ...` inputs and recurse forever.
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __cases: u32 = ($cfg).cases.min(64);
+            let mut __state: u64 = 0xDEFA_17ED_5EED_u64 ^ (stringify!($name).len() as u64);
+            for __case in 0..__cases {
+                $(let $arg = $crate::StubStrategy::sample(&$strat, &mut __state);)*
+                let __run = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                };
+                if let Err(e) = __run() {
+                    panic!(
+                        "property {} failed at case {}: {}",
+                        stringify!($name), __case, e
+                    );
+                }
+            }
+        }
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Stub of `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Stub of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(__a == __b, $($fmt)*);
+    }};
+}
+
+/// Stub of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a != __b,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($a),
+            stringify!($b),
+            __a
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        fn samples_stay_in_bounds(a in 3u64..10, b in 0usize..=4) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 4);
+        }
+
+        fn arithmetic_holds(x in 0u32..100) {
+            prop_assert_eq!(x + x, 2 * x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(x in 5u64..6) {
+                prop_assert_eq!(x, 0, "x was {}", x);
+            }
+        }
+        // Invoke the generated test body directly.
+        inner();
+    }
+}

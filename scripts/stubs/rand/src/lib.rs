@@ -1,0 +1,144 @@
+//! Offline stand-in for the `rand` crate (see Cargo.toml for scope).
+//! Deterministic splitmix64 generator behind the same trait names the
+//! workspace imports; NOT statistically equivalent to upstream `rand`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core trait: a source of `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring the subset of `rand::Rng`
+/// this workspace calls.
+pub trait Rng: RngCore {
+    /// Uniform sample from a (half-open or inclusive) integer range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleVal,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        let v = if span == 0 { self.next_u64() } else { lo.wrapping_add(self.next_u64() % span) };
+        T::from_u64(v)
+    }
+
+    /// Bernoulli sample: `true` with probability `p` in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        // 53 uniform mantissa bits in [0, 1); p == 1.0 is always true,
+        // p == 0.0 always false.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Integer types the stub can sample.
+pub trait SampleVal: Copy {
+    /// Reinterpret a `u64` sample as `Self` (values fit by construction).
+    fn from_u64(v: u64) -> Self;
+    /// Widen to `u64` for range arithmetic.
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! sample_val {
+    ($($t:ty),*) => {$(
+        impl SampleVal for $t {
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+        }
+    )*};
+}
+sample_val!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Ranges the stub can sample from.
+pub trait SampleRange<T> {
+    /// Inclusive `(lo, hi)` bounds widened to `u64`.
+    fn bounds(&self) -> (u64, u64);
+}
+
+impl<T: SampleVal> SampleRange<T> for Range<T> {
+    fn bounds(&self) -> (u64, u64) {
+        let end = self.end.to_u64();
+        assert!(end > 0, "cannot sample empty range");
+        (self.start.to_u64(), end - 1)
+    }
+}
+
+impl<T: SampleVal> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(&self) -> (u64, u64) {
+        (self.start().to_u64(), self.end().to_u64())
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic small generator (splitmix64 — not the upstream
+    /// xoshiro; streams differ from real `rand`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_bounds() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: u64 = a.random_range(3..10);
+            assert_eq!(x, b.random_range(3..10));
+            assert!((3..10).contains(&x));
+            let y: usize = a.random_range(0..=4);
+            assert_eq!(y, b.random_range(0..=4));
+            assert!(y <= 4);
+        }
+    }
+
+    #[test]
+    fn bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!((0..50).all(|_| r.random_bool(1.0)));
+        assert!((0..50).all(|_| !r.random_bool(0.0)));
+        let trues = (0..1000).filter(|_| r.random_bool(0.5)).count();
+        assert!((300..700).contains(&trues), "roughly balanced: {trues}");
+    }
+}

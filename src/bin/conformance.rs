@@ -1,0 +1,133 @@
+//! Fault-conformance driver: run every workflow spec through the
+//! standard fault-plan matrix across a band of seeds and audit each run
+//! for guard safety, view consistency, convergence, liveness and
+//! determinism. Exits nonzero on the first nonconforming scenario.
+//!
+//! ```text
+//! conformance [--seeds N] [--max-steps N] [SPEC.wf ...]
+//! ```
+//!
+//! With no spec arguments, sweeps `examples/specs/*.wf`. Liveness is
+//! only demanded of specs the static analyzer reports error-free — a
+//! spec wfcheck already rejects is run for safety alone.
+
+use analyze::{analyze_workflow, AnalyzeOptions, Severity};
+use constrained_events::{ExecConfig, LoweredWorkflow, ReliableConfig, WorkflowBuilder};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use testkit::conformance::{explore, standard_plans};
+
+struct Args {
+    seeds: u64,
+    max_steps: u64,
+    specs: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seeds: 10, max_steps: 2_000_000, specs: Vec::new() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                args.seeds = v.parse().map_err(|e| format!("--seeds {v}: {e}"))?;
+            }
+            "--max-steps" => {
+                let v = it.next().ok_or("--max-steps needs a value")?;
+                args.max_steps = v.parse().map_err(|e| format!("--max-steps {v}: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: conformance [--seeds N] [--max-steps N] [SPEC.wf ...]");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => args.specs.push(PathBuf::from(path)),
+        }
+    }
+    if args.specs.is_empty() {
+        let dir = PathBuf::from("examples/specs");
+        let mut found: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "wf"))
+            .collect();
+        found.sort();
+        args.specs = found;
+    }
+    if args.specs.is_empty() {
+        return Err("no .wf specs found".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("conformance: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let plan_count = standard_plans(0).len() as u64;
+    let mut total_failures = 0usize;
+    for path in &args.specs {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("conformance: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let lowered = match LoweredWorkflow::parse(&src) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("conformance: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        // Liveness is a theorem about statically clean workflows only.
+        let verdict = analyze_workflow(&lowered, &AnalyzeOptions::default());
+        let expect_live = verdict.count(Severity::Error) == 0;
+
+        let workflow = match WorkflowBuilder::from_spec(&src) {
+            Ok(b) => b.build(),
+            Err(e) => {
+                eprintln!("conformance: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut config = ExecConfig::seeded(0);
+        config.reliable = Some(ReliableConfig::default());
+        config.max_steps = args.max_steps;
+
+        let failures = explore(&workflow.name, &workflow.spec, config, 0..args.seeds, expect_live);
+        let scenarios = args.seeds * plan_count;
+        if failures.is_empty() {
+            println!(
+                "conformance: {:<12} {} scenarios ok ({} seeds x {} plans, liveness {})",
+                workflow.name,
+                scenarios,
+                args.seeds,
+                plan_count,
+                if expect_live { "checked" } else { "waived: static errors" }
+            );
+        } else {
+            for f in &failures {
+                eprintln!("FAIL {f}");
+            }
+            eprintln!(
+                "conformance: {:<12} {}/{} scenarios nonconforming",
+                workflow.name,
+                failures.len(),
+                scenarios
+            );
+            total_failures += failures.len();
+        }
+    }
+    if total_failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
