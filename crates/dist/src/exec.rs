@@ -466,24 +466,46 @@ impl NetNode {
                     store.record_seq(*id, to, seq);
                 }
             }
-            _ => ctx.send_after(to, msg, extra),
+            Some(_) => {
+                // Only self-addressed timers may stay raw: a *cross-node*
+                // delayed send would silently skip the envelope and lose
+                // its at-least-once protection. No role emits one today;
+                // the assert keeps the invariant explicit.
+                debug_assert!(
+                    to == ctx.self_id,
+                    "delayed cross-node send would bypass the at-least-once transport"
+                );
+                ctx.send_after(to, msg, extra);
+            }
+            None => ctx.send_after(to, msg, extra),
         }
     }
 }
 
 impl Process<Msg> for NetNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        let payload = match &mut self.reliable {
+        let (payload, env_seq) = match &mut self.reliable {
             Some(r) => match r.on_message(ctx, from, msg) {
                 Some(p) => p,
                 None => return, // ack, retry timer, or suppressed duplicate
             },
-            None => msg,
+            None => (msg, None),
         };
         // Write-ahead: log every message the role actually processes
-        // (post-dedup), so a restart can replay exactly this stream.
+        // (post-dedup), with the delivery context it is processed under,
+        // so a restart can replay exactly this stream — same payloads,
+        // same times, same global delivery sequence numbers.
         if let Some((store, id)) = &self.store {
-            store.append(*id, from, &payload);
+            store.append(
+                *id,
+                crate::journal::WalEntry {
+                    from,
+                    msg: payload.clone(),
+                    at: ctx.now(),
+                    delivery_seq: ctx.delivery_seq(),
+                    env_seq,
+                },
+            );
         }
         if self.reliable.is_some() {
             let mut out: Vec<(NodeId, Msg, Time)> = Vec::new();
@@ -502,29 +524,40 @@ impl Process<Msg> for NetNode {
     fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let Some(pristine) = &self.pristine else { return };
         self.role = (**pristine).clone();
+        let log = match &self.store {
+            Some((store, id)) => store.log_of(*id),
+            None => Vec::new(),
+        };
         // Fresh transport state — but outgoing sequence counters continue
-        // past every number ever used, or receivers' dedup sets would
-        // silently discard the restarted node's new messages.
+        // past every number ever used (or receivers' dedup sets would
+        // silently discard the restarted node's new messages), and the
+        // receive-side dedup sets are rebuilt from the logged envelopes
+        // (or a peer retransmitting a pre-crash envelope would pass as a
+        // first delivery and be processed — and logged — twice).
         if let Some(r) = &mut self.reliable {
             let mut fresh = Reliable::new(r.config());
             if let Some((store, id)) = &self.store {
                 fresh.restore_seqs(store.seqs_of(*id));
             }
+            fresh.restore_seen(log.iter().filter_map(|e| e.env_seq.map(|s| (e.from, s))));
             *r = fresh;
         }
         // Replay the write-ahead log to rebuild volatile protocol state.
-        // Sends are suppressed: everything the pre-crash node sent was
-        // either delivered, or is covered by peers' retransmissions and
-        // the resume step below. The journal stays detached during replay
-        // so rebuilt decisions are not re-recorded.
-        let mut replayed = 0;
-        if let Some((store, id)) = &self.store {
-            let log = store.log_of(*id);
-            replayed = log.len();
+        // Each entry is replayed under its *original* delivery context
+        // (time and global sequence), so an occurrence decided during
+        // replay is rebuilt with its pre-crash `(time, seq)` and the
+        // resume step's re-announcement deduplicates at subscribers
+        // instead of fabricating a fresh sequence number. Sends are
+        // suppressed: everything the pre-crash node sent was either
+        // delivered, or is covered by peers' retransmissions and the
+        // resume step below. The journal stays detached during replay so
+        // rebuilt decisions are not re-recorded.
+        let replayed = log.len();
+        {
             let mut discard: Vec<(NodeId, Msg, Time)> = Vec::new();
-            let mut inner = Ctx::manual(ctx.self_id, ctx.now(), ctx.delivery_seq(), &mut discard);
-            for (from, m) in log {
-                self.role.on_message(&mut inner, from, m);
+            for e in log {
+                let mut inner = Ctx::manual(ctx.self_id, e.at, e.delivery_seq, &mut discard);
+                self.role.on_message(&mut inner, e.from, e.msg);
             }
         }
         if let Node::Actor(a) = &mut self.role {

@@ -153,6 +153,30 @@ impl JournalKind {
     }
 }
 
+/// One write-ahead-log record: a processed (post-dedup) protocol message
+/// together with the delivery context it was processed under. Replaying
+/// the message under its *original* virtual time and global delivery
+/// sequence is what makes recovery exact — an occurrence decided during
+/// replay is rebuilt with its pre-crash `(time, seq)`, so the restarted
+/// actor's re-announcement deduplicates at every subscriber instead of
+/// registering as a second fact at a fabricated sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalEntry {
+    /// The sending node.
+    pub from: sim::NodeId,
+    /// The processed payload (transport envelope already stripped).
+    pub msg: crate::msg::Msg,
+    /// Virtual time the message was originally processed.
+    pub at: Time,
+    /// Global delivery sequence it was originally processed under.
+    pub delivery_seq: u64,
+    /// The at-least-once envelope sequence it arrived under, when it came
+    /// through the reliability layer — used to rebuild the receive-side
+    /// dedup set on restart, so a peer retransmitting a pre-crash
+    /// envelope is suppressed rather than re-processed.
+    pub env_seq: Option<u64>,
+}
+
 /// Durable per-node write-ahead log used by crash–restart recovery: the
 /// executor appends every *processed* (post-dedup) protocol message
 /// before handing it to the node, and a restarting node replays its log
@@ -161,12 +185,10 @@ impl JournalKind {
 /// storage.
 #[derive(Debug, Clone, Default)]
 pub struct NodeStore {
-    logs: Arc<Mutex<std::collections::BTreeMap<u32, MessageLog>>>,
+    logs: Arc<Mutex<std::collections::BTreeMap<u32, Vec<WalEntry>>>>,
     seqs: Arc<Mutex<std::collections::BTreeMap<u32, SeqCounters>>>,
 }
 
-/// One node's processed-message log, in append order.
-type MessageLog = Vec<(sim::NodeId, crate::msg::Msg)>;
 /// Latest outgoing transport sequence number per receiver.
 type SeqCounters = std::collections::BTreeMap<sim::NodeId, u64>;
 
@@ -188,12 +210,12 @@ impl NodeStore {
     }
 
     /// Append one processed message to `node`'s log.
-    pub fn append(&self, node: u32, from: sim::NodeId, msg: &crate::msg::Msg) {
-        self.logs.lock().entry(node).or_default().push((from, msg.clone()));
+    pub fn append(&self, node: u32, entry: WalEntry) {
+        self.logs.lock().entry(node).or_default().push(entry);
     }
 
     /// Snapshot `node`'s log in append order.
-    pub fn log_of(&self, node: u32) -> Vec<(sim::NodeId, crate::msg::Msg)> {
+    pub fn log_of(&self, node: u32) -> Vec<WalEntry> {
         self.logs.lock().get(&node).cloned().unwrap_or_default()
     }
 
@@ -245,16 +267,23 @@ mod tests {
     #[test]
     fn node_store_logs_per_node_and_shares_clones() {
         use crate::msg::Msg;
+        let entry = |from: u32, msg: Msg, delivery_seq: u64, env_seq: Option<u64>| WalEntry {
+            from: sim::NodeId(from),
+            msg,
+            at: delivery_seq,
+            delivery_seq,
+            env_seq,
+        };
         let store = NodeStore::new();
         let lit = Literal::pos(event_algebra::SymbolId(1));
-        store.append(2, sim::NodeId(0), &Msg::Attempt { lit });
-        store.clone().append(2, sim::NodeId(1), &Msg::Granted { lit });
-        store.append(5, sim::NodeId(2), &Msg::Kick);
+        store.append(2, entry(0, Msg::Attempt { lit }, 4, None));
+        store.clone().append(2, entry(1, Msg::Granted { lit }, 6, Some(3)));
+        store.append(5, entry(2, Msg::Kick, 9, None));
         assert_eq!(store.total(), 3);
         let log = store.log_of(2);
         assert_eq!(log.len(), 2, "append order preserved per node");
-        assert_eq!(log[0], (sim::NodeId(0), Msg::Attempt { lit }));
-        assert_eq!(log[1], (sim::NodeId(1), Msg::Granted { lit }));
+        assert_eq!(log[0], entry(0, Msg::Attempt { lit }, 4, None));
+        assert_eq!(log[1], entry(1, Msg::Granted { lit }, 6, Some(3)));
         assert!(store.log_of(9).is_empty());
         store.record_seq(2, sim::NodeId(1), 7);
         store.record_seq(2, sim::NodeId(1), 9);

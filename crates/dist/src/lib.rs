@@ -25,6 +25,6 @@ pub use exec::{
     build_workflow, run_workflow, run_workflow_threaded, run_workflow_with_faults, AgentSpec,
     BuiltWorkflow, ExecConfig, FreeEventSpec, GuardMode, NetNode, Node, RunReport, WorkflowSpec,
 };
-pub use journal::{Journal, JournalEntry, JournalKind, NodeStore};
+pub use journal::{Journal, JournalEntry, JournalKind, NodeStore, WalEntry};
 pub use msg::Msg;
 pub use reliable::{Reliable, ReliableConfig};

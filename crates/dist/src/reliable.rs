@@ -97,19 +97,38 @@ impl Reliable {
         self.next_seq = seqs;
     }
 
+    /// Restore the receive-side dedup sets from durable storage after a
+    /// crash (the write-ahead log records each processed message's
+    /// envelope). Without this, a peer retransmitting a pre-crash
+    /// envelope after the restart would pass dedup as a first delivery
+    /// and the payload would be processed — and logged — a second time.
+    pub fn restore_seen(&mut self, envelopes: impl IntoIterator<Item = (NodeId, u64)>) {
+        for (from, seq) in envelopes {
+            self.seen.entry(from).or_default().insert(seq);
+        }
+    }
+
     /// Handle an incoming transport-level message. Returns:
     ///
-    /// - `Some(payload)` for a first-delivery envelope (the caller
-    ///   processes the payload exactly once);
+    /// - `Some((payload, envelope_seq))` for a first-delivery envelope
+    ///   (the caller processes the payload exactly once; the envelope
+    ///   sequence — `None` for raw, unwrapped messages — is what durable
+    ///   logs persist so [`restore_seen`](Reliable::restore_seen) can
+    ///   rebuild dedup after a crash);
     /// - `None` for acks, retry timers and duplicate envelopes, which
     ///   are consumed entirely by the transport.
-    pub fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) -> Option<Msg> {
+    pub fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        msg: Msg,
+    ) -> Option<(Msg, Option<u64>)> {
         match msg {
             Msg::Seq { seq, inner } => {
                 // Ack every copy: the sender may have missed earlier acks.
                 ctx.send(from, Msg::Ack { seq });
                 if self.seen.entry(from).or_default().insert(seq) {
-                    Some(*inner)
+                    Some((*inner, Some(seq)))
                 } else {
                     self.duplicates_suppressed += 1;
                     None
@@ -123,7 +142,7 @@ impl Reliable {
                 self.retransmit(ctx, to, seq);
                 None
             }
-            other => Some(other),
+            other => Some((other, None)),
         }
     }
 
@@ -178,7 +197,7 @@ mod tests {
         let mut out = ctx_parts();
         let mut ctx = Ctx::manual(NodeId(1), 0, 0, &mut out);
         let first = r.on_message(&mut ctx, NodeId(0), env.clone());
-        assert_eq!(first, Some(announce(2)));
+        assert_eq!(first, Some((announce(2), Some(5))));
         let second = r.on_message(&mut ctx, NodeId(0), env);
         assert_eq!(second, None);
         assert_eq!(r.duplicates_suppressed, 1);
@@ -241,8 +260,31 @@ mod tests {
         let mut r = Reliable::new(ReliableConfig::default());
         let mut out = ctx_parts();
         let mut ctx = Ctx::manual(NodeId(1), 0, 0, &mut out);
-        assert_eq!(r.on_message(&mut ctx, NodeId(0), Msg::Kick), Some(Msg::Kick));
+        assert_eq!(r.on_message(&mut ctx, NodeId(0), Msg::Kick), Some((Msg::Kick, None)));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn restored_seen_set_suppresses_precrash_retransmissions() {
+        // Receiver processes envelope 4, crashes, and is rebuilt with the
+        // dedup set restored from its log: the peer's retransmission of
+        // envelope 4 must be acked but not re-delivered, while a genuinely
+        // new envelope still passes.
+        let mut r = Reliable::new(ReliableConfig::default());
+        r.restore_seen([(NodeId(0), 4)]);
+        let mut out = ctx_parts();
+        {
+            let mut ctx = Ctx::manual(NodeId(1), 200, 0, &mut out);
+            let env = Msg::Seq { seq: 4, inner: Box::new(announce(2)) };
+            assert_eq!(r.on_message(&mut ctx, NodeId(0), env), None, "pre-crash dup suppressed");
+            assert_eq!(r.duplicates_suppressed, 1);
+            let fresh = Msg::Seq { seq: 5, inner: Box::new(announce(3)) };
+            assert_eq!(r.on_message(&mut ctx, NodeId(0), fresh), Some((announce(3), Some(5))));
+        }
+        assert!(
+            out.iter().any(|(to, m, _)| *to == NodeId(0) && matches!(m, Msg::Ack { seq: 4 })),
+            "duplicate still acked so the sender stops retransmitting"
+        );
     }
 
     #[test]

@@ -123,3 +123,48 @@ fn crash_before_first_delivery_still_recovers() {
     assert!(report.divergence.is_empty());
     assert!(audit_guards(&spec, &report).is_empty());
 }
+
+/// A crash window that opens *after* the node's event has occurred: the
+/// WAL replay must rebuild the occurrence with its pre-crash time and
+/// global sequence number, so the restarted actor's re-announcement
+/// deduplicates at every subscriber instead of landing as a second fact
+/// at a fabricated sequence (double-residuation / view divergence).
+#[test]
+fn crash_after_occurrence_preserves_sequence_numbers() {
+    let spec = mutual_promise_spec();
+    // The crash fires long after the run has quiesced, so the pre-crash
+    // execution is identical to one under an empty plan — the rebuilt
+    // report must match that baseline occurrence for occurrence.
+    let baseline = run_workflow_with_faults(&spec, reliable_config(21), FaultPlan::new(13));
+    assert_eq!(baseline.trace.len(), 2, "both events fire: {:?}", baseline.trace);
+
+    let plan = FaultPlan::new(13).crash(NodeId(0), 1_000, Some(1_100));
+    let report = run_workflow_with_faults(&spec, reliable_config(21), plan);
+    assert_eq!(report.termination, Termination::Quiescent);
+    assert!(report.all_satisfied(), "unsatisfied: {:?}", report.satisfied);
+    assert!(report.divergence.is_empty(), "views diverged: {:?}", report.divergence);
+    assert!(audit_guards(&spec, &report).is_empty());
+    assert_eq!(
+        report.occurrences, baseline.occurrences,
+        "rebuilt occurrence must carry its pre-crash (time, seq)"
+    );
+}
+
+/// A crash window inside the announcement exchange — after `e` occurred
+/// but while its announcement may still be in flight. Whatever the
+/// interleaving, recovery must never fabricate a new sequence number for
+/// the rebuilt occurrence: views stay convergent across a band of seeds.
+#[test]
+fn mid_exchange_crash_never_diverges_views() {
+    let spec = mutual_promise_spec();
+    for seed in 0..16 {
+        // t=40 typically lands after the first occurrence (attempts at
+        // t=1, one promise round at 10-20 ticks per hop).
+        let plan = FaultPlan::new(seed).crash(NodeId(0), 40, Some(300));
+        let report = run_workflow_with_faults(&spec, reliable_config(seed), plan);
+        assert_eq!(report.termination, Termination::Quiescent, "seed {seed}");
+        assert!(report.divergence.is_empty(), "seed {seed}: {:?}", report.divergence);
+        assert!(audit_guards(&spec, &report).is_empty(), "seed {seed}");
+        assert!(report.all_satisfied(), "seed {seed}: {:?}", report.satisfied);
+    }
+}

@@ -120,6 +120,21 @@ fn crash_restart_seed13_completes() {
     assert!(run.report.broken_promises.is_empty());
 }
 
+/// The post-occurrence crash that exposed the sequence-replay bug: node 0
+/// dies at t=40 — *after* its event has occurred — and restarts. The WAL
+/// replay must rebuild the occurrence under its original delivery
+/// context; the broken replay re-announced it under a fabricated
+/// restart-time sequence number, double-residuating subscribers' guards
+/// and (on colliding seqs) diverging their views of the occurrence order.
+#[test]
+fn crash_after_occurrence_seed13_keeps_views_convergent() {
+    let spec = mutual_promise_spec();
+    let plan = FaultPlan::new(13).crash(NodeId(0), 40, Some(300));
+    let run = check_run(&spec, hardened(21), plan, true);
+    assert!(run.is_conformant(), "{:?}", run.failures);
+    assert_eq!(run.report.trace.len(), 2, "both events fire exactly once");
+}
+
 /// Chaos plan (drops + duplicates + jitter + partition) over the
 /// pipeline: the full gauntlet, plus a byte-for-byte replay check —
 /// fault injection must not leak nondeterminism into the simulation.

@@ -158,16 +158,23 @@ pub fn check_determinism(spec: &WorkflowSpec, config: ExecConfig, plan: FaultPla
 /// The standard fault-plan matrix exercised by `scripts/check.sh
 /// --faults`: each entry is a named plan derived from `fault_seed`. The
 /// plans stay within what the hardened protocol tolerates (lossy but
-/// fair links, healed partitions), so liveness may be asserted under
-/// every one of them.
+/// fair links, healed partitions, crashed nodes that restart), so
+/// liveness may be asserted under every one of them.
+///
+/// The `crash` plan kills node 0 at t=40 — a window that typically opens
+/// *after* the first occurrences (attempts land around t=1, promise
+/// rounds take a few 10–20-tick hops) — so the matrix exercises the
+/// riskiest recovery path: rebuilding an already-occurred event from the
+/// write-ahead log with its pre-crash sequence number intact.
 pub fn standard_plans(fault_seed: u64) -> Vec<(&'static str, FaultPlan)> {
-    use sim::SiteId;
+    use sim::{NodeId, SiteId};
     vec![
         ("clean", FaultPlan::new(fault_seed)),
         ("drop20", FaultPlan::new(fault_seed).drop_rate(0.2)),
         ("dup20", FaultPlan::new(fault_seed).duplicate_rate(0.2)),
         ("jitter", FaultPlan::new(fault_seed).jitter(0, 30)),
         ("partition", FaultPlan::new(fault_seed).partition(SiteId(0), SiteId(1), 20, 400)),
+        ("crash", FaultPlan::new(fault_seed).crash(NodeId(0), 40, Some(300))),
         (
             "chaos",
             FaultPlan::new(fault_seed).drop_rate(0.2).duplicate_rate(0.2).jitter(0, 20).partition(

@@ -6,9 +6,9 @@
 #
 # `check.sh --faults` runs the fault-conformance tier instead: the
 # `conformance` driver sweeps every example spec through the standard
-# fault-plan matrix (clean, drop20, dup20, jitter, partition, chaos) on
-# fixed seeds with a hard step budget. Budgeted to finish well under a
-# minute.
+# fault-plan matrix (clean, drop20, dup20, jitter, partition, crash,
+# chaos) on fixed seeds with a hard step budget. Budgeted to finish well
+# under a minute.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
