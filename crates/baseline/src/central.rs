@@ -54,8 +54,10 @@ struct CompiledMachine {
 impl CompiledMachine {
     fn compile(d: &Expr) -> CompiledMachine {
         let machine = DependencyMachine::compile(d);
-        let live: Vec<bool> =
-            (0..machine.state_count()).map(|s| machine.is_live(StateId(s as u32))).collect();
+        // All three tables are now O(1) reads of the machine's own
+        // compile-time reachability analysis (can-ever is the avoidance
+        // table at the literal's complement, which is in Γ_D by closure).
+        let live = machine.live_mask();
         let required = (0..machine.state_count())
             .map(|s| {
                 machine
@@ -70,9 +72,7 @@ impl CompiledMachine {
                 machine
                     .alphabet
                     .iter()
-                    .map(|&l| {
-                        satisfiable_avoiding(machine.state(StateId(s as u32)), l.complement())
-                    })
+                    .map(|&l| machine.may_reach_avoiding(StateId(s as u32), l.complement()))
                     .collect()
             })
             .collect();

@@ -1,0 +1,191 @@
+//! Hot-path microbenchmarks for the hash-consed expression arena and the
+//! compiled guard runtime: interning, residuation, dependency-machine
+//! compilation, the per-message FSM step, and the end-to-end simulated
+//! schedule under the symbolic vs the compiled dependency runtime.
+//!
+//! Each group pairs the tree-walking reference implementation ("tree")
+//! against the arena/automaton fast path ("arena"/"compiled") so the
+//! before/after ratio is measured, not assumed. The offline counterpart
+//! (plain `std::time`, no criterion) lives in `src/bin/perfprobe.rs` and
+//! produces `BENCH_algebra.json`.
+
+use bench::{pipeline_workload, standard_sim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dist::{run_workflow, DepRuntime, ExecConfig, GuardMode};
+use event_algebra::{normalize, residuate, DependencyMachine, Expr, ExprArena, Literal};
+
+/// The normalized pipeline dependencies plus every literal of their joint
+/// alphabet — the workload all algebra-level groups share.
+fn pipeline_exprs(n: u32) -> (Vec<Expr>, Vec<Literal>) {
+    let w = pipeline_workload(n, 1);
+    let deps: Vec<Expr> = w.deps.iter().map(normalize).collect();
+    let mut lits: Vec<Literal> = deps
+        .iter()
+        .flat_map(|d| d.symbols())
+        .flat_map(|s| [Literal::pos(s), Literal::neg(s)])
+        .collect();
+    lits.sort();
+    lits.dedup();
+    (deps, lits)
+}
+
+fn bench_intern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intern");
+    for &n in &[10u32, 20] {
+        let (deps, _) = pipeline_exprs(n);
+        group.bench_with_input(BenchmarkId::new("pipeline", n), &n, |b, _| {
+            b.iter(|| {
+                let mut arena = ExprArena::new();
+                let ids: Vec<_> = deps.iter().map(|d| arena.intern(d)).collect();
+                (arena.len(), ids.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_residuate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("residuate");
+    for &n in &[10u32, 20] {
+        let (deps, lits) = pipeline_exprs(n);
+        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for d in &deps {
+                    for &l in &lits {
+                        acc += residuate(d, l).node_count();
+                    }
+                }
+                acc
+            })
+        });
+        // The arena persists across calls — exactly how GuardSynth and
+        // the machine compiler hold it — so steady-state probes are memo
+        // hits on interned ids.
+        let mut arena = ExprArena::new();
+        let ids: Vec<_> = deps.iter().map(|d| arena.intern(d)).collect();
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &id in &ids {
+                    for &l in &lits {
+                        acc += arena.residuate(id, l).index() as u64;
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine-compile");
+    for &n in &[10u32, 20] {
+        let (deps, _) = pipeline_exprs(n);
+        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+            b.iter(|| {
+                deps.iter()
+                    .map(|d| DependencyMachine::compile_tree_reference(d).state_count())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, _| {
+            b.iter(|| {
+                DependencyMachine::compile_all(&deps)
+                    .iter()
+                    .map(DependencyMachine::state_count)
+                    .sum::<usize>()
+            })
+        });
+        // Structural dedup: the same dependency instantiated n times is
+        // compiled once by the arena path, n times by the tree path.
+        let replicated: Vec<Expr> = (0..deps.len()).map(|_| deps[0].clone()).collect();
+        group.bench_with_input(BenchmarkId::new("tree-replicated", n), &n, |b, _| {
+            b.iter(|| {
+                replicated
+                    .iter()
+                    .map(|d| DependencyMachine::compile_tree_reference(d).state_count())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("arena-replicated", n), &n, |b, _| {
+            b.iter(|| {
+                DependencyMachine::compile_all(&replicated)
+                    .iter()
+                    .map(DependencyMachine::state_count)
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step");
+    let (deps, lits) = pipeline_exprs(10);
+    let machines = DependencyMachine::compile_all(&deps);
+    // Per-message work of one actor: fold each alphabet literal into
+    // every dependency's residual once.
+    group.bench_function("tree-residual", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for d in &deps {
+                let mut r = d.clone();
+                for &l in &lits {
+                    r = residuate(&r, l);
+                }
+                acc += r.node_count();
+            }
+            acc
+        })
+    });
+    group.bench_function("fsm-step", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for m in &machines {
+                let mut s = m.initial;
+                for &l in &lits {
+                    s = m.step(s, l);
+                }
+                acc += s.0;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e-schedule");
+    group.sample_size(20);
+    for &n in &[10u32] {
+        let w = pipeline_workload(n, n.min(8));
+        for (label, runtime) in
+            [("symbolic", DepRuntime::Symbolic), ("compiled", DepRuntime::Compiled)]
+        {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let r = run_workflow(
+                        &w.spec(),
+                        ExecConfig {
+                            sim: standard_sim(1),
+                            guard_mode: GuardMode::Weakened,
+                            max_steps: 5_000_000,
+                            lazy: None,
+                            journal: false,
+                            reliable: None,
+                            dep_runtime: runtime,
+                        },
+                    );
+                    assert!(r.all_satisfied());
+                    r.net.sent_total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intern, bench_residuate, bench_compile, bench_step, bench_e2e);
+criterion_main!(benches);

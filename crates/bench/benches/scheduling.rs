@@ -5,7 +5,7 @@
 use baseline::Engine;
 use bench::{pipeline_workload, run_central, run_distributed, standard_sim};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dist::{run_workflow, ExecConfig, GuardMode};
+use dist::{run_workflow, DepRuntime, ExecConfig, GuardMode};
 
 fn bench_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling");
@@ -58,6 +58,7 @@ fn bench_guard_modes(c: &mut Criterion) {
                             lazy: None,
                             journal: false,
                             reliable: None,
+                            dep_runtime: DepRuntime::default(),
                         },
                     );
                     assert!(r.all_satisfied());

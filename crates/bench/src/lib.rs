@@ -9,7 +9,8 @@ use agent::library::rda_transaction;
 use agent::EventAttrs;
 use baseline::{run_centralized, CentralConfig, Engine};
 use dist::{
-    run_workflow, AgentSpec, ExecConfig, FreeEventSpec, GuardMode, RunReport, Script, WorkflowSpec,
+    run_workflow, AgentSpec, DepRuntime, ExecConfig, FreeEventSpec, GuardMode, RunReport, Script,
+    WorkflowSpec,
 };
 use event_algebra::{Expr, Literal, SymbolId, SymbolTable};
 use sim::{LatencyModel, SimConfig, SiteId};
@@ -131,6 +132,7 @@ pub fn run_reactive_distributed(n: u32, think: u64, seed: u64) -> RunReport {
             lazy: None,
             journal: false,
             reliable: None,
+            dep_runtime: DepRuntime::default(),
         },
     )
 }
@@ -169,6 +171,7 @@ pub fn run_distributed(w: &Workload, seed: u64) -> RunReport {
             lazy: None,
             journal: false,
             reliable: None,
+            dep_runtime: DepRuntime::default(),
         },
     )
 }
@@ -185,6 +188,7 @@ pub fn run_lazy(w: &Workload, seed: u64, period: u64) -> RunReport {
             lazy: Some((period, 400)),
             journal: false,
             reliable: None,
+            dep_runtime: DepRuntime::default(),
         },
     )
 }

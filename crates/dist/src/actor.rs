@@ -20,7 +20,9 @@
 use crate::journal::{Journal, JournalKind};
 use crate::msg::Msg;
 use agent::EventAttrs;
-use event_algebra::{requires, residuate, Expr, Literal, Polarity, SymbolId};
+use event_algebra::{
+    requires, residuate, DependencyMachine, Expr, Literal, Polarity, StateId, SymbolId,
+};
 use sim::{Ctx, NodeId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -98,6 +100,93 @@ pub struct LitState {
     pub triggered: bool,
 }
 
+/// Per-dependency residual tracking state — the machinery behind
+/// Section 3.3(b) triggering and the Section 3.4 acceptance test.
+///
+/// The compiled form steps a precompiled [`DependencyMachine`]: each
+/// occurrence fact is one transition-table lookup, and the triggering /
+/// acceptance queries read compile-time reachability tables. The symbolic
+/// form re-residuates the expression tree on every fact — semantically
+/// identical, kept selectable as the reference oracle the conformance
+/// harness audits the fast path against.
+#[derive(Debug, Clone)]
+pub enum DepTracker {
+    /// Precompiled automaton plus its current state (the fast path).
+    Machine {
+        /// The dependency's residual machine, shared across actors.
+        machine: Arc<DependencyMachine>,
+        /// Current residual state.
+        state: StateId,
+    },
+    /// The residual expression, reduced by tree residuation (the oracle).
+    Symbolic {
+        /// The normalized dependency (rebuild base for ordered replays).
+        base: Expr,
+        /// The current residual.
+        residual: Expr,
+    },
+}
+
+impl DepTracker {
+    /// Track via a precompiled machine, starting at its initial state.
+    pub fn compiled(machine: Arc<DependencyMachine>) -> DepTracker {
+        let state = machine.initial;
+        DepTracker::Machine { machine, state }
+    }
+
+    /// Track symbolically from the (normalized) dependency expression.
+    pub fn symbolic(dependency: Expr) -> DepTracker {
+        DepTracker::Symbolic { residual: dependency.clone(), base: dependency }
+    }
+
+    /// Fold one occurrence fact into the residual.
+    fn step(&mut self, lit: Literal) {
+        match self {
+            DepTracker::Machine { machine, state } => *state = machine.step(*state, lit),
+            DepTracker::Symbolic { residual, .. } => *residual = residuate(residual, lit),
+        }
+    }
+
+    /// Back to the unreduced dependency (for ordered replays).
+    fn reset(&mut self) {
+        match self {
+            DepTracker::Machine { machine, state } => *state = machine.initial,
+            DepTracker::Symbolic { base, residual } => *residual = base.clone(),
+        }
+    }
+
+    /// `true` if the dependency is undecided and every satisfying
+    /// completion contains `lit` — the Section 3.3(b) triggering test.
+    fn requires(&self, lit: Literal) -> bool {
+        match self {
+            DepTracker::Machine { machine, state } => machine.requires_event(*state, lit),
+            DepTracker::Symbolic { residual, .. } => {
+                !residual.is_top() && !residual.is_zero() && requires(residual, lit)
+            }
+        }
+    }
+
+    /// `true` if accepting `lit` now keeps the dependency satisfiable —
+    /// the Section 3.4 acceptance test for scheduler-forced literals.
+    fn live_after(&self, lit: Literal) -> bool {
+        match self {
+            DepTracker::Machine { machine, state } => machine.may_accept(*state, lit),
+            DepTracker::Symbolic { residual, .. } => {
+                event_algebra::satisfiable(&residuate(residual, lit))
+            }
+        }
+    }
+
+    /// The current residual as an expression (diagnostics and audits; the
+    /// machine form materializes its state's stored expression).
+    pub fn residual(&self) -> Expr {
+        match self {
+            DepTracker::Machine { machine, state } => machine.state(*state).clone(),
+            DepTracker::Symbolic { residual, .. } => residual.clone(),
+        }
+    }
+}
+
 impl LitState {
     fn new(guard: Guard, attrs: EventAttrs) -> LitState {
         LitState {
@@ -127,11 +216,9 @@ pub struct SymbolActor {
     pub pos: LitState,
     /// See [`SymbolActor::pos`].
     pub neg: LitState,
-    /// Residual of every dependency mentioning this symbol
-    /// (`(dep index, residual)`) — drives triggering.
-    pub dep_residuals: Vec<(usize, Expr)>,
-    /// The original dependencies (for ordered rebuilds of residuals).
-    base_deps: Vec<(usize, Expr)>,
+    /// Residual tracker of every dependency mentioning this symbol
+    /// (`(dep index, tracker)`) — drives triggering and forced acceptance.
+    pub dep_residuals: Vec<(usize, DepTracker)>,
     /// Occurrence facts seen, by global sequence (for ordered rebuilds).
     facts_seen: BTreeMap<u64, Literal>,
     /// Promises received.
@@ -177,7 +264,7 @@ impl SymbolActor {
         neg_guard: Guard,
         pos_attrs: EventAttrs,
         neg_attrs: EventAttrs,
-        deps: Vec<(usize, Expr)>,
+        deps: Vec<(usize, DepTracker)>,
         routing: Arc<Routing>,
     ) -> SymbolActor {
         SymbolActor {
@@ -185,8 +272,7 @@ impl SymbolActor {
             occurred: None,
             pos: LitState::new(pos_guard, pos_attrs),
             neg: LitState::new(neg_guard, neg_attrs),
-            dep_residuals: deps.clone(),
-            base_deps: deps,
+            dep_residuals: deps,
             facts_seen: BTreeMap::new(),
             promises_seen: BTreeSet::new(),
             applied_up_to: 0,
@@ -346,13 +432,15 @@ impl SymbolActor {
             // Out-of-order arrival: full ordered replay.
             self.pos.guard = self.pos.base_guard.clone();
             self.neg.guard = self.neg.base_guard.clone();
-            self.dep_residuals = self.base_deps.clone();
+            for (_, t) in &mut self.dep_residuals {
+                t.reset();
+            }
             for (_, &l) in self.facts_seen.iter() {
                 self.pos.guard = self.pos.guard.assume_occurred(l);
                 self.neg.guard = self.neg.guard.assume_occurred(l);
                 self.stats.reductions += 2;
-                for (_, r) in &mut self.dep_residuals {
-                    *r = residuate(r, l);
+                for (_, t) in &mut self.dep_residuals {
+                    t.step(l);
                 }
             }
             for &p in &self.promises_seen {
@@ -369,8 +457,8 @@ impl SymbolActor {
                 self.pos.guard = self.pos.guard.assume_occurred(l);
                 self.neg.guard = self.neg.guard.assume_occurred(l);
                 self.stats.reductions += 2;
-                for (_, r) in &mut self.dep_residuals {
-                    *r = residuate(r, l);
+                for (_, t) in &mut self.dep_residuals {
+                    t.step(l);
                 }
             }
         }
@@ -440,10 +528,7 @@ impl SymbolActor {
             if !eligible || st.triggered || st.attempted {
                 continue;
             }
-            let required = self
-                .dep_residuals
-                .iter()
-                .any(|(_, r)| !r.is_top() && !r.is_zero() && requires(r, lit));
+            let required = self.dep_residuals.iter().any(|(_, t)| t.requires(lit));
             if required {
                 // A required *complement* with the positive unattempted
                 // is decided by the scheduler directly (a proactive
@@ -557,10 +642,7 @@ impl SymbolActor {
         // guard coverage: their occurrence was already established as
         // *required*, so the only question is the timing.
         if st.forced && !held {
-            let acceptable = self
-                .dep_residuals
-                .iter()
-                .all(|(_, r)| event_algebra::satisfiable(&residuate(r, lit)));
+            let acceptable = self.dep_residuals.iter().all(|(_, t)| t.live_after(lit));
             if acceptable {
                 self.occur(ctx, lit, true);
                 return;
@@ -685,8 +767,8 @@ impl SymbolActor {
         // replay it) and advance the residuals now.
         self.facts_seen.insert(seq, lit);
         self.applied_up_to = self.applied_up_to.max(seq);
-        for (_, r) in &mut self.dep_residuals {
-            *r = residuate(r, lit);
+        for (_, t) in &mut self.dep_residuals {
+            t.step(lit);
         }
         let st = self.lit_state_ref(lit);
         if st.attempted && !st.forced {

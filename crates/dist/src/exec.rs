@@ -8,13 +8,15 @@
 //! evaluation (Section 4.3) — with **no centralized scheduler** in the
 //! running system.
 
-use crate::actor::{ActorStats, Routing, SymbolActor};
+use crate::actor::{ActorStats, DepTracker, Routing, SymbolActor};
 use crate::agent_node::{AgentNode, Script};
 use crate::journal::{JournalKind, NodeStore};
 use crate::msg::Msg;
 use crate::reliable::{Reliable, ReliableConfig};
 use agent::{EventAttrs, TaskAgent};
-use event_algebra::{normalize, satisfies, Expr, Literal, SymbolId, SymbolTable, Trace};
+use event_algebra::{
+    normalize, satisfies, DependencyMachine, Expr, Literal, SymbolId, SymbolTable, Trace,
+};
 use guard::{CompiledWorkflow, GuardScope};
 use sim::{
     Ctx, FaultPlan, FaultStats, Network, NodeId, Process, SimConfig, SiteId, Termination, Time,
@@ -34,6 +36,20 @@ pub enum GuardMode {
     /// order. Enables promise-based consensus through sequences.
     #[default]
     Weakened,
+}
+
+/// How each actor tracks its dependencies' residuals at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DepRuntime {
+    /// Step precompiled [`DependencyMachine`]s: per-fact work is one
+    /// transition-table lookup and the triggering/acceptance queries are
+    /// compile-time reachability tables.
+    #[default]
+    Compiled,
+    /// Residuate the dependency expression tree on every fact — the
+    /// symbolic reference oracle, selectable so the conformance harness
+    /// can audit the compiled path against it.
+    Symbolic,
 }
 
 /// A task agent placed on a site with a script.
@@ -95,6 +111,9 @@ pub struct ExecConfig {
     /// correct on the fault-free simulator and bit-identical to the
     /// behavior before the fault layer existed.
     pub reliable: Option<ReliableConfig>,
+    /// Dependency-residual tracking: precompiled machines (the default)
+    /// or symbolic tree residuation (the reference oracle).
+    pub dep_runtime: DepRuntime,
 }
 
 impl ExecConfig {
@@ -107,6 +126,7 @@ impl ExecConfig {
             lazy: None,
             journal: false,
             reliable: None,
+            dep_runtime: DepRuntime::default(),
         }
     }
 }
@@ -231,6 +251,12 @@ pub struct BuiltWorkflow {
 /// Compile guards and assemble the nodes for `spec`.
 pub fn build_workflow(spec: &WorkflowSpec, config: ExecConfig) -> BuiltWorkflow {
     let compiled = CompiledWorkflow::compile(&spec.dependencies, GuardScope::Mentioning);
+    // In compiled mode every actor tracking dependency `ix` shares (an Arc
+    // of) the same precompiled machine; only the u32 state is per-actor.
+    let machines: Vec<Arc<DependencyMachine>> = match config.dep_runtime {
+        DepRuntime::Compiled => compiled.machines.iter().cloned().map(Arc::new).collect(),
+        DepRuntime::Symbolic => Vec::new(),
+    };
 
     // ----- gather all symbols and their attributes/sites -----
     let mut attrs_of: BTreeMap<Literal, EventAttrs> = BTreeMap::new();
@@ -310,12 +336,18 @@ pub fn build_workflow(spec: &WorkflowSpec, config: ExecConfig) -> BuiltWorkflow 
     for &s in &symbol_list {
         let pos = Literal::pos(s);
         let neg = Literal::neg(s);
-        let deps: Vec<(usize, Expr)> = spec
+        let deps: Vec<(usize, DepTracker)> = spec
             .dependencies
             .iter()
             .enumerate()
             .filter(|(_, d)| d.mentions(s))
-            .map(|(ix, d)| (ix, normalize(d)))
+            .map(|(ix, d)| {
+                let tracker = match config.dep_runtime {
+                    DepRuntime::Compiled => DepTracker::compiled(Arc::clone(&machines[ix])),
+                    DepRuntime::Symbolic => DepTracker::symbolic(normalize(d)),
+                };
+                (ix, tracker)
+            })
             .collect();
         let mut actor = SymbolActor::new(
             s,

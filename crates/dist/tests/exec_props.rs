@@ -4,7 +4,8 @@
 
 use agent::EventAttrs;
 use dist::{
-    run_workflow, run_workflow_threaded, ExecConfig, FreeEventSpec, GuardMode, WorkflowSpec,
+    run_workflow, run_workflow_threaded, DepRuntime, ExecConfig, FreeEventSpec, GuardMode,
+    WorkflowSpec,
 };
 use event_algebra::{Expr, Literal, SymbolId, SymbolTable};
 use proptest::prelude::*;
@@ -41,6 +42,7 @@ fn config(seed: u64, mode: GuardMode) -> ExecConfig {
         lazy: None,
         journal: false,
         reliable: None,
+        dep_runtime: DepRuntime::default(),
     }
 }
 

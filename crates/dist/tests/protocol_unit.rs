@@ -4,7 +4,7 @@
 //! compilation pipeline.
 
 use agent::EventAttrs;
-use dist::{Msg, Node, Routing, SymbolActor};
+use dist::{DepTracker, Msg, Node, Routing, SymbolActor};
 use event_algebra::{Expr, Literal, SymbolId};
 use sim::{LatencyModel, Network, NodeId, SimConfig, SiteId};
 use std::sync::Arc;
@@ -18,7 +18,7 @@ fn actor_node(
     sym: u32,
     pos_guard: Guard,
     attrs: EventAttrs,
-    deps: Vec<(usize, Expr)>,
+    deps: Vec<(usize, DepTracker)>,
     routing: &Arc<Routing>,
 ) -> Node {
     Node::Actor(SymbolActor::new(

@@ -15,6 +15,9 @@
 //!   require;
 //! - symbolic residuation [`residuate`] (rules R1–R8, Section 3.4) plus
 //!   the model-theoretic oracle used to check Theorem 1 mechanically;
+//! - [`ExprArena`] — the hash-consed interned DAG used on hot paths, with
+//!   persistently memoized normalize/residuate/satisfiable (the tree
+//!   functions above remain the reference oracle);
 //! - [`DependencyMachine`] — the residual state machine of Figure 2,
 //!   doubling as the per-dependency automaton of the centralized baseline;
 //! - [`ProductMachine`] — budgeted reachability over the product of the
@@ -44,7 +47,9 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod expr;
+mod fxhash;
 mod machine;
 mod norm;
 mod parse;
@@ -55,7 +60,9 @@ mod semantics;
 mod symbol;
 mod trace;
 
+pub use arena::{ExprArena, ExprId};
 pub use expr::{Expr, ExprDisplay};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use machine::{DependencyMachine, StateId};
 pub use norm::{is_normal, normalize};
 pub use parse::{parse_expr, ParseError};

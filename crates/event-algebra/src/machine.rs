@@ -8,9 +8,11 @@
 //! also powers the centralized baseline scheduler and the triggering
 //! analysis.
 
+use crate::arena::{ExprArena, ExprId};
 use crate::expr::Expr;
+use crate::fxhash::FxHashMap;
 use crate::norm::normalize;
-use crate::residue::{requires, residuate, satisfiable};
+use crate::residue::residuate;
 use crate::symbol::{Literal, SymbolTable};
 use crate::trace::Trace;
 use std::collections::HashMap;
@@ -37,22 +39,111 @@ pub struct DependencyMachine {
     pub initial: StateId,
     /// Transition function over `Γ_D`; literals outside the alphabet
     /// self-loop implicitly.
-    pub transitions: HashMap<(StateId, Literal), StateId>,
+    pub transitions: FxHashMap<(StateId, Literal), StateId>,
     /// `Γ_D`: the relevant literals, closed under complement.
     pub alphabet: Vec<Literal>,
+    /// `live[s]`: some accepting state is reachable from `s` (computed
+    /// once at compile time; queried per-message by the scheduler).
+    live: Vec<bool>,
+    /// All accepting (`⊤`) states, computed at compile time.
+    accepting: Vec<StateId>,
+    /// All trap states (no accepting state reachable), computed at
+    /// compile time.
+    traps: Vec<StateId>,
+    /// `avoid_live[k][s]`: an accepting state is reachable from `s`
+    /// without taking any edge labeled `alphabet[k]` — the machine form
+    /// of `satisfiable_avoiding`, precomputed so `requires_event` is a
+    /// table lookup.
+    avoid_live: Vec<Vec<bool>>,
 }
 
 impl DependencyMachine {
-    /// Compile `dependency` into its residual machine by breadth-first
-    /// exploration. Terminates because residuation strictly removes the
-    /// residuated symbol from the expression.
+    /// Compile `dependency` into its residual machine by exploring the
+    /// residuals in a private [`ExprArena`]. Terminates because
+    /// residuation strictly removes the residuated symbol from the
+    /// expression.
     pub fn compile(dependency: &Expr) -> DependencyMachine {
+        Self::compile_in(&mut ExprArena::new(), dependency)
+    }
+
+    /// Like [`DependencyMachine::compile`], but interning residuals into a
+    /// caller-supplied arena so repeated compilations (e.g. of a whole
+    /// workflow's dependencies) share subterms and memo caches. States are
+    /// keyed by `ExprId` — structural equality is an id comparison.
+    pub fn compile_in(arena: &mut ExprArena, dependency: &Expr) -> DependencyMachine {
+        let raw = arena.intern(dependency);
+        let dep = arena.normalize(raw);
+        Self::compile_normalized(arena, dep)
+    }
+
+    /// Compile from an id already interned and normalized in `arena` —
+    /// the shared core of [`DependencyMachine::compile_in`] and
+    /// [`DependencyMachine::compile_all`], which avoids re-walking the
+    /// tree when the caller interned it to dedup.
+    fn compile_normalized(arena: &mut ExprArena, dep: ExprId) -> DependencyMachine {
+        let alphabet = arena.alphabet(dep);
+        let mut ids: Vec<ExprId> = vec![dep];
+        let mut index: FxHashMap<ExprId, StateId> = FxHashMap::default();
+        index.insert(dep, StateId(0));
+        let mut transitions = FxHashMap::default();
+        let mut frontier = vec![StateId(0)];
+        while let Some(sid) = frontier.pop() {
+            let state = ids[sid.index()];
+            for &lit in &alphabet {
+                if !arena.mentions(state, lit.symbol()) {
+                    continue; // R6: self-loop, left implicit.
+                }
+                let next = arena.residuate_normal(state, lit);
+                let nid = *index.entry(next).or_insert_with(|| {
+                    let id = StateId(ids.len() as u32);
+                    ids.push(next);
+                    frontier.push(id);
+                    id
+                });
+                transitions.insert((sid, lit), nid);
+            }
+        }
+        let states: Vec<Expr> = ids.iter().map(|&i| arena.expr(i)).collect();
+        Self::finish(arena.expr(dep), states, transitions, alphabet)
+    }
+
+    /// Compile one machine per dependency in a single shared arena.
+    /// Structurally identical dependencies (after normalization, decided
+    /// by id equality) are compiled once and cloned — the common case for
+    /// replicated workflow patterns.
+    pub fn compile_all(dependencies: &[Expr]) -> Vec<DependencyMachine> {
+        let mut arena = ExprArena::new();
+        // Maps the normalized id to the first compiled machine's position:
+        // distinct dependencies are never cloned, repeats clone once.
+        let mut cache: FxHashMap<ExprId, usize> = FxHashMap::default();
+        let mut machines: Vec<DependencyMachine> = Vec::with_capacity(dependencies.len());
+        for d in dependencies {
+            let raw = arena.intern(d);
+            let id = arena.normalize(raw);
+            match cache.get(&id) {
+                Some(&ix) => {
+                    let m = machines[ix].clone();
+                    machines.push(m);
+                }
+                None => {
+                    cache.insert(id, machines.len());
+                    machines.push(DependencyMachine::compile_normalized(&mut arena, id));
+                }
+            }
+        }
+        machines
+    }
+
+    /// Reference compilation on the tree representation (the pre-arena
+    /// code path), kept as the oracle for the arena ≡ tree isomorphism
+    /// tests and the "before" leg of the benches.
+    pub fn compile_tree_reference(dependency: &Expr) -> DependencyMachine {
         let dep = normalize(dependency);
         let alphabet: Vec<Literal> = dep.gamma().into_iter().collect();
         let mut states: Vec<Expr> = vec![dep.clone()];
         let mut index: HashMap<Expr, StateId> = HashMap::new();
         index.insert(dep.clone(), StateId(0));
-        let mut transitions = HashMap::new();
+        let mut transitions = FxHashMap::default();
         let mut frontier = vec![StateId(0)];
         while let Some(sid) = frontier.pop() {
             let state = states[sid.index()].clone();
@@ -70,7 +161,41 @@ impl DependencyMachine {
                 transitions.insert((sid, lit), nid);
             }
         }
-        DependencyMachine { dependency: dep, states, initial: StateId(0), transitions, alphabet }
+        Self::finish(dep, states, transitions, alphabet)
+    }
+
+    /// Assemble the machine and precompute every per-state table the
+    /// scheduler and the analyzer query: accepting states, liveness (one
+    /// backward reachability), traps, and per-alphabet-literal avoidance
+    /// liveness (backward reachability on the subgraph without that
+    /// literal's edges).
+    fn finish(
+        dependency: Expr,
+        states: Vec<Expr>,
+        transitions: FxHashMap<(StateId, Literal), StateId>,
+        alphabet: Vec<Literal>,
+    ) -> DependencyMachine {
+        let n = states.len();
+        let accepting: Vec<StateId> =
+            (0..n as u32).map(StateId).filter(|s| states[s.index()].is_top()).collect();
+        let live = backward_reachable(n, &states, &transitions, None);
+        let traps: Vec<StateId> =
+            live.iter().enumerate().filter(|(_, &l)| !l).map(|(s, _)| StateId(s as u32)).collect();
+        let avoid_live: Vec<Vec<bool>> = alphabet
+            .iter()
+            .map(|&lit| backward_reachable(n, &states, &transitions, Some(lit)))
+            .collect();
+        DependencyMachine {
+            dependency,
+            states,
+            initial: StateId(0),
+            transitions,
+            alphabet,
+            live,
+            accepting,
+            traps,
+            avoid_live,
+        }
     }
 
     /// Number of states (the size metric compared against guard sizes in
@@ -106,14 +231,36 @@ impl DependencyMachine {
 
     /// `true` if some maximal completion from `sid` satisfies the
     /// dependency — the safety condition a scheduler must preserve.
+    /// O(1): liveness was computed once at compile time.
     pub fn is_live(&self, sid: StateId) -> bool {
-        satisfiable(self.state(sid))
+        self.live[sid.index()]
+    }
+
+    /// Position of `lit` in the sorted alphabet, if it belongs to `Γ_D`.
+    fn alphabet_ix(&self, lit: Literal) -> Option<usize> {
+        self.alphabet.binary_search(&lit).ok()
+    }
+
+    /// `true` if an accepting state is reachable from `sid` without ever
+    /// taking an edge labeled `avoid` — the machine form of
+    /// [`crate::satisfiable_avoiding`] on the state's residual, as a
+    /// table lookup. Literals outside `Γ_D` restrict nothing.
+    pub fn may_reach_avoiding(&self, sid: StateId, avoid: Literal) -> bool {
+        match self.alphabet_ix(avoid) {
+            Some(k) => self.avoid_live[k][sid.index()],
+            None => self.live[sid.index()],
+        }
     }
 
     /// `true` if, at `sid`, every satisfying completion contains `lit`
-    /// (so a triggerable `lit` must be proactively triggered).
+    /// (so a triggerable `lit` must be proactively triggered). O(1) via
+    /// the compile-time avoidance tables.
     pub fn requires_event(&self, sid: StateId, lit: Literal) -> bool {
-        requires(self.state(sid), lit)
+        match self.alphabet_ix(lit) {
+            Some(k) => self.live[sid.index()] && !self.avoid_live[k][sid.index()],
+            // Events outside Γ_D never become required (R6).
+            None => false,
+        }
     }
 
     /// `true` if accepting `lit` at `sid` keeps the machine live — the
@@ -122,57 +269,40 @@ impl DependencyMachine {
         self.is_live(self.step(sid, lit))
     }
 
-    /// All accepting (`⊤`) states. Every state of a compiled machine is
-    /// reachable from the initial state, so an empty result means the
-    /// dependency admits no satisfying trace at all.
+    /// All accepting (`⊤`) states, computed at compile time. Every state
+    /// of a compiled machine is reachable from the initial state, so an
+    /// empty result means the dependency admits no satisfying trace at
+    /// all.
     pub fn accepting_states(&self) -> Vec<StateId> {
-        (0..self.states.len() as u32).map(StateId).filter(|&s| self.is_accepting(s)).collect()
+        self.accepting.clone()
     }
 
     /// `true` if the machine has any accepting state — i.e. the
     /// dependency is satisfiable on its own.
     pub fn has_accepting(&self) -> bool {
-        self.states.iter().any(Expr::is_top)
+        !self.accepting.is_empty()
     }
 
-    /// Per-state liveness by backward reachability: `live[s]` is `true`
-    /// when some accepting state is reachable from `s`. Agrees with
-    /// [`DependencyMachine::is_live`] (which decides satisfiability of the
-    /// residual expression) but costs one graph traversal for the whole
-    /// machine instead of one satisfiability check per state.
+    /// Per-state liveness: `live[s]` is `true` when some accepting state
+    /// is reachable from `s`. Agrees with satisfiability of the residual
+    /// expression; computed once at compile time by backward reachability.
+    pub fn live(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Owned copy of the compile-time liveness mask (see
+    /// [`DependencyMachine::live`]).
     pub fn live_mask(&self) -> Vec<bool> {
-        let n = self.states.len();
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (&(src, _), &dst) in &self.transitions {
-            preds[dst.index()].push(src.index());
-        }
-        let mut live = vec![false; n];
-        let mut stack: Vec<usize> = (0..n).filter(|&s| self.states[s].is_top()).collect();
-        for &s in &stack {
-            live[s] = true;
-        }
-        while let Some(s) = stack.pop() {
-            for &p in &preds[s] {
-                if !live[p] {
-                    live[p] = true;
-                    stack.push(p);
-                }
-            }
-        }
-        live
+        self.live.clone()
     }
 
     /// Trap states: states from which no accepting state is reachable
     /// (the violated terminal `0` and any other dead residual). A run
     /// entering a trap can only end with the dependency violated, so the
-    /// scheduler must reject the event that would move there.
+    /// scheduler must reject the event that would move there. Computed at
+    /// compile time.
     pub fn trap_states(&self) -> Vec<StateId> {
-        self.live_mask()
-            .iter()
-            .enumerate()
-            .filter(|(_, &live)| !live)
-            .map(|(s, _)| StateId(s as u32))
-            .collect()
+        self.traps.clone()
     }
 
     /// Render the full transition relation, one line per edge, with state
@@ -211,6 +341,40 @@ impl DependencyMachine {
         }
         out
     }
+}
+
+/// Backward reachability from the accepting (`⊤`) states over the
+/// transition graph. With `forbidden` set, edges labeled with that literal
+/// are excluded: the result is liveness under the constraint that
+/// `forbidden` never occurs (implicit self-loops never change the state,
+/// so they are irrelevant to reachability).
+fn backward_reachable(
+    n: usize,
+    states: &[Expr],
+    transitions: &FxHashMap<(StateId, Literal), StateId>,
+    forbidden: Option<Literal>,
+) -> Vec<bool> {
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (&(src, lit), &dst) in transitions {
+        if forbidden == Some(lit) {
+            continue;
+        }
+        preds[dst.index()].push(src.index());
+    }
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = (0..n).filter(|&s| states[s].is_top()).collect();
+    for &s in &stack {
+        live[s] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &p in &preds[s] {
+            if !live[p] {
+                live[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    live
 }
 
 #[cfg(test)]
@@ -319,6 +483,76 @@ mod tests {
         assert!(s.contains("[violate]"), "{s}");
         assert!(s.contains("[initial]"), "{s}");
         assert!(s.contains("--~e--> "), "{s}");
+    }
+
+    /// Check that two machines are isomorphic: a bijection between states
+    /// matching residual labels, initial states, and every transition.
+    fn assert_isomorphic(a: &DependencyMachine, b: &DependencyMachine) {
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.alphabet, b.alphabet);
+        // States are distinct residuals, so the label map is the bijection.
+        let to_b: HashMap<&Expr, StateId> =
+            b.states.iter().enumerate().map(|(i, s)| (s, StateId(i as u32))).collect();
+        assert_eq!(to_b.len(), b.state_count(), "states must be distinct");
+        let map = |s: StateId| *to_b.get(a.state(s)).expect("state label present in both");
+        assert_eq!(map(a.initial), b.initial);
+        assert_eq!(a.transitions.len(), b.transitions.len());
+        for (&(src, lit), &dst) in &a.transitions {
+            assert_eq!(b.step(map(src), lit), map(dst), "edge {src:?} --{lit}-->");
+        }
+        // The compile-time tables must agree under the bijection too.
+        for s in 0..a.state_count() as u32 {
+            let (sa, sb) = (StateId(s), map(StateId(s)));
+            assert_eq!(a.is_live(sa), b.is_live(sb));
+            for &lit in &a.alphabet {
+                assert_eq!(a.requires_event(sa, lit), b.requires_event(sb, lit));
+                assert_eq!(a.may_reach_avoiding(sa, lit), b.may_reach_avoiding(sb, lit));
+            }
+        }
+    }
+
+    #[test]
+    fn arena_and_tree_compiles_are_isomorphic() {
+        // Pinned oracle: the arena-backed compile and the tree-reference
+        // compile produce isomorphic state graphs on the paper's
+        // dependencies and a 3-chain.
+        let (mut t, e, f) = setup();
+        let g = t.event("g");
+        let cases = [
+            d_precedes(e, f),
+            d_arrow(e, f),
+            Expr::seq([Expr::lit(e), Expr::lit(f), Expr::lit(g)]),
+            Expr::and([d_arrow(e, f), d_arrow(f, g)]),
+        ];
+        for d in cases {
+            let arena = DependencyMachine::compile(&d);
+            let tree = DependencyMachine::compile_tree_reference(&d);
+            assert_isomorphic(&arena, &tree);
+        }
+    }
+
+    #[test]
+    fn compile_time_tables_match_recomputation() {
+        let (_, e, f) = setup();
+        let m = DependencyMachine::compile(&d_precedes(e, f));
+        for s in 0..m.state_count() as u32 {
+            let s = StateId(s);
+            assert_eq!(m.is_live(s), crate::satisfiable(m.state(s)), "live at {s:?}");
+            for &lit in &m.alphabet {
+                assert_eq!(
+                    m.requires_event(s, lit),
+                    crate::requires(m.state(s), lit),
+                    "requires {lit} at {s:?}"
+                );
+                assert_eq!(
+                    m.may_reach_avoiding(s, lit),
+                    crate::satisfiable_avoiding(m.state(s), lit),
+                    "avoiding {lit} at {s:?}"
+                );
+            }
+        }
+        assert_eq!(m.trap_states().len() + m.live().iter().filter(|&&l| l).count(), 5);
+        assert_eq!(m.accepting_states().len(), 1);
     }
 
     #[test]

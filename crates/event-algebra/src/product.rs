@@ -27,9 +27,9 @@
 //! diagnostic instead of hanging.
 
 use crate::expr::Expr;
+use crate::fxhash::FxHashMap;
 use crate::machine::{DependencyMachine, StateId};
 use crate::symbol::Literal;
-use std::collections::HashMap;
 
 /// Index of an interned product state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -115,40 +115,97 @@ pub struct ProductMachine {
     alphabet: Vec<Literal>,
     /// Interned product states.
     states: Vec<Vec<StateId>>,
-    index: HashMap<Vec<StateId>, ProductId>,
+    /// Fallback intern table, used when the packed key does not fit.
+    index: FxHashMap<Vec<StateId>, ProductId>,
+    /// Fast intern table over packed `u64` keys (one bit-field per
+    /// machine), active when the per-machine state counts fit in 64 bits.
+    index_packed: FxHashMap<u64, ProductId>,
+    /// Bit offsets per machine for the packed key, or `None` when product
+    /// states are too wide and the `Vec`-keyed table is used instead.
+    packing: Option<Vec<u32>>,
     /// Per-machine liveness masks: product states containing a trap state
     /// of any machine are pruned (no all-accepting state lies beyond).
     live: Vec<Vec<bool>>,
     /// Memoized successor edges, keyed by (state, alphabet position).
-    succ: HashMap<(ProductId, u16), ProductId>,
+    succ: FxHashMap<(ProductId, u16), ProductId>,
 }
 
 impl ProductMachine {
     /// Compile one machine per dependency and form their product.
+    /// Structurally identical dependencies (after normalization, decided
+    /// by hash-consed id equality) are compiled once and share their
+    /// machine.
     pub fn compile(dependencies: &[Expr]) -> ProductMachine {
-        ProductMachine::from_machines(dependencies.iter().map(DependencyMachine::compile).collect())
+        ProductMachine::from_machines(DependencyMachine::compile_all(dependencies))
     }
 
     /// Form the product of already-compiled machines (the compiled
     /// workflow's machines can be reused directly).
     pub fn from_machines(machines: Vec<DependencyMachine>) -> ProductMachine {
+        Self::build(machines, true)
+    }
+
+    /// Like [`ProductMachine::from_machines`] but with packed `u64` state
+    /// keys disabled — the pre-packing reference path, kept selectable for
+    /// the benches' before/after comparison.
+    pub fn from_machines_wide(machines: Vec<DependencyMachine>) -> ProductMachine {
+        Self::build(machines, false)
+    }
+
+    fn build(machines: Vec<DependencyMachine>, pack: bool) -> ProductMachine {
         let mut alphabet: Vec<Literal> =
             machines.iter().flat_map(|m| m.alphabet.iter().copied()).collect();
         alphabet.sort();
         alphabet.dedup();
         let live = machines.iter().map(DependencyMachine::live_mask).collect();
+        // Bit width per machine: enough for its state count; the packed
+        // key is usable when the widths sum to ≤ 64.
+        let packing = if pack {
+            let mut offsets = Vec::with_capacity(machines.len());
+            let mut total = 0u32;
+            for m in &machines {
+                offsets.push(total);
+                let width = usize::BITS - m.state_count().next_power_of_two().leading_zeros();
+                total = total.saturating_add(width.max(1));
+            }
+            (total <= 64).then_some(offsets)
+        } else {
+            None
+        };
         let mut p = ProductMachine {
             machines,
             alphabet,
             states: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
+            index_packed: FxHashMap::default(),
+            packing,
             live,
-            succ: HashMap::new(),
+            succ: FxHashMap::default(),
         };
         let initial: Vec<StateId> = p.machines.iter().map(|m| m.initial).collect();
-        p.index.insert(initial.clone(), ProductId(0));
-        p.states.push(initial);
+        p.insert_state(initial, ProductId(0));
         p
+    }
+
+    /// Pack a product state into its `u64` key (requires `packing`).
+    fn pack_key(offsets: &[u32], state: &[StateId]) -> u64 {
+        state.iter().zip(offsets).fold(0u64, |acc, (&s, &off)| acc | (u64::from(s.0) << off))
+    }
+
+    fn insert_state(&mut self, state: Vec<StateId>, id: ProductId) {
+        if let Some(offsets) = &self.packing {
+            self.index_packed.insert(Self::pack_key(offsets, &state), id);
+        } else {
+            self.index.insert(state.clone(), id);
+        }
+        self.states.push(state);
+    }
+
+    fn lookup_state(&self, state: &[StateId]) -> Option<ProductId> {
+        match &self.packing {
+            Some(offsets) => self.index_packed.get(&Self::pack_key(offsets, state)).copied(),
+            None => self.index.get(state).copied(),
+        }
     }
 
     /// The component machines.
@@ -194,15 +251,14 @@ impl ProductMachine {
             .zip(&self.machines)
             .map(|(&s, m)| m.step(s, lit))
             .collect();
-        let nid = match self.index.get(&next) {
-            Some(&id) => id,
+        let nid = match self.lookup_state(&next) {
+            Some(id) => id,
             None => {
                 if !budget.charge() {
                     return None;
                 }
                 let id = ProductId(self.states.len() as u32);
-                self.index.insert(next.clone(), id);
-                self.states.push(next);
+                self.insert_state(next, id);
                 id
             }
         };
@@ -326,6 +382,44 @@ mod tests {
         // A restricted query can only intern states the first also saw.
         let _ = p.reach_accepting(Some(e), &mut b);
         assert_eq!(b.spent(), after_first);
+    }
+
+    #[test]
+    fn packed_and_wide_keying_agree() {
+        let (_, ds) = deps(&["~e1 + e2", "~e2 + e3", "~e3 + e4", "~e0 + ~e1 + e0.e1"]);
+        let machines: Vec<DependencyMachine> = ds.iter().map(DependencyMachine::compile).collect();
+        let mut packed = ProductMachine::from_machines(machines.clone());
+        let mut wide = ProductMachine::from_machines_wide(machines);
+        assert!(packed.packing.is_some(), "small products should pack");
+        assert!(wide.packing.is_none());
+        let mut bp = StateBudget::new(100_000);
+        let mut bw = StateBudget::new(100_000);
+        let avoids: Vec<Option<Literal>> =
+            std::iter::once(None).chain(packed.alphabet().to_vec().into_iter().map(Some)).collect();
+        for avoid in avoids {
+            assert_eq!(
+                packed.reach_accepting(avoid, &mut bp),
+                wide.reach_accepting(avoid, &mut bw),
+                "avoid={avoid:?}"
+            );
+        }
+        assert_eq!(packed.interned_states(), wide.interned_states());
+        assert_eq!(bp.spent(), bw.spent());
+    }
+
+    #[test]
+    fn duplicate_dependencies_share_a_machine() {
+        // compile() dedups structurally identical dependencies; the
+        // product over duplicates must still answer like the naive build.
+        let (_, ds) = deps(&["~e + f", "~e + f", "~f + e"]);
+        let mut deduped = ProductMachine::compile(&ds);
+        let mut naive = ProductMachine::from_machines(
+            ds.iter().map(DependencyMachine::compile_tree_reference).collect(),
+        );
+        assert_eq!(deduped.machines().len(), 3);
+        let mut b1 = StateBudget::new(10_000);
+        let mut b2 = StateBudget::new(10_000);
+        assert_eq!(deduped.reach_accepting(None, &mut b1), naive.reach_accepting(None, &mut b2));
     }
 
     #[test]

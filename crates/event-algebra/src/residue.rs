@@ -123,7 +123,12 @@ pub fn residuation_sound(e: &Expr, by: Literal, syms: &[SymbolId]) -> bool {
 /// unsatisfiable would generate only improper traces.
 pub fn satisfiable(e: &Expr) -> bool {
     let mut memo = HashMap::new();
-    satisfiable_memo(&normalize(e), &mut memo)
+    // Residual states are already normal; skip the re-normalization pass.
+    if is_normal(e) {
+        satisfiable_memo(e, &mut memo)
+    } else {
+        satisfiable_memo(&normalize(e), &mut memo)
+    }
 }
 
 fn satisfiable_memo(e: &Expr, memo: &mut HashMap<Expr, bool>) -> bool {
@@ -162,7 +167,11 @@ fn satisfiable_memo(e: &Expr, memo: &mut HashMap<Expr, bool>) -> bool {
 /// proactive triggering of triggerable events.
 pub fn satisfiable_avoiding(e: &Expr, avoid: Literal) -> bool {
     let mut memo = HashMap::new();
-    sat_avoiding_memo(&normalize(e), avoid, &mut memo)
+    if is_normal(e) {
+        sat_avoiding_memo(e, avoid, &mut memo)
+    } else {
+        sat_avoiding_memo(&normalize(e), avoid, &mut memo)
+    }
 }
 
 fn sat_avoiding_memo(e: &Expr, avoid: Literal, memo: &mut HashMap<Expr, bool>) -> bool {
@@ -236,7 +245,11 @@ pub fn satisfiable_avoiding_all(e: &Expr, avoid: &std::collections::BTreeSet<Lit
         found
     }
     let mut memo = HashMap::new();
-    go(&normalize(e), avoid, &mut memo)
+    if is_normal(e) {
+        go(e, avoid, &mut memo)
+    } else {
+        go(&normalize(e), avoid, &mut memo)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,124 @@
+//! Oracle property tests for the hash-consed [`ExprArena`]: on random
+//! expressions over a small alphabet, every arena operation must agree
+//! with the reference tree implementation it replaces — normalization,
+//! residuation, satisfiability, avoidance and the triggering predicate.
+//! The arena is the hot-path representation; the tree functions are the
+//! specification.
+
+use event_algebra::{
+    normalize, requires, residuate, satisfiable, satisfiable_avoiding, Expr, ExprArena, Literal,
+    SymbolId,
+};
+use proptest::prelude::*;
+
+const NSYMS: u32 = 6;
+
+/// Strategy for a random literal over the fixed symbols.
+fn lit_strategy() -> impl Strategy<Value = Literal> {
+    (0..NSYMS, any::<bool>()).prop_map(|(s, pos)| {
+        if pos {
+            Literal::pos(SymbolId(s))
+        } else {
+            Literal::neg(SymbolId(s))
+        }
+    })
+}
+
+/// Strategy for a random expression of bounded depth, built through the
+/// canonicalizing constructors (the arena's round-trip contract is stated
+/// for canonical trees; raw `Expr::Or(vec![...])` nodes are covered by
+/// the constructor laws in `laws.rs`).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        5 => lit_strategy().prop_map(Expr::lit),
+        1 => Just(Expr::Top),
+        1 => Just(Expr::Zero),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..=3).prop_map(Expr::or),
+            prop::collection::vec(inner.clone(), 2..=3).prop_map(Expr::and),
+            prop::collection::vec(inner, 2..=3).prop_map(Expr::seq),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Interning and rebuilding is the identity on canonical trees, and
+    /// id equality coincides with structural equality.
+    #[test]
+    fn intern_round_trips(e in expr_strategy(), f in expr_strategy()) {
+        let mut arena = ExprArena::new();
+        let ie = arena.intern(&e);
+        let if_ = arena.intern(&f);
+        prop_assert_eq!(arena.expr(ie), e.clone());
+        prop_assert_eq!(arena.expr(if_), f.clone());
+        prop_assert_eq!(ie == if_, e == f);
+        // Re-interning hits the same id.
+        prop_assert_eq!(arena.intern(&e), ie);
+    }
+
+    /// Arena normalization equals tree normalization.
+    #[test]
+    fn normalize_matches_tree(e in expr_strategy()) {
+        let mut arena = ExprArena::new();
+        let id = arena.intern(&e);
+        let nid = arena.normalize(id);
+        prop_assert_eq!(arena.expr(nid), normalize(&e));
+        prop_assert!(arena.is_normal(nid));
+    }
+
+    /// Arena residuation (normalize + R1–R8 with the memo cache) equals
+    /// tree residuation, including chained residuation by two literals —
+    /// which exercises cache hits on shared residuals.
+    #[test]
+    fn residuate_matches_tree(e in expr_strategy(), a in lit_strategy(), b in lit_strategy()) {
+        let mut arena = ExprArena::new();
+        let id = arena.intern(&e);
+        let ra = arena.residuate(id, a);
+        prop_assert_eq!(arena.expr(ra), residuate(&e, a));
+        let rab = arena.residuate(ra, b);
+        prop_assert_eq!(arena.expr(rab), residuate(&residuate(&e, a), b));
+        // Same query again: must come out of the cache unchanged.
+        prop_assert_eq!(arena.residuate(id, a), ra);
+    }
+
+    /// Satisfiability, avoidance-satisfiability and the triggering
+    /// predicate agree with the tree implementations for every literal of
+    /// the alphabet (and a sample literal possibly outside it).
+    #[test]
+    fn satisfiability_matches_tree(e in expr_strategy(), probe in lit_strategy()) {
+        let mut arena = ExprArena::new();
+        let id = arena.intern(&e);
+        prop_assert_eq!(arena.satisfiable(id), satisfiable(&e));
+        let mut lits = arena.alphabet(id);
+        lits.push(probe);
+        for l in lits {
+            prop_assert_eq!(
+                arena.satisfiable_avoiding(id, l),
+                satisfiable_avoiding(&e, l),
+                "avoiding {:?}", l
+            );
+            prop_assert_eq!(arena.requires(id, l), requires(&e, l), "requires {:?}", l);
+        }
+    }
+
+    /// One arena serving many expressions stays consistent: interleaved
+    /// queries against fresh single-use arenas give identical answers.
+    #[test]
+    fn shared_arena_is_isolated(
+        es in prop::collection::vec(expr_strategy(), 2..=4),
+        l in lit_strategy(),
+    ) {
+        let mut shared = ExprArena::new();
+        for e in &es {
+            let id = shared.intern(e);
+            let mut fresh = ExprArena::new();
+            let fid = fresh.intern(e);
+            prop_assert_eq!(shared.expr(shared.residuate(id, l)), fresh.expr(fresh.residuate(fid, l)));
+            prop_assert_eq!(shared.satisfiable(id), fresh.satisfiable(fid));
+        }
+    }
+}

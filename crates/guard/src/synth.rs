@@ -11,18 +11,23 @@
 //! relevant event `f` occurred first.
 //!
 //! The recursion terminates because `D/f` never mentions `f`'s symbol
-//! again; it is memoized on the (normalized dependency, event) pair since
-//! different interleavings reconverge on the same residuals.
+//! again; it is memoized on the (normalized dependency, event) pair —
+//! keyed by hash-consed [`ExprId`] so a memo probe hashes one word
+//! instead of a cloned tree — since different interleavings reconverge on
+//! the same residuals.
 
-use event_algebra::{normalize, residuate, Expr, Literal};
+use event_algebra::{normalize, Expr, ExprArena, ExprId, Literal};
 use std::collections::{BTreeSet, HashMap};
 use temporal::Guard;
 
 /// A memo table for guard synthesis, reusable across events and
-/// dependencies of one workflow.
+/// dependencies of one workflow. Owns an [`ExprArena`]: every residual
+/// in the `G(D,e)` recursion is interned once, and the memo is keyed on
+/// `(ExprId, Literal)`.
 #[derive(Debug, Default)]
 pub struct GuardSynth {
-    memo: HashMap<(Expr, Literal), Guard>,
+    arena: ExprArena,
+    memo: HashMap<(ExprId, Literal), Guard>,
 }
 
 impl GuardSynth {
@@ -33,29 +38,38 @@ impl GuardSynth {
 
     /// `G(D, e)` per Definition 2.
     pub fn guard(&mut self, d: &Expr, e: Literal) -> Guard {
-        let d = normalize(d);
-        self.guard_normal(&d, e)
+        let raw = self.arena.intern(d);
+        let id = self.arena.normalize(raw);
+        self.guard_id(id, e)
     }
 
     fn guard_normal(&mut self, d: &Expr, e: Literal) -> Guard {
-        if let Some(g) = self.memo.get(&(d.clone(), e)) {
+        let id = self.arena.intern(d);
+        debug_assert!(self.arena.is_normal(id));
+        self.guard_id(id, e)
+    }
+
+    fn guard_id(&mut self, id: ExprId, e: Literal) -> Guard {
+        if let Some(g) = self.memo.get(&(id, e)) {
             return g.clone();
         }
         // Γ_{D^e}: the relevant literals other than e's symbol.
         let gamma: Vec<Literal> =
-            d.gamma().into_iter().filter(|l| l.symbol() != e.symbol()).collect();
+            self.arena.alphabet(id).into_iter().filter(|l| l.symbol() != e.symbol()).collect();
         // First term: e occurs before any other relevant event.
-        let mut first = Guard::eventually_expr(&residuate(d, e));
+        let after_e = self.arena.residuate_normal(id, e);
+        let mut first = Guard::eventually_expr(&self.arena.expr(after_e));
         for &f in &gamma {
             first = first.and(&Guard::not_yet(f));
         }
         // Sum terms: f occurred first.
         let mut result = first;
         for &f in &gamma {
-            let sub = self.guard_normal(&residuate(d, f), e);
+            let sub_id = self.arena.residuate_normal(id, f);
+            let sub = self.guard_id(sub_id, e);
             result = result.or(&Guard::occurred(f).and(&sub));
         }
-        self.memo.insert((d.clone(), e), result.clone());
+        self.memo.insert((id, e), result.clone());
         result
     }
 

@@ -75,7 +75,9 @@ impl CompiledWorkflow {
             guards.insert(lit, combined);
             per_dependency.insert(lit, per_dep);
         }
-        let machines = dependencies.iter().map(DependencyMachine::compile).collect();
+        // One shared arena for all machine compilations; structurally
+        // identical dependencies share a machine.
+        let machines = DependencyMachine::compile_all(dependencies);
         CompiledWorkflow {
             dependencies: dependencies.to_vec(),
             guards,

@@ -24,7 +24,7 @@
 //! order) is available as [`Guard::weaken_sequences`].
 
 use crate::texpr::TExpr;
-use event_algebra::{normalize, residuate, satisfies, Expr, Literal, Polarity, SymbolId, Trace};
+use event_algebra::{normalize, satisfies, Expr, Literal, Polarity, SymbolId, Trace};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Bit for state `A` (the event occurred).
@@ -505,32 +505,34 @@ impl Guard {
                     continue 'conj;
                 }
             }
-            // Sequence atoms: residuate on occurrence facts.
+            // Sequence atoms: step on occurrence facts. A `◇(l₁·…·lₖ)`
+            // atom over pairwise-distinct symbols is its own linear
+            // automaton whose state is the remaining suffix, so rules
+            // R3/R6/R7/R8 reduce to direct suffix manipulation — no
+            // `Expr` allocation or symbolic rewriting on the per-message
+            // path (the tree `residuate` remains the oracle; see
+            // `stepping_sequences_matches_residuation` below).
             for seq in &c.seqs {
                 if let Some(l) = occurred {
                     if seq.iter().any(|x| x.symbol() == sym) {
-                        let e = Expr::seq(seq.iter().map(|&x| Expr::lit(x)));
-                        match residuate(&e, l) {
-                            Expr::Zero => continue 'conj,
-                            Expr::Top => {}
-                            Expr::Lit(rest) => {
+                        if seq[0] != l {
+                            // R7/R8: `l`'s symbol is needed later in the
+                            // sequence (or as the head's complement) —
+                            // the ordering can no longer be met.
+                            continue 'conj;
+                        }
+                        // R3: advance past the head.
+                        match seq.len() - 1 {
+                            0 => {} // fully discharged
+                            1 => {
+                                let rest = seq[1];
                                 if !n.constrain(rest.symbol(), eventually_mask(rest.polarity())) {
                                     continue 'conj;
                                 }
                             }
-                            Expr::Seq(v) => {
-                                let lits: Vec<Literal> = v
-                                    .iter()
-                                    .map(|p| match p {
-                                        Expr::Lit(x) => *x,
-                                        other => {
-                                            panic!("residual of literal seq not literal: {other}")
-                                        }
-                                    })
-                                    .collect();
-                                n.seqs.insert(lits);
+                            _ => {
+                                n.seqs.insert(seq[1..].to_vec());
                             }
-                            other => panic!("unexpected seq residual {other}"),
                         }
                         continue;
                     }
@@ -715,6 +717,27 @@ mod tests {
         assert!(after_f.is_bottom());
         // ē kills it too.
         assert!(g.assume_occurred(e.complement()).is_bottom());
+    }
+
+    #[test]
+    fn stepping_sequences_matches_residuation() {
+        // The direct suffix stepping in `assume_mask` must agree with the
+        // symbolic oracle `residuate` on every literal of a longer chain.
+        let mut t = SymbolTable::new();
+        let lits: Vec<Literal> = ["a", "b", "c", "d"].iter().map(|n| t.event(n)).collect();
+        let seq = Expr::seq(lits.iter().map(|&l| Expr::lit(l)));
+        let g = Guard::eventually_expr(&seq);
+        for &l in &lits {
+            for by in [l, l.complement()] {
+                let stepped = g.assume_occurred(by);
+                let oracle = Guard::eventually_expr(&event_algebra::residuate(&seq, by));
+                assert_eq!(stepped, oracle, "◇({seq})/{by}");
+            }
+        }
+        // Two steps down the chain: ◇(a·b·c·d)/a/b = ◇(c·d).
+        let two = g.assume_occurred(lits[0]).assume_occurred(lits[1]);
+        let tail = Expr::seq([Expr::lit(lits[2]), Expr::lit(lits[3])]);
+        assert_eq!(two, Guard::eventually_expr(&tail));
     }
 
     #[test]

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Performance gate: build and run the offline perf probe, refreshing
+# BENCH_algebra.json at the repository root with before/after medians for
+# the arena/automaton hot paths (residuation, machine compilation, the
+# end-to-end pipeline10 schedule, product reachability).
+#
+#   scripts/bench.sh            full probe (and criterion benches when the
+#                               registry is reachable)
+#   scripts/bench.sh --quick    smoke mode: few iterations, no criterion —
+#                               what the shadow-check harness runs
+#
+# The criterion suite (crates/bench/benches/algebra.rs) is attempted only
+# in full mode and only if the dev-dependency registry is available; the
+# probe's JSON is the artifact either way, so offline environments still
+# produce a complete BENCH_algebra.json.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO"
+
+QUICK=""
+if [ "${1:-}" = "--quick" ]; then
+    QUICK="--quick"
+fi
+
+echo "==> cargo build --release --bin perfprobe"
+cargo build --release --bin perfprobe
+
+echo "==> perfprobe ${QUICK:-(full)}"
+"$REPO/target/release/perfprobe" $QUICK \
+    --spec "$REPO/examples/specs/pipeline10.wf" \
+    --out "$REPO/BENCH_algebra.json"
+
+if [ -z "$QUICK" ]; then
+    echo "==> cargo bench -p bench --bench algebra (skipped if registry unavailable)"
+    cargo bench -p bench --bench algebra || \
+        echo "criterion suite unavailable (offline registry); BENCH_algebra.json is complete"
+fi
+
+echo "==> bench gate done: $REPO/BENCH_algebra.json"

@@ -35,6 +35,7 @@ cp -r "$REPO/scripts/stubs" "$SHADOW/stubs"
 # (prop::collection, prop_oneof, any::<T>); the simple-range fault
 # property tests stay and run against the stub.
 rm -f "$SHADOW/crates/event-algebra/tests/laws.rs" \
+      "$SHADOW/crates/event-algebra/tests/arena_oracle.rs" \
       "$SHADOW/crates/temporal/tests/guard_props.rs" \
       "$SHADOW/crates/guard/tests/theorem_props.rs" \
       "$SHADOW/crates/analyze/tests/soundness_props.rs" \
@@ -88,3 +89,10 @@ EOF
 cd "$SHADOW"
 cargo build --offline "$@"
 cargo test --offline -q
+
+# Smoke the perf probe (scripts/bench.sh's measurement binary) in quick
+# mode: a handful of iterations into a scratch JSON, proving the
+# before/after harness itself still runs end-to-end.
+cargo run --offline -q -p constrained-events-repro --bin perfprobe -- \
+    --quick --spec "$SHADOW/root/examples/specs/pipeline10.wf" \
+    --out "$SHADOW/BENCH_smoke.json"

@@ -1,0 +1,218 @@
+//! Offline before/after performance probe for the hash-consed expression
+//! arena and the compiled guard runtime.
+//!
+//! The criterion benches (`crates/bench/benches/algebra.rs`) are the
+//! high-resolution instrument, but they need the registry (criterion) and
+//! minutes of runtime. This binary measures the same four before/after
+//! pairs with plain `std::time` medians and writes the machine-readable
+//! `BENCH_algebra.json` summary the repository keeps at its root:
+//!
+//! - `residuate`: tree residuation vs arena residuation with the
+//!   persistent `(ExprId, Literal)` memo;
+//! - `machine_compile`: per-dependency tree compilation vs the shared-
+//!   arena `compile_all` path;
+//! - `e2e_schedule`: a full distributed run of the `pipeline10` spec
+//!   under the symbolic dependency runtime vs the precompiled automata;
+//! - `product_reach`: wfcheck-style product-automaton reachability with
+//!   `Vec<StateId>` state keys vs packed `u64` keys.
+//!
+//! Usage: `perfprobe [--quick] [--spec PATH] [--out PATH]`.
+
+use constrained_events::algebra::{
+    normalize, residuate, DependencyMachine, Expr, ExprArena, Literal, ProductMachine, StateBudget,
+};
+use constrained_events::{DepRuntime, ExecConfig, WorkflowBuilder};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One before/after measurement.
+struct Entry {
+    name: &'static str,
+    baseline_ns: u128,
+    optimized_ns: u128,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ns == 0 {
+            f64::INFINITY
+        } else {
+            self.baseline_ns as f64 / self.optimized_ns as f64
+        }
+    }
+}
+
+/// Median wall time of `iters` runs of `f`.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn locate_spec(explicit: Option<String>) -> String {
+    if let Some(p) = explicit {
+        return p;
+    }
+    let candidates = [
+        "examples/specs/pipeline10.wf",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/examples/specs/pipeline10.wf"),
+    ];
+    for c in candidates {
+        if std::path::Path::new(c).exists() {
+            return c.to_string();
+        }
+    }
+    candidates[0].to_string()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_algebra.json");
+    let mut spec_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out PATH"),
+            "--spec" => spec_path = Some(args.next().expect("--spec PATH")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let spec_path = locate_spec(spec_path);
+    let src = std::fs::read_to_string(&spec_path)
+        .unwrap_or_else(|e| panic!("cannot read {spec_path}: {e}"));
+    let workflow = WorkflowBuilder::from_spec(&src).expect("spec parses").build();
+    let deps: Vec<Expr> = workflow.spec.dependencies.iter().map(normalize).collect();
+    let mut lits: Vec<Literal> = deps
+        .iter()
+        .flat_map(|d| d.symbols())
+        .flat_map(|s| [Literal::pos(s), Literal::neg(s)])
+        .collect();
+    lits.sort();
+    lits.dedup();
+    let (algebra_iters, e2e_iters) = if quick { (5, 3) } else { (61, 15) };
+    let mut entries = Vec::new();
+
+    // ---- residuate: tree vs persistent-arena memo ----
+    let baseline_ns = median_ns(algebra_iters, || {
+        let mut acc = 0usize;
+        for d in &deps {
+            for &l in &lits {
+                acc += residuate(d, l).node_count();
+            }
+        }
+        black_box(acc);
+    });
+    let mut arena = ExprArena::new();
+    let ids: Vec<_> = deps.iter().map(|d| arena.intern(d)).collect();
+    let optimized_ns = median_ns(algebra_iters, || {
+        let mut acc = 0usize;
+        for &id in &ids {
+            for &l in &lits {
+                acc += arena.residuate(id, l).index();
+            }
+        }
+        black_box(acc);
+    });
+    entries.push(Entry { name: "residuate", baseline_ns, optimized_ns });
+
+    // ---- machine compilation: per-dep tree vs shared arena ----
+    let baseline_ns = median_ns(algebra_iters, || {
+        let n: usize =
+            deps.iter().map(|d| DependencyMachine::compile_tree_reference(d).state_count()).sum();
+        black_box(n);
+    });
+    let optimized_ns = median_ns(algebra_iters, || {
+        let n: usize =
+            DependencyMachine::compile_all(&deps).iter().map(DependencyMachine::state_count).sum();
+        black_box(n);
+    });
+    entries.push(Entry { name: "machine_compile", baseline_ns, optimized_ns });
+
+    // ---- machine compilation, replicated dependencies ----
+    // The arena path's structural dedup: a workflow instantiating the
+    // same dependency pattern n times compiles it once. The tree path
+    // recompiles every copy.
+    let replicated: Vec<Expr> = (0..deps.len()).map(|_| deps[0].clone()).collect();
+    let baseline_ns = median_ns(algebra_iters, || {
+        let n: usize = replicated
+            .iter()
+            .map(|d| DependencyMachine::compile_tree_reference(d).state_count())
+            .sum();
+        black_box(n);
+    });
+    let optimized_ns = median_ns(algebra_iters, || {
+        let n: usize = DependencyMachine::compile_all(&replicated)
+            .iter()
+            .map(DependencyMachine::state_count)
+            .sum();
+        black_box(n);
+    });
+    entries.push(Entry { name: "machine_compile_dedup", baseline_ns, optimized_ns });
+
+    // ---- end-to-end schedule: symbolic vs compiled dependency runtime ----
+    let run = |runtime: DepRuntime| {
+        let mut config = ExecConfig::seeded(1);
+        config.max_steps = 5_000_000;
+        config.dep_runtime = runtime;
+        let report = constrained_events::run_workflow(&workflow.spec, config);
+        assert!(report.all_satisfied(), "{} must satisfy its dependencies", workflow.name);
+        report.steps
+    };
+    let baseline_ns = median_ns(e2e_iters, || {
+        black_box(run(DepRuntime::Symbolic));
+    });
+    let optimized_ns = median_ns(e2e_iters, || {
+        black_box(run(DepRuntime::Compiled));
+    });
+    entries.push(Entry { name: "e2e_schedule", baseline_ns, optimized_ns });
+
+    // ---- product reachability: wide Vec keys vs packed u64 keys ----
+    let machines = DependencyMachine::compile_all(&deps);
+    let budget_limit = 1 << 20;
+    let baseline_ns = median_ns(algebra_iters, || {
+        let mut pm = ProductMachine::from_machines_wide(machines.clone());
+        let mut budget = StateBudget::new(budget_limit);
+        black_box(pm.reach_accepting(None, &mut budget).found());
+    });
+    let optimized_ns = median_ns(algebra_iters, || {
+        let mut pm = ProductMachine::from_machines(machines.clone());
+        let mut budget = StateBudget::new(budget_limit);
+        black_box(pm.reach_accepting(None, &mut budget).found());
+    });
+    entries.push(Entry { name: "product_reach", baseline_ns, optimized_ns });
+
+    // ---- report ----
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"spec\": {:?},\n", workflow.name));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"benches\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": {:?}, \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.2}}}{}\n",
+            e.name,
+            e.baseline_ns,
+            e.optimized_ns,
+            e.speedup(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+    for e in &entries {
+        println!(
+            "{:<16} baseline {:>12} ns   optimized {:>12} ns   speedup {:.2}x",
+            e.name,
+            e.baseline_ns,
+            e.optimized_ns,
+            e.speedup()
+        );
+    }
+}
