@@ -502,6 +502,8 @@ pub fn run_centralized(spec: &WorkflowSpec, config: CentralConfig) -> RunReport 
         termination: outcome.termination,
         fault_stats: None,
         divergence: Vec::new(),
+        metrics: obs::MetricsSnapshot::default(),
+        recording: None,
     }
 }
 

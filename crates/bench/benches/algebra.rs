@@ -81,16 +81,24 @@ fn bench_residuate(c: &mut Criterion) {
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("machine-compile");
+    // Pipeline arrows each compile to a tiny (≤4-state) machine, so these
+    // series measure per-dependency overhead and structural dedup; the
+    // `large/*` series below compiles one (n+1)-state chain machine so a
+    // regression in the big-automaton path can't hide in tiny-machine
+    // noise.
     for &n in &[10u32, 20] {
         let (deps, _) = pipeline_exprs(n);
-        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+        debug_assert!(deps
+            .iter()
+            .all(|d| DependencyMachine::compile_tree_reference(d).state_count() <= 4));
+        group.bench_with_input(BenchmarkId::new("tiny/tree", n), &n, |b, _| {
             b.iter(|| {
                 deps.iter()
                     .map(|d| DependencyMachine::compile_tree_reference(d).state_count())
                     .sum::<usize>()
             })
         });
-        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("tiny/arena", n), &n, |b, _| {
             b.iter(|| {
                 DependencyMachine::compile_all(&deps)
                     .iter()
@@ -101,7 +109,7 @@ fn bench_compile(c: &mut Criterion) {
         // Structural dedup: the same dependency instantiated n times is
         // compiled once by the arena path, n times by the tree path.
         let replicated: Vec<Expr> = (0..deps.len()).map(|_| deps[0].clone()).collect();
-        group.bench_with_input(BenchmarkId::new("tree-replicated", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("tiny/tree-replicated", n), &n, |b, _| {
             b.iter(|| {
                 replicated
                     .iter()
@@ -109,9 +117,29 @@ fn bench_compile(c: &mut Criterion) {
                     .sum::<usize>()
             })
         });
-        group.bench_with_input(BenchmarkId::new("arena-replicated", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("tiny/arena-replicated", n), &n, |b, _| {
             b.iter(|| {
                 DependencyMachine::compile_all(&replicated)
+                    .iter()
+                    .map(DependencyMachine::state_count)
+                    .sum::<usize>()
+            })
+        });
+        // One monolithic chain e₁·e₂·…·eₙ: a single machine whose state
+        // count grows with n instead of many constant-size machines.
+        let chain = normalize(&Expr::seq(
+            deps.iter()
+                .flat_map(|d| d.symbols())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .map(|s| Expr::lit(Literal::pos(s))),
+        ));
+        group.bench_with_input(BenchmarkId::new("large/tree", n), &n, |b, _| {
+            b.iter(|| DependencyMachine::compile_tree_reference(&chain).state_count())
+        });
+        group.bench_with_input(BenchmarkId::new("large/arena", n), &n, |b, _| {
+            b.iter(|| {
+                DependencyMachine::compile_all(std::slice::from_ref(&chain))
                     .iter()
                     .map(DependencyMachine::state_count)
                     .sum::<usize>()
@@ -176,6 +204,7 @@ fn bench_e2e(c: &mut Criterion) {
                             journal: false,
                             reliable: None,
                             dep_runtime: runtime,
+                            record: None,
                         },
                     );
                     assert!(r.all_satisfied());

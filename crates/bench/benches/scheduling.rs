@@ -59,6 +59,7 @@ fn bench_guard_modes(c: &mut Criterion) {
                             journal: false,
                             reliable: None,
                             dep_runtime: DepRuntime::default(),
+                            record: None,
                         },
                     );
                     assert!(r.all_satisfied());

@@ -133,6 +133,7 @@ pub fn run_reactive_distributed(n: u32, think: u64, seed: u64) -> RunReport {
             journal: false,
             reliable: None,
             dep_runtime: DepRuntime::default(),
+            record: None,
         },
     )
 }
@@ -172,6 +173,7 @@ pub fn run_distributed(w: &Workload, seed: u64) -> RunReport {
             journal: false,
             reliable: None,
             dep_runtime: DepRuntime::default(),
+            record: None,
         },
     )
 }
@@ -189,6 +191,7 @@ pub fn run_lazy(w: &Workload, seed: u64, period: u64) -> RunReport {
             journal: false,
             reliable: None,
             dep_runtime: DepRuntime::default(),
+            record: None,
         },
     )
 }

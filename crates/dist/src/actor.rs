@@ -23,12 +23,31 @@ use agent::EventAttrs;
 use event_algebra::{
     requires, residuate, DependencyMachine, Expr, Literal, Polarity, StateId, SymbolId,
 };
+use obs::{Fact, NodeObs, ObsLit, SpanId, SpanKind, Verdict};
 use sim::{Ctx, NodeId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use temporal::{
     eventually_mask, needs, occurred_mask, status, Guard, GuardStatus, Need, ST_C, ST_D, ST_FULL,
 };
+
+/// Literal → trace encoding (the same packed `sym << 1 | polarity`
+/// index; see [`obs::ObsLit`]).
+fn olit(l: Literal) -> ObsLit {
+    ObsLit(l.index() as u32)
+}
+
+/// Stable 32-bit FNV-1a fingerprint of a guard's canonical form — the
+/// residual id recorded on guard-evaluation spans. Two evaluations with
+/// equal fingerprints saw the same residual guard.
+fn guard_fingerprint(g: &Guard) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in format!("{g:?}").bytes() {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// Routing tables shared by all nodes of one execution.
 #[derive(Debug, Default, Clone)]
@@ -185,6 +204,15 @@ impl DepTracker {
             DepTracker::Symbolic { residual, .. } => residual.clone(),
         }
     }
+
+    /// `(state id, liveness)` of the current residual, for trace records.
+    /// Symbolic trackers have no compiled state id and report 0.
+    pub fn obs_state(&self) -> (u32, bool) {
+        match self {
+            DepTracker::Machine { machine, state } => (state.0, !machine.state(*state).is_zero()),
+            DepTracker::Symbolic { residual, .. } => (0, !residual.is_zero()),
+        }
+    }
 }
 
 impl LitState {
@@ -253,6 +281,10 @@ pub struct SymbolActor {
     pub max_promise_retries: u32,
     /// Aborted-round counts per `(requested, requester)` pair.
     promise_retries: BTreeMap<(Literal, Literal), u32>,
+    /// Flight-recorder handle (off by default): guard evaluations,
+    /// occurrences, residual steps and promise-round phases become causal
+    /// trace spans when a recorder is attached.
+    pub obs: NodeObs,
 }
 
 impl SymbolActor {
@@ -285,6 +317,7 @@ impl SymbolActor {
             promise_timeout: None,
             max_promise_retries: 8,
             promise_retries: BTreeMap::new(),
+            obs: NodeObs::off(),
         }
     }
 
@@ -341,6 +374,7 @@ impl SymbolActor {
     fn on_attempt(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
         self.stats.attempts += 1;
         self.journal(ctx.now(), JournalKind::Attempt(lit));
+        self.obs.rec(ctx.now(), SpanKind::Attempt { lit: olit(lit) });
         if let Some((occ, _, _)) = self.occurred {
             let reply = if occ == lit { Msg::Granted { lit } } else { Msg::Rejected { lit } };
             self.reply_agent(ctx, reply);
@@ -356,7 +390,7 @@ impl SymbolActor {
         // (Section 3.3) — unless the symbol already resolved (duplicate
         // inform after a rejection-induced complement), which is ignored.
         if self.occurred.is_none() {
-            self.occur(ctx, lit, false);
+            self.occur(ctx, lit, false, None);
         }
     }
 
@@ -367,12 +401,14 @@ impl SymbolActor {
         if self.facts_seen.insert(seq, lit).is_some() {
             return; // duplicate
         }
-        self.apply_facts(seq);
+        self.obs.rec(ctx.now(), SpanKind::FactApplied { lit: olit(lit), seq });
+        self.apply_facts(seq, ctx.now());
         self.after_fact(ctx, Some(lit));
     }
 
     fn on_promise_grant(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
         if self.promises_seen.insert(lit) {
+            self.obs.rec(ctx.now(), SpanKind::PromiseCommit { lit: olit(lit) });
             for st in [&mut self.pos, &mut self.neg] {
                 st.guard = st.guard.assume_promised(lit);
             }
@@ -407,6 +443,7 @@ impl SymbolActor {
         }
         self.stats.promise_aborts += 1;
         self.journal(ctx.now(), JournalKind::PromiseAborted { lit, for_lit });
+        self.obs.rec(ctx.now(), SpanKind::PromiseAbort { lit: olit(lit) });
         self.lit_state(for_lit).requested_promises.remove(&lit);
         let retries = self.promise_retries.entry((lit, for_lit)).or_insert(0);
         if *retries < self.max_promise_retries {
@@ -427,9 +464,11 @@ impl SymbolActor {
     /// guards and residuals are rebuilt from their compiled bases by
     /// replaying the full ordered log — required for `◇(sequence)` atoms
     /// and sequence dependencies, whose reductions do not commute.
-    fn apply_facts(&mut self, new_seq: u64) {
+    fn apply_facts(&mut self, new_seq: u64, now: Time) {
         if new_seq < self.applied_up_to {
-            // Out-of-order arrival: full ordered replay.
+            // Out-of-order arrival: full ordered replay. Residual steps
+            // are not re-recorded — the replay re-derives state already
+            // captured by earlier `DepStep` spans.
             self.pos.guard = self.pos.base_guard.clone();
             self.neg.guard = self.neg.base_guard.clone();
             for (_, t) in &mut self.dep_residuals {
@@ -459,6 +498,14 @@ impl SymbolActor {
                 self.stats.reductions += 2;
                 for (_, t) in &mut self.dep_residuals {
                     t.step(l);
+                }
+                if self.obs.enabled() {
+                    for (ix, t) in &self.dep_residuals {
+                        let (state, live) = t.obs_state();
+                        let input = olit(l);
+                        let kind = SpanKind::DepStep { dep: *ix as u32, input, state, live };
+                        self.obs.rec(now, kind);
+                    }
                 }
             }
         }
@@ -540,6 +587,7 @@ impl SymbolActor {
                 self.lit_state(lit).triggered = true;
                 self.stats.triggers += 1;
                 self.journal(ctx.now(), JournalKind::Triggered(lit));
+                self.obs.rec(ctx.now(), SpanKind::Triggered { lit: olit(lit) });
                 if force_here {
                     let st = self.lit_state(lit);
                     st.attempted = true;
@@ -628,6 +676,20 @@ impl SymbolActor {
         }
     }
 
+    /// Record a guard-evaluation span: the verdict, the residual guard's
+    /// fingerprint, and the ordered occurrence facts folded into the
+    /// guard so far — the facts the causal-consistency audit traces back
+    /// to their establishing occurrences.
+    fn rec_guard_eval(&self, now: Time, lit: Literal, verdict: Verdict) -> Option<SpanId> {
+        if !self.obs.enabled() {
+            return None;
+        }
+        let facts: Vec<Fact> =
+            self.facts_seen.iter().map(|(&seq, &l)| Fact { seq, lit: olit(l), at: 0 }).collect();
+        let residual = guard_fingerprint(&self.lit_state_ref(lit).guard);
+        self.obs.rec(now, SpanKind::GuardEval { lit: olit(lit), verdict, residual, facts })
+    }
+
     /// Decide an attempted literal: occur, reject, or park and pursue the
     /// outstanding needs (promises / not-yet agreements).
     fn evaluate(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
@@ -644,7 +706,8 @@ impl SymbolActor {
         if st.forced && !held {
             let acceptable = self.dep_residuals.iter().all(|(_, t)| t.live_after(lit));
             if acceptable {
-                self.occur(ctx, lit, true);
+                let span = self.rec_guard_eval(ctx.now(), lit, Verdict::Enabled);
+                self.occur(ctx, lit, true, span);
                 return;
             }
         }
@@ -657,24 +720,29 @@ impl SymbolActor {
             // park instead of rejecting — Weakened mode (the default) has
             // no sequence atoms and keeps eager rejection.
             GuardStatus::Dead if !st.base_guard.has_seq_atoms() => {
+                self.rec_guard_eval(ctx.now(), lit, Verdict::Dead);
                 self.lit_state(lit).dead = true;
                 self.reject(ctx, lit);
             }
             GuardStatus::Dead => {
+                self.rec_guard_eval(ctx.now(), lit, Verdict::Parked);
                 if self.stats.first_parked_at.is_none() {
                     self.stats.first_parked_at = Some(ctx.now());
                 }
             }
             _ if self.guard_enabled(lit) => {
+                let span = self.rec_guard_eval(ctx.now(), lit, Verdict::Enabled);
                 if !held {
-                    self.occur(ctx, lit, true);
+                    self.occur(ctx, lit, true, span);
                 }
                 // Held: wait for Release, then re-evaluate.
             }
             _ => {
+                self.rec_guard_eval(ctx.now(), lit, Verdict::Parked);
                 if self.stats.first_parked_at.is_none() {
                     self.stats.first_parked_at = Some(ctx.now());
                     self.journal(ctx.now(), JournalKind::Parked(lit));
+                    self.obs.rec(ctx.now(), SpanKind::Parked { lit: olit(lit) });
                 }
                 self.pursue_needs(ctx, lit);
             }
@@ -728,6 +796,10 @@ impl SymbolActor {
                         ctx.now(),
                         JournalKind::PromiseRequested { lit: *f, for_lit: lit },
                     );
+                    self.obs.rec(
+                        ctx.now(),
+                        SpanKind::PromiseOpen { lit: olit(*f), for_lit: olit(lit) },
+                    );
                     self.lit_state(lit).requested_promises.insert(*f);
                     self.stats.promises_requested += 1;
                     if let Some(timeout) = self.promise_timeout {
@@ -752,14 +824,29 @@ impl SymbolActor {
     // ----- occurrence / rejection -----
 
     /// The event occurs: record, notify the agent (if it asked), announce
-    /// to subscribers, release any holds we had requested.
-    fn occur(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal, by_acceptance: bool) {
+    /// to subscribers, release any holds we had requested. The occurrence
+    /// span is parented under the guard evaluation that justified it
+    /// (`eval_span`), falling back to the delivery cursor for informs.
+    fn occur(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        lit: Literal,
+        by_acceptance: bool,
+        eval_span: Option<SpanId>,
+    ) {
         debug_assert!(self.occurred.is_none());
         let at = ctx.now();
         let seq = ctx.delivery_seq();
         self.occurred = Some((lit, at, seq));
         self.stats.occurred_at = Some(at);
         self.journal(at, JournalKind::Occurred(lit));
+        if self.obs.enabled() {
+            let kind = SpanKind::Occurred { lit: olit(lit), seq, by_acceptance };
+            match eval_span {
+                Some(p) => self.obs.rec_under(Some(p), at, kind),
+                None => self.obs.rec(at, kind),
+            };
+        }
         if by_acceptance {
             self.stats.granted += 1;
         }
@@ -767,8 +854,16 @@ impl SymbolActor {
         // replay it) and advance the residuals now.
         self.facts_seen.insert(seq, lit);
         self.applied_up_to = self.applied_up_to.max(seq);
+        self.obs.rec(at, SpanKind::FactApplied { lit: olit(lit), seq });
         for (_, t) in &mut self.dep_residuals {
             t.step(lit);
+        }
+        if self.obs.enabled() {
+            for (ix, t) in &self.dep_residuals {
+                let (state, live) = t.obs_state();
+                let kind = SpanKind::DepStep { dep: *ix as u32, input: olit(lit), state, live };
+                self.obs.rec(at, kind);
+            }
         }
         let st = self.lit_state_ref(lit);
         if st.attempted && !st.forced {
@@ -807,6 +902,7 @@ impl SymbolActor {
     fn reject(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
         self.stats.rejected += 1;
         self.journal(ctx.now(), JournalKind::Rejected(lit));
+        self.obs.rec(ctx.now(), SpanKind::Rejected { lit: olit(lit) });
         let was_forced = self.lit_state_ref(lit).forced;
         self.lit_state(lit).attempted = false;
         if !was_forced {
@@ -853,11 +949,13 @@ impl SymbolActor {
                 // promise (re-sent in case the requester subscribed late).
                 ctx.send(requester, Msg::Announce { lit, at, seq });
             } else {
+                self.obs.rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
                 ctx.send(requester, Msg::PromiseDeny { lit });
             }
             return;
         }
         if self.lit_state_ref(lit).dead {
+            self.obs.rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
             ctx.send(requester, Msg::PromiseDeny { lit });
             return;
         }
@@ -925,6 +1023,7 @@ impl SymbolActor {
             let requester = self.routing.actor_of[&p.symbol()];
             self.stats.promises_granted += 1;
             self.journal(ctx.now(), JournalKind::PromiseGranted(lit));
+            self.obs.rec(ctx.now(), SpanKind::PromiseGrant { lit: olit(lit), to: requester.0 });
             ctx.send(requester, Msg::PromiseGrant { lit });
             self.pending_requests.remove(&(lit, p));
         }
@@ -941,11 +1040,14 @@ impl SymbolActor {
                 if occ == lit {
                     ctx.send(requester, Msg::Announce { lit, at, seq });
                 } else {
+                    self.obs
+                        .rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
                     ctx.send(requester, Msg::PromiseDeny { lit });
                 }
                 self.pending_requests.remove(&(lit, for_lit));
             } else if self.lit_state_ref(lit).dead {
                 let requester = self.routing.actor_of[&for_lit.symbol()];
+                self.obs.rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
                 ctx.send(requester, Msg::PromiseDeny { lit });
                 self.pending_requests.remove(&(lit, for_lit));
             } else if self.try_grant(ctx, lit, for_lit) {

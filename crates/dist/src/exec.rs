@@ -18,6 +18,7 @@ use event_algebra::{
     normalize, satisfies, DependencyMachine, Expr, Literal, SymbolId, SymbolTable, Trace,
 };
 use guard::{CompiledWorkflow, GuardScope};
+use obs::{MetricsRegistry, MetricsSnapshot, NodeObs, Obs, RecordConfig, Recording, SpanKind};
 use sim::{
     Ctx, FaultPlan, FaultStats, Network, NodeId, Process, SimConfig, SiteId, Termination, Time,
 };
@@ -114,6 +115,13 @@ pub struct ExecConfig {
     /// Dependency-residual tracking: precompiled machines (the default)
     /// or symbolic tree residuation (the reference oracle).
     pub dep_runtime: DepRuntime,
+    /// Attach a flight recorder: every guard evaluation, residual step,
+    /// message, promise-round phase, WAL append/replay and fault
+    /// injection becomes a causal trace span, returned on
+    /// [`RunReport::recording`]. `None` (the default) records nothing and
+    /// adds no work to the scheduling hot path. Ignored by the threaded
+    /// executor, whose interleavings are not deterministic.
+    pub record: Option<RecordConfig>,
 }
 
 impl ExecConfig {
@@ -127,6 +135,7 @@ impl ExecConfig {
             journal: false,
             reliable: None,
             dep_runtime: DepRuntime::default(),
+            record: None,
         }
     }
 }
@@ -225,6 +234,15 @@ pub struct RunReport {
     /// the protocol keeps its consistent-temporal-order promise
     /// (Section 6); the conformance harness asserts exactly that.
     pub divergence: Vec<(u64, Literal, Literal)>,
+    /// Unified metrics snapshot: network, fault, transport, scheduler and
+    /// per-dependency measurements behind one key/label API (subsumes
+    /// [`RunReport::net`] and [`RunReport::fault_stats`], which stay for
+    /// compatibility). Empty on the threaded executor.
+    pub metrics: MetricsSnapshot,
+    /// The flight recording, when [`ExecConfig::record`] was set: the
+    /// full causal span DAG plus the metrics snapshot, ready for
+    /// `wftrace` or JSON export.
+    pub recording: Option<Recording>,
 }
 
 impl RunReport {
@@ -461,8 +479,12 @@ fn collect_report(
         broken_promises,
         journal: Vec::new(),
         termination,
-        fault_stats: None,
+        // Populated even on the fault-free path, so consumers can read
+        // all-zero counters instead of special-casing `None`.
+        fault_stats: Some(FaultStats::default()),
         divergence,
+        metrics: MetricsSnapshot::default(),
+        recording: None,
     }
 }
 
@@ -480,10 +502,16 @@ pub struct NetNode {
     reliable: Option<Reliable>,
     /// Durable storage shared across the run, plus this node's id in it.
     store: Option<(NodeStore, u32)>,
-    /// The node as originally built (journal detached): volatile state is
-    /// reset to this on restart before the log replays over it.
+    /// The node as originally built (journal and recorder detached):
+    /// volatile state is reset to this on restart before the log replays
+    /// over it.
     pristine: Option<Box<Node>>,
     journal: Option<crate::journal::Journal>,
+    /// Flight-recorder handle for this node: WAL appends/replays are
+    /// recorded here, and the handle is re-attached to the role after a
+    /// crash rebuild (replay itself runs with recording detached, so
+    /// rebuilt decisions are not re-recorded).
+    obs: NodeObs,
 }
 
 impl NetNode {
@@ -538,6 +566,7 @@ impl Process<Msg> for NetNode {
                     env_seq,
                 },
             );
+            self.obs.rec(ctx.now(), SpanKind::WalAppend { seq: ctx.delivery_seq() });
         }
         if self.reliable.is_some() {
             let mut out: Vec<(NodeId, Msg, Time)> = Vec::new();
@@ -568,6 +597,7 @@ impl Process<Msg> for NetNode {
         // first delivery and be processed — and logged — twice).
         if let Some(r) = &mut self.reliable {
             let mut fresh = Reliable::new(r.config());
+            fresh.obs = r.obs.clone();
             if let Some((store, id)) = &self.store {
                 fresh.restore_seqs(store.seqs_of(*id));
             }
@@ -594,7 +624,9 @@ impl Process<Msg> for NetNode {
         }
         if let Node::Actor(a) = &mut self.role {
             a.journal = self.journal.clone();
+            a.obs = self.obs.clone();
         }
+        self.obs.rec(ctx.now(), SpanKind::WalReplay { entries: replayed as u64 });
         if let Some(j) = &self.journal {
             j.record(ctx.now(), JournalKind::Restarted { node: ctx.self_id.0, replayed });
         }
@@ -637,6 +669,10 @@ fn run_workflow_inner(
     config: ExecConfig,
     plan: Option<FaultPlan>,
 ) -> RunReport {
+    let obs = match config.record {
+        Some(rc) => Obs::on(rc),
+        None => Obs::off(),
+    };
     let built = build_workflow(spec, config);
     let routing = Arc::clone(&built.routing);
     let journal = built.journal.clone();
@@ -647,25 +683,36 @@ fn run_workflow_inner(
         .nodes
         .into_iter()
         .enumerate()
-        .map(|(ix, (site, role))| {
+        .map(|(ix, (site, mut role))| {
+            let node_obs = NodeObs::new(obs.clone(), ix as u32, site.0);
+            if let Node::Actor(a) = &mut role {
+                a.obs = node_obs.clone();
+            }
             let pristine = store.is_some().then(|| {
                 let mut p = role.clone();
                 if let Node::Actor(a) = &mut p {
                     a.journal = None;
+                    a.obs = NodeObs::off();
                 }
                 Box::new(p)
             });
+            let mut reliable = config.reliable.map(Reliable::new);
+            if let Some(r) = &mut reliable {
+                r.obs = node_obs.clone();
+            }
             let node = NetNode {
                 role,
-                reliable: config.reliable.map(Reliable::new),
+                reliable,
                 store: store.clone().map(|s| (s, ix as u32)),
                 pristine,
                 journal: journal.clone(),
+                obs: node_obs,
             };
             (site, node)
         })
         .collect();
     let mut net: Network<Msg, NetNode> = Network::new(config.sim, nodes);
+    net.set_recorder(obs.clone(), Msg::kind_label);
     if let Some(plan) = plan {
         net.set_faults(plan);
     }
@@ -677,7 +724,19 @@ fn run_workflow_inner(
     let duration = net.now();
     let stats = net.stats().clone();
     let fault_stats = net.fault_stats().copied();
-    let all: Vec<Node> = net.into_nodes().into_iter().map(|n| n.role).collect();
+    let (mut retransmissions, mut dedup_dropped, mut gave_up) = (0u64, 0u64, 0u64);
+    let all: Vec<Node> = net
+        .into_nodes()
+        .into_iter()
+        .map(|n| {
+            if let Some(r) = &n.reliable {
+                retransmissions += r.retransmissions;
+                dedup_dropped += r.duplicates_suppressed;
+                gave_up += r.gave_up;
+            }
+            n.role
+        })
+        .collect();
     let mut report = collect_report(
         spec,
         &built.symbols,
@@ -687,10 +746,57 @@ fn run_workflow_inner(
         outcome,
         stats,
     );
-    report.fault_stats = fault_stats;
+    if let Some(fs) = fault_stats {
+        report.fault_stats = Some(fs);
+    }
     if let Some(j) = journal {
         report.journal = j.entries();
     }
+
+    // ----- unified metrics -----
+    let reg = MetricsRegistry::new();
+    report.net.record_into(&reg);
+    if let Some(fs) = &report.fault_stats {
+        fs.record_into(&reg);
+    }
+    reg.add("transport.retransmissions", &[], retransmissions);
+    reg.add("transport.dedup_dropped", &[], dedup_dropped);
+    reg.add("transport.gave_up", &[], gave_up);
+    reg.add("run.steps", &[], report.steps);
+    reg.set_gauge("run.duration", &[], report.duration as i64);
+    let mut sched = [0u64; 5];
+    for (sym, st) in &report.actor_stats {
+        let name = spec.table.name(*sym).unwrap_or("?");
+        let labels: &[(&str, &str)] = &[("event", name)];
+        reg.add("actor.attempts", labels, st.attempts);
+        reg.add("actor.granted", labels, st.granted);
+        reg.add("actor.rejected", labels, st.rejected);
+        reg.add("actor.triggers", labels, st.triggers);
+        sched[0] += st.promises_requested;
+        sched[1] += st.promises_granted;
+        sched[2] += st.promise_aborts;
+        sched[3] += st.reductions;
+        sched[4] += st.announces_out;
+    }
+    reg.add("sched.promises_requested", &[], sched[0]);
+    reg.add("sched.promises_granted", &[], sched[1]);
+    reg.add("sched.promise_aborts", &[], sched[2]);
+    reg.add("sched.reductions", &[], sched[3]);
+    reg.add("sched.announces", &[], sched[4]);
+    for (i, &ok) in report.satisfied.iter().enumerate() {
+        reg.set_gauge("dep.satisfied", &[("dep", &i.to_string())], i64::from(ok));
+    }
+    let snapshot = reg.snapshot();
+    report.recording = obs.recorder().map(|rec| Recording {
+        workflow: String::new(),
+        symbols: (0..spec.table.len())
+            .map(|i| spec.table.name(SymbolId(i as u32)).unwrap_or("?").to_string())
+            .collect(),
+        dropped: rec.dropped(),
+        events: rec.events(),
+        metrics: snapshot.clone(),
+    });
+    report.metrics = snapshot;
     report
 }
 

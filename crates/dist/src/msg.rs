@@ -154,6 +154,34 @@ pub enum Msg {
 }
 
 impl Msg {
+    /// A short static label naming this message's kind, used by the
+    /// flight recorder to tag network spans. A [`Msg::Seq`] envelope
+    /// reports its payload's kind (the envelope lifecycle has its own
+    /// `env_*` span family).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Msg::Kick => "kick",
+            Msg::Tick => "tick",
+            Msg::Attempt { .. } => "attempt",
+            Msg::Inform { .. } => "inform",
+            Msg::Granted { .. } => "granted",
+            Msg::Rejected { .. } => "rejected",
+            Msg::Trigger { .. } => "trigger",
+            Msg::Announce { .. } => "announce",
+            Msg::PromiseRequest { .. } => "promise_req",
+            Msg::PromiseGrant { .. } => "promise_grant",
+            Msg::PromiseDeny { .. } => "promise_deny",
+            Msg::NotYetQuery { .. } => "notyet_query",
+            Msg::NotYetGrant { .. } => "notyet_grant",
+            Msg::NotYetDeny { .. } => "notyet_deny",
+            Msg::Release { .. } => "release",
+            Msg::Seq { inner, .. } => inner.kind_label(),
+            Msg::Ack { .. } => "ack",
+            Msg::RetryTimer { .. } => "retry_timer",
+            Msg::PromiseExpire { .. } => "promise_expire",
+        }
+    }
+
     /// The literal this message concerns (`None` for [`Msg::Kick`] and
     /// the transport-level variants; a [`Msg::Seq`] envelope defers to
     /// its payload).

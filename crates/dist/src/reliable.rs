@@ -14,6 +14,7 @@
 //! the same fact stream it would see on a perfect network, just later.
 
 use crate::msg::Msg;
+use obs::{NodeObs, SpanKind};
 use sim::{Ctx, NodeId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -57,6 +58,10 @@ pub struct Reliable {
     pub duplicates_suppressed: u64,
     /// Retransmissions performed.
     pub retransmissions: u64,
+    /// Flight-recorder handle (off by default): envelope sends,
+    /// retransmissions, acks, dedup drops and give-ups become trace spans
+    /// when a recorder is attached.
+    pub obs: NodeObs,
 }
 
 impl Reliable {
@@ -83,6 +88,7 @@ impl Reliable {
         let seq = self.next_seq.entry(to).or_insert(0);
         *seq += 1;
         let seq = *seq;
+        self.obs.rec(ctx.now(), SpanKind::EnvSend { to: to.0, seq });
         ctx.send(to, Msg::Seq { seq, inner: Box::new(msg.clone()) });
         self.unacked.insert((to, seq), (msg, 1));
         ctx.send_after(ctx.self_id, Msg::RetryTimer { to, seq }, self.config.rto);
@@ -131,11 +137,13 @@ impl Reliable {
                     Some((*inner, Some(seq)))
                 } else {
                     self.duplicates_suppressed += 1;
+                    self.obs.rec(ctx.now(), SpanKind::EnvDedupDrop { from: from.0, seq });
                     None
                 }
             }
             Msg::Ack { seq } => {
                 self.unacked.remove(&(from, seq));
+                self.obs.rec(ctx.now(), SpanKind::EnvAck { peer: from.0, seq });
                 None
             }
             Msg::RetryTimer { to, seq } => {
@@ -153,11 +161,14 @@ impl Reliable {
         if *attempts >= self.config.max_attempts {
             self.unacked.remove(&(to, seq));
             self.gave_up += 1;
+            self.obs.rec(ctx.now(), SpanKind::EnvGiveUp { to: to.0, seq });
             return;
         }
         *attempts += 1;
+        let attempt = *attempts;
         let exponent = (*attempts - 1).min(16);
         let rto = self.config.rto.saturating_mul(u64::from(self.config.backoff).pow(exponent));
+        self.obs.rec(ctx.now(), SpanKind::EnvRetransmit { to: to.0, seq, attempt });
         ctx.send(to, Msg::Seq { seq, inner: Box::new(msg.clone()) });
         self.retransmissions += 1;
         ctx.send_after(ctx.self_id, Msg::RetryTimer { to, seq }, rto);

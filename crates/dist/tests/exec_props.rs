@@ -43,6 +43,7 @@ fn config(seed: u64, mode: GuardMode) -> ExecConfig {
         journal: false,
         reliable: None,
         dep_runtime: DepRuntime::default(),
+        record: None,
     }
 }
 

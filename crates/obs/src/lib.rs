@@ -1,0 +1,37 @@
+//! Flight-recorder observability for the distributed workflow runtime.
+//!
+//! The paper's semantics evaluate every guard `G(D, e)` against a *trace
+//! prefix*, so each firing has a finite justification: the `□`/`◇`
+//! announcements it consumed, the residuation (FSM) steps they caused, and
+//! the final guard flip. This crate captures that justification as data: a
+//! ring-buffered [`FlightRecorder`] collects typed [`TraceEvent`]s — guard
+//! evaluations, dependency-machine steps, transport envelope lifecycle,
+//! promise-round phases, WAL appends/replays, and fault injections — each
+//! stamped with sim time, node, site, and a **causal parent id**, so the
+//! recorded run forms a happens-before DAG (parent edges plus per-node
+//! program order).
+//!
+//! Everything is zero-cost when disabled: the runtime holds an [`Obs`]
+//! handle whose `enabled()` check guards payload construction at every call
+//! site, and the default recorder is [`NoopRecorder`].
+//!
+//! The companion [`MetricsRegistry`] subsumes the ad-hoc `NetStats` /
+//! `FaultStats` counters behind one snapshotting API
+//! ([`MetricsSnapshot`]), and [`Recording`] bundles events + metrics into a
+//! JSON document the `wftrace` CLI inspects ([`inspect`]).
+
+#![warn(missing_docs)]
+
+pub mod inspect;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod recording;
+pub mod span;
+
+pub use inspect::{chrome_trace, explain, stats_text, Explanation};
+pub use json::Json;
+pub use metrics::{Log2Histogram, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{FlightRecorder, NodeObs, Obs, ParentRef, RecordConfig, Recorder};
+pub use recording::{causal_audit, Recording};
+pub use span::{Fact, ObsLit, SpanId, SpanKind, Time, TraceEvent, Verdict};

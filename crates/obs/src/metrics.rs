@@ -1,0 +1,384 @@
+//! A unified metrics registry: counters, gauges, and log2 histograms keyed
+//! by name + labels, with one snapshotting API.
+//!
+//! This subsumes the ad-hoc `sim::NetStats` and `sim::FaultStats` counter
+//! structs: after a run, the executor folds both (plus per-actor and
+//! transport counters) into a [`MetricsRegistry`] and exposes the
+//! [`MetricsSnapshot`] on the run report, serialized to JSON alongside the
+//! recorded trace.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A metric identity: name plus sorted `(key, value)` label pairs
+/// (site/actor/dependency labels by convention).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Dotted metric name, e.g. `net.sent_total`.
+    pub name: String,
+    /// Label pairs, kept sorted so equal label sets compare equal.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels =
+            self.labels.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(",");
+        format!("{}{{{labels}}}", self.name)
+    }
+}
+
+/// A histogram over `[2^i, 2^(i+1))` buckets — cheap to update, good
+/// enough for latency quantiles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Log2Histogram {
+    /// `buckets[i]` counts observations `v` with `floor(log2(max(v,1))) == i`,
+    /// clamped to the last bucket.
+    pub buckets: [u64; 32],
+    /// Total observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Log2Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        let bucket = (63 - v.max(1).leading_zeros() as usize).min(31);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// The quantile estimate for `q` in `[0, 1]`: the inclusive lower
+    /// bound `2^i` of the bucket where the cumulative count crosses
+    /// `ceil(q * count)`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, i64>,
+    histograms: BTreeMap<MetricKey, Log2Histogram>,
+}
+
+/// A shared registry of counters, gauges, and log2 histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to a counter.
+    pub fn add(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        let key = MetricKey::new(name, labels);
+        *self.inner.lock().expect("metrics lock").counters.entry(key).or_insert(0) += by;
+    }
+
+    /// Set a gauge to `v`.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], v: i64) {
+        let key = MetricKey::new(name, labels);
+        self.inner.lock().expect("metrics lock").gauges.insert(key, v);
+    }
+
+    /// Record one histogram observation.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let key = MetricKey::new(name, labels);
+        self.inner.lock().expect("metrics lock").histograms.entry(key).or_default().observe(v);
+    }
+
+    /// Merge a pre-counted log2 bucket array (e.g. `NetStats`'s 16-bucket
+    /// latency table, whose buckets use the same `[2^i, 2^(i+1))` layout).
+    pub fn merge_buckets(&self, name: &str, labels: &[(&str, &str)], buckets: &[u64], sum: u64) {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let h = inner.histograms.entry(key).or_default();
+        for (i, &c) in buckets.iter().enumerate() {
+            let slot = i.min(31);
+            h.buckets[slot] += c;
+            h.count += c;
+            if c > 0 {
+                h.max = h.max.max(if slot == 0 { 1 } else { (1u64 << (slot + 1)) - 1 });
+            }
+        }
+        h.sum += sum;
+    }
+
+    /// A point-in-time copy of every metric, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics lock");
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: inner.histograms.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry, attached to run reports and
+/// serialized inside recordings.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values sorted by key.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauge values sorted by key.
+    pub gauges: Vec<(MetricKey, i64)>,
+    /// Histograms sorted by key.
+    pub histograms: Vec<(MetricKey, Log2Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name + labels.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        self.counters.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by name + labels.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Log2Histogram> {
+        let key = MetricKey::new(name, labels);
+        self.histograms.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let key_json = |k: &MetricKey| {
+            Json::obj(vec![
+                ("name", Json::str(&k.name)),
+                (
+                    "labels",
+                    Json::Obj(k.labels.iter().map(|(k, v)| (k.clone(), Json::str(v))).collect()),
+                ),
+            ])
+        };
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| {
+                            let mut o = key_json(k);
+                            if let Json::Obj(map) = &mut o {
+                                map.insert("value".to_string(), Json::u64(*v));
+                            }
+                            o
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Arr(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| {
+                            let mut o = key_json(k);
+                            if let Json::Obj(map) = &mut o {
+                                map.insert("value".to_string(), Json::i64(*v));
+                            }
+                            o
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Arr(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| {
+                            let mut o = key_json(k);
+                            if let Json::Obj(map) = &mut o {
+                                map.insert(
+                                    "buckets".to_string(),
+                                    Json::Arr(h.buckets.iter().map(|&c| Json::u64(c)).collect()),
+                                );
+                                map.insert("count".to_string(), Json::u64(h.count));
+                                map.insert("sum".to_string(), Json::u64(h.sum));
+                                map.insert("max".to_string(), Json::u64(h.max));
+                            }
+                            o
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`MetricsSnapshot::to_json`].
+    pub fn from_json(v: &Json) -> Result<MetricsSnapshot, String> {
+        let key_of = |o: &Json| -> Result<MetricKey, String> {
+            let name =
+                o.get("name").and_then(Json::as_str).ok_or("metric missing name")?.to_string();
+            let labels = o
+                .get("labels")
+                .and_then(Json::as_obj)
+                .map(|m| {
+                    m.iter()
+                        .map(|(k, v)| (k.clone(), v.as_str().unwrap_or_default().to_string()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            Ok(MetricKey { name, labels })
+        };
+        let mut snap = MetricsSnapshot::default();
+        for c in v.get("counters").and_then(Json::as_arr).unwrap_or(&[]) {
+            let value = c.get("value").and_then(Json::as_u64).ok_or("counter value")?;
+            snap.counters.push((key_of(c)?, value));
+        }
+        for g in v.get("gauges").and_then(Json::as_arr).unwrap_or(&[]) {
+            let value = g.get("value").and_then(Json::as_i64).ok_or("gauge value")?;
+            snap.gauges.push((key_of(g)?, value));
+        }
+        for h in v.get("histograms").and_then(Json::as_arr).unwrap_or(&[]) {
+            let mut hist = Log2Histogram::default();
+            let buckets = h.get("buckets").and_then(Json::as_arr).ok_or("histogram buckets")?;
+            for (i, b) in buckets.iter().enumerate().take(32) {
+                hist.buckets[i] = b.as_u64().ok_or("bucket count")?;
+            }
+            hist.count = h.get("count").and_then(Json::as_u64).ok_or("histogram count")?;
+            hist.sum = h.get("sum").and_then(Json::as_u64).ok_or("histogram sum")?;
+            hist.max = h.get("max").and_then(Json::as_u64).ok_or("histogram max")?;
+            snap.histograms.push((key_of(h)?, hist));
+        }
+        Ok(snap)
+    }
+
+    /// Multi-line human rendering (used by `wftrace stats`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{:<48} {v}\n", k.render()));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{:<48} {v}\n", k.render()));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{:<48} count={} mean={:.1} p50={} p99={} max={}\n",
+                k.render(),
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let m = MetricsRegistry::new();
+        m.add("net.sent", &[("site", "0")], 2);
+        m.add("net.sent", &[("site", "0")], 3);
+        m.add("net.sent", &[("site", "1")], 7);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("net.sent", &[("site", "0")]), Some(5));
+        assert_eq!(snap.counter("net.sent", &[("site", "1")]), Some(7));
+        assert_eq!(snap.counter("net.sent", &[]), None);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let m = MetricsRegistry::new();
+        m.add("x", &[("b", "2"), ("a", "1")], 1);
+        m.add("x", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(m.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    fn log2_histogram_buckets_and_quantiles() {
+        let mut h = Log2Histogram::default();
+        for v in [0, 1, 2, 3, 4, 8, 1000] {
+            h.observe(v);
+        }
+        // 0 and 1 land in bucket 0; 2,3 in bucket 1; 4 in 2; 8 in 3; 1000 in 9.
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[9], 1);
+        assert_eq!(h.count, 7);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.quantile(0.5), 2); // 4th of 7 sorted obs sits in bucket 1
+        assert_eq!(h.quantile(1.0), 512);
+        assert_eq!(Log2Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let m = MetricsRegistry::new();
+        m.add("a.count", &[("site", "0"), ("actor", "buy")], 41);
+        m.set_gauge("b.level", &[], -3);
+        m.observe("c.latency", &[("dep", "d1")], 17);
+        m.observe("c.latency", &[("dep", "d1")], 900);
+        let snap = m.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_buckets_matches_direct_observation() {
+        let m = MetricsRegistry::new();
+        let mut raw = [0u64; 16];
+        // Mimic NetStats: latencies 1, 2, 5 → buckets 0, 1, 2.
+        raw[0] = 1;
+        raw[1] = 1;
+        raw[2] = 1;
+        m.merge_buckets("lat", &[], &raw, 8);
+        let snap = m.snapshot();
+        let h = snap.histogram("lat", &[]).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 8);
+        assert_eq!(h.quantile(0.5), 2);
+    }
+}

@@ -1,0 +1,408 @@
+//! The [`Recorder`] trait, the ring-buffered [`FlightRecorder`], and the
+//! cheap handles ([`Obs`], [`NodeObs`]) the runtime threads through itself.
+//!
+//! # Zero cost when disabled
+//!
+//! The runtime never talks to a recorder directly; it holds an [`Obs`]
+//! handle, which is `Option<FlightRecorder>` inside. Call sites guard
+//! every record with `if obs.enabled() { ... }`, so with recording off
+//! (the default) the hot path pays one predictable branch and constructs
+//! no payloads — perfprobe numbers are unchanged within noise.
+//!
+//! # Causal parents
+//!
+//! The recorder keeps a *cursor*: the span currently in scope. The
+//! simulator sets it to the `MsgDeliver` span before dispatching a
+//! message handler and clears it afterwards, so every record made while
+//! handling (guard evaluations, sends placed on the outbox, WAL appends)
+//! is parented under the delivery that caused it. Parent edges plus
+//! per-node program order make the record a happens-before DAG.
+
+use crate::span::{SpanId, SpanKind, Time, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Configuration for an enabled flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordConfig {
+    /// Ring-buffer capacity in events; the oldest records are overwritten
+    /// once it fills (the drop count is kept).
+    pub capacity: usize,
+}
+
+impl Default for RecordConfig {
+    fn default() -> RecordConfig {
+        RecordConfig { capacity: 1 << 20 }
+    }
+}
+
+/// How a record names its causal parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParentRef {
+    /// Use the recorder's current cursor (the span in scope).
+    #[default]
+    Cursor,
+    /// Force a root record (no parent).
+    Root,
+    /// An explicit parent span.
+    Span(SpanId),
+}
+
+/// A sink for trace events.
+pub trait Recorder {
+    /// Append one record; returns its id, or `None` if recording is off.
+    fn record_event(
+        &self,
+        at: Time,
+        node: u32,
+        site: u32,
+        parent: ParentRef,
+        kind: SpanKind,
+    ) -> Option<SpanId>;
+
+    /// Set the cursor (current causal scope).
+    fn set_cursor(&self, _cursor: Option<SpanId>) {}
+
+    /// The current cursor.
+    fn cursor(&self) -> Option<SpanId> {
+        None
+    }
+
+    /// `true` if records are actually kept. Call sites use this to skip
+    /// payload construction entirely.
+    fn enabled(&self) -> bool;
+}
+
+/// The default recorder: keeps nothing, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record_event(
+        &self,
+        _at: Time,
+        _node: u32,
+        _site: u32,
+        _parent: ParentRef,
+        _kind: SpanKind,
+    ) -> Option<SpanId> {
+        None
+    }
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    next_id: u64,
+    dropped: u64,
+    cursor: Option<SpanId>,
+}
+
+/// A shared, ring-buffered event sink.
+///
+/// Clones share the same buffer (`Arc<Mutex<..>>`), mirroring how the
+/// journal is threaded through actors. Span ids come from one monotone
+/// counter, so id order is global record order even after the ring wraps.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl FlightRecorder {
+    /// A recorder with the given ring capacity (minimum 1).
+    pub fn new(config: RecordConfig) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(RecorderInner {
+                ring: VecDeque::new(),
+                capacity: config.capacity.max(1),
+                next_id: 0,
+                dropped: 0,
+                cursor: None,
+            })),
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder lock").ring.len()
+    }
+
+    /// `true` if nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records overwritten by the ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").dropped
+    }
+
+    /// Snapshot of all held records in id order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().expect("recorder lock").ring.iter().cloned().collect()
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record_event(
+        &self,
+        at: Time,
+        node: u32,
+        site: u32,
+        parent: ParentRef,
+        kind: SpanKind,
+    ) -> Option<SpanId> {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let id = SpanId(inner.next_id);
+        inner.next_id += 1;
+        let parent = match parent {
+            ParentRef::Cursor => inner.cursor,
+            ParentRef::Root => None,
+            ParentRef::Span(p) => Some(p),
+        };
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(TraceEvent { id, parent, at, node, site, kind });
+        Some(id)
+    }
+
+    fn set_cursor(&self, cursor: Option<SpanId>) {
+        self.inner.lock().expect("recorder lock").cursor = cursor;
+    }
+
+    fn cursor(&self) -> Option<SpanId> {
+        self.inner.lock().expect("recorder lock").cursor
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The handle the runtime actually carries: either off (free) or a shared
+/// [`FlightRecorder`].
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    rec: Option<FlightRecorder>,
+}
+
+impl Obs {
+    /// A disabled handle — the default everywhere.
+    pub fn off() -> Obs {
+        Obs { rec: None }
+    }
+
+    /// An enabled handle backed by a fresh recorder.
+    pub fn on(config: RecordConfig) -> Obs {
+        Obs { rec: Some(FlightRecorder::new(config)) }
+    }
+
+    /// Wrap an existing recorder (clones share its buffer).
+    pub fn from_recorder(rec: FlightRecorder) -> Obs {
+        Obs { rec: Some(rec) }
+    }
+
+    /// `true` if records are kept. Guard payload construction with this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// The underlying recorder, if enabled.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.rec.as_ref()
+    }
+
+    /// Record under the current cursor.
+    #[inline]
+    pub fn rec(&self, at: Time, node: u32, site: u32, kind: SpanKind) -> Option<SpanId> {
+        self.rec.as_ref()?.record_event(at, node, site, ParentRef::Cursor, kind)
+    }
+
+    /// Record under an explicit parent (`None` = root).
+    #[inline]
+    pub fn rec_under(
+        &self,
+        parent: Option<SpanId>,
+        at: Time,
+        node: u32,
+        site: u32,
+        kind: SpanKind,
+    ) -> Option<SpanId> {
+        let parent = match parent {
+            Some(p) => ParentRef::Span(p),
+            None => ParentRef::Root,
+        };
+        self.rec.as_ref()?.record_event(at, node, site, parent, kind)
+    }
+
+    /// Set the causal cursor.
+    #[inline]
+    pub fn set_cursor(&self, cursor: Option<SpanId>) {
+        if let Some(rec) = &self.rec {
+            rec.set_cursor(cursor);
+        }
+    }
+
+    /// The causal cursor.
+    #[inline]
+    pub fn cursor(&self) -> Option<SpanId> {
+        self.rec.as_ref().and_then(Recorder::cursor)
+    }
+}
+
+impl Recorder for Obs {
+    fn record_event(
+        &self,
+        at: Time,
+        node: u32,
+        site: u32,
+        parent: ParentRef,
+        kind: SpanKind,
+    ) -> Option<SpanId> {
+        self.rec.as_ref()?.record_event(at, node, site, parent, kind)
+    }
+
+    fn set_cursor(&self, cursor: Option<SpanId>) {
+        Obs::set_cursor(self, cursor);
+    }
+
+    fn cursor(&self) -> Option<SpanId> {
+        Obs::cursor(self)
+    }
+
+    fn enabled(&self) -> bool {
+        Obs::enabled(self)
+    }
+}
+
+/// An [`Obs`] pre-bound to one node and site — what each actor and
+/// transport endpoint holds so call sites don't repeat their identity.
+#[derive(Debug, Clone, Default)]
+pub struct NodeObs {
+    obs: Obs,
+    /// The node this handle records for.
+    pub node: u32,
+    /// The site the node lives on.
+    pub site: u32,
+}
+
+impl NodeObs {
+    /// A disabled handle.
+    pub fn off() -> NodeObs {
+        NodeObs::default()
+    }
+
+    /// Bind `obs` to a node/site identity.
+    pub fn new(obs: Obs, node: u32, site: u32) -> NodeObs {
+        NodeObs { obs, node, site }
+    }
+
+    /// `true` if records are kept.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// The unbound handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Record under the current cursor.
+    #[inline]
+    pub fn rec(&self, at: Time, kind: SpanKind) -> Option<SpanId> {
+        self.obs.rec(at, self.node, self.site, kind)
+    }
+
+    /// Record under an explicit parent (`None` = root).
+    #[inline]
+    pub fn rec_under(&self, parent: Option<SpanId>, at: Time, kind: SpanKind) -> Option<SpanId> {
+        self.obs.rec_under(parent, at, self.node, self.site, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::ObsLit;
+
+    fn attempt(sym: u32) -> SpanKind {
+        SpanKind::Attempt { lit: ObsLit::pos(sym) }
+    }
+
+    #[test]
+    fn noop_records_nothing() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        assert_eq!(r.record_event(0, 0, 0, ParentRef::Root, attempt(0)), None);
+    }
+
+    #[test]
+    fn disabled_obs_is_inert() {
+        let obs = Obs::off();
+        assert!(!obs.enabled());
+        assert_eq!(obs.rec(1, 2, 3, attempt(0)), None);
+        obs.set_cursor(Some(SpanId(9)));
+        assert_eq!(obs.cursor(), None);
+    }
+
+    #[test]
+    fn cursor_becomes_default_parent() {
+        let obs = Obs::on(RecordConfig::default());
+        let root = obs.rec(0, 0, 0, attempt(0)).unwrap();
+        obs.set_cursor(Some(root));
+        let child = obs.rec(1, 0, 0, attempt(1)).unwrap();
+        obs.set_cursor(None);
+        let orphan = obs.rec(2, 0, 0, attempt(2)).unwrap();
+        let events = obs.recorder().unwrap().events();
+        assert_eq!(events[0].parent, None);
+        assert_eq!(events[1].id, child);
+        assert_eq!(events[1].parent, Some(root));
+        assert_eq!(events[2].id, orphan);
+        assert_eq!(events[2].parent, None);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let obs = Obs::on(RecordConfig { capacity: 2 });
+        for i in 0..5 {
+            obs.rec(i, 0, 0, attempt(i as u32));
+        }
+        let rec = obs.recorder().unwrap();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        let ids: Vec<u64> = rec.events().iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let obs = Obs::on(RecordConfig::default());
+        let node = NodeObs::new(obs.clone(), 7, 1);
+        node.rec(5, attempt(0));
+        let events = obs.recorder().unwrap().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].node, events[0].site, events[0].at), (7, 1, 5));
+    }
+
+    #[test]
+    fn explicit_parent_overrides_cursor() {
+        let obs = Obs::on(RecordConfig::default());
+        let a = obs.rec(0, 0, 0, attempt(0)).unwrap();
+        let b = obs.rec(0, 0, 0, attempt(1)).unwrap();
+        obs.set_cursor(Some(a));
+        let c = obs.rec_under(Some(b), 1, 0, 0, attempt(2)).unwrap();
+        let d = obs.rec_under(None, 1, 0, 0, attempt(3)).unwrap();
+        let events = obs.recorder().unwrap().events();
+        assert_eq!(events.iter().find(|e| e.id == c).unwrap().parent, Some(b));
+        assert_eq!(events.iter().find(|e| e.id == d).unwrap().parent, None);
+    }
+}

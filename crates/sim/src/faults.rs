@@ -202,6 +202,20 @@ pub struct FaultStats {
     pub restarts: u64,
 }
 
+impl FaultStats {
+    /// Fold these counters into a [`obs::MetricsRegistry`] under the
+    /// `faults.*` namespace — the snapshotting API that subsumes this
+    /// struct on run reports.
+    pub fn record_into(&self, metrics: &obs::MetricsRegistry) {
+        metrics.add("faults.dropped", &[], self.dropped);
+        metrics.add("faults.duplicated", &[], self.duplicated);
+        metrics.add("faults.delayed", &[], self.delayed);
+        metrics.add("faults.partition_dropped", &[], self.partition_dropped);
+        metrics.add("faults.crash_dropped", &[], self.crash_dropped);
+        metrics.add("faults.restarts", &[], self.restarts);
+    }
+}
+
 /// How the link layer treats one send: up to two copies, each with an
 /// extra fault delay (`None` means the copy is dropped entirely).
 #[derive(Debug, Clone, Copy, Default)]

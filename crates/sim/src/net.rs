@@ -10,6 +10,7 @@
 
 use crate::faults::{FaultPlan, FaultState, FaultStats, LinkDecision};
 use crate::stats::NetStats;
+use obs::{Obs, SpanId, SpanKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -153,6 +154,10 @@ struct InFlight<M> {
     from: NodeId,
     to: NodeId,
     msg: M,
+    /// The `MsgSend` span of this message, when recording: the delivery
+    /// record is parented under it, giving the happens-before DAG its
+    /// cross-node edges.
+    span: Option<SpanId>,
 }
 
 // Order by (at, seq) — seq breaks ties deterministically.
@@ -212,6 +217,8 @@ pub struct Network<M, P: Process<M>> {
     link_clock: HashMap<(NodeId, NodeId), Time>,
     stats: NetStats,
     faults: Option<FaultState>,
+    obs: Obs,
+    label_fn: Option<fn(&M) -> &'static str>,
 }
 
 impl<M: Clone, P: Process<M>> Network<M, P> {
@@ -230,7 +237,29 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
             link_clock: HashMap::new(),
             stats: NetStats::default(),
             faults: None,
+            obs: Obs::off(),
+            label_fn: None,
         }
+    }
+
+    /// Attach a flight recorder. Every send, delivery, fault injection and
+    /// restart is recorded from here on; `label` renders a message to a
+    /// short discriminant for the `MsgSend`/`MsgDeliver` spans. The
+    /// recorder's cursor is set to the delivery span while a handler runs,
+    /// so process-level records are parented under the delivery that
+    /// caused them.
+    pub fn set_recorder(&mut self, obs: Obs, label: fn(&M) -> &'static str) {
+        self.obs = obs;
+        self.label_fn = Some(label);
+    }
+
+    /// The attached recorder handle (disabled by default).
+    pub fn recorder(&self) -> &Obs {
+        &self.obs
+    }
+
+    fn msg_label(&self, msg: &M) -> String {
+        self.label_fn.map_or("msg", |f| f(msg)).to_string()
     }
 
     /// Install a fault plan; decisions are driven by the plan's own seed,
@@ -313,12 +342,33 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
             Some(fs) if !bypass => {
                 if fs.partitioned(sf, st, now) {
                     fs.stats.partition_dropped += 1;
+                    if self.obs.enabled() {
+                        let kind = SpanKind::PartitionDrop { from: from.0, to: to.0 };
+                        self.obs.rec(now, from.0, sf.0, kind);
+                    }
                     return;
                 }
                 fs.decide(from, to)
             }
             _ => LinkDecision { primary: Some(0), duplicate: None },
         };
+        if self.obs.enabled() && !bypass && self.faults.is_some() {
+            match decision.primary {
+                None => {
+                    let kind = SpanKind::FaultDrop { from: from.0, to: to.0 };
+                    self.obs.rec(now, from.0, sf.0, kind);
+                }
+                Some(delay) if delay > 0 => {
+                    let kind = SpanKind::FaultDelay { from: from.0, to: to.0, by: delay };
+                    self.obs.rec(now, from.0, sf.0, kind);
+                }
+                Some(_) => {}
+            }
+            if decision.duplicate.is_some() {
+                let kind = SpanKind::FaultDuplicate { from: from.0, to: to.0 };
+                self.obs.rec(now, from.0, sf.0, kind);
+            }
+        }
         let Some(primary_delay) = decision.primary else {
             return;
         };
@@ -342,7 +392,13 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
         let remote = self.site_of(from) != self.site_of(to);
         self.stats.record_send(remote, latency);
         self.seq += 1;
-        self.queue.push(Reverse(InFlight { at, seq: self.seq, from, to, msg }));
+        let span = if self.obs.enabled() {
+            let kind = SpanKind::MsgSend { from: from.0, to: to.0, label: self.msg_label(&msg) };
+            self.obs.rec(self.time, from.0, self.site_of(from).0, kind)
+        } else {
+            None
+        };
+        self.queue.push(Reverse(InFlight { at, seq: self.seq, from, to, msg, span }));
     }
 
     /// Deliver the next message, if any. Returns `false` when quiescent.
@@ -362,14 +418,28 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
                 return false;
             };
             self.time = self.time.max(m.at);
+            let to_site = self.site_of(m.to).0;
             if let Some(fs) = &mut self.faults {
                 if fs.down(m.to, self.time) {
                     fs.stats.crash_dropped += 1;
+                    if self.obs.enabled() {
+                        let kind = SpanKind::CrashDrop { node: m.to.0 };
+                        self.obs.rec_under(m.span, self.time, m.to.0, to_site, kind);
+                    }
                     continue;
                 }
             }
-            let to_site = self.site_of(m.to).0;
             self.stats.record_delivery(to_site);
+            let recording = self.obs.enabled();
+            if recording {
+                let kind = SpanKind::MsgDeliver {
+                    from: m.from.0,
+                    to: m.to.0,
+                    label: self.msg_label(&m.msg),
+                };
+                let span = self.obs.rec_under(m.span, self.time, m.to.0, to_site, kind);
+                self.obs.set_cursor(span);
+            }
             let mut outbox: Vec<(NodeId, M, Time)> = Vec::new();
             {
                 let node = &mut self.nodes[m.to.0 as usize];
@@ -384,6 +454,9 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
             for (to, msg, extra) in outbox {
                 self.enqueue(m.to, to, msg, extra, false);
             }
+            if recording {
+                self.obs.set_cursor(None);
+            }
             return true;
         }
     }
@@ -392,6 +465,12 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
         self.time = self.time.max(at);
         if let Some(fs) = &mut self.faults {
             fs.mark_restarted(ix);
+        }
+        let recording = self.obs.enabled();
+        if recording {
+            let kind = SpanKind::Restart { node: node.0 };
+            let span = self.obs.rec_under(None, self.time, node.0, self.site_of(node).0, kind);
+            self.obs.set_cursor(span);
         }
         let mut outbox: Vec<(NodeId, M, Time)> = Vec::new();
         {
@@ -406,6 +485,9 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
         }
         for (to, msg, extra) in outbox {
             self.enqueue(node, to, msg, extra, false);
+        }
+        if recording {
+            self.obs.set_cursor(None);
         }
     }
 

@@ -20,6 +20,12 @@
 //! guards are recompiled here and evaluated against the final trace with
 //! the algebra's reference semantics, independent of whatever the actors
 //! believed at runtime.
+//!
+//! When the run was made with the flight recorder on
+//! (`ExecConfig::record`), a sixth audit runs over the captured trace:
+//! **causal consistency** — every fact a guard evaluation or actor
+//! consumed must be *established* by an `occurred` span that precedes the
+//! consumer in the happens-before DAG (see `obs::causal_audit`).
 
 use dist::{run_workflow_with_faults, ExecConfig, RunReport, WorkflowSpec};
 use event_algebra::Literal;
@@ -117,6 +123,9 @@ pub fn check_run(
             "liveness violated: dependencies {unsat:?} unsatisfied (unresolved: {:?}, parked: {:?})",
             report.unresolved, report.parked
         ));
+    }
+    if let Some(rec) = &report.recording {
+        failures.extend(obs::causal_audit(rec));
     }
     Conformance { failures, report }
 }
@@ -280,6 +289,24 @@ mod tests {
         config.reliable = Some(dist::ReliableConfig::default());
         let plan = standard_plans(9).pop().expect("chaos plan").1;
         assert_eq!(check_determinism(&spec, config, plan), Vec::<String>::new());
+    }
+
+    #[test]
+    fn causal_audit_green_across_standard_plans() {
+        // Pinned seed: every consumed fact in the flight-recorder DAG
+        // must be established by an `occurred` span that happens-before
+        // its consumer, under the whole fault matrix.
+        let spec = mutual_promise_spec();
+        let mut config = ExecConfig::seeded(13);
+        config.reliable = Some(dist::ReliableConfig::default());
+        config.record = Some(obs::RecordConfig::default());
+        for (name, plan) in standard_plans(13) {
+            let run = check_run(&spec, config, plan, true);
+            assert!(run.is_conformant(), "{name}: {:?}", run.failures);
+            let rec = run.report.recording.as_ref().expect("recording present");
+            assert!(!rec.events.is_empty(), "{name}: recorder captured nothing");
+            assert_eq!(rec.dropped, 0, "{name}: ring overflowed");
+        }
     }
 
     #[test]

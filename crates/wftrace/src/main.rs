@@ -1,0 +1,265 @@
+//! `wftrace` — flight-recorder run inspector.
+//!
+//! The companion of `wfcheck`: where `wfcheck` verifies a workflow
+//! *statically*, `wftrace` records a run of it with the flight recorder
+//! on and answers questions about what actually happened — why an event
+//! fired (`explain`, a justification chain through the happens-before
+//! DAG), how the run behaved in aggregate (`stats`), whether the causal
+//! invariant held (`audit`), and what it looked like on a timeline
+//! (`export --chrome`, loadable in `chrome://tracing` / Perfetto).
+
+use constrained_events::WorkflowBuilder;
+use dist::ExecConfig;
+use obs::{causal_audit, chrome_trace, explain, stats_text, RecordConfig, Recording};
+use std::io::Write;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+wftrace - record and inspect flight-recorder traces of workflow runs
+
+USAGE:
+    wftrace record --spec <SPEC.wf> --out <TRACE.json> [OPTIONS]
+    wftrace explain --event <NAME> [--at <T>] <TRACE.json>
+    wftrace stats <TRACE.json>
+    wftrace audit <TRACE.json>
+    wftrace export --chrome [--out <FILE>] <TRACE.json>
+
+RECORD OPTIONS:
+    --seed <N>        simulation seed (default 1)
+    --plan <NAME>     fault plan: clean, drop20, dup20, jitter,
+                      partition, crash, chaos (default: no faults)
+    --reliable        enable the at-least-once transport (implied by
+                      any --plan other than clean)
+
+EXPLAIN:
+    --event <NAME>    the event to justify (e.g. buy::commit); prefix
+                      with ~ for the negative literal
+    --at <T>          disambiguate among multiple occurrences by their
+                      virtual occurrence time
+
+EXIT CODES:
+    0  success (and, for explain/audit, the causal invariant held)
+    1  explain chain unverified, or audit found violations
+    2  usage or I/O error
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("wftrace: {msg}");
+    eprintln!("run 'wftrace --help' for usage");
+    ExitCode::from(2)
+}
+
+fn load_recording(path: &str) -> Result<Recording, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Recording::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parse `--flag value` / `--flag=value` pairs plus positional operands.
+struct Opts {
+    flags: Vec<(String, Option<String>)>,
+    positional: Vec<String>,
+}
+
+impl Opts {
+    fn parse(argv: &[String], value_flags: &[&str]) -> Result<Opts, String> {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    flags.push((k.to_owned(), Some(v.to_owned())));
+                } else if value_flags.contains(&name) {
+                    let v = it.next().ok_or(format!("--{name} expects a value"))?;
+                    flags.push((name.to_owned(), Some(v.clone())));
+                } else {
+                    flags.push((name.to_owned(), None));
+                }
+            } else if a.starts_with('-') && a.len() > 1 {
+                return Err(format!("unknown option '{a}'"));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Opts { flags, positional })
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(k, _)| k == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == name)
+    }
+
+    fn check_known(&self, known: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.flags {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown option '--{k}'"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn cmd_record(opts: &Opts) -> Result<(), String> {
+    opts.check_known(&["spec", "out", "seed", "plan", "reliable"])?;
+    let spec_path = opts.value("spec").ok_or("record requires --spec <SPEC.wf>")?;
+    let out_path = opts.value("out").ok_or("record requires --out <TRACE.json>")?;
+    let seed: u64 = match opts.value("seed") {
+        Some(s) => s.parse().map_err(|_| format!("invalid seed '{s}'"))?,
+        None => 1,
+    };
+    let src = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let mut workflow = WorkflowBuilder::from_spec(&src)
+        .map_err(|e| format!("{spec_path}:{}:{}: {}", e.line, e.col, e.message))?
+        .build();
+    // Agent-less controllable events have no driver in a bare spec; give
+    // each an attempt at t=1 so the recorded run actually exercises them.
+    for f in &mut workflow.spec.free_events {
+        if f.attrs.controllable && f.attempt_after.is_none() {
+            f.attempt_after = Some(1);
+        }
+    }
+
+    let mut config = ExecConfig::seeded(seed);
+    config.record = Some(RecordConfig::default());
+    let plan_name = opts.value("plan");
+    if opts.has("reliable") || plan_name.is_some_and(|p| p != "clean") {
+        config.reliable = Some(dist::ReliableConfig::default());
+    }
+    let report = match plan_name {
+        None => workflow.run_with(config),
+        Some(name) => {
+            let plan = testkit::conformance::standard_plans(seed)
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, p)| p)
+                .ok_or_else(|| format!("unknown fault plan '{name}'"))?;
+            workflow.run_faulty(config, plan)
+        }
+    };
+    let mut rec = report.recording.ok_or("executor returned no recording")?;
+    rec.workflow = spec_path.to_owned();
+    std::fs::write(out_path, rec.to_json_string()).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "recorded {} events ({} dropped) over {} virtual time units -> {out_path}",
+        rec.events.len(),
+        rec.dropped,
+        report.duration
+    );
+    Ok(())
+}
+
+fn single_trace(opts: &Opts) -> Result<Recording, String> {
+    match opts.positional.as_slice() {
+        [path] => load_recording(path),
+        [] => Err("expected a trace file".to_owned()),
+        more => Err(format!("expected one trace file, got {}", more.len())),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv.iter().any(|a| a == "-h" || a == "--help") {
+        let _ = std::io::stdout().write_all(HELP.as_bytes());
+        return if argv.is_empty() { ExitCode::from(2) } else { ExitCode::SUCCESS };
+    }
+    let (cmd, rest) = argv.split_first().expect("nonempty");
+    let value_flags = ["spec", "out", "seed", "plan", "event", "at"];
+    let opts = match Opts::parse(rest, &value_flags) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    match cmd.as_str() {
+        "record" => match cmd_record(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        "explain" => {
+            if let Err(e) = opts.check_known(&["event", "at"]) {
+                return fail(&e);
+            }
+            let Some(event) = opts.value("event") else {
+                return fail("explain requires --event <NAME>");
+            };
+            let at = match opts.value("at").map(str::parse).transpose() {
+                Ok(t) => t,
+                Err(_) => return fail("--at expects a virtual time"),
+            };
+            let rec = match single_trace(&opts) {
+                Ok(r) => r,
+                Err(e) => return fail(&e),
+            };
+            match explain(&rec, event, at) {
+                Ok(ex) => {
+                    let _ = std::io::stdout().write_all(ex.render(&rec).as_bytes());
+                    if ex.verified {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "stats" => {
+            if let Err(e) = opts.check_known(&[]) {
+                return fail(&e);
+            }
+            match single_trace(&opts) {
+                Ok(rec) => {
+                    let _ = std::io::stdout().write_all(stats_text(&rec).as_bytes());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "audit" => {
+            if let Err(e) = opts.check_known(&[]) {
+                return fail(&e);
+            }
+            match single_trace(&opts) {
+                Ok(rec) => {
+                    let violations = causal_audit(&rec);
+                    if violations.is_empty() {
+                        println!("causal audit: ok ({} events)", rec.events.len());
+                        ExitCode::SUCCESS
+                    } else {
+                        for v in &violations {
+                            println!("violation: {v}");
+                        }
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "export" => {
+            if let Err(e) = opts.check_known(&["chrome", "out"]) {
+                return fail(&e);
+            }
+            if !opts.has("chrome") {
+                return fail("export requires --chrome (the only supported format)");
+            }
+            let rec = match single_trace(&opts) {
+                Ok(r) => r,
+                Err(e) => return fail(&e),
+            };
+            let doc = chrome_trace(&rec);
+            match opts.value("out") {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &doc) {
+                        return fail(&format!("{path}: {e}"));
+                    }
+                    println!("wrote {} bytes to {path}", doc.len());
+                }
+                None => {
+                    let _ = std::io::stdout().write_all(doc.as_bytes());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown command '{other}'")),
+    }
+}

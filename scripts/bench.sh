@@ -2,7 +2,9 @@
 # Performance gate: build and run the offline perf probe, refreshing
 # BENCH_algebra.json at the repository root with before/after medians for
 # the arena/automaton hot paths (residuation, machine compilation, the
-# end-to-end pipeline10 schedule, product reachability).
+# end-to-end pipeline10 schedule, product reachability), and
+# BENCH_obs.json with the flight recorder's recorder-on vs recorder-off
+# end-to-end delta.
 #
 #   scripts/bench.sh            full probe (and criterion benches when the
 #                               registry is reachable)
@@ -29,7 +31,8 @@ cargo build --release --bin perfprobe
 echo "==> perfprobe ${QUICK:-(full)}"
 "$REPO/target/release/perfprobe" $QUICK \
     --spec "$REPO/examples/specs/pipeline10.wf" \
-    --out "$REPO/BENCH_algebra.json"
+    --out "$REPO/BENCH_algebra.json" \
+    --obs-out "$REPO/BENCH_obs.json"
 
 if [ -z "$QUICK" ]; then
     echo "==> cargo bench -p bench --bench algebra (skipped if registry unavailable)"
@@ -37,4 +40,4 @@ if [ -z "$QUICK" ]; then
         echo "criterion suite unavailable (offline registry); BENCH_algebra.json is complete"
 fi
 
-echo "==> bench gate done: $REPO/BENCH_algebra.json"
+echo "==> bench gate done: $REPO/BENCH_algebra.json, $REPO/BENCH_obs.json"

@@ -44,4 +44,18 @@ WFCHECK="$REPO/target/release/wfcheck"
 specs=("$REPO"/examples/specs/*.wf)
 "$WFCHECK" --deny warnings "${specs[@]}"
 
+echo "==> wftrace smoke: record travel -> explain -> export --chrome"
+WFTRACE="$REPO/target/release/wftrace"
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+"$WFTRACE" record --spec "$REPO/examples/specs/travel.wf" \
+    --out "$TRACE_TMP/travel.trace.json" --seed 3
+"$WFTRACE" explain --event buy::commit "$TRACE_TMP/travel.trace.json" \
+    | grep -q "chain verified"
+"$WFTRACE" audit "$TRACE_TMP/travel.trace.json"
+"$WFTRACE" export --chrome --out "$TRACE_TMP/travel.chrome.json" \
+    "$TRACE_TMP/travel.trace.json"
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'empty trace'" \
+    "$TRACE_TMP/travel.chrome.json"
+
 echo "==> tier-1 gate passed"

@@ -12,7 +12,7 @@ set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 SHADOW="${SHADOW_DIR:-/tmp/shadow-wf}"
-CRATES=(event-algebra temporal guard speclang analyze wfcheck sim agent dist baseline testkit core)
+CRATES=(event-algebra temporal guard speclang analyze wfcheck obs wftrace sim agent dist baseline testkit core)
 
 rm -rf "$SHADOW"
 mkdir -p "$SHADOW/crates" "$SHADOW/root"
@@ -66,6 +66,8 @@ baseline = { path = "crates/baseline" }
 speclang = { path = "crates/speclang" }
 analyze = { path = "crates/analyze" }
 wfcheck = { path = "crates/wfcheck" }
+wftrace = { path = "crates/wftrace" }
+obs = { path = "crates/obs" }
 testkit = { path = "crates/testkit" }
 constrained-events = { path = "crates/core" }
 rand = { path = "stubs/rand" }
@@ -92,7 +94,22 @@ cargo test --offline -q
 
 # Smoke the perf probe (scripts/bench.sh's measurement binary) in quick
 # mode: a handful of iterations into a scratch JSON, proving the
-# before/after harness itself still runs end-to-end.
+# before/after harness itself still runs end-to-end — including the
+# flight-recorder on/off delta (scripts/bench.sh's BENCH_obs.json).
 cargo run --offline -q -p constrained-events-repro --bin perfprobe -- \
     --quick --spec "$SHADOW/root/examples/specs/pipeline10.wf" \
-    --out "$SHADOW/BENCH_smoke.json"
+    --out "$SHADOW/BENCH_smoke.json" \
+    --obs-out "$SHADOW/BENCH_obs_smoke.json"
+
+# Smoke wftrace (mirrors the tier-1 gate's record -> explain -> export
+# pipeline, minus python): the justification chain must verify and the
+# Chrome export must be non-trivial JSON.
+cargo build --offline -q -p wftrace
+./target/debug/wftrace record --spec "$SHADOW/root/examples/specs/travel.wf" \
+    --out "$SHADOW/travel.trace.json" --seed 3
+./target/debug/wftrace explain --event buy::commit "$SHADOW/travel.trace.json" \
+    | grep -q "chain verified"
+./target/debug/wftrace audit "$SHADOW/travel.trace.json"
+./target/debug/wftrace export --chrome --out "$SHADOW/travel.chrome.json" \
+    "$SHADOW/travel.trace.json"
+grep -q '"traceEvents":\[{' "$SHADOW/travel.chrome.json"

@@ -16,7 +16,12 @@
 //! - `product_reach`: wfcheck-style product-automaton reachability with
 //!   `Vec<StateId>` state keys vs packed `u64` keys.
 //!
-//! Usage: `perfprobe [--quick] [--spec PATH] [--out PATH]`.
+//! With `--obs-out PATH` the probe additionally measures the flight
+//! recorder's end-to-end cost — the same `e2e_schedule` run with
+//! `ExecConfig::record` off vs on — and writes the delta to `PATH`
+//! (`BENCH_obs.json`), pinning the zero-cost-when-disabled claim.
+//!
+//! Usage: `perfprobe [--quick] [--spec PATH] [--out PATH] [--obs-out PATH]`.
 
 use constrained_events::algebra::{
     normalize, residuate, DependencyMachine, Expr, ExprArena, Literal, ProductMachine, StateBudget,
@@ -73,12 +78,14 @@ fn locate_spec(explicit: Option<String>) -> String {
 fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_algebra.json");
+    let mut obs_out: Option<String> = None;
     let mut spec_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out = args.next().expect("--out PATH"),
+            "--obs-out" => obs_out = Some(args.next().expect("--obs-out PATH")),
             "--spec" => spec_path = Some(args.next().expect("--spec PATH")),
             other => panic!("unknown argument {other:?}"),
         }
@@ -171,6 +178,45 @@ fn main() {
         black_box(run(DepRuntime::Compiled));
     });
     entries.push(Entry { name: "e2e_schedule", baseline_ns, optimized_ns });
+
+    // ---- flight-recorder overhead: recorder off vs on ----
+    // Same e2e run; `record: None` must cost nothing (the Obs handle is a
+    // no-op), `record: Some(..)` pays for span construction and the ring.
+    // Agent-less events get an attempt at t=1 (as `wftrace record` does)
+    // so the measured run carries real protocol traffic.
+    if let Some(obs_path) = &obs_out {
+        let mut driven = workflow.spec.clone();
+        for f in &mut driven.free_events {
+            if f.attrs.controllable && f.attempt_after.is_none() {
+                f.attempt_after = Some(1);
+            }
+        }
+        let run_recorded = |record: Option<obs::RecordConfig>| {
+            let mut config = ExecConfig::seeded(1);
+            config.max_steps = 5_000_000;
+            config.record = record;
+            let report = constrained_events::run_workflow(&driven, config);
+            assert!(report.all_satisfied(), "{} must satisfy its dependencies", workflow.name);
+            (report.steps, report.recording.map_or(0, |r| r.events.len()))
+        };
+        let off_ns = median_ns(e2e_iters, || {
+            black_box(run_recorded(None));
+        });
+        let on_ns = median_ns(e2e_iters, || {
+            black_box(run_recorded(Some(obs::RecordConfig::default())));
+        });
+        let (_, recorded_events) = run_recorded(Some(obs::RecordConfig::default()));
+        let overhead = if off_ns == 0 { f64::INFINITY } else { on_ns as f64 / off_ns as f64 };
+        let json = format!(
+            "{{\n  \"spec\": {:?},\n  \"quick\": {quick},\n  \"recorder_off_ns\": {off_ns},\n  \"recorder_on_ns\": {on_ns},\n  \"overhead\": {overhead:.3},\n  \"recorded_events\": {recorded_events}\n}}\n",
+            workflow.name
+        );
+        std::fs::write(obs_path, &json).unwrap_or_else(|e| panic!("cannot write {obs_path}: {e}"));
+        println!("wrote {obs_path}");
+        println!(
+            "recorder        off      {off_ns:>12} ns   on        {on_ns:>12} ns   overhead {overhead:.3}x ({recorded_events} events)"
+        );
+    }
 
     // ---- product reachability: wide Vec keys vs packed u64 keys ----
     let machines = DependencyMachine::compile_all(&deps);
