@@ -504,6 +504,8 @@ pub fn run_centralized(spec: &WorkflowSpec, config: CentralConfig) -> RunReport 
         divergence: Vec::new(),
         metrics: obs::MetricsSnapshot::default(),
         recording: None,
+        alerts: Vec::new(),
+        monitor: None,
     }
 }
 

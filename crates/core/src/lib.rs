@@ -36,7 +36,8 @@
 //! language `T`), [`guards`] (guard synthesis), [`network`] (the
 //! deterministic simulator), [`agents`] (task skeletons),
 //! [`distributed`] (the event-centric scheduler), [`centralized`]
-//! (baselines) and [`spec`] (the declarative language).
+//! (baselines), [`monitors`] (online runtime verification) and [`spec`]
+//! (the declarative language).
 
 #![warn(missing_docs)]
 
@@ -45,6 +46,7 @@ pub use baseline as centralized;
 pub use dist as distributed;
 pub use event_algebra as algebra;
 pub use guard as guards;
+pub use monitor as monitors;
 pub use sim as network;
 pub use speclang as spec;
 pub use temporal as logic;
@@ -57,6 +59,7 @@ pub use dist::{
 };
 pub use event_algebra::{Expr, Literal, SymbolId, SymbolTable, Trace};
 pub use guard::{CompiledWorkflow, GuardScope};
+pub use monitor::{Alert, AlertKind, DepVerdict, MonitorConfig, MonitorReport, WorkflowMonitor};
 pub use sim::{FaultPlan, Termination};
 pub use speclang::LoweredWorkflow;
 pub use temporal::{Guard, TExpr};

@@ -18,7 +18,10 @@ use event_algebra::{
     normalize, satisfies, DependencyMachine, Expr, Literal, SymbolId, SymbolTable, Trace,
 };
 use guard::{CompiledWorkflow, GuardScope};
-use obs::{MetricsRegistry, MetricsSnapshot, NodeObs, Obs, RecordConfig, Recording, SpanKind};
+use monitor::{MonitorConfig, WorkflowMonitor};
+use obs::{
+    EventSink, MetricsRegistry, MetricsSnapshot, NodeObs, Obs, RecordConfig, Recording, SpanKind,
+};
 use sim::{
     Ctx, FaultPlan, FaultStats, Network, NodeId, Process, SimConfig, SiteId, Termination, Time,
 };
@@ -122,6 +125,13 @@ pub struct ExecConfig {
     /// adds no work to the scheduling hot path. Ignored by the threaded
     /// executor, whose interleavings are not deterministic.
     pub record: Option<RecordConfig>,
+    /// Arm the online runtime monitors: per-dependency verdict machines,
+    /// the guard-faithfulness check, the `□`-view divergence watch and the
+    /// stall watchdog all subscribe to the live trace-event stream and
+    /// report on [`RunReport::monitor`] / [`RunReport::alerts`]. `None`
+    /// (the default) attaches nothing and adds no work to the hot path.
+    /// Like `record`, ignored by the threaded executor.
+    pub monitor: Option<MonitorConfig>,
 }
 
 impl ExecConfig {
@@ -136,8 +146,32 @@ impl ExecConfig {
             reliable: None,
             dep_runtime: DepRuntime::default(),
             record: None,
+            monitor: None,
         }
     }
+}
+
+/// The literals whose occurrences are guard-gated: controllable events,
+/// which wait for their guard before occurring. Immediate events
+/// (`abort`-style informs) and forced complements occur without
+/// consulting a guard, so the guard-faithfulness monitor and the
+/// conformance auditor exempt them (their safety is judged by dependency
+/// satisfaction instead).
+pub fn guard_gated(spec: &WorkflowSpec) -> BTreeSet<Literal> {
+    let mut gated = BTreeSet::new();
+    for a in &spec.agents {
+        for ev in &a.agent.events {
+            if ev.attrs.controllable {
+                gated.insert(ev.literal);
+            }
+        }
+    }
+    for f in &spec.free_events {
+        if f.attrs.controllable {
+            gated.insert(f.lit);
+        }
+    }
+    gated
 }
 
 /// One network node: an event actor, an agent, or the lazy-mode ticker.
@@ -243,6 +277,12 @@ pub struct RunReport {
     /// full causal span DAG plus the metrics snapshot, ready for
     /// `wftrace` or JSON export.
     pub recording: Option<Recording>,
+    /// Alerts raised by the online monitors, when
+    /// [`ExecConfig::monitor`] was set (empty otherwise).
+    pub alerts: Vec<monitor::Alert>,
+    /// The full monitor report (final per-dependency verdicts, alert log,
+    /// check counters), when [`ExecConfig::monitor`] was set.
+    pub monitor: Option<monitor::MonitorReport>,
 }
 
 impl RunReport {
@@ -485,6 +525,8 @@ fn collect_report(
         divergence,
         metrics: MetricsSnapshot::default(),
         recording: None,
+        alerts: Vec::new(),
+        monitor: None,
     }
 }
 
@@ -669,10 +711,16 @@ fn run_workflow_inner(
     config: ExecConfig,
     plan: Option<FaultPlan>,
 ) -> RunReport {
-    let obs = match config.record {
-        Some(rc) => Obs::on(rc),
-        None => Obs::off(),
-    };
+    // The online monitors derive their own machines and faithful guards
+    // from the spec (independent of whatever guard mode / dep runtime the
+    // actors run), then subscribe to the same trace-event stream the
+    // flight recorder consumes.
+    let mon = config.monitor.map(|mc| {
+        Arc::new(WorkflowMonitor::new(&spec.table, &spec.dependencies, guard_gated(spec), mc))
+    });
+    let sinks: Vec<Arc<dyn EventSink>> =
+        mon.iter().map(|m| Arc::clone(m) as Arc<dyn EventSink>).collect();
+    let obs = Obs::with_sinks(config.record, sinks);
     let built = build_workflow(spec, config);
     let routing = Arc::clone(&built.routing);
     let journal = built.journal.clone();
@@ -785,6 +833,22 @@ fn run_workflow_inner(
     reg.add("sched.announces", &[], sched[4]);
     for (i, &ok) in report.satisfied.iter().enumerate() {
         reg.set_gauge("dep.satisfied", &[("dep", &i.to_string())], i64::from(ok));
+    }
+    if let Some(rec) = obs.recorder() {
+        reg.add("obs.recorder.dropped_spans", &[], rec.dropped());
+    }
+    if let Some(m) = mon {
+        let mrep = m.finish(report.duration);
+        reg.add("monitor.facts", &[], mrep.facts);
+        reg.add("monitor.guard_checks", &[], mrep.guard_checks);
+        for alert in &mrep.alerts {
+            reg.add("monitor.alerts", &[("kind", alert.kind.tag())], 1);
+        }
+        for (ix, v) in mrep.verdicts.iter().enumerate() {
+            reg.add("monitor.verdicts", &[("dep", &ix.to_string()), ("verdict", v.label())], 1);
+        }
+        report.alerts = mrep.alerts.clone();
+        report.monitor = Some(mrep);
     }
     let snapshot = reg.snapshot();
     report.recording = obs.recorder().map(|rec| Recording {

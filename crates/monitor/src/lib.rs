@@ -1,0 +1,883 @@
+//! Online runtime verification for the distributed workflow executor.
+//!
+//! Each property the paper proves about a conformant execution becomes
+//! a monitor here, derived from machinery the repo already has:
+//!
+//! - **Dependency monitors (Theorem 2).** Every dependency `D` compiles
+//!   to a residuation FSM ([`DependencyMachine`]); the monitor steps that
+//!   FSM on each globally-ordered occurrence and classifies `D` after
+//!   every transition as *satisfied* (residual `⊤`), *live* (an accepting
+//!   state is still reachable), *at-risk* (no accepting state reachable —
+//!   the run is doomed but the residual is not yet `0`), or *violated*
+//!   (residual `0`). A scheduler honoring the synthesized guards
+//!   `G(D, e)` can never drive a machine into `violated`, so any
+//!   `violated` transition is a hard alert, raised within one transition
+//!   of the offending firing.
+//! - **Guard faithfulness (Theorem 2 / Definition 4).** Whenever a
+//!   guard-gated event fires, the monitor re-evaluates the *faithful*
+//!   (unweakened) synthesized guard against its own globally-ordered
+//!   view. `◇`-atoms may be justified by facts that arrive later, so a
+//!   false evaluation is held pending and re-checked as facts stream in;
+//!   the moment every symbol the guard mentions is resolved the verdict
+//!   is decided and a discrepancy is alerted immediately, not post-hoc.
+//! - **`□`-view divergence (Lemma 5).** Announcement traffic must give
+//!   every actor the same `(seq → literal)` mapping; the monitor watches
+//!   `Occurred`/`FactApplied` records and alerts on the first conflict.
+//! - **Stall watchdog (promise-round liveness, Example 11).** Open
+//!   promise rounds and enabled-but-unfired events are expected to close
+//!   quickly; exceeding a configurable sim-time budget raises an
+//!   advisory alert (partitions and crashes legitimately delay rounds,
+//!   so stalls are warnings, not conformance failures).
+//!
+//! Monitors subscribe to the live [`TraceEvent`] stream through
+//! [`obs::EventSink`], so they watch the same record the flight recorder
+//! stores — and they cost nothing when disarmed, by the same
+//! `Obs::enabled()` branch that gates the recorder.
+
+use event_algebra::{DependencyMachine, Expr, Literal, StateId, SymbolId, SymbolTable, Trace};
+use guard::{CompiledWorkflow, GuardScope};
+use obs::{ObsLit, SpanKind, TraceEvent, Verdict};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+/// Configuration for the armed monitors. `Copy` so it can ride inside
+/// the executor's `ExecConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Sim-time budget for the stall watchdog: an open promise round or
+    /// an enabled-but-unfired event older than this is flagged. The
+    /// default comfortably exceeds the reliable transport's promise
+    /// timeout (512 ticks) plus one retry, so healthy runs — including
+    /// healed partitions — stay quiet.
+    pub stall_budget: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig { stall_budget: 2048 }
+    }
+}
+
+/// The state of one dependency after the facts observed so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepVerdict {
+    /// Residual `⊤`: every extension of the observed trace satisfies it.
+    Satisfied,
+    /// Not yet discharged, but an accepting state is still reachable.
+    Live,
+    /// No accepting state is reachable — every completion violates the
+    /// dependency — but the residual has not yet collapsed to `0`.
+    AtRisk,
+    /// Residual `0`: the observed trace already violates the dependency.
+    Violated,
+}
+
+impl DepVerdict {
+    /// Stable lowercase label (metrics, CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            DepVerdict::Satisfied => "satisfied",
+            DepVerdict::Live => "live",
+            DepVerdict::AtRisk => "at-risk",
+            DepVerdict::Violated => "violated",
+        }
+    }
+}
+
+/// What a monitor alert is about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlertKind {
+    /// A dependency machine entered the violated (`0`) state.
+    DepViolated {
+        /// Index of the dependency in the workflow's dependency list.
+        dep: u32,
+    },
+    /// A dependency machine entered a trap state: not yet `0`, but no
+    /// accepting state is reachable any more.
+    DepAtRisk {
+        /// Index of the dependency in the workflow's dependency list.
+        dep: u32,
+    },
+    /// A guard-gated event fired although its faithful synthesized guard
+    /// is false on the monitor's globally-ordered view.
+    GuardUnfaithful {
+        /// The literal that fired.
+        lit: ObsLit,
+    },
+    /// Two announcements claimed the same global sequence number for
+    /// different literals — the `□`-views have diverged.
+    ViewDivergence {
+        /// The contested sequence number.
+        seq: u64,
+    },
+    /// A promise round stayed open past the stall budget.
+    PromiseStall {
+        /// The literal whose round stalled.
+        lit: ObsLit,
+    },
+    /// An event evaluated `Enabled` but did not fire within the budget.
+    EnabledStall {
+        /// The enabled-but-unfired literal.
+        lit: ObsLit,
+    },
+}
+
+impl AlertKind {
+    /// Stable snake-case tag (metrics label, CLI output).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AlertKind::DepViolated { .. } => "dep_violated",
+            AlertKind::DepAtRisk { .. } => "dep_at_risk",
+            AlertKind::GuardUnfaithful { .. } => "guard_unfaithful",
+            AlertKind::ViewDivergence { .. } => "view_divergence",
+            AlertKind::PromiseStall { .. } => "promise_stall",
+            AlertKind::EnabledStall { .. } => "enabled_stall",
+        }
+    }
+
+    /// `true` for alerts that contradict a proved safety property — a
+    /// conformant run must never produce one. Stall alerts are advisory
+    /// (faults legitimately delay rounds) and return `false`.
+    pub fn is_violation(&self) -> bool {
+        matches!(
+            self,
+            AlertKind::DepViolated { .. }
+                | AlertKind::DepAtRisk { .. }
+                | AlertKind::GuardUnfaithful { .. }
+                | AlertKind::ViewDivergence { .. }
+        )
+    }
+}
+
+/// One structured monitor alert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// Sim time of the observation that triggered the alert.
+    pub at: u64,
+    /// Node the triggering observation came from.
+    pub node: u32,
+    /// What happened.
+    pub kind: AlertKind,
+    /// Human-readable one-liner.
+    pub detail: String,
+}
+
+/// The monitors' summary of a finished (or replayed) run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MonitorReport {
+    /// Final per-dependency verdicts, after extending the observed trace
+    /// with the complements of unresolved symbols (the same maximal-trace
+    /// convention the executor's satisfaction check uses).
+    pub verdicts: Vec<DepVerdict>,
+    /// Every alert raised, in observation order.
+    pub alerts: Vec<Alert>,
+    /// Global occurrences observed.
+    pub facts: u64,
+    /// Guard-faithfulness evaluations performed.
+    pub guard_checks: u64,
+}
+
+impl MonitorReport {
+    /// `true` if any dependency ended violated or any violation-class
+    /// alert fired.
+    pub fn has_violation(&self) -> bool {
+        self.verdicts.contains(&DepVerdict::Violated)
+            || self.alerts.iter().any(|a| a.kind.is_violation())
+    }
+}
+
+/// Classify a machine state. O(1): acceptance, violation, and liveness
+/// were all computed at machine-compile time.
+fn classify(machine: &DependencyMachine, sid: StateId) -> DepVerdict {
+    if machine.is_accepting(sid) {
+        DepVerdict::Satisfied
+    } else if machine.is_violated(sid) {
+        DepVerdict::Violated
+    } else if !machine.is_live(sid) {
+        DepVerdict::AtRisk
+    } else {
+        DepVerdict::Live
+    }
+}
+
+fn lit_of(o: ObsLit) -> Literal {
+    let sym = SymbolId(o.sym());
+    if o.is_neg() {
+        Literal::neg(sym)
+    } else {
+        Literal::pos(sym)
+    }
+}
+
+fn olit(l: Literal) -> ObsLit {
+    ObsLit(l.index() as u32)
+}
+
+/// A guard-gated firing whose faithful guard was false when it fired;
+/// kept pending until later facts justify it or decide it false.
+#[derive(Debug)]
+struct PendingGuard {
+    lit: Literal,
+    seq: u64,
+    node: u32,
+    at: u64,
+}
+
+/// An open stall-watchdog entry (promise round or enabled eval).
+#[derive(Debug, Clone, Copy)]
+struct OpenSince {
+    at: u64,
+    flagged: bool,
+}
+
+struct MonitorState {
+    table: SymbolTable,
+    config: MonitorConfig,
+    machines: Vec<DependencyMachine>,
+    dep_states: Vec<StateId>,
+    verdicts: Vec<DepVerdict>,
+    /// Per-dependency: a violated/at-risk alert was already raised (the
+    /// out-of-order replay path must not alert twice).
+    dep_alerted: Vec<bool>,
+    guards: CompiledWorkflow,
+    gated: BTreeSet<Literal>,
+    /// Globally-ordered occurrences: delivery seq → literal.
+    facts: BTreeMap<u64, Literal>,
+    /// Symbols resolved by an observed occurrence (either polarity).
+    resolved: BTreeSet<SymbolId>,
+    /// seq → literal as claimed by *any* record (`Occurred` or
+    /// `FactApplied`); the divergence monitor's canonical view.
+    canon: BTreeMap<u64, Literal>,
+    /// Divergent seqs already alerted.
+    diverged: BTreeSet<u64>,
+    pending_guards: Vec<PendingGuard>,
+    /// Open promise rounds keyed by (requesting node, round literal).
+    open_rounds: BTreeMap<(u32, u32), OpenSince>,
+    /// Enabled-but-unfired evaluations keyed by (node, literal).
+    open_evals: BTreeMap<(u32, u32), OpenSince>,
+    alerts: Vec<Alert>,
+    guard_checks: u64,
+    last_stall_check: u64,
+}
+
+/// The armed monitor set for one workflow: an [`obs::EventSink`] that
+/// watches the live trace stream and accumulates verdicts and alerts.
+///
+/// Construct with the workflow's symbol table, dependencies, and the set
+/// of guard-gated (controllable) literals; attach to the run via
+/// `Obs::with_sinks`; call [`WorkflowMonitor::finish`] once the run
+/// quiesces.
+pub struct WorkflowMonitor {
+    state: Mutex<MonitorState>,
+}
+
+impl WorkflowMonitor {
+    /// Derive monitors for `dependencies`. Compiles its own faithful
+    /// guards and dependency machines, so it is independent of whatever
+    /// (possibly weakened or broken) guards the runtime enforces.
+    pub fn new(
+        table: &SymbolTable,
+        dependencies: &[Expr],
+        gated: impl IntoIterator<Item = Literal>,
+        config: MonitorConfig,
+    ) -> WorkflowMonitor {
+        let guards = CompiledWorkflow::compile(dependencies, GuardScope::Mentioning);
+        let dep_states: Vec<StateId> = guards.machines.iter().map(|m| m.initial).collect();
+        let verdicts: Vec<DepVerdict> =
+            guards.machines.iter().zip(&dep_states).map(|(m, &s)| classify(m, s)).collect();
+        let dep_alerted = vec![false; dep_states.len()];
+        WorkflowMonitor {
+            state: Mutex::new(MonitorState {
+                table: table.clone(),
+                config,
+                machines: guards.machines.clone(),
+                dep_states,
+                verdicts,
+                dep_alerted,
+                guards,
+                gated: gated.into_iter().collect(),
+                facts: BTreeMap::new(),
+                resolved: BTreeSet::new(),
+                canon: BTreeMap::new(),
+                diverged: BTreeSet::new(),
+                pending_guards: Vec::new(),
+                open_rounds: BTreeMap::new(),
+                open_evals: BTreeMap::new(),
+                alerts: Vec::new(),
+                guard_checks: 0,
+                last_stall_check: 0,
+            }),
+        }
+    }
+
+    /// Observe one trace event (the [`obs::EventSink`] entry point).
+    pub fn observe(&self, event: &TraceEvent) {
+        self.state.lock().expect("monitor lock").observe(event);
+    }
+
+    /// Current per-dependency verdicts (mid-run snapshot).
+    pub fn verdicts(&self) -> Vec<DepVerdict> {
+        self.state.lock().expect("monitor lock").verdicts.clone()
+    }
+
+    /// Alerts raised so far (mid-run snapshot).
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.state.lock().expect("monitor lock").alerts.clone()
+    }
+
+    /// Close the run at sim time `final_at`: run the last stall sweep,
+    /// decide still-pending guard checks against the maximal trace
+    /// (observed occurrences plus complements of unresolved symbols),
+    /// and report final verdicts.
+    pub fn finish(&self, final_at: u64) -> MonitorReport {
+        self.state.lock().expect("monitor lock").finish(final_at)
+    }
+}
+
+impl obs::EventSink for WorkflowMonitor {
+    fn on_event(&self, event: &TraceEvent) {
+        self.observe(event);
+    }
+}
+
+impl MonitorState {
+    fn alert(&mut self, at: u64, node: u32, kind: AlertKind, detail: String) {
+        self.alerts.push(Alert { at, node, kind, detail });
+    }
+
+    fn observe(&mut self, event: &TraceEvent) {
+        match &event.kind {
+            SpanKind::Occurred { lit, seq, .. } => {
+                self.on_occurrence(event.at, event.node, *lit, *seq);
+            }
+            SpanKind::FactApplied { lit, seq } => {
+                self.check_divergence(event.at, event.node, *lit, *seq);
+            }
+            SpanKind::GuardEval { lit, verdict, .. } if *verdict == Verdict::Enabled => {
+                self.open_evals
+                    .entry((event.node, lit.0))
+                    .or_insert(OpenSince { at: event.at, flagged: false });
+            }
+            SpanKind::PromiseOpen { lit, .. } => {
+                self.open_rounds
+                    .entry((event.node, lit.0))
+                    .or_insert(OpenSince { at: event.at, flagged: false });
+            }
+            SpanKind::PromiseCommit { lit } | SpanKind::PromiseAbort { lit } => {
+                self.open_rounds.remove(&(event.node, lit.0));
+            }
+            // A deny is recorded on the *granter*; `to` names the
+            // requester whose round it closes.
+            SpanKind::PromiseDeny { lit, to } => {
+                self.open_rounds.remove(&(*to, lit.0));
+            }
+            _ => {}
+        }
+        if event.at != self.last_stall_check {
+            self.last_stall_check = event.at;
+            self.check_stalls(event.at);
+        }
+    }
+
+    /// The divergence monitor: every record claiming `(seq → lit)` must
+    /// agree with every earlier claim for the same seq (Lemma 5: the
+    /// `□`-views of all sites stay consistent).
+    fn check_divergence(&mut self, at: u64, node: u32, lit: ObsLit, seq: u64) {
+        let lit = lit_of(lit);
+        match self.canon.get(&seq) {
+            None => {
+                self.canon.insert(seq, lit);
+            }
+            Some(&prev) if prev == lit => {}
+            Some(&prev) => {
+                if self.diverged.insert(seq) {
+                    let detail = format!(
+                        "seq {seq} announced as {} but node {node} applied {}",
+                        self.table.literal_name(prev),
+                        self.table.literal_name(lit),
+                    );
+                    self.alert(at, node, AlertKind::ViewDivergence { seq }, detail);
+                }
+            }
+        }
+    }
+
+    fn on_occurrence(&mut self, at: u64, node: u32, lit: ObsLit, seq: u64) {
+        self.check_divergence(at, node, lit, seq);
+        let lit = lit_of(lit);
+        // An occurrence discharges any pending enabled-eval watch for its
+        // node (either polarity: a rejection force-fires the complement).
+        self.open_evals.remove(&(node, olit(lit).0));
+        self.open_evals.remove(&(node, olit(lit.complement()).0));
+        match self.facts.get(&seq) {
+            Some(&prev) if prev == lit => return, // duplicate record
+            Some(_) => return,                    // divergence, already alerted
+            None => {}
+        }
+        let in_order = self.facts.last_key_value().is_none_or(|(&max, _)| seq > max);
+        self.facts.insert(seq, lit);
+        self.resolved.insert(lit.symbol());
+        if in_order {
+            self.step_machines(at, node, lit);
+        } else {
+            // A fact slotted into the past: replay the whole ordered log
+            // so machine states reflect the true global order.
+            self.replay_machines(at, node);
+        }
+        if self.gated.contains(&lit) {
+            self.check_guard(at, node, lit, seq);
+        }
+        self.recheck_pending(at);
+    }
+
+    fn step_machines(&mut self, at: u64, node: u32, lit: Literal) {
+        let mut transitions = Vec::new();
+        for (ix, (machine, state)) in
+            self.machines.iter().zip(self.dep_states.iter_mut()).enumerate()
+        {
+            *state = machine.step(*state, lit);
+            let verdict = classify(machine, *state);
+            if verdict != self.verdicts[ix] {
+                self.verdicts[ix] = verdict;
+                transitions.push((ix, verdict));
+            }
+        }
+        for (ix, verdict) in transitions {
+            self.alert_dep_transition(at, node, ix, verdict);
+        }
+    }
+
+    fn replay_machines(&mut self, at: u64, node: u32) {
+        let mut transitions = Vec::new();
+        for (ix, (machine, state)) in
+            self.machines.iter().zip(self.dep_states.iter_mut()).enumerate()
+        {
+            *state = machine.initial;
+            for &lit in self.facts.values() {
+                *state = machine.step(*state, lit);
+            }
+            let verdict = classify(machine, *state);
+            if verdict != self.verdicts[ix] {
+                self.verdicts[ix] = verdict;
+                transitions.push((ix, verdict));
+            }
+        }
+        for (ix, verdict) in transitions {
+            self.alert_dep_transition(at, node, ix, verdict);
+        }
+    }
+
+    fn alert_dep_transition(&mut self, at: u64, node: u32, ix: usize, verdict: DepVerdict) {
+        if self.dep_alerted[ix] {
+            return;
+        }
+        let kind = match verdict {
+            DepVerdict::Violated => AlertKind::DepViolated { dep: ix as u32 },
+            DepVerdict::AtRisk => AlertKind::DepAtRisk { dep: ix as u32 },
+            _ => return,
+        };
+        self.dep_alerted[ix] = true;
+        let detail = format!(
+            "dependency {ix} ({}) entered the {} state",
+            self.machines[ix].dependency.display(&self.table),
+            verdict.label(),
+        );
+        self.alert(at, node, kind, detail);
+    }
+
+    /// The observed occurrences completed with the complements of every
+    /// unresolved symbol — "the maximal trace if the run quiesced now".
+    /// `Guard::eval` demands a maximal trace, so every evaluation goes
+    /// through this. Positions of real facts are unchanged (complements
+    /// append after them). `None` on a duplicated symbol, which the
+    /// divergence monitor has already alerted.
+    fn completed_trace(&self) -> Option<Trace> {
+        Trace::new(
+            self.facts.values().copied().chain(
+                (0..self.table.len() as u32)
+                    .map(SymbolId)
+                    .filter(|s| !self.resolved.contains(s))
+                    .map(Literal::neg),
+            ),
+        )
+    }
+
+    /// Faithful-guard check for a gated firing. The guard's truth at the
+    /// fire position can swing both ways while its symbols are
+    /// unresolved (`◇e` flips true when `e` lands; `◇ē` flips false), so
+    /// the check is queued and *decided* — alerting on a discrepancy —
+    /// the moment every symbol the guard mentions is resolved; usually
+    /// that is immediately, at fire time.
+    fn check_guard(&mut self, at: u64, node: u32, lit: Literal, seq: u64) {
+        self.guard_checks += 1;
+        self.pending_guards.push(PendingGuard { lit, seq, node, at });
+        self.recheck_pending(at);
+    }
+
+    /// Decide every pending guard check whose mentioned symbols are all
+    /// resolved: from that point no future fact can change the
+    /// evaluation, so a false guard is alerted now — within one
+    /// transition of whatever firing decided it.
+    fn recheck_pending(&mut self, now: u64) {
+        if self.pending_guards.is_empty() {
+            return;
+        }
+        let Some(trace) = self.completed_trace() else {
+            return;
+        };
+        let mut failed = Vec::new();
+        let facts = &self.facts;
+        let guards = &self.guards;
+        let resolved = &self.resolved;
+        self.pending_guards.retain(|p| {
+            let guard = guards.guard(p.lit);
+            if !guard.symbols().iter().all(|s| resolved.contains(s)) {
+                return true; // still swingable by future facts
+            }
+            let pos = facts.range(..p.seq).count();
+            if !guard.eval(&trace, pos) {
+                failed.push((p.lit, p.seq, p.node, p.at));
+            }
+            false
+        });
+        for (lit, seq, node, at) in failed {
+            self.alert_unfaithful(now.max(at), node, lit, seq);
+        }
+    }
+
+    fn alert_unfaithful(&mut self, at: u64, node: u32, lit: Literal, seq: u64) {
+        let detail = format!(
+            "{} fired at seq {seq} with its faithful guard false on the global view",
+            self.table.literal_name(lit),
+        );
+        self.alert(at, node, AlertKind::GuardUnfaithful { lit: olit(lit) }, detail);
+    }
+
+    fn check_stalls(&mut self, now: u64) {
+        let budget = self.config.stall_budget;
+        let mut stalls: Vec<(u64, u32, AlertKind, String)> = Vec::new();
+        for (&(node, lit), open) in self.open_rounds.iter_mut() {
+            if !open.flagged && now.saturating_sub(open.at) > budget {
+                open.flagged = true;
+                let lit = ObsLit(lit);
+                stalls.push((
+                    now,
+                    node,
+                    AlertKind::PromiseStall { lit },
+                    format!(
+                        "promise round for {} on node {node} open since t={} (budget {budget})",
+                        self.table.literal_name(lit_of(lit)),
+                        open.at,
+                    ),
+                ));
+            }
+        }
+        for (&(node, lit), open) in self.open_evals.iter_mut() {
+            if !open.flagged && now.saturating_sub(open.at) > budget {
+                open.flagged = true;
+                let lit = ObsLit(lit);
+                stalls.push((
+                    now,
+                    node,
+                    AlertKind::EnabledStall { lit },
+                    format!(
+                        "{} enabled on node {node} since t={} but never fired (budget {budget})",
+                        self.table.literal_name(lit_of(lit)),
+                        open.at,
+                    ),
+                ));
+            }
+        }
+        for (at, node, kind, detail) in stalls {
+            self.alert(at, node, kind, detail);
+        }
+    }
+
+    fn finish(&mut self, final_at: u64) -> MonitorReport {
+        self.check_stalls(final_at.max(self.last_stall_check));
+        // Extend the observed trace with the complements of unresolved
+        // symbols — the maximal-trace convention of the executor's own
+        // satisfaction check — and let the machines and the pending
+        // guard checks see the completed run.
+        let complements: Vec<Literal> = (0..self.table.len() as u32)
+            .map(SymbolId)
+            .filter(|s| !self.resolved.contains(s))
+            .map(Literal::neg)
+            .collect();
+        let mut transitions = Vec::new();
+        for (ix, (machine, state)) in
+            self.machines.iter().zip(self.dep_states.iter_mut()).enumerate()
+        {
+            for &lit in &complements {
+                *state = machine.step(*state, lit);
+            }
+            let verdict = classify(machine, *state);
+            if verdict != self.verdicts[ix] {
+                self.verdicts[ix] = verdict;
+                transitions.push((ix, verdict));
+            }
+        }
+        for (ix, verdict) in transitions {
+            self.alert_dep_transition(final_at, u32::MAX, ix, verdict);
+        }
+        let maximal = Trace::new(self.facts.values().copied().chain(complements.iter().copied()));
+        let pending = std::mem::take(&mut self.pending_guards);
+        if let Some(maximal) = maximal {
+            for p in pending {
+                let pos = self.facts.range(..p.seq).count();
+                if !self.guards.guard(p.lit).eval(&maximal, pos) {
+                    self.alert_unfaithful(final_at, p.node, p.lit, p.seq);
+                }
+            }
+        }
+        MonitorReport {
+            verdicts: self.verdicts.clone(),
+            alerts: self.alerts.clone(),
+            facts: self.facts.len() as u64,
+            guard_checks: self.guard_checks,
+        }
+    }
+}
+
+/// Replay a recorded event stream through freshly derived monitors —
+/// the offline entry point (`wftrace monitor`, mutation tests). The
+/// `table`/`dependencies`/`gated` triple must describe the same workflow
+/// the recording came from (same symbol interning order).
+pub fn replay(
+    events: &[TraceEvent],
+    table: &SymbolTable,
+    dependencies: &[Expr],
+    gated: impl IntoIterator<Item = Literal>,
+    config: MonitorConfig,
+) -> MonitorReport {
+    let mon = WorkflowMonitor::new(table, dependencies, gated, config);
+    for e in events {
+        mon.observe(e);
+    }
+    let final_at = events.iter().map(|e| e.at).max().unwrap_or(0);
+    mon.finish(final_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use event_algebra::parse_expr;
+
+    /// `D< = ~e + ~f + e·f` over fresh symbols; returns (table, dep, e, f).
+    fn d_before() -> (SymbolTable, Expr, Literal, Literal) {
+        let mut table = SymbolTable::default();
+        let e = Literal::pos(table.intern("e"));
+        let f = Literal::pos(table.intern("f"));
+        let dep = parse_expr("~e + ~f + e.f", &mut table).expect("parses");
+        (table, dep, e, f)
+    }
+
+    fn occurred(id: u64, at: u64, node: u32, lit: Literal, seq: u64) -> TraceEvent {
+        TraceEvent {
+            id: obs::SpanId(id),
+            parent: None,
+            at,
+            node,
+            site: node,
+            kind: SpanKind::Occurred { lit: olit(lit), seq, by_acceptance: true },
+        }
+    }
+
+    #[test]
+    fn ordered_firing_stays_live_then_satisfied() {
+        let (table, dep, e, f) = d_before();
+        let mon = WorkflowMonitor::new(&table, &[dep], [e, f], MonitorConfig::default());
+        mon.observe(&occurred(0, 1, 0, e, 1));
+        assert_eq!(mon.verdicts(), vec![DepVerdict::Live]);
+        mon.observe(&occurred(1, 2, 1, f, 2));
+        assert_eq!(mon.verdicts(), vec![DepVerdict::Satisfied]);
+        let report = mon.finish(3);
+        assert!(!report.has_violation(), "{:?}", report.alerts);
+        assert!(report.alerts.is_empty(), "{:?}", report.alerts);
+        assert_eq!(report.facts, 2);
+    }
+
+    #[test]
+    fn broken_order_is_flagged_violated_within_one_transition() {
+        let (table, dep, e, f) = d_before();
+        let mon = WorkflowMonitor::new(&table, &[dep], [e, f], MonitorConfig::default());
+        // f before e: after f the machine demands ē; the e firing is the
+        // offending transition and must flip the verdict immediately.
+        mon.observe(&occurred(0, 1, 1, f, 1));
+        assert_eq!(mon.verdicts(), vec![DepVerdict::Live]);
+        mon.observe(&occurred(1, 2, 0, e, 2));
+        assert_eq!(mon.verdicts(), vec![DepVerdict::Violated]);
+        let alerts = mon.alerts();
+        let dep_alert = alerts
+            .iter()
+            .find(|a| matches!(a.kind, AlertKind::DepViolated { dep: 0 }))
+            .expect("violated alert");
+        // Raised at the offending firing's timestamp — one transition,
+        // not at end of run.
+        assert_eq!(dep_alert.at, 2);
+        // The faithful guard on f (□e ∨ ◇ē) was false and became decided
+        // the moment e resolved — an immediate faithfulness alert too.
+        let report = mon.finish(3);
+        assert!(report.has_violation());
+        assert!(
+            report.alerts.iter().any(|a| matches!(a.kind, AlertKind::GuardUnfaithful { .. })),
+            "{:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn eventually_justified_guard_stays_quiet() {
+        // D→ = e + f·e: f may fire first only if e is promised; on the
+        // global view the ◇-atom is justified by e's later occurrence,
+        // so the pending check discharges without an alert.
+        let mut table = SymbolTable::default();
+        let e = Literal::pos(table.intern("e"));
+        let f = Literal::pos(table.intern("f"));
+        let dep = parse_expr("e + f.e", &mut table).expect("parses");
+        let mon = WorkflowMonitor::new(&table, &[dep], [e, f], MonitorConfig::default());
+        mon.observe(&occurred(0, 1, 1, f, 1));
+        mon.observe(&occurred(1, 5, 0, e, 2));
+        let report = mon.finish(6);
+        assert!(
+            !report.alerts.iter().any(|a| matches!(a.kind, AlertKind::GuardUnfaithful { .. })),
+            "{:?}",
+            report.alerts
+        );
+        assert_eq!(report.verdicts, vec![DepVerdict::Satisfied]);
+    }
+
+    #[test]
+    fn view_divergence_is_alerted_on_first_conflict() {
+        let (table, dep, e, f) = d_before();
+        let mon = WorkflowMonitor::new(&table, &[dep], [e, f], MonitorConfig::default());
+        mon.observe(&occurred(0, 1, 0, e, 7));
+        // Another node applies a *different* literal under the same seq.
+        mon.observe(&TraceEvent {
+            id: obs::SpanId(1),
+            parent: None,
+            at: 2,
+            node: 1,
+            site: 1,
+            kind: SpanKind::FactApplied { lit: olit(f), seq: 7 },
+        });
+        let alerts = mon.alerts();
+        assert!(
+            alerts.iter().any(|a| matches!(a.kind, AlertKind::ViewDivergence { seq: 7 })),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn stall_watchdog_flags_an_open_promise_round_once() {
+        let (table, dep, e, f) = d_before();
+        let mon = WorkflowMonitor::new(&table, &[dep], [e, f], MonitorConfig { stall_budget: 10 });
+        mon.observe(&TraceEvent {
+            id: obs::SpanId(0),
+            parent: None,
+            at: 1,
+            node: 0,
+            site: 0,
+            kind: SpanKind::PromiseOpen { lit: olit(f), for_lit: olit(e) },
+        });
+        // Time passes without a grant/deny/commit...
+        mon.observe(&occurred(1, 50, 1, e, 1));
+        let stalls = |alerts: &[Alert]| {
+            alerts.iter().filter(|a| matches!(a.kind, AlertKind::PromiseStall { .. })).count()
+        };
+        assert_eq!(stalls(&mon.alerts()), 1);
+        // ...and the watchdog does not re-alert on later sweeps.
+        let report = mon.finish(100);
+        assert_eq!(stalls(&report.alerts), 1);
+        assert!(report.alerts.iter().all(|a| !a.kind.is_violation()), "{:?}", report.alerts);
+    }
+
+    #[test]
+    fn enabled_but_unfired_event_stalls() {
+        let (table, dep, e, f) = d_before();
+        let mon = WorkflowMonitor::new(
+            &table,
+            std::slice::from_ref(&dep),
+            [e, f],
+            MonitorConfig { stall_budget: 10 },
+        );
+        mon.observe(&TraceEvent {
+            id: obs::SpanId(0),
+            parent: None,
+            at: 1,
+            node: 0,
+            site: 0,
+            kind: SpanKind::GuardEval {
+                lit: olit(e),
+                verdict: Verdict::Enabled,
+                residual: 0,
+                facts: Vec::new(),
+            },
+        });
+        let report = mon.finish(100);
+        assert!(
+            report.alerts.iter().any(|a| matches!(a.kind, AlertKind::EnabledStall { .. })),
+            "{:?}",
+            report.alerts
+        );
+        // Firing before the budget clears the watch.
+        let mon = WorkflowMonitor::new(&table, &[dep], [e, f], MonitorConfig { stall_budget: 10 });
+        mon.observe(&TraceEvent {
+            id: obs::SpanId(0),
+            parent: None,
+            at: 1,
+            node: 0,
+            site: 0,
+            kind: SpanKind::GuardEval {
+                lit: olit(e),
+                verdict: Verdict::Enabled,
+                residual: 0,
+                facts: Vec::new(),
+            },
+        });
+        mon.observe(&occurred(1, 2, 0, e, 1));
+        let report = mon.finish(100);
+        assert!(
+            !report.alerts.iter().any(|a| matches!(a.kind, AlertKind::EnabledStall { .. })),
+            "{:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_dependency_is_flagged_from_the_initial_state() {
+        // e·ē admits no satisfying trace at all; the residual algebra
+        // normalises it to the violated terminal 0, so the monitor
+        // reports violated from the initial state — before any event
+        // fires.
+        let mut table = SymbolTable::default();
+        let e = Literal::pos(table.intern("e"));
+        let dep = Expr::seq([Expr::lit(e), Expr::lit(e.complement())]);
+        let mon = WorkflowMonitor::new(&table, &[dep], [e], MonitorConfig::default());
+        assert_eq!(mon.verdicts(), vec![DepVerdict::Violated]);
+    }
+
+    #[test]
+    fn out_of_order_facts_are_replayed_into_global_order() {
+        let (table, dep, e, f) = d_before();
+        let mon = WorkflowMonitor::new(&table, &[dep], [e, f], MonitorConfig::default());
+        // Records arrive f-then-e, but the global seqs say e came first:
+        // the replay path must land on Satisfied, not Violated.
+        mon.observe(&occurred(0, 1, 1, f, 5));
+        mon.observe(&occurred(1, 2, 0, e, 3));
+        assert_eq!(mon.verdicts(), vec![DepVerdict::Satisfied]);
+        let report = mon.finish(3);
+        assert!(!report.has_violation(), "{:?}", report.alerts);
+    }
+
+    #[test]
+    fn unresolved_symbols_complete_as_complements_at_finish() {
+        let (table, dep, e, _f) = d_before();
+        let mon = WorkflowMonitor::new(&table, &[dep], [e], MonitorConfig::default());
+        // Only e fires; ~f completes the trace, and ~e + ~f + e·f is
+        // satisfied by [e, ~f].
+        mon.observe(&occurred(0, 1, 0, e, 1));
+        let report = mon.finish(2);
+        assert_eq!(report.verdicts, vec![DepVerdict::Satisfied]);
+    }
+}

@@ -27,11 +27,13 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod recording;
+pub mod sink;
 pub mod span;
 
 pub use inspect::{chrome_trace, explain, stats_text, Explanation};
 pub use json::Json;
 pub use metrics::{Log2Histogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{FlightRecorder, NodeObs, Obs, ParentRef, RecordConfig, Recorder};
-pub use recording::{causal_audit, Recording};
+pub use recording::{causal_audit, Dag, Recording};
+pub use sink::{EventSink, NullSink};
 pub use span::{Fact, ObsLit, SpanId, SpanKind, Time, TraceEvent, Verdict};

@@ -4,7 +4,8 @@
 //! # Zero cost when disabled
 //!
 //! The runtime never talks to a recorder directly; it holds an [`Obs`]
-//! handle, which is `Option<FlightRecorder>` inside. Call sites guard
+//! handle, which is `Option` of the enabled machinery (span allocator,
+//! optional ring, attached [`EventSink`]s) inside. Call sites guard
 //! every record with `if obs.enabled() { ... }`, so with recording off
 //! (the default) the hot path pays one predictable branch and constructs
 //! no payloads — perfprobe numbers are unchanged within noise.
@@ -18,8 +19,10 @@
 //! is parented under the delivery that caused it. Parent edges plus
 //! per-node program order make the record a happens-before DAG.
 
+use crate::sink::EventSink;
 use crate::span::{SpanId, SpanKind, Time, TraceEvent};
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
 /// Configuration for an enabled flight recorder.
@@ -146,6 +149,24 @@ impl FlightRecorder {
     pub fn events(&self) -> Vec<TraceEvent> {
         self.inner.lock().expect("recorder lock").ring.iter().cloned().collect()
     }
+
+    /// Store an already-stamped event (the sink path: span ids were
+    /// allocated upstream by the [`Obs`] handle). Evicts the oldest
+    /// record and counts the drop when the ring is full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(event);
+    }
+}
+
+impl EventSink for FlightRecorder {
+    fn on_event(&self, event: &TraceEvent) {
+        self.push(event.clone());
+    }
 }
 
 impl Recorder for FlightRecorder {
@@ -186,44 +207,138 @@ impl Recorder for FlightRecorder {
     }
 }
 
-/// The handle the runtime actually carries: either off (free) or a shared
-/// [`FlightRecorder`].
-#[derive(Debug, Clone, Default)]
-pub struct Obs {
+/// Span-id allocation and the causal cursor, shared by all clones of one
+/// [`Obs`] handle. Ids come from a single monotone counter, so id order
+/// is global record order across every sink.
+#[derive(Debug, Default)]
+struct AllocState {
+    next_id: u64,
+    cursor: Option<SpanId>,
+}
+
+/// The enabled half of an [`Obs`] handle: the id allocator, the optional
+/// ring buffer, and the attached live sinks.
+#[derive(Clone)]
+struct ObsInner {
+    alloc: Arc<Mutex<AllocState>>,
+    /// The ring-buffered recorder, when a post-hoc [`Recording`] is
+    /// wanted. Kept as a direct handle (not a boxed sink) so the runtime
+    /// can read `events()`/`dropped()` at the end of the run, and so the
+    /// common record-only path moves the event instead of cloning it.
+    ///
+    /// [`Recording`]: crate::Recording
     rec: Option<FlightRecorder>,
+    /// Live subscribers; each sees every event before the ring stores it.
+    sinks: Arc<[Arc<dyn EventSink>]>,
+}
+
+/// The handle the runtime actually carries: either off (free) or a span
+/// allocator fanning each [`TraceEvent`] out to the attached sinks — the
+/// ring-buffered [`FlightRecorder`] and/or any live [`EventSink`]s
+/// (runtime monitors). Clones share the allocator, the cursor, and every
+/// sink.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<ObsInner>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Obs(off)"),
+            Some(inner) => {
+                write!(f, "Obs(ring: {}, sinks: {})", inner.rec.is_some(), inner.sinks.len())
+            }
+        }
+    }
 }
 
 impl Obs {
     /// A disabled handle — the default everywhere.
     pub fn off() -> Obs {
-        Obs { rec: None }
+        Obs { inner: None }
     }
 
-    /// An enabled handle backed by a fresh recorder.
+    /// An enabled handle backed by a fresh recorder and no live sinks.
     pub fn on(config: RecordConfig) -> Obs {
-        Obs { rec: Some(FlightRecorder::new(config)) }
+        Obs::with_sinks(Some(config), Vec::new())
     }
 
     /// Wrap an existing recorder (clones share its buffer).
     pub fn from_recorder(rec: FlightRecorder) -> Obs {
-        Obs { rec: Some(rec) }
+        Obs {
+            inner: Some(ObsInner {
+                alloc: Arc::default(),
+                rec: Some(rec),
+                sinks: Arc::from(Vec::new()),
+            }),
+        }
     }
 
-    /// `true` if records are kept. Guard payload construction with this.
+    /// The general constructor: an optional ring buffer plus any number
+    /// of live sinks. With neither, the handle is off — identical to
+    /// [`Obs::off`] down to the hot-path branch.
+    pub fn with_sinks(record: Option<RecordConfig>, sinks: Vec<Arc<dyn EventSink>>) -> Obs {
+        if record.is_none() && sinks.is_empty() {
+            return Obs::off();
+        }
+        Obs {
+            inner: Some(ObsInner {
+                alloc: Arc::default(),
+                rec: record.map(FlightRecorder::new),
+                sinks: Arc::from(sinks),
+            }),
+        }
+    }
+
+    /// `true` if records go anywhere. Guard payload construction with
+    /// this.
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.rec.is_some()
+        self.inner.is_some()
     }
 
-    /// The underlying recorder, if enabled.
+    /// The underlying ring-buffered recorder, if one is attached.
     pub fn recorder(&self) -> Option<&FlightRecorder> {
-        self.rec.as_ref()
+        self.inner.as_ref()?.rec.as_ref()
+    }
+
+    /// Allocate an id, stamp the event, fan it out to the sinks, and
+    /// store it in the ring (if any).
+    fn emit(
+        &self,
+        at: Time,
+        node: u32,
+        site: u32,
+        parent: ParentRef,
+        kind: SpanKind,
+    ) -> Option<SpanId> {
+        let inner = self.inner.as_ref()?;
+        let (id, parent) = {
+            let mut alloc = inner.alloc.lock().expect("obs alloc lock");
+            let id = SpanId(alloc.next_id);
+            alloc.next_id += 1;
+            let parent = match parent {
+                ParentRef::Cursor => alloc.cursor,
+                ParentRef::Root => None,
+                ParentRef::Span(p) => Some(p),
+            };
+            (id, parent)
+        };
+        let event = TraceEvent { id, parent, at, node, site, kind };
+        for sink in inner.sinks.iter() {
+            sink.on_event(&event);
+        }
+        if let Some(rec) = &inner.rec {
+            rec.push(event);
+        }
+        Some(id)
     }
 
     /// Record under the current cursor.
     #[inline]
     pub fn rec(&self, at: Time, node: u32, site: u32, kind: SpanKind) -> Option<SpanId> {
-        self.rec.as_ref()?.record_event(at, node, site, ParentRef::Cursor, kind)
+        self.emit(at, node, site, ParentRef::Cursor, kind)
     }
 
     /// Record under an explicit parent (`None` = root).
@@ -240,21 +355,21 @@ impl Obs {
             Some(p) => ParentRef::Span(p),
             None => ParentRef::Root,
         };
-        self.rec.as_ref()?.record_event(at, node, site, parent, kind)
+        self.emit(at, node, site, parent, kind)
     }
 
     /// Set the causal cursor.
     #[inline]
     pub fn set_cursor(&self, cursor: Option<SpanId>) {
-        if let Some(rec) = &self.rec {
-            rec.set_cursor(cursor);
+        if let Some(inner) = &self.inner {
+            inner.alloc.lock().expect("obs alloc lock").cursor = cursor;
         }
     }
 
     /// The causal cursor.
     #[inline]
     pub fn cursor(&self) -> Option<SpanId> {
-        self.rec.as_ref().and_then(Recorder::cursor)
+        self.inner.as_ref().and_then(|i| i.alloc.lock().expect("obs alloc lock").cursor)
     }
 }
 
@@ -267,7 +382,7 @@ impl Recorder for Obs {
         parent: ParentRef,
         kind: SpanKind,
     ) -> Option<SpanId> {
-        self.rec.as_ref()?.record_event(at, node, site, parent, kind)
+        self.emit(at, node, site, parent, kind)
     }
 
     fn set_cursor(&self, cursor: Option<SpanId>) {

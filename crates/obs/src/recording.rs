@@ -145,6 +145,45 @@ impl<'a> Dag<'a> {
         Dag { rec, prev_on_node, index }
     }
 
+    /// A concrete happens-before path from `a` to `b` (inclusive), or
+    /// `None` if `a` does not precede `b`. Each consecutive pair in the
+    /// returned path is one DAG edge (a parent link or one step of
+    /// per-node program order), so the whole path can be re-verified
+    /// edge-by-edge with [`Dag::precedes`].
+    pub fn path(&self, a: SpanId, b: SpanId) -> Option<Vec<SpanId>> {
+        if a >= b {
+            return None;
+        }
+        // Backward BFS from `b`; `came_from[p] = successor we reached p
+        // from`, so the forward path falls out by following successors.
+        let mut came_from: HashMap<SpanId, SpanId> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([b]);
+        'search: while let Some(cur) = queue.pop_front() {
+            let Some(&i) = self.index.get(&cur) else { continue };
+            for pred in [self.rec.events[i].parent, self.prev_on_node[i]].into_iter().flatten() {
+                // Backward edges strictly decrease ids: below `a` nothing
+                // can lead back to it.
+                if pred < a || came_from.contains_key(&pred) {
+                    continue;
+                }
+                came_from.insert(pred, cur);
+                if pred == a {
+                    break 'search;
+                }
+                queue.push_back(pred);
+            }
+        }
+        came_from.contains_key(&a).then(|| {
+            let mut path = vec![a];
+            let mut cur = a;
+            while cur != b {
+                cur = came_from[&cur];
+                path.push(cur);
+            }
+            path
+        })
+    }
+
     /// `true` if `a` strictly happens-before `b` in the DAG.
     pub fn precedes(&self, a: SpanId, b: SpanId) -> bool {
         if a >= b {
@@ -169,16 +208,45 @@ impl<'a> Dag<'a> {
     }
 }
 
-/// Check the causal-consistency invariant: every fact consumed by a
-/// guard evaluation or fact application has an establishing `Occurred`
-/// record that precedes the consumer in the happens-before DAG.
+/// Check the causal-consistency invariant: the parent edges form a
+/// well-founded DAG (no dangling references, no forward edges — which
+/// would admit cycles — and no child stamped earlier than its parent),
+/// and on top of that every fact consumed by a guard evaluation or fact
+/// application has an establishing `Occurred` record that precedes the
+/// consumer in the happens-before DAG.
 ///
-/// Returns human-readable violations (empty = green). Facts whose
-/// establishing record was overwritten by the ring buffer are skipped
-/// when `rec.dropped > 0`.
+/// Returns human-readable violations (empty = green). Facts and parents
+/// whose records were overwritten by the ring buffer are excused when
+/// `rec.dropped > 0`.
 pub fn causal_audit(rec: &Recording) -> Vec<String> {
     let dag = Dag::new(rec);
     let mut violations = Vec::new();
+    for e in &rec.events {
+        let Some(p) = e.parent else { continue };
+        // A parent edge must point strictly backwards in id order: ids
+        // come from one monotone counter, so a forward (or self) edge is
+        // fabricated and would let the "DAG" contain a cycle.
+        if p >= e.id {
+            violations
+                .push(format!("parent edge {} → {p} points forward in id order (cycle)", e.id));
+            continue;
+        }
+        match rec.event(p) {
+            None => {
+                if rec.dropped == 0 {
+                    violations.push(format!("{} names a dangling parent {p}", e.id));
+                }
+            }
+            Some(pe) => {
+                if e.at < pe.at {
+                    violations.push(format!(
+                        "{} at t={} is stamped earlier than its parent {p} at t={}",
+                        e.id, e.at, pe.at
+                    ));
+                }
+            }
+        }
+    }
     let mut check = |consumer: &TraceEvent, lit: ObsLit, seq: u64| match rec.establisher(lit, seq) {
         None => {
             if rec.dropped == 0 {
@@ -522,8 +590,14 @@ mod tests {
         // Remove the establishing occurrence of buy.commit@3.
         rec.events.retain(|e| e.id != SpanId(1));
         let violations = causal_audit(&rec);
-        assert_eq!(violations.len(), 2, "{violations:?}"); // fact_applied + guard_eval
-        assert!(violations[0].contains("no establishing record"), "{violations:?}");
+        // Dropping #1 also dangles #2's parent edge, so the structural
+        // pass adds a third diagnostic to fact_applied + guard_eval.
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("dangling parent")), "{violations:?}");
+        assert!(
+            violations.iter().filter(|v| v.contains("no establishing record")).count() == 2,
+            "{violations:?}"
+        );
         // ...unless the ring dropped records, which excuses absences.
         rec.dropped = 1;
         assert!(causal_audit(&rec).is_empty());
@@ -543,6 +617,69 @@ mod tests {
         ));
         let violations = causal_audit(&rec);
         assert!(violations.iter().any(|v| v.contains("does not precede")), "{violations:?}");
+    }
+
+    #[test]
+    fn dag_path_is_a_concrete_edge_verified_chain() {
+        let rec = sample();
+        let dag = Dag::new(&rec);
+        let path = dag.path(SpanId(0), SpanId(6)).expect("0 precedes 6");
+        assert_eq!(path.first(), Some(&SpanId(0)));
+        assert_eq!(path.last(), Some(&SpanId(6)));
+        assert!(path.len() >= 2);
+        for pair in path.windows(2) {
+            assert!(dag.precedes(pair[0], pair[1]), "{} !< {}", pair[0], pair[1]);
+        }
+        // Unrelated or reversed queries have no path.
+        assert!(dag.path(SpanId(6), SpanId(0)).is_none());
+        assert!(dag.path(SpanId(6), SpanId(6)).is_none());
+    }
+
+    #[test]
+    fn causal_audit_flags_a_dangling_parent() {
+        let mut rec = sample();
+        // Parent 8 does not exist; the edge still points backwards, so
+        // only the dangling-reference check can catch it.
+        rec.events.push(ev(9, Some(8), 2, SpanKind::Attempt { lit: ObsLit::pos(1) }));
+        let violations = causal_audit(&rec);
+        assert!(violations.iter().any(|v| v.contains("dangling parent")), "{violations:?}");
+        // A ring overflow excuses the absence — the parent may simply
+        // have been evicted.
+        rec.dropped = 1;
+        assert!(causal_audit(&rec).is_empty());
+    }
+
+    #[test]
+    fn causal_audit_flags_a_parent_cycle() {
+        let mut rec = sample();
+        // 7 → 8 → 7: the forward half of the cycle is the fabrication.
+        rec.events.push(ev(7, Some(8), 2, SpanKind::Attempt { lit: ObsLit::pos(0) }));
+        rec.events.push(ev(8, Some(7), 2, SpanKind::Attempt { lit: ObsLit::pos(1) }));
+        let violations = causal_audit(&rec);
+        assert!(violations.iter().any(|v| v.contains("points forward")), "{violations:?}");
+        // Even with drops the cycle stays flagged: no eviction story
+        // explains an id pointing at a later record.
+        rec.dropped = 5;
+        assert!(causal_audit(&rec).iter().any(|v| v.contains("points forward")));
+    }
+
+    #[test]
+    fn causal_audit_flags_a_child_stamped_earlier_than_its_parent() {
+        let mut rec = sample();
+        // Parent 5 is stamped at t=5; a child claiming t=2 inverts time.
+        rec.events.push(TraceEvent {
+            id: SpanId(7),
+            parent: Some(SpanId(5)),
+            at: 2,
+            node: 1,
+            site: 1,
+            kind: SpanKind::Attempt { lit: ObsLit::pos(1) },
+        });
+        let violations = causal_audit(&rec);
+        assert!(
+            violations.iter().any(|v| v.contains("stamped earlier than its parent")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The streaming side of observability: an [`EventSink`] receives every
+//! [`TraceEvent`] the instant it is recorded.
+//!
+//! The flight recorder's ring buffer is one sink among several — an
+//! [`Obs`](crate::Obs) handle fans each event out to any number of
+//! attached sinks (runtime monitors, test probes) before the recorder
+//! stores it. Sinks see events in global id order, on the thread that
+//! recorded them, while the run is still in flight; this is what lets an
+//! online monitor flag a violation *as it happens* rather than from a
+//! post-hoc dump.
+//!
+//! The zero-cost contract is unchanged: a disabled `Obs` (no recorder,
+//! no sinks) never constructs a payload, so arming sinks costs nothing
+//! until one is actually attached.
+
+use crate::span::TraceEvent;
+
+/// A consumer of the live trace-event stream.
+///
+/// Implementations must be cheap and non-blocking relative to the run
+/// they observe: they are invoked synchronously from the recording call
+/// sites. Interior mutability (a mutex over the sink's state) is the
+/// expected pattern — the stream arrives via `&self`.
+pub trait EventSink: Send + Sync {
+    /// Observe one event. Events arrive in global span-id order.
+    fn on_event(&self, event: &TraceEvent);
+}
+
+/// A sink that discards everything — useful as a placeholder and for
+/// measuring the dispatch overhead in isolation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn on_event(&self, _event: &TraceEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Obs, RecordConfig};
+    use crate::span::{ObsLit, SpanKind};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Default)]
+    struct Counter(AtomicU64);
+
+    impl EventSink for Counter {
+        fn on_event(&self, _event: &TraceEvent) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn sinks_see_every_event_the_recorder_keeps() {
+        let counter = Arc::new(Counter::default());
+        let obs =
+            Obs::with_sinks(Some(RecordConfig { capacity: 2 }), vec![counter.clone() as Arc<_>]);
+        for i in 0..5 {
+            obs.rec(i, 0, 0, SpanKind::Attempt { lit: ObsLit::pos(i as u32) });
+        }
+        // The ring kept 2, but the stream saw all 5: sinks are not
+        // subject to the recorder's retention policy.
+        assert_eq!(obs.recorder().unwrap().len(), 2);
+        assert_eq!(counter.0.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn sink_only_obs_is_enabled_without_a_ring() {
+        let counter = Arc::new(Counter::default());
+        let obs = Obs::with_sinks(None, vec![counter.clone() as Arc<_>]);
+        assert!(obs.enabled());
+        assert!(obs.recorder().is_none());
+        let id = obs.rec(3, 1, 0, SpanKind::Attempt { lit: ObsLit::pos(0) });
+        assert!(id.is_some());
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn no_recorder_and_no_sinks_is_off() {
+        let obs = Obs::with_sinks(None, Vec::new());
+        assert!(!obs.enabled());
+        assert_eq!(obs.rec(0, 0, 0, SpanKind::Attempt { lit: ObsLit::pos(0) }), None);
+    }
+}

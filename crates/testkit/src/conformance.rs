@@ -26,12 +26,25 @@
 //! **causal consistency** — every fact a guard evaluation or actor
 //! consumed must be *established* by an `occurred` span that precedes the
 //! consumer in the happens-before DAG (see `obs::causal_audit`).
+//!
+//! A seventh audit runs *online*: [`check_run`] arms the runtime
+//! monitors (`monitor::WorkflowMonitor`) on every scenario. Unfaithful
+//! guard and view-divergence alerts always fail, as does any
+//! dependency-machine transition into `violated`/`at_risk` caused by a
+//! real firing — that would be a guard-safety breach. A dependency the
+//! finish sweep finds violated (never-fired events complement-closed,
+//! stamped with node `u32::MAX`) is a *liveness* failure: it fails only
+//! under `expect_live`, mirroring audit 4 — adversarial random
+//! workflows may legitimately deadlock with everything parked. In every
+//! case the monitor's final verdicts must agree with audit 4's
+//! post-hoc satisfaction oracle. Stall alerts are advisory under fault
+//! plans (a partitioned promise round *should* stall) and never fail
+//! conformance.
 
-use dist::{run_workflow_with_faults, ExecConfig, RunReport, WorkflowSpec};
+use dist::{guard_gated, run_workflow_with_faults, ExecConfig, RunReport, WorkflowSpec};
 use event_algebra::Literal;
 use guard::{CompiledWorkflow, GuardScope};
 use sim::{FaultPlan, Termination};
-use std::collections::BTreeSet;
 
 /// The outcome of one audited run.
 #[derive(Debug)]
@@ -47,28 +60,6 @@ impl Conformance {
     pub fn is_conformant(&self) -> bool {
         self.failures.is_empty()
     }
-}
-
-/// The literals whose occurrences are guard-gated: positive, controllable
-/// events. Immediate events (`abort`-style informs) and forced
-/// complements occur without consulting a guard, so they are exempt from
-/// the guard-safety audit (their safety is judged by dependency
-/// satisfaction instead).
-fn guard_gated(spec: &WorkflowSpec) -> BTreeSet<Literal> {
-    let mut gated = BTreeSet::new();
-    for a in &spec.agents {
-        for ev in &a.agent.events {
-            if ev.attrs.controllable {
-                gated.insert(ev.literal);
-            }
-        }
-    }
-    for f in &spec.free_events {
-        if f.attrs.controllable {
-            gated.insert(f.lit);
-        }
-    }
-    gated
 }
 
 /// Audit guard safety on a finished run: every guard-gated occurrence
@@ -94,10 +85,16 @@ pub fn audit_guards(spec: &WorkflowSpec, report: &RunReport) -> Vec<(Literal, us
 /// fault plans whose partitions heal and whose crashed nodes restart.
 pub fn check_run(
     spec: &WorkflowSpec,
-    config: ExecConfig,
+    mut config: ExecConfig,
     plan: FaultPlan,
     expect_live: bool,
 ) -> Conformance {
+    // Arm the online monitors on every audited scenario (unless the
+    // caller configured them explicitly): the post-hoc audits below and
+    // the online verdicts must agree.
+    if config.monitor.is_none() {
+        config.monitor = Some(monitor::MonitorConfig::default());
+    }
     let report = run_workflow_with_faults(spec, config, plan);
     let mut failures = Vec::new();
     if report.termination != Termination::Quiescent {
@@ -127,7 +124,77 @@ pub fn check_run(
     if let Some(rec) = &report.recording {
         failures.extend(obs::causal_audit(rec));
     }
+    if let Some(mrep) = &report.monitor {
+        for (ix, v) in mrep.verdicts.iter().enumerate() {
+            let violated = *v == monitor::DepVerdict::Violated;
+            // The online verdict and the post-hoc oracle must agree on
+            // the maximal trace: a disagreement means one of the two
+            // observers mis-stepped the algebra.
+            if report.satisfied.get(ix).copied().unwrap_or(false) == violated {
+                failures.push(format!(
+                    "online monitor disagrees with the satisfaction oracle: \
+                     dependency {ix} ended {} but the executor reports satisfied={}",
+                    v.label(),
+                    report.satisfied.get(ix).copied().unwrap_or(false),
+                ));
+            }
+            if violated && expect_live {
+                failures.push(format!("online monitor: dependency {ix} ended violated"));
+            }
+        }
+        for a in &report.alerts {
+            // Stalls are advisory: a partitioned promise round is
+            // *supposed* to stall until the partition heals. A doomed
+            // dependency flagged by the finish sweep (node == u32::MAX:
+            // never-fired events complement-closed) is a liveness
+            // failure, gated on `expect_live` like audit 4; the same
+            // alert with a real node id means an actual firing killed
+            // the dependency — a safety breach, always fatal.
+            let fatal = match &a.kind {
+                monitor::AlertKind::DepViolated { .. } | monitor::AlertKind::DepAtRisk { .. } => {
+                    a.node != u32::MAX || expect_live
+                }
+                kind => kind.is_violation(),
+            };
+            if fatal {
+                failures.push(format!(
+                    "online monitor alert [{}] at t={}: {}",
+                    a.kind.tag(),
+                    a.at,
+                    a.detail
+                ));
+            }
+        }
+    }
     Conformance { failures, report }
+}
+
+/// Mutation harness for the guard-faithfulness monitor: run `spec` with
+/// its dependencies *stripped from the scheduler* (every guard compiles
+/// to `⊤`, so events fire in arbitrary order — the executor analogue of a
+/// broken guard synthesis) while the monitors still hold the original
+/// dependencies. Returns the monitor's report on that unguarded run; a
+/// spec whose dependencies actually constrain order must come back with
+/// violated verdicts and unfaithful-guard alerts.
+pub fn run_unguarded_monitored(spec: &WorkflowSpec, config: ExecConfig) -> monitor::MonitorReport {
+    let mutated = WorkflowSpec {
+        table: spec.table.clone(),
+        dependencies: Vec::new(),
+        agents: spec.agents.clone(),
+        free_events: spec.free_events.clone(),
+    };
+    let mut cfg = config;
+    cfg.record = Some(obs::RecordConfig::default());
+    cfg.monitor = None; // the run's own monitors would see no dependencies
+    let report = dist::run_workflow(&mutated, cfg);
+    let rec = report.recording.expect("recording was configured");
+    monitor::replay(
+        &rec.events,
+        &spec.table,
+        &spec.dependencies,
+        guard_gated(spec),
+        config.monitor.unwrap_or_default(),
+    )
 }
 
 /// Run the same scenario twice and check the executions are identical:
@@ -307,6 +374,69 @@ mod tests {
             assert!(!rec.events.is_empty(), "{name}: recorder captured nothing");
             assert_eq!(rec.dropped, 0, "{name}: ring overflowed");
         }
+    }
+
+    #[test]
+    fn clean_runs_raise_no_alerts() {
+        // The acceptance bar for the armed monitors: zero alerts and no
+        // violated verdict on a fault-free run of a clean workflow.
+        let spec = mutual_promise_spec();
+        let run = check_run(&spec, ExecConfig::seeded(7), FaultPlan::new(7), true);
+        assert!(run.is_conformant(), "{:?}", run.failures);
+        assert!(run.report.alerts.is_empty(), "{:?}", run.report.alerts);
+        let mrep = run.report.monitor.as_ref().expect("monitors were armed");
+        assert!(mrep.verdicts.iter().all(|v| *v == monitor::DepVerdict::Satisfied), "{mrep:?}");
+        assert!(mrep.facts > 0, "the monitor actually observed the run");
+    }
+
+    #[test]
+    fn unguarded_run_is_flagged_by_the_monitors() {
+        // Mutation: strip D< from the scheduler so nothing stops f from
+        // firing before e (seed 5 realizes exactly that order), then
+        // replay the recording through monitors holding the real
+        // dependency. The broken order must come back violated, with the
+        // dependency-verdict alert raised at e's firing (not at finish)
+        // and the guard-faithfulness alert naming the unjustified event.
+        let mut table = SymbolTable::new();
+        let d = parse_expr("~e + ~f + e.f", &mut table).unwrap();
+        let e = table.event("e");
+        let f = table.event("f");
+        let spec = WorkflowSpec {
+            table,
+            dependencies: vec![d],
+            agents: vec![],
+            free_events: vec![
+                dist::FreeEventSpec {
+                    site: SiteId(0),
+                    lit: f,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+                dist::FreeEventSpec {
+                    site: SiteId(1),
+                    lit: e,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(40),
+                },
+            ],
+        };
+        let mrep = run_unguarded_monitored(&spec, ExecConfig::seeded(5));
+        assert!(mrep.has_violation(), "{mrep:?}");
+        assert_eq!(mrep.verdicts, vec![monitor::DepVerdict::Violated], "{mrep:?}");
+        let dep_alert = mrep
+            .alerts
+            .iter()
+            .find(|a| matches!(a.kind, monitor::AlertKind::DepViolated { .. }))
+            .expect("dependency-violated alert");
+        // Flagged online at the offending firing, not by the finish-time
+        // sweep (which stamps its transitions with node u32::MAX).
+        assert_ne!(dep_alert.node, u32::MAX, "flagged post-hoc: {dep_alert:?}");
+        assert!(
+            mrep.alerts
+                .iter()
+                .any(|a| matches!(a.kind, monitor::AlertKind::GuardUnfaithful { .. })),
+            "{mrep:?}"
+        );
     }
 
     #[test]

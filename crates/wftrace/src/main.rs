@@ -5,12 +5,17 @@
 //! on and answers questions about what actually happened — why an event
 //! fired (`explain`, a justification chain through the happens-before
 //! DAG), how the run behaved in aggregate (`stats`), whether the causal
-//! invariant held (`audit`), and what it looked like on a timeline
+//! invariant held (`audit`), which spans match a filter or connect two
+//! spans causally (`query`), what the online runtime monitors say about
+//! the recorded run (`monitor`), and what it looked like on a timeline
 //! (`export --chrome`, loadable in `chrome://tracing` / Perfetto).
 
 use constrained_events::WorkflowBuilder;
 use dist::ExecConfig;
-use obs::{causal_audit, chrome_trace, explain, stats_text, RecordConfig, Recording};
+use obs::{
+    causal_audit, chrome_trace, explain, stats_text, Dag, ObsLit, RecordConfig, Recording, SpanId,
+    SpanKind, TraceEvent,
+};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -22,6 +27,9 @@ USAGE:
     wftrace explain --event <NAME> [--at <T>] <TRACE.json>
     wftrace stats <TRACE.json>
     wftrace audit <TRACE.json>
+    wftrace query [FILTERS] <TRACE.json>
+    wftrace query --from <SEL> --to <SEL> <TRACE.json>
+    wftrace monitor [--spec <SPEC.wf>] [--budget <N>] <TRACE.json>
     wftrace export --chrome [--out <FILE>] <TRACE.json>
 
 RECORD OPTIONS:
@@ -37,9 +45,33 @@ EXPLAIN:
     --at <T>          disambiguate among multiple occurrences by their
                       virtual occurrence time
 
+QUERY FILTERS (combinable; each line of output is one matching span):
+    --kind <TAG,...>  span kinds (occurred, guard_eval, msg_send, ...)
+    --node <N>        spans recorded by node N
+    --site <S>        spans recorded on site S
+    --event <NAME>    spans mentioning the literal (~ for negative)
+    --window <A..B>   spans with virtual time in [A, B]
+    --timeline <W>    bucket the matches into windows of width W and
+                      print counts instead of spans
+
+QUERY CAUSAL PATHS:
+    --from <SEL>      path source; SEL is a span id (e.g. 17) or
+                      kind:event (e.g. attempt:buy::commit, earliest
+                      match)
+    --to <SEL>        path target (latest match); prints a concrete
+                      happens-before path, each edge re-verified by DAG
+                      precedence; exit 1 when no path exists
+
+MONITOR (replay the online runtime monitors over a recording):
+    --spec <SPEC.wf>  workflow source (default: the path recorded in
+                      the trace)
+    --budget <N>      stall watchdog budget in virtual time
+
 EXIT CODES:
-    0  success (and, for explain/audit, the causal invariant held)
-    1  explain chain unverified, or audit found violations
+    0  success (explain/audit: invariant held; query --from/--to: path
+       found; monitor: no violations)
+    1  explain chain unverified, audit violations, no causal path, or
+       monitor verdicts/alerts include a violation
     2  usage or I/O error
 ";
 
@@ -159,6 +191,198 @@ fn single_trace(opts: &Opts) -> Result<Recording, String> {
     }
 }
 
+/// The literal a span is about, when it is about one.
+fn span_lit(kind: &SpanKind) -> Option<ObsLit> {
+    match kind {
+        SpanKind::Attempt { lit }
+        | SpanKind::GuardEval { lit, .. }
+        | SpanKind::FactApplied { lit, .. }
+        | SpanKind::Occurred { lit, .. }
+        | SpanKind::Parked { lit }
+        | SpanKind::Rejected { lit }
+        | SpanKind::Triggered { lit }
+        | SpanKind::PromiseOpen { lit, .. }
+        | SpanKind::PromiseGrant { lit, .. }
+        | SpanKind::PromiseDeny { lit, .. }
+        | SpanKind::PromiseAbort { lit }
+        | SpanKind::PromiseCommit { lit } => Some(*lit),
+        _ => None,
+    }
+}
+
+/// Resolve a `--from`/`--to` selector: a raw span id (`17`), or
+/// `kind:event` (`occurred:buy::commit`) picking the earliest
+/// (`latest=false`) or latest matching span.
+fn resolve_selector(rec: &Recording, sel: &str, latest: bool) -> Result<SpanId, String> {
+    if let Ok(n) = sel.parse::<u64>() {
+        let id = SpanId(n);
+        return match rec.event(id) {
+            Some(_) => Ok(id),
+            None => Err(format!("span {id} is not in the recording")),
+        };
+    }
+    let (tag, event) = sel
+        .split_once(':')
+        .ok_or_else(|| format!("selector '{sel}' is neither a span id nor kind:event"))?;
+    let lit = rec
+        .lit_by_name(event)
+        .ok_or_else(|| format!("unknown event '{event}' in selector '{sel}'"))?;
+    let mut matches =
+        rec.events.iter().filter(|e| e.kind.tag() == tag && span_lit(&e.kind) == Some(lit));
+    let found = if latest { matches.next_back() } else { matches.next() };
+    found.map(|e| e.id).ok_or_else(|| format!("no span matches selector '{sel}'"))
+}
+
+fn render_span(e: &TraceEvent, symbols: &[String]) -> String {
+    format!("{:>6}  t={:<6} n{:<3} s{:<2} {}", e.id, e.at, e.node, e.site, e.kind.describe(symbols))
+}
+
+/// `query --from A --to B`: print a concrete happens-before path and
+/// re-verify every edge with [`Dag::precedes`].
+fn query_path(rec: &Recording, from: &str, to: &str) -> Result<ExitCode, String> {
+    let a = resolve_selector(rec, from, false)?;
+    let b = resolve_selector(rec, to, true)?;
+    let dag = Dag::new(rec);
+    let Some(path) = dag.path(a, b) else {
+        println!("no causal path {a} -> {b}");
+        return Ok(ExitCode::from(1));
+    };
+    println!("causal path {a} -> {b} ({} hops):", path.len().saturating_sub(1));
+    for id in &path {
+        let e = rec.event(*id).expect("path spans are in the recording");
+        println!("{}", render_span(e, &rec.symbols));
+    }
+    for w in path.windows(2) {
+        if !dag.precedes(w[0], w[1]) {
+            return Err(format!("internal: edge {} -> {} fails precedence", w[0], w[1]));
+        }
+    }
+    println!("all {} edges verified by happens-before precedence", path.len() - 1);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
+    opts.check_known(&["kind", "node", "site", "event", "window", "from", "to", "timeline"])?;
+    let rec = single_trace(opts)?;
+    match (opts.value("from"), opts.value("to")) {
+        (Some(from), Some(to)) => return query_path(&rec, from, to),
+        (Some(_), None) | (None, Some(_)) => {
+            return Err("--from and --to must be given together".to_owned())
+        }
+        (None, None) => {}
+    }
+    let kinds: Option<Vec<&str>> = opts.value("kind").map(|s| s.split(',').collect());
+    let node: Option<u32> =
+        opts.value("node").map(str::parse).transpose().map_err(|_| "--node expects a number")?;
+    let site: Option<u32> =
+        opts.value("site").map(str::parse).transpose().map_err(|_| "--site expects a number")?;
+    let lit = match opts.value("event") {
+        Some(name) => Some(rec.lit_by_name(name).ok_or_else(|| format!("unknown event '{name}'"))?),
+        None => None,
+    };
+    let window = match opts.value("window") {
+        Some(w) => {
+            let (a, b) = w.split_once("..").ok_or("--window expects A..B")?;
+            let a: u64 = a.parse().map_err(|_| "--window expects numeric bounds")?;
+            let b: u64 = b.parse().map_err(|_| "--window expects numeric bounds")?;
+            Some((a, b))
+        }
+        None => None,
+    };
+    let matched: Vec<&TraceEvent> = rec
+        .events
+        .iter()
+        .filter(|e| kinds.as_ref().is_none_or(|ks| ks.contains(&e.kind.tag())))
+        .filter(|e| node.is_none_or(|n| e.node == n))
+        .filter(|e| site.is_none_or(|s| e.site == s))
+        .filter(|e| lit.is_none_or(|l| span_lit(&e.kind) == Some(l)))
+        .filter(|e| window.is_none_or(|(a, b)| e.at >= a && e.at <= b))
+        .collect();
+    if let Some(width) = opts.value("timeline") {
+        let width: u64 = width.parse().map_err(|_| "--timeline expects a bucket width")?;
+        if width == 0 {
+            return Err("--timeline width must be positive".to_owned());
+        }
+        let mut buckets: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for e in &matched {
+            *buckets.entry(e.at / width).or_insert(0) += 1;
+        }
+        for (b, count) in &buckets {
+            println!("t=[{}..{})  {count}", b * width, (b + 1) * width);
+        }
+    } else {
+        for e in &matched {
+            println!("{}", render_span(e, &rec.symbols));
+        }
+    }
+    println!("{} of {} spans matched", matched.len(), rec.events.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Replay the online runtime monitors over a recording, against the
+/// dependencies of the (re-parsed) workflow specification.
+fn cmd_monitor(opts: &Opts) -> Result<ExitCode, String> {
+    opts.check_known(&["spec", "budget"])?;
+    let rec = single_trace(opts)?;
+    let spec_path = match opts.value("spec") {
+        Some(p) => p.to_owned(),
+        None if !rec.workflow.is_empty() => rec.workflow.clone(),
+        None => return Err("the trace names no spec; pass --spec <SPEC.wf>".to_owned()),
+    };
+    let src = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let workflow = WorkflowBuilder::from_spec(&src)
+        .map_err(|e| format!("{spec_path}:{}:{}: {}", e.line, e.col, e.message))?
+        .build();
+    // The recording's literal indices are only meaningful under the same
+    // symbol interning order; re-parsing the same spec reproduces it.
+    for (i, name) in rec.symbols.iter().enumerate() {
+        let here = workflow.spec.table.name(constrained_events::SymbolId(i as u32));
+        if here != Some(name.as_str()) {
+            return Err(format!(
+                "recording symbol {i} is '{name}' but the spec interns '{}' — \
+                 was the trace recorded from this spec?",
+                here.unwrap_or("<missing>")
+            ));
+        }
+    }
+    let mut config = monitor::MonitorConfig::default();
+    if let Some(b) = opts.value("budget") {
+        config.stall_budget = b.parse().map_err(|_| "--budget expects a virtual time")?;
+    }
+    let mrep = monitor::replay(
+        &rec.events,
+        &workflow.spec.table,
+        &workflow.spec.dependencies,
+        dist::guard_gated(&workflow.spec),
+        config,
+    );
+    println!(
+        "monitor replay over {} spans: {} facts observed, {} guard checks",
+        rec.events.len(),
+        mrep.facts,
+        mrep.guard_checks
+    );
+    for (ix, v) in mrep.verdicts.iter().enumerate() {
+        let dep = &workflow.spec.dependencies[ix];
+        println!("dep {ix} [{}]: {}", dep.display(&workflow.spec.table), v.label());
+    }
+    if mrep.alerts.is_empty() {
+        println!("alerts: none");
+    } else {
+        println!("alerts ({}):", mrep.alerts.len());
+        for a in &mrep.alerts {
+            println!("  [{}] t={} n{}: {}", a.kind.tag(), a.at, a.node, a.detail);
+        }
+    }
+    if mrep.has_violation() {
+        println!("monitor verdict: VIOLATIONS FOUND");
+        Ok(ExitCode::from(1))
+    } else {
+        println!("monitor verdict: ok");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv.iter().any(|a| a == "-h" || a == "--help") {
@@ -166,7 +390,10 @@ fn main() -> ExitCode {
         return if argv.is_empty() { ExitCode::from(2) } else { ExitCode::SUCCESS };
     }
     let (cmd, rest) = argv.split_first().expect("nonempty");
-    let value_flags = ["spec", "out", "seed", "plan", "event", "at"];
+    let value_flags = [
+        "spec", "out", "seed", "plan", "event", "at", "kind", "node", "site", "window", "from",
+        "to", "timeline", "budget",
+    ];
     let opts = match Opts::parse(rest, &value_flags) {
         Ok(o) => o,
         Err(e) => return fail(&e),
@@ -235,6 +462,14 @@ fn main() -> ExitCode {
                 Err(e) => fail(&e),
             }
         }
+        "query" => match cmd_query(&opts) {
+            Ok(code) => code,
+            Err(e) => fail(&e),
+        },
+        "monitor" => match cmd_monitor(&opts) {
+            Ok(code) => code,
+            Err(e) => fail(&e),
+        },
         "export" => {
             if let Err(e) = opts.check_known(&["chrome", "out"]) {
                 return fail(&e);

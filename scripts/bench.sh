@@ -2,9 +2,10 @@
 # Performance gate: build and run the offline perf probe, refreshing
 # BENCH_algebra.json at the repository root with before/after medians for
 # the arena/automaton hot paths (residuation, machine compilation, the
-# end-to-end pipeline10 schedule, product reachability), and
+# end-to-end pipeline10 schedule, product reachability),
 # BENCH_obs.json with the flight recorder's recorder-on vs recorder-off
-# end-to-end delta.
+# end-to-end delta, and BENCH_monitor.json with the online runtime
+# monitors' armed vs disarmed end-to-end delta.
 #
 #   scripts/bench.sh            full probe (and criterion benches when the
 #                               registry is reachable)
@@ -32,7 +33,8 @@ echo "==> perfprobe ${QUICK:-(full)}"
 "$REPO/target/release/perfprobe" $QUICK \
     --spec "$REPO/examples/specs/pipeline10.wf" \
     --out "$REPO/BENCH_algebra.json" \
-    --obs-out "$REPO/BENCH_obs.json"
+    --obs-out "$REPO/BENCH_obs.json" \
+    --monitor-out "$REPO/BENCH_monitor.json"
 
 if [ -z "$QUICK" ]; then
     echo "==> cargo bench -p bench --bench algebra (skipped if registry unavailable)"
@@ -40,4 +42,4 @@ if [ -z "$QUICK" ]; then
         echo "criterion suite unavailable (offline registry); BENCH_algebra.json is complete"
 fi
 
-echo "==> bench gate done: $REPO/BENCH_algebra.json, $REPO/BENCH_obs.json"
+echo "==> bench gate done: $REPO/BENCH_algebra.json, $REPO/BENCH_obs.json, $REPO/BENCH_monitor.json"

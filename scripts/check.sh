@@ -8,11 +8,37 @@
 # `conformance` driver sweeps every example spec through the standard
 # fault-plan matrix (clean, drop20, dup20, jitter, partition, crash,
 # chaos) on fixed seeds with a hard step budget. Budgeted to finish well
-# under a minute.
+# under a minute. Since the conformance harness arms the online monitors
+# by default, this tier also proves zero false alerts under faults.
+#
+# `check.sh --monitors` runs the runtime-verification tier: record the
+# travel workflow, replay the recording through the derived dependency
+# and guard monitors (`wftrace monitor` must exit clean), and walk a
+# causal path from the buy-commit attempt to its firing (`wftrace query
+# --from/--to` must verify every hop by happens-before precedence).
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO"
+
+if [ "${1:-}" = "--monitors" ]; then
+    echo "==> cargo build --release --bin wftrace"
+    cargo build --release --bin wftrace
+    WFTRACE="$REPO/target/release/wftrace"
+    TRACE_TMP="$(mktemp -d)"
+    trap 'rm -rf "$TRACE_TMP"' EXIT
+    echo "==> record travel -> wftrace monitor (must be alert-free)"
+    "$WFTRACE" record --spec "$REPO/examples/specs/travel.wf" \
+        --out "$TRACE_TMP/travel.trace.json" --seed 3
+    "$WFTRACE" monitor "$TRACE_TMP/travel.trace.json" > "$TRACE_TMP/monitor.out"
+    grep -q "alerts: none" "$TRACE_TMP/monitor.out"
+    echo "==> wftrace query: causal path attempt:buy::commit -> occurred:buy::commit"
+    "$WFTRACE" query --from attempt:buy::commit --to occurred:buy::commit \
+        "$TRACE_TMP/travel.trace.json" > "$TRACE_TMP/query.out"
+    grep -q "edges verified by happens-before precedence" "$TRACE_TMP/query.out"
+    echo "==> monitor tier passed"
+    exit 0
+fi
 
 if [ "${1:-}" = "--faults" ]; then
     echo "==> cargo build --release --bin conformance"
@@ -57,5 +83,25 @@ trap 'rm -rf "$TRACE_TMP"' EXIT
     "$TRACE_TMP/travel.trace.json"
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'empty trace'" \
     "$TRACE_TMP/travel.chrome.json"
+
+echo "==> BENCH_*.json schema sanity"
+python3 - "$REPO" <<'PY'
+import json, os, sys
+repo = sys.argv[1]
+schemas = {
+    "BENCH_algebra.json": {"spec", "quick", "benches"},
+    "BENCH_obs.json": {"spec", "quick", "recorder_off_ns", "recorder_on_ns", "overhead"},
+    "BENCH_monitor.json": {"spec", "quick", "monitor_off_ns", "monitor_on_ns", "overhead"},
+}
+for name, required in schemas.items():
+    path = os.path.join(repo, name)
+    with open(path) as fh:
+        data = json.load(fh)
+    missing = required - data.keys()
+    assert not missing, f"{name}: missing keys {sorted(missing)}"
+    for key in required:
+        assert data[key] is not None, f"{name}: {key} is null"
+print("BENCH schemas ok:", ", ".join(sorted(schemas)))
+PY
 
 echo "==> tier-1 gate passed"

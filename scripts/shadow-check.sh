@@ -12,7 +12,7 @@ set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 SHADOW="${SHADOW_DIR:-/tmp/shadow-wf}"
-CRATES=(event-algebra temporal guard speclang analyze wfcheck obs wftrace sim agent dist baseline testkit core)
+CRATES=(event-algebra temporal guard speclang analyze wfcheck obs monitor wftrace sim agent dist baseline testkit core)
 
 rm -rf "$SHADOW"
 mkdir -p "$SHADOW/crates" "$SHADOW/root"
@@ -68,6 +68,7 @@ analyze = { path = "crates/analyze" }
 wfcheck = { path = "crates/wfcheck" }
 wftrace = { path = "crates/wftrace" }
 obs = { path = "crates/obs" }
+monitor = { path = "crates/monitor" }
 testkit = { path = "crates/testkit" }
 constrained-events = { path = "crates/core" }
 rand = { path = "stubs/rand" }
@@ -95,11 +96,13 @@ cargo test --offline -q
 # Smoke the perf probe (scripts/bench.sh's measurement binary) in quick
 # mode: a handful of iterations into a scratch JSON, proving the
 # before/after harness itself still runs end-to-end — including the
-# flight-recorder on/off delta (scripts/bench.sh's BENCH_obs.json).
+# flight-recorder on/off delta (scripts/bench.sh's BENCH_obs.json) and
+# the monitor armed/disarmed delta (BENCH_monitor.json).
 cargo run --offline -q -p constrained-events-repro --bin perfprobe -- \
     --quick --spec "$SHADOW/root/examples/specs/pipeline10.wf" \
     --out "$SHADOW/BENCH_smoke.json" \
-    --obs-out "$SHADOW/BENCH_obs_smoke.json"
+    --obs-out "$SHADOW/BENCH_obs_smoke.json" \
+    --monitor-out "$SHADOW/BENCH_monitor_smoke.json"
 
 # Smoke wftrace (mirrors the tier-1 gate's record -> explain -> export
 # pipeline, minus python): the justification chain must verify and the
@@ -113,3 +116,16 @@ cargo build --offline -q -p wftrace
 ./target/debug/wftrace export --chrome --out "$SHADOW/travel.chrome.json" \
     "$SHADOW/travel.trace.json"
 grep -q '"traceEvents":\[{' "$SHADOW/travel.chrome.json"
+
+# Smoke the runtime-verification tier (mirrors check.sh --monitors):
+# replaying the recording through the derived monitors must be
+# alert-free, and the attempt -> occurrence causal path must verify
+# every hop. Capture first, grep after — `grep -q` on a live pipe
+# closes it early and the writer dies on SIGPIPE.
+./target/debug/wftrace monitor "$SHADOW/travel.trace.json" \
+    > "$SHADOW/monitor.out"
+grep -q "alerts: none" "$SHADOW/monitor.out"
+./target/debug/wftrace query --from attempt:buy::commit \
+    --to occurred:buy::commit "$SHADOW/travel.trace.json" \
+    > "$SHADOW/query.out"
+grep -q "edges verified by happens-before precedence" "$SHADOW/query.out"

@@ -21,7 +21,13 @@
 //! `ExecConfig::record` off vs on — and writes the delta to `PATH`
 //! (`BENCH_obs.json`), pinning the zero-cost-when-disabled claim.
 //!
-//! Usage: `perfprobe [--quick] [--spec PATH] [--out PATH] [--obs-out PATH]`.
+//! With `--monitor-out PATH` it does the same for the online runtime
+//! monitors (`ExecConfig::monitor` off vs on, no recorder either way) and
+//! writes `BENCH_monitor.json`: armed monitors ride the event-sink
+//! stream, disarmed ones must add no measurable hot-path cost.
+//!
+//! Usage: `perfprobe [--quick] [--spec PATH] [--out PATH] [--obs-out PATH]
+//! [--monitor-out PATH]`.
 
 use constrained_events::algebra::{
     normalize, residuate, DependencyMachine, Expr, ExprArena, Literal, ProductMachine, StateBudget,
@@ -79,6 +85,7 @@ fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_algebra.json");
     let mut obs_out: Option<String> = None;
+    let mut monitor_out: Option<String> = None;
     let mut spec_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -86,6 +93,7 @@ fn main() {
             "--quick" => quick = true,
             "--out" => out = args.next().expect("--out PATH"),
             "--obs-out" => obs_out = Some(args.next().expect("--obs-out PATH")),
+            "--monitor-out" => monitor_out = Some(args.next().expect("--monitor-out PATH")),
             "--spec" => spec_path = Some(args.next().expect("--spec PATH")),
             other => panic!("unknown argument {other:?}"),
         }
@@ -215,6 +223,48 @@ fn main() {
         println!("wrote {obs_path}");
         println!(
             "recorder        off      {off_ns:>12} ns   on        {on_ns:>12} ns   overhead {overhead:.3}x ({recorded_events} events)"
+        );
+    }
+
+    // ---- online-monitor overhead: monitors off vs armed ----
+    // Same e2e run, no flight recorder either way: `monitor: None` leaves
+    // the event-sink stream empty (one `enabled()` branch per would-be
+    // span), `monitor: Some(..)` steps every dependency machine and guard
+    // check online.
+    if let Some(mon_path) = &monitor_out {
+        let mut driven = workflow.spec.clone();
+        for f in &mut driven.free_events {
+            if f.attrs.controllable && f.attempt_after.is_none() {
+                f.attempt_after = Some(1);
+            }
+        }
+        let run_monitored = |armed: bool| {
+            let mut config = ExecConfig::seeded(1);
+            config.max_steps = 5_000_000;
+            config.monitor = armed.then(constrained_events::MonitorConfig::default);
+            let report = constrained_events::run_workflow(&driven, config);
+            assert!(report.all_satisfied(), "{} must satisfy its dependencies", workflow.name);
+            assert!(report.alerts.is_empty(), "clean run must raise no alerts");
+            let (facts, checks) =
+                report.monitor.as_ref().map_or((0, 0), |m| (m.facts, m.guard_checks));
+            (report.steps, facts, checks)
+        };
+        let off_ns = median_ns(e2e_iters, || {
+            black_box(run_monitored(false));
+        });
+        let on_ns = median_ns(e2e_iters, || {
+            black_box(run_monitored(true));
+        });
+        let (_, facts, guard_checks) = run_monitored(true);
+        let overhead = if off_ns == 0 { f64::INFINITY } else { on_ns as f64 / off_ns as f64 };
+        let json = format!(
+            "{{\n  \"spec\": {:?},\n  \"quick\": {quick},\n  \"monitor_off_ns\": {off_ns},\n  \"monitor_on_ns\": {on_ns},\n  \"overhead\": {overhead:.3},\n  \"facts\": {facts},\n  \"guard_checks\": {guard_checks}\n}}\n",
+            workflow.name
+        );
+        std::fs::write(mon_path, &json).unwrap_or_else(|e| panic!("cannot write {mon_path}: {e}"));
+        println!("wrote {mon_path}");
+        println!(
+            "monitor         off      {off_ns:>12} ns   armed     {on_ns:>12} ns   overhead {overhead:.3}x ({facts} facts, {guard_checks} guard checks)"
         );
     }
 
