@@ -113,8 +113,11 @@ impl Diagnostic {
     }
 
     /// Render as a JSON object (hand-rolled: the workspace deliberately
-    /// carries no serialization dependency).
-    pub fn to_json(&self) -> String {
+    /// carries no serialization dependency). When `file` is known it is
+    /// emitted on *every* diagnostic — including span-less ones — so
+    /// downstream tooling can group findings by spec without joining
+    /// against the report envelope.
+    pub fn to_json(&self, file: Option<&str>) -> String {
         let spans: Vec<String> = self
             .spans
             .iter()
@@ -127,8 +130,12 @@ impl Diagnostic {
                 )
             })
             .collect();
+        let file_field = match file {
+            Some(f) => format!("\"file\":{},", json_str(f)),
+            None => String::new(),
+        };
         format!(
-            "{{\"code\":{},\"severity\":{},\"message\":{},\"spans\":[{}]}}",
+            "{{{file_field}\"code\":{},\"severity\":{},\"message\":{},\"spans\":[{}]}}",
             json_str(self.code),
             json_str(&self.severity.to_string()),
             json_str(&self.message),
@@ -181,9 +188,21 @@ mod tests {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         let d = Diagnostic::new("WF001", Severity::Error, "x").with_span(Span::at(1, 2), "y");
         assert_eq!(
-            d.to_json(),
+            d.to_json(None),
             "{\"code\":\"WF001\",\"severity\":\"error\",\"message\":\"x\",\
              \"spans\":[{\"line\":1,\"col\":2,\"label\":\"y\"}]}"
+        );
+    }
+
+    #[test]
+    fn json_carries_file_even_without_spans() {
+        // Span-less findings (e.g. WF001 on a programmatic dependency
+        // set) must still name their spec so tooling can group by file.
+        let d = Diagnostic::new("WF001", Severity::Error, "contradiction");
+        assert_eq!(
+            d.to_json(Some("spec.wf")),
+            "{\"file\":\"spec.wf\",\"code\":\"WF001\",\"severity\":\"error\",\
+             \"message\":\"contradiction\",\"spans\":[]}"
         );
     }
 

@@ -74,3 +74,33 @@ pub(crate) fn run(ctx: &Ctx<'_>, report: &mut Report) {
         report.push(d);
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze_dependencies, AnalyzeOptions};
+    use event_algebra::{parse_expr, SymbolTable};
+
+    #[test]
+    fn symmetric_pairs_report_once() {
+        // Coupling is symmetric — guard(e) mentions f *and* guard(f)
+        // mentions e — but each unordered pair must surface as exactly
+        // one WF010, never once per direction.
+        let mut t = SymbolTable::new();
+        let d = parse_expr("~e + ~f + e.f", &mut t).unwrap();
+        let report = analyze_dependencies(&[d], &t, &AnalyzeOptions::default());
+        let wf010: Vec<_> = report.diagnostics.iter().filter(|d| d.code == "WF010").collect();
+        assert_eq!(wf010.len(), 1, "one diagnostic per unordered pair: {wf010:?}");
+        assert!(wf010[0].message.contains("'e'") && wf010[0].message.contains("'f'"));
+    }
+
+    #[test]
+    fn duplicate_dependencies_do_not_duplicate_pairs() {
+        // The same dependency twice couples the same pair through two
+        // guard conjuncts; the pair still reports once.
+        let mut t = SymbolTable::new();
+        let d1 = parse_expr("~e + f", &mut t).unwrap();
+        let d2 = parse_expr("~e + f", &mut t).unwrap();
+        let report = analyze_dependencies(&[d1, d2], &t, &AnalyzeOptions::default());
+        assert_eq!(report.diagnostics.iter().filter(|d| d.code == "WF010").count(), 1);
+    }
+}

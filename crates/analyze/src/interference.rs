@@ -1,0 +1,335 @@
+//! Pass 4: static interference — footprints, schedule races, and the
+//! certified shard plan.
+//!
+//! The distribution passes so far answer *where coordination messages
+//! flow* (pass 2, Lemma 5). A parallel runtime needs the complementary
+//! question answered: *which events may execute concurrently without
+//! changing observable behavior?* This pass computes, per event, a
+//! read/write footprint from the compiled guard and machine tables —
+//! guard symbols read ([`guard::CompiledWorkflow::subscriptions`]),
+//! literals written (the event's own fact plus every triggerable literal
+//! a step of the event newly forces, via
+//! [`event_algebra::DependencyMachine::requires_event`]), and dependency
+//! machines stepped — then derives a conflict graph over event pairs:
+//!
+//! - **non-commutable**: some shared machine distinguishes the two
+//!   orders ([`DependencyMachine::symbols_commute`] fails) — the pair
+//!   must share a shard, because a scheduler realizing either order
+//!   from different queues would change residuals;
+//! - **guard-coupled**: one guard reads the other's symbol — the
+//!   `□`/`◇` protocol already serializes the pair (pass 2's relation);
+//! - **write-write / read-write racing**: overlapping trigger targets
+//!   with no coupling to order them (`WF030`, `WF031`).
+//!
+//! The complement of the conflict graph is the independence relation.
+//! Colocation classes are the connected components of the
+//! non-commutable relation; they *refine* the Lemma 5 site-coupling
+//! quotient (a non-commutable pair is always guard-coupled in a sound
+//! synthesis, so classes never merge across coupling components — the
+//! pass verifies rather than assumes this). The result is serialized as
+//! a [`ShardPlan`] certificate carrying the classes, the independence
+//! relation, and one discharged proof obligation per cross-class pair
+//! per shared dependency. The conformance harness validates the
+//! certificate dynamically by transposing independent pairs in realized
+//! traces and asserting identical occurrence sets and `□`-views.
+
+use crate::{Ctx, Diagnostic, Report, Severity};
+use event_algebra::shard::canonical;
+use event_algebra::{Literal, Obligation, ObligationKind, ShardClass, ShardPlan, SymbolId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-event footprint over the compiled tables.
+struct Footprint {
+    /// Guard symbols read (either polarity's guard), own symbol excluded.
+    reads: BTreeSet<SymbolId>,
+    /// Triggerable literals a step of this event newly forces somewhere.
+    trigger_writes: BTreeSet<SymbolId>,
+    /// Indices of dependencies whose machines this event steps.
+    machines: BTreeSet<usize>,
+}
+
+/// Minimal union-find over dense symbol indices.
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind((0..n).collect())
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.0[x] != x {
+            let root = self.find(self.0[x]);
+            self.0[x] = root;
+        }
+        self.0[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+fn footprint(ctx: &Ctx<'_>, s: SymbolId) -> Footprint {
+    let mut reads = BTreeSet::new();
+    for lit in [Literal::pos(s), Literal::neg(s)] {
+        reads.extend(ctx.compiled.subscriptions(lit));
+    }
+    let machines: BTreeSet<usize> =
+        ctx.deps.iter().enumerate().filter(|(_, d)| d.mentions(s)).map(|(ix, _)| ix).collect();
+    // A step of `s` *writes* triggerable literal `t` when it moves some
+    // machine from a state where `t` is avoidable into one where every
+    // satisfying completion contains `t` — the scheduler reacts by
+    // proactively triggering `t` (crate `dist`'s triggering sweep), so
+    // the fact is genuinely authored by `s`'s occurrence.
+    let mut trigger_writes = BTreeSet::new();
+    for &ix in &machines {
+        let m = &ctx.compiled.machines[ix];
+        for &lt in &m.alphabet {
+            let t = lt.symbol();
+            if t == s || !lt.is_pos() || !ctx.triggerable(t) {
+                continue;
+            }
+            'states: for q in 0..m.state_count() as u32 {
+                let q = event_algebra::StateId(q);
+                for ls in [Literal::pos(s), Literal::neg(s)] {
+                    let q2 = m.step(q, ls);
+                    if q2 != q && !m.requires_event(q, lt) && m.requires_event(q2, lt) {
+                        trigger_writes.insert(t);
+                        break 'states;
+                    }
+                }
+            }
+        }
+    }
+    Footprint { reads, trigger_writes, machines }
+}
+
+pub(crate) fn run(ctx: &Ctx<'_>, bottleneck_shards: usize, report: &mut Report) {
+    let symbols: Vec<SymbolId> = ctx.compiled.symbols.iter().copied().collect();
+    let n = symbols.len();
+    let dense: BTreeMap<SymbolId, usize> =
+        symbols.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let prints: Vec<Footprint> = symbols.iter().map(|&s| footprint(ctx, s)).collect();
+
+    let mut commuting: Vec<(SymbolId, SymbolId)> = Vec::new();
+    let mut independent: Vec<(SymbolId, SymbolId)> = Vec::new();
+    let mut colocate = UnionFind::new(n);
+    let mut coupling = UnionFind::new(n);
+    // Per colocated pair, the witnessing non-commuting dependency indices
+    // (for the WF032 message when sites conflict).
+    let mut noncommute_witness: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+
+    for i in 0..n {
+        for j in i + 1..n {
+            let (a, b) = (symbols[i], symbols[j]);
+            let (fa, fb) = (&prints[i], &prints[j]);
+            let coupled = fa.reads.contains(&b) || fb.reads.contains(&a);
+            if coupled {
+                coupling.union(i, j);
+            }
+            let noncommuting: Vec<usize> = fa
+                .machines
+                .intersection(&fb.machines)
+                .copied()
+                .filter(|&ix| !ctx.compiled.machines[ix].symbols_commute(a, b))
+                .collect();
+            if noncommuting.is_empty() {
+                commuting.push((a, b));
+            } else {
+                colocate.union(i, j);
+                noncommute_witness.insert((i, j), noncommuting.clone());
+            }
+
+            // Write-write: both events author the same third fact, with
+            // no guard coupling to serialize them.
+            let ww: Vec<SymbolId> = fa
+                .trigger_writes
+                .intersection(&fb.trigger_writes)
+                .copied()
+                .filter(|&t| t != a && t != b)
+                .collect();
+            // Read-write: one guard reads a fact the other concurrently
+            // authors by triggering.
+            let mut rw: Vec<(SymbolId, SymbolId, SymbolId)> = Vec::new();
+            for (x, y, fx, fy) in [(a, b, fa, fb), (b, a, fb, fa)] {
+                for &t in fy.trigger_writes.intersection(&fx.reads) {
+                    if t != x && t != y {
+                        rw.push((x, y, t));
+                    }
+                }
+            }
+            if !coupled {
+                for &t in &ww {
+                    let (span_a, label_a) = ctx.event_span(a);
+                    let (span_b, label_b) = ctx.event_span(b);
+                    let (span_t, label_t) = ctx.event_span(t);
+                    report.push(
+                        Diagnostic::new(
+                            "WF030",
+                            Severity::Warning,
+                            format!(
+                                "events '{}' and '{}' may both trigger '{}' with no \
+                                 guard coupling to order them: write-write race on a \
+                                 shared literal",
+                                ctx.sym_name(a),
+                                ctx.sym_name(b),
+                                ctx.sym_name(t),
+                            ),
+                        )
+                        .with_span(span_a, label_a)
+                        .with_span(span_b, label_b)
+                        .with_span(span_t, label_t),
+                    );
+                }
+                for &(x, y, t) in &rw {
+                    let (span_x, label_x) = ctx.event_span(x);
+                    let (span_y, label_y) = ctx.event_span(y);
+                    report.push(
+                        Diagnostic::new(
+                            "WF031",
+                            Severity::Warning,
+                            format!(
+                                "the guard of '{}' reads '{}' while concurrent event \
+                                 '{}' may trigger it: guard read races a writer",
+                                ctx.sym_name(x),
+                                ctx.sym_name(t),
+                                ctx.sym_name(y),
+                            ),
+                        )
+                        .with_span(span_x, label_x)
+                        .with_span(span_y, label_y),
+                    );
+                }
+            }
+
+            if noncommuting.is_empty() && !coupled && ww.is_empty() && rw.is_empty() {
+                independent.push((a, b));
+            }
+        }
+    }
+
+    // ----- colocation classes -----
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..n {
+        let root = colocate.find(i);
+        members.entry(root).or_default().push(i);
+    }
+    let mut classes: Vec<ShardClass> = Vec::new();
+    let mut class_of_dense: Vec<u32> = vec![0; n];
+    for (id, (_, ixs)) in members.iter().enumerate() {
+        let events: Vec<SymbolId> = ixs.iter().map(|&i| symbols[i]).collect();
+        let sites: BTreeSet<u32> = events.iter().filter_map(|&s| ctx.site_of(s)).collect();
+        for &i in ixs {
+            class_of_dense[i] = id as u32;
+        }
+        if sites.len() > 1 {
+            // Hard error: the pair order matters (non-commutable) yet the
+            // declaration pins members to different sites — no shard
+            // assignment can serialize them without violating placement.
+            let names: Vec<String> = events.iter().map(|&s| ctx.sym_name(s)).collect();
+            let mut deps: BTreeSet<usize> = BTreeSet::new();
+            for &i in ixs {
+                for &j in ixs {
+                    if let Some(ws) = noncommute_witness.get(&canon_ix(i, j)) {
+                        deps.extend(ws.iter().copied());
+                    }
+                }
+            }
+            let dep_text = deps.iter().map(|&ix| ctx.dep_label(ix)).collect::<Vec<_>>().join(", ");
+            let mut d = Diagnostic::new(
+                "WF032",
+                Severity::Error,
+                format!(
+                    "events {} are non-commutable (order changes the outcome of {dep_text}) \
+                     and must share a shard, but their declarations pin distinct sites \
+                     {:?}: this specification cannot be sharded as placed",
+                    names.iter().map(|x| format!("'{x}'")).collect::<Vec<_>>().join(", "),
+                    sites.iter().collect::<Vec<_>>(),
+                ),
+            );
+            for &s in &events {
+                let (span, label) = ctx.event_span(s);
+                d = d.with_span(span, label);
+            }
+            for &ix in &deps {
+                d = d.with_span(ctx.dep_span(ix), ctx.dep_label(ix));
+            }
+            report.push(d);
+        }
+        classes.push(ShardClass { id: id as u32, events, site: sites.iter().next().copied() });
+    }
+
+    // ----- refinement of the Lemma 5 quotient -----
+    let refines = (0..n).all(|i| {
+        let j = class_of_dense[i] as usize;
+        let rep = dense[&classes[j].events[0]];
+        classes[j].events.len() == 1 || coupling.find(i) == coupling.find(rep)
+    });
+
+    // ----- cross-class proof obligations -----
+    let mut obligations: Vec<Obligation> = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if class_of_dense[i] == class_of_dense[j] {
+                continue;
+            }
+            let (a, b) = (symbols[i], symbols[j]);
+            let coupled = prints[i].reads.contains(&b) || prints[j].reads.contains(&a);
+            let kind =
+                if coupled { ObligationKind::GuardOrdered } else { ObligationKind::Commutes };
+            for &ix in prints[i].machines.intersection(&prints[j].machines) {
+                let (left, right) = canonical(a, b);
+                obligations.push(Obligation { left, right, dep: ix, kind });
+            }
+        }
+    }
+
+    // ----- bottleneck advisory -----
+    for i in 0..n {
+        let s = symbols[i];
+        let mut touched: BTreeSet<u32> = BTreeSet::new();
+        touched.insert(class_of_dense[i]);
+        for &t in prints[i].reads.iter().chain(prints[i].trigger_writes.iter()) {
+            if let Some(&j) = dense.get(&t) {
+                touched.insert(class_of_dense[j]);
+            }
+        }
+        if touched.len() > bottleneck_shards {
+            let (span, label) = ctx.event_span(s);
+            report.push(
+                Diagnostic::new(
+                    "WF033",
+                    Severity::Info,
+                    format!(
+                        "event '{}' has footprints in {} shard classes (threshold {}): \
+                         a serialization bottleneck for a parallel runtime",
+                        ctx.sym_name(s),
+                        touched.len(),
+                        bottleneck_shards,
+                    ),
+                )
+                .with_span(span, label),
+            );
+        }
+    }
+
+    report.shard_plan = Some(ShardPlan {
+        workflow: report.workflow.clone(),
+        classes,
+        commuting,
+        independent,
+        obligations,
+        refines_site_coupling: refines,
+    });
+}
+
+fn canon_ix(i: usize, j: usize) -> (usize, usize) {
+    if i < j {
+        (i, j)
+    } else {
+        (j, i)
+    }
+}

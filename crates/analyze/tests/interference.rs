@@ -1,0 +1,212 @@
+//! Pass 5 (static interference) end-to-end scenarios: footprint-derived
+//! conflicts produce WF030–WF033, and the emitted [`analyze::ShardPlan`]
+//! certificate has the shape the runtime and the conformance auditor
+//! rely on.
+
+use analyze::{analyze_dependencies, analyze_workflow, AnalyzeOptions, Report, Severity};
+use event_algebra::{parse_expr, ObligationKind, SymbolTable};
+use speclang::LoweredWorkflow;
+
+fn check(src: &str) -> Report {
+    check_with(src, &AnalyzeOptions::default())
+}
+
+fn check_with(src: &str, opts: &AnalyzeOptions) -> Report {
+    let w = LoweredWorkflow::parse(src).unwrap_or_else(|e| panic!("{e}"));
+    analyze_workflow(&w, opts)
+}
+
+#[test]
+fn precedence_pair_shares_a_colocation_class() {
+    // e < f: the machine reaches ⊤ on e·f but 0 on f·e, so the pair is
+    // non-commutable and must share a shard.
+    let mut t = SymbolTable::new();
+    let d = parse_expr("~e + ~f + e.f", &mut t).unwrap();
+    let e = t.intern("e");
+    let f = t.intern("f");
+    let r = analyze_dependencies(&[d], &t, &AnalyzeOptions::default());
+    let plan = r.shard_plan.expect("pass always emits a plan");
+    assert_eq!(plan.class_count(), 1);
+    assert!(plan.colocated(e, f));
+    assert!(!plan.commutes(e, f));
+    assert!(!plan.is_independent(e, f));
+    assert!(plan.obligations.is_empty(), "no cross-class pairs: {:?}", plan.obligations);
+    // The pair is guard-coupled, so the class sits inside one Lemma 5
+    // coupling component: the plan refines the site-coupling quotient.
+    assert!(plan.refines_site_coupling);
+}
+
+#[test]
+fn arrow_pair_commutes_but_stays_guard_ordered() {
+    // e → f commutes on every machine state, so the events may live in
+    // different shards — but they are guard-coupled, so the cross-class
+    // obligation is discharged by the coordination protocol, not by
+    // commutativity, and the pair is *not* fully independent.
+    let mut t = SymbolTable::new();
+    let d = parse_expr("~e + f", &mut t).unwrap();
+    let e = t.intern("e");
+    let f = t.intern("f");
+    let r = analyze_dependencies(&[d], &t, &AnalyzeOptions::default());
+    let plan = r.shard_plan.expect("plan");
+    assert_eq!(plan.class_count(), 2);
+    assert!(plan.commutes(e, f));
+    assert!(!plan.is_independent(e, f));
+    assert_eq!(plan.obligations.len(), 1, "{:?}", plan.obligations);
+    let o = &plan.obligations[0];
+    assert_eq!((o.left, o.right, o.dep), (e.min(f), e.max(f), 0));
+    assert_eq!(o.kind, ObligationKind::GuardOrdered);
+    assert!(plan.refines_site_coupling);
+}
+
+#[test]
+fn disjoint_dependencies_yield_full_independence() {
+    let mut t = SymbolTable::new();
+    let d1 = parse_expr("~a + b", &mut t).unwrap();
+    let d2 = parse_expr("~c + d", &mut t).unwrap();
+    let (a, b) = (t.intern("a"), t.intern("b"));
+    let (c, d) = (t.intern("c"), t.intern("d"));
+    let r = analyze_dependencies(&[d1, d2], &t, &AnalyzeOptions::default());
+    let plan = r.shard_plan.expect("plan");
+    assert_eq!(plan.class_count(), 4, "all singletons");
+    for (x, y) in [(a, c), (a, d), (b, c), (b, d)] {
+        assert!(plan.is_independent(x, y), "cross-dependency pairs are free");
+    }
+    assert!(!plan.is_independent(a, b), "coupled within d1");
+    assert!(!plan.is_independent(c, d), "coupled within d2");
+    // Obligations only exist where a machine is shared — the fully
+    // disjoint pairs need no proof at all.
+    assert!(plan
+        .obligations
+        .iter()
+        .all(|o| (o.left, o.right) == (a.min(b), a.max(b))
+            || (o.left, o.right) == (c.min(d), c.max(d))));
+}
+
+#[test]
+fn wf032_fires_when_noncommutable_pair_pins_distinct_sites() {
+    let r = check(
+        "workflow bad {\n\
+         \x20   event e @ site 0;\n\
+         \x20   event f @ site 1;\n\
+         \x20   dep d: ~e + ~f + e.f;\n\
+         }\n",
+    );
+    let d = r.diagnostics.iter().find(|d| d.code == "WF032").expect("WF032");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("'e'") && d.message.contains("'f'"), "{}", d.message);
+    assert!(d.message.contains("order changes the outcome"), "{}", d.message);
+    assert_eq!(r.exit_code(false), 1, "WF032 is an error even without --deny");
+    let plan = r.shard_plan.expect("plan still emitted for inspection");
+    assert_eq!(plan.class_count(), 1);
+}
+
+#[test]
+fn colocated_noncommutable_pair_is_not_an_error() {
+    let r = check(
+        "workflow ok {\n\
+         \x20   event e @ site 3;\n\
+         \x20   event f @ site 3;\n\
+         \x20   dep d: ~e + ~f + e.f;\n\
+         }\n",
+    );
+    assert!(!r.has_code("WF032"), "{:?}", r.diagnostics);
+    let plan = r.shard_plan.expect("plan");
+    assert_eq!(plan.classes[0].site, Some(3), "class inherits the shared site");
+}
+
+#[test]
+fn wf030_write_write_race_on_shared_triggerable() {
+    // e and f each force triggerable t (once they occur, every satisfying
+    // completion of their dependency contains t), with no guard coupling
+    // between e and f to order the two writers.
+    let r = check(
+        "workflow ww {\n\
+         \x20   event e;\n\
+         \x20   event f;\n\
+         \x20   event t { triggerable };\n\
+         \x20   dep d1: ~e + e.t;\n\
+         \x20   dep d2: ~f + f.t;\n\
+         }\n",
+    );
+    let d = r.diagnostics.iter().find(|d| d.code == "WF030").expect("WF030");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(
+        d.message.contains("'e'") && d.message.contains("'f'") && d.message.contains("'t'"),
+        "{}",
+        d.message
+    );
+    assert_eq!(r.exit_code(false), 0);
+    assert_eq!(r.exit_code(true), 1, "warning under --deny warnings");
+    // A racing pair is never claimed independent, even though it commutes.
+    let plan = r.shard_plan.expect("plan");
+    assert!(plan.independent.len() < plan.commuting.len(), "{plan:?}");
+}
+
+#[test]
+fn wf031_guard_read_races_a_concurrent_writer() {
+    // g's guard reads t; unrelated f triggers t; no coupling between g
+    // and f orders the read against the write.
+    let r = check(
+        "workflow rw {\n\
+         \x20   event g;\n\
+         \x20   event f;\n\
+         \x20   event t { triggerable };\n\
+         \x20   dep d1: ~g + t.g;\n\
+         \x20   dep d2: ~f + f.t;\n\
+         }\n",
+    );
+    let d = r.diagnostics.iter().find(|d| d.code == "WF031").expect("WF031");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("'t'"), "{}", d.message);
+}
+
+#[test]
+fn coupled_writers_suppress_the_race_codes() {
+    // Same double-trigger shape, but e and f are themselves ordered by a
+    // third dependency: the □/◇ protocol serializes the writers, so no
+    // WF030 fires.
+    let r = check(
+        "workflow ordered {\n\
+         \x20   event e;\n\
+         \x20   event f;\n\
+         \x20   event t { triggerable };\n\
+         \x20   dep d1: ~e + e.t;\n\
+         \x20   dep d2: ~f + f.t;\n\
+         \x20   dep d3: ~e + f;\n\
+         }\n",
+    );
+    assert!(!r.has_code("WF030"), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn wf033_flags_a_serialization_bottleneck() {
+    // A hub whose guard footprint spans more classes than the threshold.
+    let src = "workflow hub {\n\
+               \x20   event r;\n\
+               \x20   event a;\n\
+               \x20   event b;\n\
+               \x20   dep d1: r -> a;\n\
+               \x20   dep d2: r -> b;\n\
+               }\n";
+    let tight =
+        check_with(src, &AnalyzeOptions { bottleneck_shards: 1, ..AnalyzeOptions::default() });
+    let d = tight.diagnostics.iter().find(|d| d.code == "WF033").expect("WF033");
+    assert_eq!(d.severity, Severity::Info);
+    assert!(d.message.contains("threshold 1"), "{}", d.message);
+    let lax = check(src);
+    assert!(!lax.has_code("WF033"), "default threshold of 4 is not exceeded");
+}
+
+#[test]
+fn report_json_carries_plan_stats() {
+    let r = check(
+        "workflow j {\n\
+         \x20   event e;\n\
+         \x20   event f;\n\
+         \x20   dep d: e -> f;\n\
+         }\n",
+    );
+    let json = r.to_json(Some("j.wf"));
+    assert!(json.contains("\"shard_classes\":2"), "{json}");
+    assert!(json.contains("\"independent_pairs\":"), "{json}");
+}

@@ -70,7 +70,11 @@ proptest! {
     ) {
         let table = SymbolTable::new();
         let full = analyze_dependencies(&deps, &table, &AnalyzeOptions::default());
-        let tight = analyze_dependencies(&deps, &table, &AnalyzeOptions { state_budget: budget });
+        let tight = analyze_dependencies(
+            &deps,
+            &table,
+            &AnalyzeOptions { state_budget: budget, ..AnalyzeOptions::default() },
+        );
         prop_assume!(!full.incomplete);
         if !tight.incomplete {
             prop_assert_eq!(tight.jointly_contradictory, full.jointly_contradictory);

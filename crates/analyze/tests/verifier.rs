@@ -190,7 +190,8 @@ fn ten_symbol_workflow_completes_under_default_budget() {
 
 #[test]
 fn tight_budget_degrades_to_wf006_instead_of_hanging() {
-    let r = check_with(&chain(10), &AnalyzeOptions { state_budget: 4 });
+    let r =
+        check_with(&chain(10), &AnalyzeOptions { state_budget: 4, ..AnalyzeOptions::default() });
     assert!(r.incomplete);
     let d = r.diagnostics.iter().find(|d| d.code == "WF006").expect("WF006");
     assert_eq!(d.severity, Severity::Warning);

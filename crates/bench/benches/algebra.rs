@@ -200,11 +200,8 @@ fn bench_e2e(c: &mut Criterion) {
                             sim: standard_sim(1),
                             guard_mode: GuardMode::Weakened,
                             max_steps: 5_000_000,
-                            lazy: None,
-                            journal: false,
-                            reliable: None,
                             dep_runtime: runtime,
-                            record: None,
+                            ..ExecConfig::seeded(1)
                         },
                     );
                     assert!(r.all_satisfied());

@@ -5,7 +5,7 @@
 use baseline::Engine;
 use bench::{pipeline_workload, run_central, run_distributed, standard_sim};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dist::{run_workflow, DepRuntime, ExecConfig, GuardMode};
+use dist::{run_workflow, ExecConfig, GuardMode};
 
 fn bench_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling");
@@ -55,11 +55,7 @@ fn bench_guard_modes(c: &mut Criterion) {
                             sim: standard_sim(1),
                             guard_mode: mode,
                             max_steps: 5_000_000,
-                            lazy: None,
-                            journal: false,
-                            reliable: None,
-                            dep_runtime: DepRuntime::default(),
-                            record: None,
+                            ..ExecConfig::seeded(1)
                         },
                     );
                     assert!(r.all_satisfied());

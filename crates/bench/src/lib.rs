@@ -9,8 +9,7 @@ use agent::library::rda_transaction;
 use agent::EventAttrs;
 use baseline::{run_centralized, CentralConfig, Engine};
 use dist::{
-    run_workflow, AgentSpec, DepRuntime, ExecConfig, FreeEventSpec, GuardMode, RunReport, Script,
-    WorkflowSpec,
+    run_workflow, AgentSpec, ExecConfig, FreeEventSpec, GuardMode, RunReport, Script, WorkflowSpec,
 };
 use event_algebra::{Expr, Literal, SymbolId, SymbolTable};
 use sim::{LatencyModel, SimConfig, SiteId};
@@ -129,11 +128,7 @@ pub fn run_reactive_distributed(n: u32, think: u64, seed: u64) -> RunReport {
             sim: standard_sim(seed),
             guard_mode: GuardMode::Weakened,
             max_steps: 5_000_000,
-            lazy: None,
-            journal: false,
-            reliable: None,
-            dep_runtime: DepRuntime::default(),
-            record: None,
+            ..ExecConfig::seeded(seed)
         },
     )
 }
@@ -169,11 +164,7 @@ pub fn run_distributed(w: &Workload, seed: u64) -> RunReport {
             sim: standard_sim(seed),
             guard_mode: GuardMode::Weakened,
             max_steps: 5_000_000,
-            lazy: None,
-            journal: false,
-            reliable: None,
-            dep_runtime: DepRuntime::default(),
-            record: None,
+            ..ExecConfig::seeded(seed)
         },
     )
 }
@@ -188,10 +179,7 @@ pub fn run_lazy(w: &Workload, seed: u64, period: u64) -> RunReport {
             guard_mode: GuardMode::Weakened,
             max_steps: 5_000_000,
             lazy: Some((period, 400)),
-            journal: false,
-            reliable: None,
-            dep_runtime: DepRuntime::default(),
-            record: None,
+            ..ExecConfig::seeded(seed)
         },
     )
 }

@@ -15,7 +15,7 @@ use crate::msg::Msg;
 use crate::reliable::{Reliable, ReliableConfig};
 use agent::{EventAttrs, TaskAgent};
 use event_algebra::{
-    normalize, satisfies, DependencyMachine, Expr, Literal, SymbolId, SymbolTable, Trace,
+    normalize, satisfies, DependencyMachine, Expr, Literal, ShardPlan, SymbolId, SymbolTable, Trace,
 };
 use guard::{CompiledWorkflow, GuardScope};
 use monitor::{MonitorConfig, WorkflowMonitor};
@@ -94,8 +94,9 @@ pub struct WorkflowSpec {
     pub free_events: Vec<FreeEventSpec>,
 }
 
-/// Executor configuration.
-#[derive(Debug, Clone, Copy, Default)]
+/// Executor configuration. `Clone` (no longer `Copy`): the optional
+/// shard plan is shared by reference.
+#[derive(Debug, Clone, Default)]
 pub struct ExecConfig {
     /// Network parameters.
     pub sim: SimConfig,
@@ -132,6 +133,16 @@ pub struct ExecConfig {
     /// (the default) attaches nothing and adds no work to the hot path.
     /// Like `record`, ignored by the threaded executor.
     pub monitor: Option<MonitorConfig>,
+    /// Pin actor placement from a certified [`ShardPlan`] (the
+    /// interference analyzer's artifact): every member of a colocation
+    /// class is placed at the same site — the class's declared site when
+    /// one exists, otherwise the spec placement of its smallest member.
+    /// The armed monitors also learn the class boundaries, so
+    /// view-divergence alerts distinguish intra- from cross-shard
+    /// disagreements. `None` (the default) leaves spec placement
+    /// untouched. This is the placement interface the work-stealing
+    /// parallel runtime (ROADMAP item 2) will consume.
+    pub shard_plan: Option<Arc<ShardPlan>>,
 }
 
 impl ExecConfig {
@@ -147,6 +158,7 @@ impl ExecConfig {
             dep_runtime: DepRuntime::default(),
             record: None,
             monitor: None,
+            shard_plan: None,
         }
     }
 }
@@ -335,6 +347,23 @@ pub fn build_workflow(spec: &WorkflowSpec, config: ExecConfig) -> BuiltWorkflow 
         attrs_of.insert(f.lit, f.attrs);
         attrs_of.entry(f.lit.complement()).or_insert_with(EventAttrs::immediate);
         site_of_sym.insert(f.lit.symbol(), f.site);
+    }
+
+    // ----- shard-plan placement pinning -----
+    if let Some(plan) = &config.shard_plan {
+        // Colocation classes share a site: a declared class site wins,
+        // otherwise the smallest spec placement among members anchors the
+        // class (so singleton classes keep their spec site).
+        for class in &plan.classes {
+            let site = class
+                .site
+                .map(SiteId)
+                .or_else(|| class.events.iter().filter_map(|s| site_of_sym.get(s)).min().copied())
+                .unwrap_or(SiteId(0));
+            for &s in &class.events {
+                site_of_sym.insert(s, site);
+            }
+        }
     }
 
     // ----- assign node ids: agents first, then actors -----
@@ -716,12 +745,18 @@ fn run_workflow_inner(
     // actors run), then subscribe to the same trace-event stream the
     // flight recorder consumes.
     let mon = config.monitor.map(|mc| {
-        Arc::new(WorkflowMonitor::new(&spec.table, &spec.dependencies, guard_gated(spec), mc))
+        let m = WorkflowMonitor::new(&spec.table, &spec.dependencies, guard_gated(spec), mc);
+        // The view-divergence checker learns the shard boundaries, so a
+        // disagreement across colocation classes is labeled as such.
+        if let Some(plan) = &config.shard_plan {
+            m.set_shard_plan(Arc::clone(plan));
+        }
+        Arc::new(m)
     });
     let sinks: Vec<Arc<dyn EventSink>> =
         mon.iter().map(|m| Arc::clone(m) as Arc<dyn EventSink>).collect();
     let obs = Obs::with_sinks(config.record, sinks);
-    let built = build_workflow(spec, config);
+    let built = build_workflow(spec, config.clone());
     let routing = Arc::clone(&built.routing);
     let journal = built.journal.clone();
     // Durable storage (and the pristine copies restarts reset to) are
@@ -834,6 +869,12 @@ fn run_workflow_inner(
     for (i, &ok) in report.satisfied.iter().enumerate() {
         reg.set_gauge("dep.satisfied", &[("dep", &i.to_string())], i64::from(ok));
     }
+    if let Some(plan) = &config.shard_plan {
+        reg.set_gauge("shard.classes", &[], plan.class_count() as i64);
+        reg.set_gauge("shard.pinned_classes", &[], plan.pinned_count() as i64);
+        reg.set_gauge("shard.max_class_size", &[], plan.max_class_size() as i64);
+        reg.set_gauge("shard.independent_pairs", &[], plan.independent.len() as i64);
+    }
     if let Some(rec) = obs.recorder() {
         reg.add("obs.recorder.dropped_spans", &[], rec.dropped());
     }
@@ -868,7 +909,7 @@ fn run_workflow_inner(
 /// channels, one OS thread per node). Nondeterministic: used by the
 /// safety property tests.
 pub fn run_workflow_threaded(spec: &WorkflowSpec, config: ExecConfig) -> RunReport {
-    let built = build_workflow(spec, config);
+    let built = build_workflow(spec, config.clone());
     let routing = Arc::clone(&built.routing);
     let max = if config.max_steps == 0 { 1_000_000 } else { config.max_steps };
     let all = sim::run_threaded(built.nodes, built.injections, max);

@@ -57,6 +57,7 @@ mod pexpr;
 mod product;
 mod residue;
 mod semantics;
+pub mod shard;
 mod symbol;
 mod trace;
 
@@ -73,5 +74,6 @@ pub use residue::{
     satisfiable_avoiding, satisfiable_avoiding_all,
 };
 pub use semantics::{denotation, equivalent, equivalent_auto, satisfies};
+pub use shard::{Obligation, ObligationKind, ShardClass, ShardPlan};
 pub use symbol::{Literal, Polarity, SymbolId, SymbolTable};
 pub use trace::{enumerate_maximal, enumerate_universe, Trace};

@@ -13,7 +13,7 @@ use crate::expr::Expr;
 use crate::fxhash::FxHashMap;
 use crate::norm::normalize;
 use crate::residue::residuate;
-use crate::symbol::{Literal, SymbolTable};
+use crate::symbol::{Literal, SymbolId, SymbolTable};
 use crate::trace::Trace;
 use std::collections::HashMap;
 
@@ -269,6 +269,30 @@ impl DependencyMachine {
         self.is_live(self.step(sid, lit))
     }
 
+    /// `true` if `a` and `b` commute on this machine: from *every* state,
+    /// stepping `a` then `b` reaches the same state as `b` then `a`.
+    /// Because the states of a compiled machine are exactly the reachable
+    /// residuals, this decides whether adjacent occurrences of the two
+    /// literals can be transposed in any trace without changing this
+    /// dependency's residual (and hence its verdict) — the per-machine
+    /// core of the interference analyzer's independence relation.
+    pub fn literals_commute(&self, a: Literal, b: Literal) -> bool {
+        (0..self.states.len() as u32)
+            .map(StateId)
+            .all(|q| self.step(self.step(q, a), b) == self.step(self.step(q, b), a))
+    }
+
+    /// `true` if the symbols commute in every polarity combination —
+    /// the schedule-level independence test, used when the analyzer does
+    /// not know which polarities a run will realize. Trivially `true`
+    /// when either symbol is outside `Γ_D` (R6 self-loops commute with
+    /// everything).
+    pub fn symbols_commute(&self, a: SymbolId, b: SymbolId) -> bool {
+        [Literal::pos(a), Literal::neg(a)].into_iter().all(|la| {
+            [Literal::pos(b), Literal::neg(b)].into_iter().all(|lb| self.literals_commute(la, lb))
+        })
+    }
+
     /// All accepting (`⊤`) states, computed at compile time. Every state
     /// of a compiled machine is reachable from the initial state, so an
     /// empty result means the dependency admits no satisfying trace at
@@ -470,6 +494,46 @@ mod tests {
         let after_e = m.step(m.initial, e);
         assert!(m.requires_event(after_e, f));
         assert!(!m.requires_event(m.initial, f));
+    }
+
+    #[test]
+    fn arrow_commutes_precedence_does_not() {
+        let (_, e, f) = setup();
+        // D→ = ē + f: satisfaction never depends on the relative order of
+        // e and f, and the machine proves it state by state.
+        let arrow = DependencyMachine::compile(&d_arrow(e, f));
+        assert!(arrow.literals_commute(e, f));
+        assert!(arrow.symbols_commute(e.symbol(), f.symbol()));
+        // D< = ē + f̄ + e·f: from the initial state e·f accepts while f·e
+        // violates, so the pair must not commute.
+        let prec = DependencyMachine::compile(&d_precedes(e, f));
+        assert!(!prec.literals_commute(e, f));
+        assert!(!prec.symbols_commute(e.symbol(), f.symbol()));
+        // Symbols outside Γ_D self-loop (R6) and commute with everything.
+        assert!(prec.symbols_commute(e.symbol(), SymbolId(9)));
+    }
+
+    #[test]
+    fn commutation_matches_trace_transposition() {
+        // Oracle: literals commute iff transposing them at the end of
+        // every reachable prefix leaves the residual unchanged. Walk all
+        // states (the reachable residuals) and compare against the
+        // machine's verdict on the paper's two dependencies and a chain.
+        let (mut t, e, f) = setup();
+        let g = t.event("g");
+        for d in
+            [d_precedes(e, f), d_arrow(e, f), Expr::seq([Expr::lit(e), Expr::lit(f), Expr::lit(g)])]
+        {
+            let m = DependencyMachine::compile(&d);
+            for &a in &m.alphabet {
+                for &b in &m.alphabet {
+                    let brute = (0..m.state_count() as u32).map(StateId).all(|q| {
+                        m.state(m.step(m.step(q, a), b)) == m.state(m.step(m.step(q, b), a))
+                    });
+                    assert_eq!(m.literals_commute(a, b), brute, "D={d} a={a} b={b}");
+                }
+            }
+        }
     }
 
     #[test]

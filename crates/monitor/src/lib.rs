@@ -34,11 +34,13 @@
 //! stores — and they cost nothing when disarmed, by the same
 //! `Obs::enabled()` branch that gates the recorder.
 
-use event_algebra::{DependencyMachine, Expr, Literal, StateId, SymbolId, SymbolTable, Trace};
+use event_algebra::{
+    DependencyMachine, Expr, Literal, ShardPlan, StateId, SymbolId, SymbolTable, Trace,
+};
 use guard::{CompiledWorkflow, GuardScope};
 use obs::{ObsLit, SpanKind, TraceEvent, Verdict};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Configuration for the armed monitors. `Copy` so it can ride inside
 /// the executor's `ExecConfig`.
@@ -175,6 +177,13 @@ pub struct MonitorReport {
     pub facts: u64,
     /// Guard-faithfulness evaluations performed.
     pub guard_checks: u64,
+    /// Divergence alerts whose two claimed literals live in *different*
+    /// shard colocation classes — only counted when a [`ShardPlan`] was
+    /// installed. A cross-shard divergence means the class boundaries the
+    /// analyzer certified as independent disagreed about global order,
+    /// which a sharded runtime must treat as fatal; intra-shard
+    /// divergence would be an ordinary protocol bug.
+    pub cross_shard_divergence: u64,
 }
 
 impl MonitorReport {
@@ -250,6 +259,10 @@ struct MonitorState {
     canon: BTreeMap<u64, Literal>,
     /// Divergent seqs already alerted.
     diverged: BTreeSet<u64>,
+    /// Shard colocation classes, when the run was placed by a certified
+    /// plan: lets the divergence checker label cross-shard conflicts.
+    shard: Option<Arc<ShardPlan>>,
+    cross_shard_divergence: u64,
     pending_guards: Vec<PendingGuard>,
     /// Open promise rounds keyed by (requesting node, round literal).
     open_rounds: BTreeMap<(u32, u32), OpenSince>,
@@ -300,6 +313,8 @@ impl WorkflowMonitor {
                 resolved: BTreeSet::new(),
                 canon: BTreeMap::new(),
                 diverged: BTreeSet::new(),
+                shard: None,
+                cross_shard_divergence: 0,
                 pending_guards: Vec::new(),
                 open_rounds: BTreeMap::new(),
                 open_evals: BTreeMap::new(),
@@ -313,6 +328,15 @@ impl WorkflowMonitor {
     /// Observe one trace event (the [`obs::EventSink`] entry point).
     pub fn observe(&self, event: &TraceEvent) {
         self.state.lock().expect("monitor lock").observe(event);
+    }
+
+    /// Teach the divergence checker the shard boundaries of a certified
+    /// [`ShardPlan`]: subsequent view-divergence alerts distinguish
+    /// cross-shard conflicts (class boundaries disagreed about global
+    /// order — fatal for a sharded runtime) from intra-shard ones, and
+    /// [`MonitorReport::cross_shard_divergence`] counts the former.
+    pub fn set_shard_plan(&self, plan: Arc<ShardPlan>) {
+        self.state.lock().expect("monitor lock").shard = Some(plan);
     }
 
     /// Current per-dependency verdicts (mid-run snapshot).
@@ -391,11 +415,20 @@ impl MonitorState {
             Some(&prev) if prev == lit => {}
             Some(&prev) => {
                 if self.diverged.insert(seq) {
-                    let detail = format!(
+                    let mut detail = format!(
                         "seq {seq} announced as {} but node {node} applied {}",
                         self.table.literal_name(prev),
                         self.table.literal_name(lit),
                     );
+                    if let Some(plan) = &self.shard {
+                        match (plan.class_of(prev.symbol()), plan.class_of(lit.symbol())) {
+                            (Some(a), Some(b)) if a != b => {
+                                self.cross_shard_divergence += 1;
+                                detail.push_str(&format!(" (cross-shard: classes {a} vs {b})"));
+                            }
+                            _ => detail.push_str(" (intra-shard)"),
+                        }
+                    }
                     self.alert(at, node, AlertKind::ViewDivergence { seq }, detail);
                 }
             }
@@ -635,6 +668,7 @@ impl MonitorState {
             alerts: self.alerts.clone(),
             facts: self.facts.len() as u64,
             guard_checks: self.guard_checks,
+            cross_shard_divergence: self.cross_shard_divergence,
         }
     }
 }

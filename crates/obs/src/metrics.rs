@@ -176,6 +176,12 @@ impl MetricsSnapshot {
         self.counters.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
     }
 
+    /// Look up a gauge by name + labels.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let key = MetricKey::new(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
     /// Look up a histogram by name + labels.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Log2Histogram> {
         let key = MetricKey::new(name, labels);

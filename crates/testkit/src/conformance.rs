@@ -40,9 +40,21 @@
 //! post-hoc satisfaction oracle. Stall alerts are advisory under fault
 //! plans (a partitioned promise round *should* stall) and never fail
 //! conformance.
+//!
+//! An eighth audit validates the static interference analyzer against
+//! the realized schedule: for every *adjacent* pair of occurrences the
+//! certified [`ShardPlan`] claims independent, transposing them must
+//! leave every dependency machine in a byte-identical final state (the
+//! □-view each actor derives) with unchanged acceptance — and the
+//! occurrence set is preserved by construction. A pair whose
+//! transposition changes any machine's destiny was *not* independent,
+//! so the analyzer's certificate is falsified by a concrete schedule
+//! race. [`audit_schedule_races_against`] takes the plan explicitly so
+//! the mutation harness can inject a deliberately mis-classified pair
+//! and prove the audit catches it.
 
 use dist::{guard_gated, run_workflow_with_faults, ExecConfig, RunReport, WorkflowSpec};
-use event_algebra::Literal;
+use event_algebra::{DependencyMachine, Literal, ShardPlan, StateId};
 use guard::{CompiledWorkflow, GuardScope};
 use sim::{FaultPlan, Termination};
 
@@ -80,6 +92,73 @@ pub fn audit_guards(spec: &WorkflowSpec, report: &RunReport) -> Vec<(Literal, us
     violations
 }
 
+/// Final per-dependency machine states after replaying `events` from the
+/// initial state — the □-view a correct actor derives from that delivery
+/// order.
+fn machine_views(machines: &[DependencyMachine], events: &[Literal]) -> Vec<StateId> {
+    machines.iter().map(|m| events.iter().fold(m.initial, |q, &l| m.step(q, l))).collect()
+}
+
+/// Audit the interference analyzer's independence claims against the
+/// realized schedule: re-derive the [`ShardPlan`] from the spec's
+/// dependencies and delegate to [`audit_schedule_races_against`].
+pub fn audit_schedule_races(spec: &WorkflowSpec, report: &RunReport) -> Vec<String> {
+    let areport = analyze::analyze_dependencies(
+        &spec.dependencies,
+        &spec.table,
+        &analyze::AnalyzeOptions::default(),
+    );
+    match areport.shard_plan {
+        Some(plan) => audit_schedule_races_against(spec, report, &plan),
+        None => Vec::new(),
+    }
+}
+
+/// Audit an explicit independence relation against the realized
+/// schedule. For each adjacent pair of the maximal trace that `plan`
+/// claims independent, transpose the two occurrences and replay every
+/// dependency machine: the final states (□-views) and acceptance must be
+/// byte-identical to the unpermuted run's, and the occurrence set is
+/// identical by construction (a transposition permutes, never drops).
+/// Any difference is a schedule race the analyzer failed to certify.
+///
+/// Taking `plan` as a parameter (rather than re-deriving it) lets the
+/// mutation harness feed a falsified relation and prove detection.
+pub fn audit_schedule_races_against(
+    spec: &WorkflowSpec,
+    report: &RunReport,
+    plan: &ShardPlan,
+) -> Vec<String> {
+    let machines = DependencyMachine::compile_all(&spec.dependencies);
+    let events = report.maximal_trace.events();
+    let baseline = machine_views(&machines, events);
+    let mut failures = Vec::new();
+    let mut permuted = events.to_vec();
+    for i in 0..events.len().saturating_sub(1) {
+        let (a, b) = (events[i], events[i + 1]);
+        if !plan.is_independent(a.symbol(), b.symbol()) {
+            continue;
+        }
+        permuted.swap(i, i + 1);
+        let swapped = machine_views(&machines, &permuted);
+        permuted.swap(i, i + 1); // restore for the next window
+        for (ix, (&q0, &q1)) in baseline.iter().zip(&swapped).enumerate() {
+            if q0 != q1 || machines[ix].is_accepting(q0) != machines[ix].is_accepting(q1) {
+                failures.push(format!(
+                    "schedule race: transposing independent pair ({}, {}) at position {i} \
+                     moves dependency {ix} from state {} to {} — the shard plan's \
+                     independence claim is falsified by this schedule",
+                    spec.table.literal_name(a),
+                    spec.table.literal_name(b),
+                    q0.0,
+                    q1.0,
+                ));
+            }
+        }
+    }
+    failures
+}
+
 /// Run one scenario to quiescence and audit it. `expect_live` additionally
 /// demands `all_satisfied()` — set it for statically clean workflows under
 /// fault plans whose partitions heal and whose crashed nodes restart.
@@ -97,6 +176,7 @@ pub fn check_run(
     }
     let report = run_workflow_with_faults(spec, config, plan);
     let mut failures = Vec::new();
+    failures.extend(audit_schedule_races(spec, &report));
     if report.termination != Termination::Quiescent {
         failures.push(format!("run exhausted its {} step budget without quiescing", report.steps));
     }
@@ -183,7 +263,7 @@ pub fn run_unguarded_monitored(spec: &WorkflowSpec, config: ExecConfig) -> monit
         agents: spec.agents.clone(),
         free_events: spec.free_events.clone(),
     };
-    let mut cfg = config;
+    let mut cfg = config.clone();
     cfg.record = Some(obs::RecordConfig::default());
     cfg.monitor = None; // the run's own monitors would see no dependencies
     let report = dist::run_workflow(&mutated, cfg);
@@ -203,7 +283,7 @@ pub fn run_unguarded_monitored(spec: &WorkflowSpec, config: ExecConfig) -> monit
 pub fn check_determinism(spec: &WorkflowSpec, config: ExecConfig, plan: FaultPlan) -> Vec<String> {
     let mut cfg = config;
     cfg.journal = true;
-    let a = run_workflow_with_faults(spec, cfg, plan.clone());
+    let a = run_workflow_with_faults(spec, cfg.clone(), plan.clone());
     let b = run_workflow_with_faults(spec, cfg, plan);
     let mut failures = Vec::new();
     let ja: String = a
@@ -278,9 +358,9 @@ pub fn explore(
     let first_seed = seeds.start;
     for seed in seeds {
         for (plan_name, plan) in standard_plans(seed ^ 0x5EED) {
-            let mut config = base;
+            let mut config = base.clone();
             config.sim.seed = seed;
-            let run = check_run(spec, config, plan.clone(), expect_live);
+            let run = check_run(spec, config.clone(), plan.clone(), expect_live);
             failures.extend(
                 run.failures.into_iter().map(|f| format!("[{name}/{plan_name}/seed {seed}] {f}")),
             );
@@ -344,7 +424,7 @@ mod tests {
         let mut config = ExecConfig::seeded(11);
         config.reliable = Some(dist::ReliableConfig::default());
         for (name, plan) in standard_plans(3) {
-            let run = check_run(&spec, config, plan, true);
+            let run = check_run(&spec, config.clone(), plan, true);
             assert!(run.is_conformant(), "{name}: {:?}", run.failures);
         }
     }
@@ -368,7 +448,7 @@ mod tests {
         config.reliable = Some(dist::ReliableConfig::default());
         config.record = Some(obs::RecordConfig::default());
         for (name, plan) in standard_plans(13) {
-            let run = check_run(&spec, config, plan, true);
+            let run = check_run(&spec, config.clone(), plan, true);
             assert!(run.is_conformant(), "{name}: {:?}", run.failures);
             let rec = run.report.recording.as_ref().expect("recording present");
             assert!(!rec.events.is_empty(), "{name}: recorder captured nothing");
@@ -437,6 +517,54 @@ mod tests {
                 .any(|a| matches!(a.kind, monitor::AlertKind::GuardUnfaithful { .. })),
             "{mrep:?}"
         );
+    }
+
+    #[test]
+    fn schedule_race_audit_catches_a_forged_independence_claim() {
+        // Precedence e < f does not commute (e·f reaches ⊤, f·e reaches
+        // 0), so the honest analyzer colocates the pair and never claims
+        // independence — the audit is green on a real run. Mutation: forge
+        // a plan that mis-classifies (e, f) as independent and prove the
+        // transposition replay catches it on the very same run.
+        let mut table = SymbolTable::new();
+        let d = parse_expr("~e + ~f + e.f", &mut table).unwrap();
+        let e = table.event("e");
+        let f = table.event("f");
+        let spec = WorkflowSpec {
+            table,
+            dependencies: vec![d],
+            agents: vec![],
+            free_events: vec![
+                dist::FreeEventSpec {
+                    site: SiteId(0),
+                    lit: e,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+                dist::FreeEventSpec {
+                    site: SiteId(0),
+                    lit: f,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+            ],
+        };
+        let report = dist::run_workflow(&spec, ExecConfig::seeded(2));
+        assert!(report.all_satisfied(), "clean run should satisfy e < f");
+        assert_eq!(audit_schedule_races(&spec, &report), Vec::<String>::new());
+        let pair = event_algebra::shard::canonical(e.symbol(), f.symbol());
+        let forged = ShardPlan {
+            classes: vec![
+                event_algebra::ShardClass { id: 0, events: vec![pair.0], site: None },
+                event_algebra::ShardClass { id: 1, events: vec![pair.1], site: None },
+            ],
+            commuting: vec![pair],
+            independent: vec![pair],
+            ..ShardPlan::default()
+        };
+        let failures = audit_schedule_races_against(&spec, &report, &forged);
+        assert!(!failures.is_empty(), "forged independence claim went undetected");
+        assert!(failures[0].contains("schedule race"), "{failures:?}");
     }
 
     #[test]

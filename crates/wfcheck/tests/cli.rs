@@ -140,6 +140,73 @@ fn multiple_files_take_the_worst_exit() {
 }
 
 #[test]
+fn shard_plan_writes_certificate_to_file() {
+    let spec = write_spec(CLEAN);
+    let plan_path = spec.with_extension("plan.json");
+    let out = run(&[
+        "--deny",
+        "warnings",
+        "--shard-plan",
+        plan_path.to_str().unwrap(),
+        spec.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let plan = std::fs::read_to_string(&plan_path).expect("plan written");
+    assert!(plan.contains("\"classes\":["), "{plan}");
+    assert!(plan.contains("\"submit\"") && plan.contains("\"approve\""), "{plan}");
+    assert!(plan.contains("\"refines_site_coupling\":true"), "{plan}");
+    assert!(plan.ends_with('\n'), "newline-terminated for golden diffs");
+}
+
+#[test]
+fn shard_plan_dash_streams_to_stdout() {
+    let spec = write_spec(CLEAN);
+    let out = run(&["--shard-plan", "-", spec.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    let plan_line = text.lines().next().expect("plan precedes diagnostics");
+    assert!(plan_line.starts_with("{\"workflow\":\"chain\""), "{plan_line}");
+    assert!(plan_line.ends_with('}'), "{plan_line}");
+}
+
+#[test]
+fn shard_plan_rejects_multiple_files_and_parse_failures() {
+    let a = write_spec(CLEAN);
+    let b = write_spec(DEAD);
+    let out = run(&["--shard-plan", "p.json", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "exactly one spec required");
+    let broken = write_spec("workflow x {\n  dep d1 ~e;\n}\n");
+    let out = run(&["--shard-plan", "p.json", broken.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "no plan for an unparsed spec");
+}
+
+#[test]
+fn site_conflict_is_wf032_error() {
+    let spec = write_spec(
+        "workflow bad {\n\
+         \x20   event e @ site 0;\n\
+         \x20   event f @ site 1;\n\
+         \x20   dep d: ~e + ~f + e.f;\n\
+         }\n",
+    );
+    let out = run(&[spec.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("error[WF032]"), "{}", stdout(&out));
+}
+
+#[test]
+fn json_diagnostics_always_carry_the_file() {
+    // A span-less diagnostic (WF001 carries dep spans, but parse errors
+    // and summary diagnostics may not) still names its file in --json.
+    let spec = write_spec(CLASH);
+    let path = spec.to_str().unwrap();
+    let out = run(&["--json", path]);
+    let text = stdout(&out);
+    let line = text.lines().next().unwrap();
+    assert!(line.contains(&format!("\"file\":\"{}\"", path.replace('\\', "\\\\"))), "{line}");
+}
+
+#[test]
 fn usage_errors_exit_two() {
     assert_eq!(run(&[]).status.code(), Some(2));
     assert_eq!(run(&["--frobnicate", "x.wf"]).status.code(), Some(2));

@@ -70,6 +70,15 @@ WFCHECK="$REPO/target/release/wfcheck"
 specs=("$REPO"/examples/specs/*.wf)
 "$WFCHECK" --deny warnings "${specs[@]}"
 
+echo "==> wfcheck --shard-plan golden diff (travel, pipeline10)"
+PLAN_TMP="$(mktemp -d)"
+for spec in travel pipeline10; do
+    "$WFCHECK" --deny warnings --shard-plan "$PLAN_TMP/$spec.plan.json" \
+        "$REPO/examples/specs/$spec.wf" > /dev/null
+    diff -u "$REPO/examples/specs/golden/$spec.plan.json" "$PLAN_TMP/$spec.plan.json"
+done
+rm -rf "$PLAN_TMP"
+
 echo "==> wftrace smoke: record travel -> explain -> export --chrome"
 WFTRACE="$REPO/target/release/wftrace"
 TRACE_TMP="$(mktemp -d)"

@@ -39,6 +39,7 @@ rm -f "$SHADOW/crates/event-algebra/tests/laws.rs" \
       "$SHADOW/crates/temporal/tests/guard_props.rs" \
       "$SHADOW/crates/guard/tests/theorem_props.rs" \
       "$SHADOW/crates/analyze/tests/soundness_props.rs" \
+      "$SHADOW/crates/analyze/tests/interference_props.rs" \
       "$SHADOW/crates/dist/tests/param_props.rs" \
       "$SHADOW/crates/dist/tests/exec_props.rs" \
       "$SHADOW"/crates/*/tests/*.proptest-regressions
@@ -116,6 +117,17 @@ cargo build --offline -q -p wftrace
 ./target/debug/wftrace export --chrome --out "$SHADOW/travel.chrome.json" \
     "$SHADOW/travel.trace.json"
 grep -q '"traceEvents":\[{' "$SHADOW/travel.chrome.json"
+
+# Smoke the shard-plan certificate path (mirrors the tier-1 gate's
+# golden diff, offline): wfcheck under --deny warnings must emit the
+# committed interference-pass certificates byte for byte.
+cargo build --offline -q -p wfcheck
+for spec in travel pipeline10; do
+    ./target/debug/wfcheck --deny warnings \
+        --shard-plan "$SHADOW/$spec.plan.json" \
+        "$SHADOW/root/examples/specs/$spec.wf" > /dev/null
+    diff -u "$REPO/examples/specs/golden/$spec.plan.json" "$SHADOW/$spec.plan.json"
+done
 
 # Smoke the runtime-verification tier (mirrors check.sh --monitors):
 # replaying the recording through the derived monitors must be

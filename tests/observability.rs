@@ -55,7 +55,7 @@ fn causal_audit_green_across_fault_matrix() {
     config.reliable = Some(ReliableConfig::default());
     config.max_steps = 2_000_000;
     for (name, plan) in standard_plans(17) {
-        let run = check_run(&workflow.spec, config, plan, true);
+        let run = check_run(&workflow.spec, config.clone(), plan, true);
         assert!(run.is_conformant(), "{name}: {:?}", run.failures);
         let rec = run.report.recording.as_ref().expect("recording on");
         assert!(!rec.events.is_empty(), "{name}: recorder captured nothing");

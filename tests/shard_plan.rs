@@ -1,0 +1,125 @@
+//! Acceptance for the static interference analyzer: certified shard
+//! plans on the example specifications, shard-pinned execution with plan
+//! stats in the metrics snapshot, dynamic validation of independence
+//! claims across the standard fault matrix, and the mutation harness
+//! proving a falsified claim is detected.
+
+use analyze::{analyze_workflow, AnalyzeOptions, ShardPlan};
+use constrained_events::{ExecConfig, Literal, LoweredWorkflow, ReliableConfig, WorkflowBuilder};
+use event_algebra::ShardClass;
+use std::sync::Arc;
+use testkit::conformance::{audit_schedule_races, audit_schedule_races_against, explore};
+
+fn plan_for(path: &str) -> (ShardPlan, LoweredWorkflow) {
+    let src = std::fs::read_to_string(path).expect(path);
+    let w = LoweredWorkflow::parse(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let r = analyze_workflow(&w, &AnalyzeOptions::default());
+    (r.shard_plan.expect("the interference pass always emits a plan"), w)
+}
+
+#[test]
+fn pipeline10_plan_is_maximally_parallel_and_refines_lemma5() {
+    let (plan, w) = plan_for("examples/specs/pipeline10.wf");
+    assert_eq!(plan.class_count(), 10, "arrows commute: every stage is its own shard");
+    assert_eq!(plan.max_class_size(), 1);
+    assert!(plan.refines_site_coupling, "singleton classes trivially refine the quotient");
+    let sym = |n: &str| w.table.lookup(n).unwrap();
+    // Adjacent stages commute but are guard-coupled — ordered by the
+    // □/◇ protocol, not by colocation — so they are not independent.
+    assert!(plan.commutes(sym("e0"), sym("e1")));
+    assert!(!plan.is_independent(sym("e0"), sym("e1")));
+    // Stages sharing no dependency are fully independent.
+    assert!(plan.is_independent(sym("e0"), sym("e5")));
+    assert!(plan.is_independent(sym("e2"), sym("e9")));
+    // Every cross-class pair sharing a machine carries an obligation.
+    assert!(!plan.obligations.is_empty());
+}
+
+#[test]
+fn travel_plan_colocates_the_noncommutable_commit_pair() {
+    let (plan, w) = plan_for("examples/specs/travel.wf");
+    let buy = w.table.lookup("buy.commit").unwrap();
+    let book = w.table.lookup("book.commit").unwrap();
+    // d2's sequence `book::commit . buy::commit` reaches ⊤ one way and 0
+    // the other: the commits must share a shard.
+    assert!(!plan.commutes(buy, book));
+    assert!(plan.colocated(buy, book));
+    assert!(plan.max_class_size() >= 2);
+    assert!(plan.refines_site_coupling, "colocation stays inside the coupling component");
+}
+
+#[test]
+fn pinned_plan_drives_placement_and_surfaces_metrics() {
+    let (plan, _) = plan_for("examples/specs/pipeline10.wf");
+    let src = std::fs::read_to_string("examples/specs/pipeline10.wf").unwrap();
+    let wf = WorkflowBuilder::from_spec(&src).unwrap().build();
+    let mut config = ExecConfig::seeded(3);
+    config.shard_plan = Some(Arc::new(plan));
+    config.monitor = Some(constrained_events::MonitorConfig::default());
+    let report = wf.run_with(config);
+    assert!(report.all_satisfied(), "{report:#?}");
+    assert_eq!(report.metrics.gauge("shard.classes", &[]), Some(10));
+    assert_eq!(report.metrics.gauge("shard.max_class_size", &[]), Some(1));
+    assert_eq!(report.metrics.gauge("shard.pinned_classes", &[]), Some(0));
+    assert!(report.metrics.gauge("shard.independent_pairs", &[]).unwrap_or(0) > 0);
+    // The monitor learned the shard boundaries; a clean run never sees a
+    // cross-shard divergence.
+    let mrep = report.monitor.as_ref().expect("monitors armed");
+    assert_eq!(mrep.cross_shard_divergence, 0);
+}
+
+#[test]
+fn independence_audit_green_across_the_fault_matrix() {
+    for path in ["examples/specs/pipeline10.wf", "examples/specs/travel.wf"] {
+        let src = std::fs::read_to_string(path).expect(path);
+        let wf = WorkflowBuilder::from_spec(&src).expect(path).build();
+        let mut config = ExecConfig::seeded(0);
+        config.reliable = Some(ReliableConfig::default());
+        config.max_steps = 2_000_000;
+        let failures = explore(&wf.name, &wf.spec, config, 0..2, true);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}
+
+#[test]
+fn mutation_forged_independence_on_travel_is_detected() {
+    let src = std::fs::read_to_string("examples/specs/travel.wf").unwrap();
+    let wf = WorkflowBuilder::from_spec(&src).unwrap().build();
+    let buy = wf.spec.table.lookup("buy.commit").unwrap();
+    let book = wf.spec.table.lookup("book.commit").unwrap();
+    let pair = event_algebra::shard::canonical(buy, book);
+    let forged = ShardPlan {
+        classes: vec![
+            ShardClass { id: 0, events: vec![pair.0], site: None },
+            ShardClass { id: 1, events: vec![pair.1], site: None },
+        ],
+        commuting: vec![pair],
+        independent: vec![pair],
+        ..ShardPlan::default()
+    };
+    // Find a seed whose realized trace has the two commits adjacent (the
+    // simulator is deterministic, so this is stable), then prove the
+    // transposition replay rejects the forged claim while the honest
+    // re-derived plan stays green on the very same run.
+    let mut detected = false;
+    for seed in 0..50 {
+        let report = wf.run(seed);
+        assert!(report.all_satisfied(), "seed {seed}: {report:#?}");
+        assert_eq!(
+            audit_schedule_races(&wf.spec, &report),
+            Vec::<String>::new(),
+            "honest plan must pass on seed {seed}"
+        );
+        let ev = report.maximal_trace.events().to_vec();
+        let adjacent =
+            ev.windows(2).any(|w| w[0] == Literal::pos(book) && w[1] == Literal::pos(buy));
+        if adjacent {
+            let failures = audit_schedule_races_against(&wf.spec, &report, &forged);
+            assert!(!failures.is_empty(), "seed {seed}: forged claim went undetected");
+            assert!(failures[0].contains("schedule race"), "{failures:?}");
+            detected = true;
+            break;
+        }
+    }
+    assert!(detected, "no seed realized the commits adjacently");
+}

@@ -6,8 +6,10 @@ use guard::CompiledWorkflow;
 
 const SPEC: &str = r#"
     workflow demo {
-        // Free events across three sites.
-        event submit              @ site 0;
+        // The `<`-ordered trio shares site 1 (non-commutable pairs must
+        // colocate — WF032 would reject a cross-site placement); the
+        // triggerable archive lives on its own site.
+        event submit              @ site 1;
         event approve             @ site 1;
         event reject  { immediate } @ site 1;
         event archive { triggerable } @ site 2;
