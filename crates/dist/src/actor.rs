@@ -18,7 +18,7 @@
 //!   (Section 3.3(c)).
 
 use crate::journal::{Journal, JournalKind};
-use crate::msg::Msg;
+use crate::msg::{InstanceId, Msg};
 use agent::EventAttrs;
 use event_algebra::{
     requires, residuate, DependencyMachine, Expr, Literal, Polarity, StateId, SymbolId,
@@ -85,6 +85,9 @@ pub struct ActorStats {
     pub triggers: u64,
     /// Promise rounds aborted by timeout (and possibly retried).
     pub promise_aborts: u64,
+    /// Announcements dropped because they carried a foreign
+    /// [`InstanceId`] — always zero unless instance wiring is broken.
+    pub cross_instance_rejected: u64,
     /// Virtual time the first attempt parked, if it ever parked.
     pub first_parked_at: Option<Time>,
     /// Virtual time of the occurrence, if any.
@@ -285,6 +288,15 @@ pub struct SymbolActor {
     /// occurrences, residual steps and promise-round phases become causal
     /// trace spans when a recorder is attached.
     pub obs: NodeObs,
+    /// The workflow instance this actor belongs to: announcements from a
+    /// different instance are dropped (and counted). Single-instance runs
+    /// leave the default [`InstanceId::ROOT`] everywhere.
+    pub instance: InstanceId,
+    /// The instance stamped on outgoing announcements — equal to
+    /// [`SymbolActor::instance`] in every healthy configuration. The
+    /// tenant engine's mutation harness deliberately diverges the two to
+    /// prove the isolation audit catches cross-wired instances.
+    pub announce_instance: InstanceId,
 }
 
 impl SymbolActor {
@@ -318,6 +330,8 @@ impl SymbolActor {
             max_promise_retries: 8,
             promise_retries: BTreeMap::new(),
             obs: NodeObs::off(),
+            instance: InstanceId::ROOT,
+            announce_instance: InstanceId::ROOT,
         }
     }
 
@@ -349,7 +363,15 @@ impl SymbolActor {
         match msg {
             Msg::Attempt { lit } => self.on_attempt(ctx, lit),
             Msg::Inform { lit } => self.on_inform(ctx, lit),
-            Msg::Announce { lit, at, seq } => self.on_announce(ctx, lit, at, seq),
+            Msg::Announce { lit, at, seq, instance } => {
+                // Facts are instance-scoped: an announcement belonging to
+                // another live instance is not a fact of this one.
+                if instance != self.instance {
+                    self.stats.cross_instance_rejected += 1;
+                    return;
+                }
+                self.on_announce(ctx, lit, at, seq);
+            }
             Msg::PromiseRequest { lit, for_lit } => self.on_promise_request(ctx, lit, for_lit),
             Msg::PromiseGrant { lit } => self.on_promise_grant(ctx, lit),
             Msg::PromiseDeny { lit } => self.on_promise_deny(lit),
@@ -881,7 +903,10 @@ impl SymbolActor {
                 if node != ctx.self_id {
                     self.stats.announces_out += 1;
                     notified += 1;
-                    ctx.send(node, Msg::Announce { lit, at, seq });
+                    ctx.send(
+                        node,
+                        Msg::Announce { lit, at, seq, instance: self.announce_instance },
+                    );
                 }
             }
             if notified > 0 {
@@ -947,7 +972,8 @@ impl SymbolActor {
             if occ == lit {
                 // Already occurred: the announcement is the strongest
                 // promise (re-sent in case the requester subscribed late).
-                ctx.send(requester, Msg::Announce { lit, at, seq });
+                let instance = self.announce_instance;
+                ctx.send(requester, Msg::Announce { lit, at, seq, instance });
             } else {
                 self.obs.rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
                 ctx.send(requester, Msg::PromiseDeny { lit });
@@ -1038,7 +1064,8 @@ impl SymbolActor {
             if let Some((occ, at, seq)) = self.occurred {
                 let requester = self.routing.actor_of[&for_lit.symbol()];
                 if occ == lit {
-                    ctx.send(requester, Msg::Announce { lit, at, seq });
+                    let instance = self.announce_instance;
+                    ctx.send(requester, Msg::Announce { lit, at, seq, instance });
                 } else {
                     self.obs
                         .rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
@@ -1066,7 +1093,8 @@ impl SymbolActor {
             } else {
                 // The complement occurred: ¬lit holds forever; the
                 // announcement carries that fact.
-                ctx.send(requester, Msg::Announce { lit: occ, at, seq });
+                let instance = self.announce_instance;
+                ctx.send(requester, Msg::Announce { lit: occ, at, seq, instance });
             }
             return;
         }
@@ -1138,7 +1166,8 @@ impl SymbolActor {
                 for &node in subs {
                     if node != ctx.self_id {
                         self.stats.announces_out += 1;
-                        ctx.send(node, Msg::Announce { lit, at, seq });
+                        let instance = self.announce_instance;
+                        ctx.send(node, Msg::Announce { lit, at, seq, instance });
                     }
                 }
             }

@@ -11,7 +11,7 @@
 use crate::actor::{ActorStats, DepTracker, Routing, SymbolActor};
 use crate::agent_node::{AgentNode, Script};
 use crate::journal::{JournalKind, NodeStore};
-use crate::msg::Msg;
+use crate::msg::{InstanceId, Msg};
 use crate::reliable::{Reliable, ReliableConfig};
 use agent::{EventAttrs, TaskAgent};
 use event_algebra::{
@@ -310,8 +310,10 @@ pub struct BuiltWorkflow {
     pub nodes: Vec<(SiteId, Node)>,
     /// Shared routing tables.
     pub routing: Arc<Routing>,
-    /// Seed messages.
-    pub injections: Vec<(NodeId, NodeId, Msg)>,
+    /// Seed messages: `(from, to, msg, extra delay)`. The delay honors
+    /// [`FreeEventSpec::attempt_after`] (minus the 1-tick injection
+    /// latency every seed message already pays); driver kicks carry 0.
+    pub injections: Vec<(NodeId, NodeId, Msg, Time)>,
     /// All symbols, in actor order.
     pub symbols: Vec<SymbolId>,
     /// The shared journal, when enabled.
@@ -460,28 +462,32 @@ pub fn build_workflow(spec: &WorkflowSpec, config: ExecConfig) -> BuiltWorkflow 
     let mut injections = Vec::new();
     for aix in 0..agent_count {
         let id = NodeId(aix as u32);
-        injections.push((id, id, Msg::Kick));
+        injections.push((id, id, Msg::Kick, 0));
     }
     if config.lazy.is_some() {
         let ticker = NodeId((nodes.len() - 1) as u32);
-        injections.push((ticker, ticker, Msg::Kick));
+        injections.push((ticker, ticker, Msg::Kick, 0));
     }
     for f in &spec.free_events {
-        if f.attempt_after.is_some() {
+        if let Some(after) = f.attempt_after {
             let actor = routing.actor_of[&f.lit.symbol()];
             let msg = if f.attrs.controllable {
                 Msg::Attempt { lit: f.lit }
             } else {
                 Msg::Inform { lit: f.lit }
             };
-            injections.push((actor, actor, msg));
+            // Injection latency is at least 1 tick, so `attempt_after: 1`
+            // (the common "at start" idiom) maps to no extra delay and
+            // stays byte-identical to before delays were honored.
+            injections.push((actor, actor, msg, after.saturating_sub(1)));
         }
     }
     BuiltWorkflow { nodes, routing, injections, symbols: symbol_list, journal }
 }
 
-/// Assemble a report from finished actors.
-fn collect_report(
+/// Assemble a report from finished actors. Reused per instance by the
+/// multi-tenant engine's roll-ups ([`crate::tenant`]).
+pub(crate) fn collect_report(
     spec: &WorkflowSpec,
     symbol_list: &[SymbolId],
     actor_for: impl Fn(SymbolId) -> usize,
@@ -570,9 +576,10 @@ fn collect_report(
 pub struct NetNode {
     /// The wrapped protocol role.
     pub role: Node,
-    reliable: Option<Reliable>,
-    /// Durable storage shared across the run, plus this node's id in it.
-    store: Option<(NodeStore, u32)>,
+    pub(crate) reliable: Option<Reliable>,
+    /// Durable storage shared across the run (possibly across a whole
+    /// tenant fleet), plus this node's instance and id keying its slice.
+    store: Option<(NodeStore, InstanceId, u32)>,
     /// The node as originally built (journal and recorder detached):
     /// volatile state is reset to this on restart before the log replays
     /// over it.
@@ -593,8 +600,8 @@ impl NetNode {
         match &mut self.reliable {
             Some(r) if to != ctx.self_id && extra == 0 => {
                 let seq = r.send(ctx, to, msg);
-                if let Some((store, id)) = &self.store {
-                    store.record_seq(*id, to, seq);
+                if let Some((store, instance, id)) = &self.store {
+                    store.record_seq(*instance, *id, to, seq);
                 }
             }
             Some(_) => {
@@ -626,8 +633,9 @@ impl Process<Msg> for NetNode {
         // (post-dedup), with the delivery context it is processed under,
         // so a restart can replay exactly this stream — same payloads,
         // same times, same global delivery sequence numbers.
-        if let Some((store, id)) = &self.store {
+        if let Some((store, instance, id)) = &self.store {
             store.append(
+                *instance,
                 *id,
                 crate::journal::WalEntry {
                     from,
@@ -657,7 +665,7 @@ impl Process<Msg> for NetNode {
         let Some(pristine) = &self.pristine else { return };
         self.role = (**pristine).clone();
         let log = match &self.store {
-            Some((store, id)) => store.log_of(*id),
+            Some((store, instance, id)) => store.log_of(*instance, *id),
             None => Vec::new(),
         };
         // Fresh transport state — but outgoing sequence counters continue
@@ -669,8 +677,12 @@ impl Process<Msg> for NetNode {
         if let Some(r) = &mut self.reliable {
             let mut fresh = Reliable::new(r.config());
             fresh.obs = r.obs.clone();
-            if let Some((store, id)) = &self.store {
-                fresh.restore_seqs(store.seqs_of(*id));
+            // The instance stamp is part of the node's identity, not its
+            // volatile state: a restarted tenant node must keep speaking
+            // for its instance (or it would reject every peer envelope).
+            fresh.instance = r.instance;
+            if let Some((store, instance, id)) = &self.store {
+                fresh.restore_seqs(store.seqs_of(*instance, *id));
             }
             fresh.restore_seen(log.iter().filter_map(|e| e.env_seq.map(|s| (e.from, s))));
             *r = fresh;
@@ -715,6 +727,55 @@ impl Process<Msg> for NetNode {
             self.forward(ctx, to, m, extra);
         }
     }
+}
+
+/// Wrap built nodes in the fault-tolerance machinery ([`NetNode`]):
+/// per-node at-least-once transport when `reliable` is set, write-ahead
+/// logging (and the pristine copies restarts reset to) when `store` is
+/// set. `instance` keys the store slice and stamps the transport; the
+/// single-instance executors pass [`InstanceId::ROOT`], the tenant
+/// engine passes each instance's id (actors' own instance fields are the
+/// caller's responsibility — they are part of the role's cloned state).
+pub(crate) fn wrap_nodes(
+    nodes: Vec<(SiteId, Node)>,
+    reliable: Option<ReliableConfig>,
+    store: Option<NodeStore>,
+    journal: Option<crate::journal::Journal>,
+    obs: &Obs,
+    instance: InstanceId,
+) -> Vec<(SiteId, NetNode)> {
+    nodes
+        .into_iter()
+        .enumerate()
+        .map(|(ix, (site, mut role))| {
+            let node_obs = NodeObs::new(obs.clone(), ix as u32, site.0);
+            if let Node::Actor(a) = &mut role {
+                a.obs = node_obs.clone();
+            }
+            let pristine = store.is_some().then(|| {
+                let mut p = role.clone();
+                if let Node::Actor(a) = &mut p {
+                    a.journal = None;
+                    a.obs = NodeObs::off();
+                }
+                Box::new(p)
+            });
+            let mut r = reliable.map(Reliable::new);
+            if let Some(r) = &mut r {
+                r.obs = node_obs.clone();
+                r.instance = instance;
+            }
+            let node = NetNode {
+                role,
+                reliable: r,
+                store: store.clone().map(|s| (s, instance, ix as u32)),
+                pristine,
+                journal: journal.clone(),
+                obs: node_obs,
+            };
+            (site, node)
+        })
+        .collect()
 }
 
 /// Compile and run a workflow on the deterministic simulated network.
@@ -762,45 +823,15 @@ fn run_workflow_inner(
     // Durable storage (and the pristine copies restarts reset to) are
     // only materialized when a fault plan could actually crash a node.
     let store = plan.is_some().then(NodeStore::new);
-    let nodes: Vec<(SiteId, NetNode)> = built
-        .nodes
-        .into_iter()
-        .enumerate()
-        .map(|(ix, (site, mut role))| {
-            let node_obs = NodeObs::new(obs.clone(), ix as u32, site.0);
-            if let Node::Actor(a) = &mut role {
-                a.obs = node_obs.clone();
-            }
-            let pristine = store.is_some().then(|| {
-                let mut p = role.clone();
-                if let Node::Actor(a) = &mut p {
-                    a.journal = None;
-                    a.obs = NodeObs::off();
-                }
-                Box::new(p)
-            });
-            let mut reliable = config.reliable.map(Reliable::new);
-            if let Some(r) = &mut reliable {
-                r.obs = node_obs.clone();
-            }
-            let node = NetNode {
-                role,
-                reliable,
-                store: store.clone().map(|s| (s, ix as u32)),
-                pristine,
-                journal: journal.clone(),
-                obs: node_obs,
-            };
-            (site, node)
-        })
-        .collect();
+    let nodes =
+        wrap_nodes(built.nodes, config.reliable, store, journal.clone(), &obs, InstanceId::ROOT);
     let mut net: Network<Msg, NetNode> = Network::new(config.sim, nodes);
     net.set_recorder(obs.clone(), Msg::kind_label);
     if let Some(plan) = plan {
         net.set_faults(plan);
     }
-    for (from, to, msg) in built.injections {
-        net.inject(from, to, msg);
+    for (from, to, msg, extra) in built.injections {
+        net.inject_after(from, to, msg, extra);
     }
     let max_steps = if config.max_steps == 0 { 1_000_000 } else { config.max_steps };
     let outcome = net.run_to_quiescence(max_steps);
@@ -912,15 +943,22 @@ pub fn run_workflow_threaded(spec: &WorkflowSpec, config: ExecConfig) -> RunRepo
     let built = build_workflow(spec, config.clone());
     let routing = Arc::clone(&built.routing);
     let max = if config.max_steps == 0 { 1_000_000 } else { config.max_steps };
-    let all = sim::run_threaded(built.nodes, built.injections, max);
+    // No virtual clock on the threaded executor: injection delays degrade
+    // to immediate sends, exactly like delayed sends inside the run.
+    let injections = built.injections.into_iter().map(|(f, t, m, _)| (f, t, m)).collect();
+    let (all, outcome, stats) = sim::run_threaded(built.nodes, injections, max);
+    // The delivery count doubles as the virtual clock (every delivery is
+    // one tick), so it is the closest thing to a duration the threaded
+    // executor has.
+    let duration = outcome.steps;
     collect_report(
         spec,
         &built.symbols,
         |s| routing.actor_of[&s].0 as usize,
         &all,
-        0,
-        sim::RunOutcome { steps: 0, termination: Termination::Quiescent },
-        sim::NetStats::default(),
+        duration,
+        outcome,
+        stats,
     )
 }
 

@@ -4,6 +4,7 @@
 //! for debugging dependency specifications ("why did my compensation
 //! run?") and for the experiment harness's message accounting.
 
+use crate::msg::InstanceId;
 use event_algebra::{Literal, SymbolTable};
 use parking_lot::Mutex;
 use sim::Time;
@@ -183,11 +184,22 @@ pub struct WalEntry {
 /// to re-derive exactly the volatile state it had built from those
 /// messages. Shared via `Arc`, standing in for each site's stable
 /// storage.
+///
+/// Logs and sequence counters are keyed by `(instance, node)`: one store
+/// can back a whole multi-tenant fleet, and a node crashing with several
+/// live instances replays each instance's stream under its own original
+/// delivery context. Single-instance runs key everything under
+/// [`InstanceId::ROOT`].
+///
+/// [`InstanceId::ROOT`]: crate::msg::InstanceId::ROOT
 #[derive(Debug, Clone, Default)]
 pub struct NodeStore {
-    logs: Arc<Mutex<std::collections::BTreeMap<u32, Vec<WalEntry>>>>,
-    seqs: Arc<Mutex<std::collections::BTreeMap<u32, SeqCounters>>>,
+    logs: Arc<Mutex<PerNode<Vec<WalEntry>>>>,
+    seqs: Arc<Mutex<PerNode<SeqCounters>>>,
 }
+
+/// Per-`(instance, node)` storage slices inside a [`NodeStore`].
+type PerNode<T> = std::collections::BTreeMap<(InstanceId, u32), T>;
 
 /// Latest outgoing transport sequence number per receiver.
 type SeqCounters = std::collections::BTreeMap<sim::NodeId, u64>;
@@ -199,29 +211,38 @@ impl NodeStore {
     }
 
     /// Durably record the latest outgoing transport sequence number
-    /// `node` used towards `to`, so a restarted sender never reuses one.
-    pub fn record_seq(&self, node: u32, to: sim::NodeId, seq: u64) {
-        self.seqs.lock().entry(node).or_default().insert(to, seq);
+    /// `node` (of `instance`) used towards `to`, so a restarted sender
+    /// never reuses one.
+    pub fn record_seq(&self, instance: InstanceId, node: u32, to: sim::NodeId, seq: u64) {
+        self.seqs.lock().entry((instance, node)).or_default().insert(to, seq);
     }
 
-    /// The per-receiver sequence counters `node` had persisted.
-    pub fn seqs_of(&self, node: u32) -> std::collections::BTreeMap<sim::NodeId, u64> {
-        self.seqs.lock().get(&node).cloned().unwrap_or_default()
+    /// The per-receiver sequence counters `node` (of `instance`) had
+    /// persisted.
+    pub fn seqs_of(&self, instance: InstanceId, node: u32) -> SeqCounters {
+        self.seqs.lock().get(&(instance, node)).cloned().unwrap_or_default()
     }
 
-    /// Append one processed message to `node`'s log.
-    pub fn append(&self, node: u32, entry: WalEntry) {
-        self.logs.lock().entry(node).or_default().push(entry);
+    /// Append one processed message to `node`'s log under `instance`.
+    pub fn append(&self, instance: InstanceId, node: u32, entry: WalEntry) {
+        self.logs.lock().entry((instance, node)).or_default().push(entry);
     }
 
-    /// Snapshot `node`'s log in append order.
-    pub fn log_of(&self, node: u32) -> Vec<WalEntry> {
-        self.logs.lock().get(&node).cloned().unwrap_or_default()
+    /// Snapshot `node`'s log for `instance` in append order.
+    pub fn log_of(&self, instance: InstanceId, node: u32) -> Vec<WalEntry> {
+        self.logs.lock().get(&(instance, node)).cloned().unwrap_or_default()
     }
 
-    /// Total messages logged across all nodes.
+    /// Total messages logged across all nodes and instances.
     pub fn total(&self) -> usize {
         self.logs.lock().values().map(Vec::len).sum()
+    }
+
+    /// The instances with at least one logged entry.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        let mut out: Vec<InstanceId> = self.logs.lock().keys().map(|&(i, _)| i).collect();
+        out.dedup();
+        out
     }
 }
 
@@ -267,6 +288,7 @@ mod tests {
     #[test]
     fn node_store_logs_per_node_and_shares_clones() {
         use crate::msg::Msg;
+        const I: InstanceId = InstanceId::ROOT;
         let entry = |from: u32, msg: Msg, delivery_seq: u64, env_seq: Option<u64>| WalEntry {
             from: sim::NodeId(from),
             msg,
@@ -276,18 +298,39 @@ mod tests {
         };
         let store = NodeStore::new();
         let lit = Literal::pos(event_algebra::SymbolId(1));
-        store.append(2, entry(0, Msg::Attempt { lit }, 4, None));
-        store.clone().append(2, entry(1, Msg::Granted { lit }, 6, Some(3)));
-        store.append(5, entry(2, Msg::Kick, 9, None));
+        store.append(I, 2, entry(0, Msg::Attempt { lit }, 4, None));
+        store.clone().append(I, 2, entry(1, Msg::Granted { lit }, 6, Some(3)));
+        store.append(I, 5, entry(2, Msg::Kick, 9, None));
         assert_eq!(store.total(), 3);
-        let log = store.log_of(2);
+        let log = store.log_of(I, 2);
         assert_eq!(log.len(), 2, "append order preserved per node");
         assert_eq!(log[0], entry(0, Msg::Attempt { lit }, 4, None));
         assert_eq!(log[1], entry(1, Msg::Granted { lit }, 6, Some(3)));
-        assert!(store.log_of(9).is_empty());
-        store.record_seq(2, sim::NodeId(1), 7);
-        store.record_seq(2, sim::NodeId(1), 9);
-        assert_eq!(store.seqs_of(2).get(&sim::NodeId(1)), Some(&9), "latest wins");
-        assert!(store.seqs_of(3).is_empty());
+        assert!(store.log_of(I, 9).is_empty());
+        store.record_seq(I, 2, sim::NodeId(1), 7);
+        store.record_seq(I, 2, sim::NodeId(1), 9);
+        assert_eq!(store.seqs_of(I, 2).get(&sim::NodeId(1)), Some(&9), "latest wins");
+        assert!(store.seqs_of(I, 3).is_empty());
+    }
+
+    #[test]
+    fn node_store_keeps_instances_apart() {
+        use crate::msg::Msg;
+        let (a, b) = (InstanceId(1), InstanceId(2));
+        let store = NodeStore::new();
+        let e = WalEntry {
+            from: sim::NodeId(0),
+            msg: Msg::Kick,
+            at: 1,
+            delivery_seq: 1,
+            env_seq: None,
+        };
+        store.append(a, 0, e.clone());
+        store.append(b, 0, e);
+        store.record_seq(a, 0, sim::NodeId(1), 5);
+        assert_eq!(store.log_of(a, 0).len(), 1, "same node, separate logs per instance");
+        assert_eq!(store.log_of(b, 0).len(), 1);
+        assert!(store.seqs_of(b, 0).is_empty(), "seq counters do not bleed across instances");
+        assert_eq!(store.instances(), vec![a, b]);
     }
 }

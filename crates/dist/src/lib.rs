@@ -18,6 +18,7 @@ mod journal;
 mod msg;
 pub mod param;
 mod reliable;
+pub mod tenant;
 
 pub use actor::{ActorStats, DepTracker, LitState, Routing, SymbolActor};
 pub use agent_node::{AgentNode, Script, ScriptStep};
@@ -27,5 +28,6 @@ pub use exec::{
     RunReport, WorkflowSpec,
 };
 pub use journal::{Journal, JournalEntry, JournalKind, NodeStore, WalEntry};
-pub use msg::Msg;
+pub use msg::{InstanceId, Msg};
 pub use reliable::{Reliable, ReliableConfig};
+pub use tenant::{run_tenant, Arrival, InstanceOutcome, TenantConfig, TenantReport};

@@ -13,6 +13,29 @@
 use event_algebra::Literal;
 use sim::{NodeId, Time};
 
+/// Identifies one live workflow instance in a multi-tenant run.
+///
+/// Every fact-bearing wire message (occurrence announcements and
+/// at-least-once envelopes) carries the instance it belongs to, and
+/// receivers ignore foreign-instance traffic — the addressing layer that
+/// keeps co-resident instances from leaking facts into each other.
+/// Single-instance runs use [`InstanceId::ROOT`] everywhere, which is the
+/// `Default` and keeps their behavior byte-identical to before instances
+/// existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InstanceId(pub u64);
+
+impl InstanceId {
+    /// The implicit instance of every single-instance run.
+    pub const ROOT: InstanceId = InstanceId(0);
+}
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
 /// A message of the scheduling protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
@@ -65,6 +88,9 @@ pub enum Msg {
         at: Time,
         /// Global occurrence sequence number.
         seq: u64,
+        /// The workflow instance the occurrence belongs to; receivers
+        /// drop announcements from foreign instances.
+        instance: InstanceId,
     },
     /// Request: "promise `◇lit` so that `for_lit` may proceed"
     /// (Example 11's consensus).
@@ -123,6 +149,9 @@ pub enum Msg {
         /// Sender-assigned sequence number, monotone per (sender,
         /// receiver) pair.
         seq: u64,
+        /// The sending node's workflow instance: a receiver belonging to
+        /// a different instance drops the envelope without acking it.
+        instance: InstanceId,
         /// The wrapped protocol message.
         inner: Box<Msg>,
     },
@@ -221,7 +250,7 @@ mod tests {
             Msg::Granted { lit: l },
             Msg::Rejected { lit: l },
             Msg::Trigger { lit: l },
-            Msg::Announce { lit: l, at: 5, seq: 1 },
+            Msg::Announce { lit: l, at: 5, seq: 1, instance: InstanceId::ROOT },
             Msg::PromiseRequest { lit: l, for_lit: l.complement() },
             Msg::PromiseGrant { lit: l },
             Msg::PromiseDeny { lit: l },
@@ -229,7 +258,16 @@ mod tests {
             Msg::NotYetGrant { lit: l },
             Msg::NotYetDeny { lit: l, occurred: false },
             Msg::Release { lit: l },
-            Msg::Seq { seq: 9, inner: Box::new(Msg::Announce { lit: l, at: 5, seq: 1 }) },
+            Msg::Seq {
+                seq: 9,
+                instance: InstanceId::ROOT,
+                inner: Box::new(Msg::Announce {
+                    lit: l,
+                    at: 5,
+                    seq: 1,
+                    instance: InstanceId::ROOT,
+                }),
+            },
             Msg::PromiseExpire { lit: l, for_lit: l.complement() },
         ];
         for m in msgs {
@@ -240,7 +278,7 @@ mod tests {
         assert_eq!(Msg::Ack { seq: 1 }.literal(), None);
         assert_eq!(Msg::RetryTimer { to: NodeId(2), seq: 1 }.literal(), None);
         assert_eq!(
-            Msg::Seq { seq: 1, inner: Box::new(Msg::Kick) }.literal(),
+            Msg::Seq { seq: 1, instance: InstanceId::ROOT, inner: Box::new(Msg::Kick) }.literal(),
             None,
             "envelope defers to payload"
         );

@@ -13,7 +13,7 @@
 //! evaluated against deduplicated, per-link-ordered announcements sees
 //! the same fact stream it would see on a perfect network, just later.
 
-use crate::msg::Msg;
+use crate::msg::{InstanceId, Msg};
 use obs::{NodeObs, SpanKind};
 use sim::{Ctx, NodeId, Time};
 use std::collections::{BTreeMap, BTreeSet};
@@ -52,8 +52,15 @@ pub struct Reliable {
     unacked: BTreeMap<(NodeId, u64), (Msg, u32)>,
     /// Sequence numbers already delivered, per sender.
     seen: BTreeMap<NodeId, BTreeSet<u64>>,
+    /// The workflow instance this node belongs to, stamped on every
+    /// outgoing envelope and checked on every incoming one. Defaults to
+    /// [`InstanceId::ROOT`] for single-instance runs.
+    pub instance: InstanceId,
     /// Envelopes abandoned after `max_attempts` transmissions.
     pub gave_up: u64,
+    /// Envelopes dropped because they carried a foreign [`InstanceId`]
+    /// (never acked: a cross-wired sender must not believe it was heard).
+    pub cross_instance_dropped: u64,
     /// Duplicate envelopes suppressed.
     pub duplicates_suppressed: u64,
     /// Retransmissions performed.
@@ -89,7 +96,7 @@ impl Reliable {
         *seq += 1;
         let seq = *seq;
         self.obs.rec(ctx.now(), SpanKind::EnvSend { to: to.0, seq });
-        ctx.send(to, Msg::Seq { seq, inner: Box::new(msg.clone()) });
+        ctx.send(to, Msg::Seq { seq, instance: self.instance, inner: Box::new(msg.clone()) });
         self.unacked.insert((to, seq), (msg, 1));
         ctx.send_after(ctx.self_id, Msg::RetryTimer { to, seq }, self.config.rto);
         seq
@@ -130,7 +137,14 @@ impl Reliable {
         msg: Msg,
     ) -> Option<(Msg, Option<u64>)> {
         match msg {
-            Msg::Seq { seq, inner } => {
+            Msg::Seq { seq, instance, inner } => {
+                // An envelope from a foreign instance is not ours to ack:
+                // dropping it silently keeps instance state from leaking
+                // and leaves the cross-wired sender visibly unheard.
+                if instance != self.instance {
+                    self.cross_instance_dropped += 1;
+                    return None;
+                }
                 // Ack every copy: the sender may have missed earlier acks.
                 ctx.send(from, Msg::Ack { seq });
                 if self.seen.entry(from).or_default().insert(seq) {
@@ -169,7 +183,7 @@ impl Reliable {
         let exponent = (*attempts - 1).min(16);
         let rto = self.config.rto.saturating_mul(u64::from(self.config.backoff).pow(exponent));
         self.obs.rec(ctx.now(), SpanKind::EnvRetransmit { to: to.0, seq, attempt });
-        ctx.send(to, Msg::Seq { seq, inner: Box::new(msg.clone()) });
+        ctx.send(to, Msg::Seq { seq, instance: self.instance, inner: Box::new(msg.clone()) });
         self.retransmissions += 1;
         ctx.send_after(ctx.self_id, Msg::RetryTimer { to, seq }, rto);
     }
@@ -186,7 +200,16 @@ mod tests {
     }
 
     fn announce(sym: u32) -> Msg {
-        Msg::Announce { lit: Literal::pos(SymbolId(sym)), at: 1, seq: 1 }
+        Msg::Announce {
+            lit: Literal::pos(SymbolId(sym)),
+            at: 1,
+            seq: 1,
+            instance: InstanceId::ROOT,
+        }
+    }
+
+    fn env(seq: u64, inner: Msg) -> Msg {
+        Msg::Seq { seq, instance: InstanceId::ROOT, inner: Box::new(inner) }
     }
 
     #[test]
@@ -204,7 +227,7 @@ mod tests {
     #[test]
     fn first_delivery_passes_then_duplicates_suppressed() {
         let mut r = Reliable::new(ReliableConfig::default());
-        let env = Msg::Seq { seq: 5, inner: Box::new(announce(2)) };
+        let env = env(5, announce(2));
         let mut out = ctx_parts();
         let mut ctx = Ctx::manual(NodeId(1), 0, 0, &mut out);
         let first = r.on_message(&mut ctx, NodeId(0), env.clone());
@@ -267,6 +290,26 @@ mod tests {
     }
 
     #[test]
+    fn foreign_instance_envelope_dropped_without_ack() {
+        let mut r = Reliable::new(ReliableConfig::default());
+        r.instance = InstanceId(7);
+        let mut out = ctx_parts();
+        {
+            let mut ctx = Ctx::manual(NodeId(1), 0, 0, &mut out);
+            let foreign =
+                Msg::Seq { seq: 1, instance: InstanceId(8), inner: Box::new(announce(2)) };
+            assert_eq!(r.on_message(&mut ctx, NodeId(0), foreign), None);
+            assert_eq!(r.cross_instance_dropped, 1);
+            let ours = Msg::Seq { seq: 1, instance: InstanceId(7), inner: Box::new(announce(2)) };
+            assert!(r.on_message(&mut ctx, NodeId(0), ours).is_some());
+        }
+        // No ack for the foreign envelope: the cross-wired sender must
+        // not believe it was heard. (The matching envelope was acked.)
+        let acks = out.iter().filter(|(_, m, _)| matches!(m, Msg::Ack { .. })).count();
+        assert_eq!(acks, 1);
+    }
+
+    #[test]
     fn non_transport_messages_pass_through() {
         let mut r = Reliable::new(ReliableConfig::default());
         let mut out = ctx_parts();
@@ -286,10 +329,10 @@ mod tests {
         let mut out = ctx_parts();
         {
             let mut ctx = Ctx::manual(NodeId(1), 200, 0, &mut out);
-            let env = Msg::Seq { seq: 4, inner: Box::new(announce(2)) };
-            assert_eq!(r.on_message(&mut ctx, NodeId(0), env), None, "pre-crash dup suppressed");
+            let dup = env(4, announce(2));
+            assert_eq!(r.on_message(&mut ctx, NodeId(0), dup), None, "pre-crash dup suppressed");
             assert_eq!(r.duplicates_suppressed, 1);
-            let fresh = Msg::Seq { seq: 5, inner: Box::new(announce(3)) };
+            let fresh = env(5, announce(3));
             assert_eq!(r.on_message(&mut ctx, NodeId(0), fresh), Some((announce(3), Some(5))));
         }
         assert!(

@@ -104,7 +104,9 @@ fn explore(dep_srcs: &[&str], nsyms: u32, max_paths: u64) -> (u64, Vec<String>) 
     let actor_index: Vec<usize> =
         symbols.iter().map(|s| built.routing.actor_of[s].0 as usize).collect();
     let nodes: Vec<Node> = built.nodes.into_iter().map(|(_, n)| n).collect();
-    let pending: Vec<(NodeId, NodeId, Msg)> = built.injections;
+    // Exploration has no clock, so injection delays are irrelevant here.
+    let pending: Vec<(NodeId, NodeId, Msg)> =
+        built.injections.into_iter().map(|(f, t, m, _)| (f, t, m)).collect();
     let mut ex =
         Explorer { deps, symbols, actor_index, paths: 0, violations: Vec::new(), max_paths };
     ex.dfs(State { nodes, pending, delivered: 0 });

@@ -4,7 +4,7 @@
 //! compilation pipeline.
 
 use agent::EventAttrs;
-use dist::{DepTracker, Msg, Node, Routing, SymbolActor};
+use dist::{DepTracker, InstanceId, Msg, Node, Routing, SymbolActor};
 use event_algebra::{Expr, Literal, SymbolId};
 use sim::{LatencyModel, Network, NodeId, SimConfig, SiteId};
 use std::sync::Arc;
@@ -245,10 +245,18 @@ fn announcements_tolerate_reordering_for_sequence_guards() {
     net.inject(NodeId(0), NodeId(0), Msg::Attempt { lit: Literal::pos(c) });
     // Deliver b's announcement (occurrence seq 20) before a's (seq 10):
     // naive in-arrival-order residuation would kill the sequence.
-    net.inject(NodeId(0), NodeId(0), Msg::Announce { lit: b, at: 20, seq: 20 });
+    net.inject(
+        NodeId(0),
+        NodeId(0),
+        Msg::Announce { lit: b, at: 20, seq: 20, instance: InstanceId::ROOT },
+    );
     net.run_to_quiescence(100);
     assert_eq!(occurred(&net, NodeId(0)), None);
-    net.inject(NodeId(0), NodeId(0), Msg::Announce { lit: a, at: 10, seq: 10 });
+    net.inject(
+        NodeId(0),
+        NodeId(0),
+        Msg::Announce { lit: a, at: 10, seq: 10, instance: InstanceId::ROOT },
+    );
     net.run_to_quiescence(100);
     assert_eq!(
         occurred(&net, NodeId(0)),

@@ -331,6 +331,13 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
         self.enqueue(from, to, msg, 0, true);
     }
 
+    /// Inject a message with an extra delay on top of sampled latency:
+    /// workload think-time arriving from the outside world. Fault-exempt
+    /// like [`Network::inject`] (with `extra == 0` it is identical).
+    pub fn inject_after(&mut self, from: NodeId, to: NodeId, msg: M, extra: Time) {
+        self.enqueue(from, to, msg, extra, true);
+    }
+
     fn enqueue(&mut self, from: NodeId, to: NodeId, msg: M, extra: Time, exempt: bool) {
         // Self-sends are node-local timers, not network traffic: exempt
         // from link faults and partitions (a crashed node still loses
@@ -508,8 +515,11 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
     }
 
     /// `true` when nothing remains to do: no queued messages and no
-    /// pending restarts.
-    fn idle(&self) -> bool {
+    /// pending restarts. This is the convergence test
+    /// [`Network::run_to_quiescence`] applies when its budget runs out;
+    /// external steppers (the multi-tenant multiplexer) use it to report
+    /// termination with exactly the same honesty.
+    pub fn idle(&self) -> bool {
         self.queue.is_empty()
             && self.faults.as_ref().is_none_or(|fs| fs.due_restart(None).is_none())
     }

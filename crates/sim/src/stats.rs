@@ -31,6 +31,21 @@ impl NetStats {
         self.latency_buckets[bucket] += 1;
     }
 
+    /// Fold another stats block into this one (used by the threaded
+    /// executor, where each node thread accumulates locally).
+    pub(crate) fn absorb(&mut self, other: &NetStats) {
+        for (site, count) in &other.per_site_deliveries {
+            *self.per_site_deliveries.entry(*site).or_insert(0) += count;
+        }
+        self.sent_total += other.sent_total;
+        self.sent_remote += other.sent_remote;
+        self.delivered_total += other.delivered_total;
+        self.latency_sum += other.latency_sum;
+        for (b, o) in self.latency_buckets.iter_mut().zip(other.latency_buckets.iter()) {
+            *b += o;
+        }
+    }
+
     pub(crate) fn record_delivery(&mut self, site: u32) {
         self.delivered_total += 1;
         *self.per_site_deliveries.entry(site).or_insert(0) += 1;

@@ -6,9 +6,10 @@
 //!
 //! [`Network`]: crate::Network
 
-use crate::net::{Ctx, NodeId, Process, SiteId};
+use crate::net::{Ctx, NodeId, Process, RunOutcome, SiteId, Termination};
+use crate::stats::NetStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,24 +19,34 @@ struct Envelope<M> {
 }
 
 /// Run `nodes` under threads until quiescence (no message in flight and
-/// all inboxes drained), returning the nodes for inspection.
+/// all inboxes drained), returning the nodes for inspection together
+/// with a [`RunOutcome`] (real delivery count, honest [`Termination`])
+/// and the aggregated [`NetStats`].
 ///
 /// `injections` seeds the run. Quiescence is tracked with an in-flight
 /// counter: it is incremented at send time and decremented only after the
 /// receiving node has fully processed the message (including enqueueing
 /// its replies), so a zero counter means the system is silent.
+///
+/// There is no virtual clock, so every send is recorded with the
+/// simulator's minimum latency of 1; the delivery count doubles as the
+/// global sequence, exactly as it does on [`Network`].
+///
+/// [`Network`]: crate::Network
 pub fn run_threaded<M, P>(
     nodes: Vec<(SiteId, P)>,
     injections: Vec<(NodeId, NodeId, M)>,
     max_messages: u64,
-) -> Vec<P>
+) -> (Vec<P>, RunOutcome, NetStats)
 where
     M: Send + 'static,
     P: Process<M> + Send + 'static,
 {
     let n = nodes.len();
+    let sites: Arc<Vec<u32>> = Arc::new(nodes.iter().map(|(s, _)| s.0).collect());
     let in_flight = Arc::new(AtomicU64::new(0));
     let delivered = Arc::new(AtomicU64::new(0));
+    let exhausted = Arc::new(AtomicBool::new(false));
     let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
     for _ in 0..n {
@@ -44,7 +55,9 @@ where
         receivers.push(rx);
     }
 
+    let mut seed_stats = NetStats::default();
     for (from, to, msg) in injections {
+        seed_stats.record_send(sites[from.0 as usize] != sites[to.0 as usize], 1);
         in_flight.fetch_add(1, Ordering::SeqCst);
         senders[to.0 as usize].send(Envelope { from, msg }).expect("receiver alive");
     }
@@ -52,14 +65,18 @@ where
     let mut handles = Vec::with_capacity(n);
     for (ix, ((_site, mut proc_), rx)) in nodes.into_iter().zip(receivers).enumerate() {
         let senders = senders.clone();
+        let sites = Arc::clone(&sites);
         let in_flight = Arc::clone(&in_flight);
         let delivered = Arc::clone(&delivered);
+        let exhausted = Arc::clone(&exhausted);
         let self_id = NodeId(ix as u32);
         handles.push(std::thread::spawn(move || {
+            let mut stats = NetStats::default();
             loop {
                 match rx.recv_timeout(Duration::from_millis(5)) {
                     Ok(env) => {
                         let seq = delivered.fetch_add(1, Ordering::SeqCst) + 1;
+                        stats.record_delivery(sites[ix]);
                         let mut outbox: Vec<(NodeId, M, u64)> = Vec::new();
                         {
                             let mut ctx = Ctx::for_threaded(self_id, seq, &mut outbox);
@@ -68,6 +85,7 @@ where
                         // The threaded executor has no virtual clock:
                         // extra delays degrade to immediate sends.
                         for (to, msg, _extra) in outbox {
+                            stats.record_send(sites[ix] != sites[to.0 as usize], 1);
                             in_flight.fetch_add(1, Ordering::SeqCst);
                             let _ = senders[to.0 as usize].send(Envelope { from: self_id, msg });
                         }
@@ -75,13 +93,14 @@ where
                     }
                     Err(_) => {
                         if delivered.load(Ordering::SeqCst) >= max_messages {
-                            return proc_; // over budget: bail out
+                            exhausted.store(true, Ordering::SeqCst);
+                            return (proc_, stats); // over budget: bail out
                         }
                         // Quiescent: no message queued or being processed
                         // anywhere (the counter is decremented only after
                         // replies are enqueued, so zero is conclusive).
                         if in_flight.load(Ordering::SeqCst) == 0 && rx.is_empty() {
-                            return proc_;
+                            return (proc_, stats);
                         }
                     }
                 }
@@ -91,7 +110,22 @@ where
     // Senders on the main thread must drop so threads can detect closure;
     // we instead rely on the quiescence condition above.
     drop(senders);
-    handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
+    let mut stats = seed_stats;
+    let procs: Vec<P> = handles
+        .into_iter()
+        .map(|h| {
+            let (proc_, local) = h.join().expect("node thread panicked");
+            stats.absorb(&local);
+            proc_
+        })
+        .collect();
+    let termination = if exhausted.load(Ordering::SeqCst) {
+        Termination::BudgetExhausted
+    } else {
+        Termination::Quiescent
+    };
+    let outcome = RunOutcome { steps: delivered.load(Ordering::SeqCst), termination };
+    (procs, outcome, stats)
 }
 
 #[cfg(test)]
@@ -115,9 +149,14 @@ mod tests {
     #[test]
     fn threaded_ping_pong_reaches_quiescence() {
         let nodes = vec![(SiteId(0), Counter { seen: 0 }), (SiteId(1), Counter { seen: 0 })];
-        let out = run_threaded(nodes, vec![(NodeId(0), NodeId(1), 9)], 10_000);
+        let (out, outcome, stats) = run_threaded(nodes, vec![(NodeId(0), NodeId(1), 9)], 10_000);
         let total: u64 = out.iter().map(|c| c.seen).sum();
         assert_eq!(total, 10);
+        assert_eq!(outcome.termination, Termination::Quiescent);
+        assert_eq!(outcome.steps, 10, "every delivery counted");
+        assert_eq!(stats.delivered_total, 10);
+        assert_eq!(stats.sent_total, 10, "injection plus nine replies");
+        assert_eq!(stats.sent_remote, 10, "the two nodes sit on different sites");
     }
 
     #[test]
@@ -126,8 +165,26 @@ mod tests {
             (0..8).map(|i| (SiteId(i % 2), Counter { seen: 0 })).collect();
         let injections: Vec<(NodeId, NodeId, u64)> =
             (0..8).map(|i| (NodeId(i), NodeId((i + 1) % 8), 5)).collect();
-        let out = run_threaded(nodes, injections, 100_000);
+        let (out, outcome, stats) = run_threaded(nodes, injections, 100_000);
         let total: u64 = out.iter().map(|c| c.seen).sum();
         assert_eq!(total, 8 * 6);
+        assert_eq!(outcome.steps, 8 * 6);
+        assert_eq!(stats.delivered_total, 8 * 6);
+    }
+
+    #[test]
+    fn threaded_budget_exhaustion_is_reported() {
+        // An endless ping-pong (every reply re-arms the countdown) can
+        // only end by budget; the outcome must say so honestly.
+        struct Echo;
+        impl Process<u64> for Echo {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+                ctx.send(from, msg);
+            }
+        }
+        let nodes = vec![(SiteId(0), Echo), (SiteId(0), Echo)];
+        let (_, outcome, _) = run_threaded(nodes, vec![(NodeId(0), NodeId(1), 1)], 50);
+        assert_eq!(outcome.termination, Termination::BudgetExhausted);
+        assert!(outcome.steps >= 50);
     }
 }

@@ -8,10 +8,12 @@
 //! fault layer is meaningless without traffic to perturb).
 
 use agent::EventAttrs;
-use dist::{ExecConfig, FreeEventSpec, ReliableConfig, WorkflowSpec};
+use dist::{
+    run_tenant, Arrival, ExecConfig, FreeEventSpec, ReliableConfig, TenantConfig, WorkflowSpec,
+};
 use event_algebra::{parse_expr, Literal, SymbolId, SymbolTable};
 use sim::{FaultPlan, NodeId, SiteId, Termination};
-use testkit::conformance::{check_determinism, check_run};
+use testkit::conformance::{audit_tenant_isolation, check_determinism, check_run};
 
 /// Example 11: mutually-promising events on two sites.
 fn mutual_promise_spec() -> WorkflowSpec {
@@ -165,4 +167,86 @@ fn empty_plan_is_transparent() {
     assert_eq!(clean.duration, faulted.duration);
     assert_eq!(clean.steps, faulted.steps);
     assert_eq!(faulted.termination, Termination::Quiescent);
+}
+
+// --- Multi-instance crash-restart corpus -------------------------------
+//
+// The tenant engine shares one instance-keyed WAL across a fleet; these
+// regressions pin the recovery corners that only exist with several
+// instances live at once.
+
+/// Crash-restart with three concurrently live instances: node 0 dies and
+/// restarts *in every instance*, and each restart must replay only its
+/// own instance's WAL slice. The isolation audit proves each instance's
+/// outcome still equals its solo crash-run baseline — no phantom
+/// promises, no cross-instance replay.
+#[test]
+fn crash_restart_with_three_live_instances_stays_isolated() {
+    let specs = vec![mutual_promise_spec()];
+    let arrivals: Vec<Arrival> =
+        (0..3u64).map(|i| Arrival::new(i + 1, 0, i * 3, 0xC0DE ^ i)).collect();
+    let mut config = TenantConfig::new(hardened(21));
+    config.plan = Some(FaultPlan::new(13).crash(NodeId(0), 40, Some(300)));
+    let (failures, report) = audit_tenant_isolation(&specs, &arrivals, &config);
+    assert!(failures.is_empty(), "{failures:?}");
+    assert!(report.all_satisfied());
+    for o in &report.instances {
+        assert!(o.report.broken_promises.is_empty(), "instance {}", o.instance);
+    }
+}
+
+/// The restart instance-stamp regression the tenant audit caught: the
+/// rebuilt transport used to default its stamp to `InstanceId::ROOT`, so
+/// a restarted node in any instance other than 0 rejected every peer
+/// envelope as foreign and wedged behind retransmission storms —
+/// invisible to single-instance runs, where ROOT happens to be correct.
+/// Pin it: a crashed node in instance 7 drops zero foreign envelopes.
+#[test]
+fn restarted_node_keeps_its_instance_stamp() {
+    let specs = vec![mutual_promise_spec()];
+    let arrivals = vec![Arrival::new(7, 0, 0, 0x51A6)];
+    let mut config = TenantConfig::new(hardened(21));
+    config.plan = Some(FaultPlan::new(13).crash(NodeId(0), 2, Some(100)));
+    let report = run_tenant(&specs, &arrivals, &config);
+    assert_eq!(report.cross_instance_dropped, 0, "restart lost the instance stamp");
+    assert!(report.all_satisfied());
+    assert!(report.instances[0].report.broken_promises.is_empty());
+}
+
+/// The shared WAL after a three-instance crash run: slices exist only
+/// for admitted instances, every slice's delivery order is monotone, and
+/// per-sender envelope sequences never repeat within a slice — a replay
+/// that fabricated or reused a sequence number would break all three.
+#[test]
+fn instance_keyed_wal_slices_stay_disjoint_and_monotonic() {
+    let specs = vec![mutual_promise_spec()];
+    let arrivals: Vec<Arrival> =
+        (0..3u64).map(|i| Arrival::new(i + 1, 0, i * 2, 0xBEEF ^ i)).collect();
+    let mut config = TenantConfig::new(hardened(21));
+    config.plan = Some(FaultPlan::new(13).crash(NodeId(0), 40, Some(300)));
+    let report = run_tenant(&specs, &arrivals, &config);
+    let wal = report.wal.as_ref().expect("a crash plan arms the WAL");
+    assert!(wal.total() > 0, "the crash window saw no logged traffic");
+    let known: std::collections::BTreeSet<_> = arrivals.iter().map(|a| a.instance).collect();
+    for i in wal.instances() {
+        assert!(known.contains(&i), "phantom WAL slice for {i}");
+        for node in 0..2u32 {
+            let log = wal.log_of(i, node);
+            for pair in log.windows(2) {
+                assert!(
+                    pair[0].delivery_seq < pair[1].delivery_seq,
+                    "{i}/n{node}: delivery order not monotone"
+                );
+            }
+            let mut last_env: std::collections::BTreeMap<_, u64> = Default::default();
+            for entry in &log {
+                if let Some(seq) = entry.env_seq {
+                    if let Some(&prev) = last_env.get(&entry.from) {
+                        assert!(seq > prev, "{i}/n{node}: envelope seq {seq} reused");
+                    }
+                    last_env.insert(entry.from, seq);
+                }
+            }
+        }
+    }
 }

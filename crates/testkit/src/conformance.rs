@@ -52,11 +52,28 @@
 //! race. [`audit_schedule_races_against`] takes the plan explicitly so
 //! the mutation harness can inject a deliberately mis-classified pair
 //! and prove the audit catches it.
+//!
+//! A ninth audit covers the multi-tenant engine:
+//! [`audit_tenant_isolation`] runs a whole fleet through
+//! [`dist::run_tenant`], then re-runs every instance *independently*
+//! through the single-instance executor on the same (spec, seed, fault
+//! plan) and demands byte-identical outcomes — same occurrences, same
+//! timing, same termination honesty, same final `□`-views
+//! ([`machine_views`]) and same online-monitor verdicts — plus zero
+//! cross-instance transport/actor rejections and no phantom instance in
+//! the shared write-ahead log. Sharing compiled machines, a multiplexer
+//! and a WAL across tenants must be *unobservable* per tenant;
+//! [`dist::TenantConfig::cross_wire`] is the mutation knob proving the
+//! audit can fail.
 
-use dist::{guard_gated, run_workflow_with_faults, ExecConfig, RunReport, WorkflowSpec};
+use dist::{
+    guard_gated, run_tenant, run_workflow_with_faults, Arrival, ExecConfig, RunReport,
+    TenantConfig, TenantReport, WorkflowSpec,
+};
 use event_algebra::{DependencyMachine, Literal, ShardPlan, StateId};
 use guard::{CompiledWorkflow, GuardScope};
 use sim::{FaultPlan, Termination};
+use std::collections::BTreeMap;
 
 /// The outcome of one audited run.
 #[derive(Debug)]
@@ -94,8 +111,9 @@ pub fn audit_guards(spec: &WorkflowSpec, report: &RunReport) -> Vec<(Literal, us
 
 /// Final per-dependency machine states after replaying `events` from the
 /// initial state — the □-view a correct actor derives from that delivery
-/// order.
-fn machine_views(machines: &[DependencyMachine], events: &[Literal]) -> Vec<StateId> {
+/// order. Public because the tenant-isolation audit compares these views
+/// between a fleet instance and its isolated baseline run.
+pub fn machine_views(machines: &[DependencyMachine], events: &[Literal]) -> Vec<StateId> {
     machines.iter().map(|m| events.iter().fold(m.initial, |q, &l| m.step(q, l))).collect()
 }
 
@@ -309,6 +327,118 @@ pub fn check_determinism(spec: &WorkflowSpec, config: ExecConfig, plan: FaultPla
         ));
     }
     failures
+}
+
+/// The ninth audit: tenant isolation. Run the fleet, then re-run every
+/// arrival independently through the single-instance executor (same
+/// specialized spec, same seed, same fault plan) and compare:
+///
+/// - **Occurrences**: literal, virtual time and global sequence of every
+///   event, exactly equal.
+/// - **Timing and honesty**: duration, delivery count and
+///   [`Termination`] equal — a fleet must not silently upgrade a
+///   budget-exhausted instance.
+/// - **`□`-views**: replaying both maximal traces through the
+///   dependency machines ([`machine_views`]) lands in identical states,
+///   and neither side reports internal view divergence.
+/// - **Monitor verdicts**: when monitors are armed, per-dependency
+///   final verdicts agree.
+/// - **No cross-instance traffic**: the transport's foreign-envelope
+///   and the actors' foreign-announcement counters are zero fleet-wide.
+/// - **WAL hygiene**: the shared write-ahead log holds slices only for
+///   admitted instances (no phantom tenants).
+///
+/// Returns the failures (empty iff isolation held) with the fleet
+/// report for further inspection.
+pub fn audit_tenant_isolation(
+    specs: &[WorkflowSpec],
+    arrivals: &[Arrival],
+    config: &TenantConfig,
+) -> (Vec<String>, TenantReport) {
+    let report = run_tenant(specs, arrivals, config);
+    let mut failures = Vec::new();
+    if report.cross_instance_dropped > 0 {
+        failures.push(format!(
+            "transport dropped {} foreign envelope(s): instance traffic crossed an \
+             InstanceId boundary",
+            report.cross_instance_dropped
+        ));
+    }
+    if report.cross_instance_rejected > 0 {
+        failures.push(format!(
+            "actors rejected {} foreign announcement(s): instance facts crossed an \
+             InstanceId boundary",
+            report.cross_instance_rejected
+        ));
+    }
+    if let Some(wal) = &report.wal {
+        let known: std::collections::BTreeSet<_> = arrivals.iter().map(|a| a.instance).collect();
+        for i in wal.instances() {
+            if !known.contains(&i) {
+                failures.push(format!("write-ahead log holds a slice for phantom instance {i}"));
+            }
+        }
+    }
+    let by_instance: BTreeMap<_, _> = report.instances.iter().map(|o| (o.instance, o)).collect();
+    for a in arrivals {
+        let Some(o) = by_instance.get(&a.instance) else {
+            failures.push(format!("instance {} was admitted but never reported", a.instance));
+            continue;
+        };
+        let spec = a.apply_to_spec(&specs[a.spec_ix]);
+        let solo = match &config.plan {
+            Some(plan) => run_workflow_with_faults(&spec, config.instance_exec(a), plan.clone()),
+            None => dist::run_workflow(&spec, config.instance_exec(a)),
+        };
+        let tag = format!("instance {}", a.instance);
+        if o.report.occurrences != solo.occurrences {
+            failures.push(format!(
+                "{tag}: occurrences diverge from the isolated baseline: fleet {:?} vs solo {:?}",
+                o.report.occurrences, solo.occurrences
+            ));
+        }
+        if o.report.termination != solo.termination
+            || o.report.steps != solo.steps
+            || o.report.duration != solo.duration
+        {
+            failures.push(format!(
+                "{tag}: timing/termination diverge: fleet ({:?}, {} steps, t={}) vs \
+                 solo ({:?}, {} steps, t={})",
+                o.report.termination,
+                o.report.steps,
+                o.report.duration,
+                solo.termination,
+                solo.steps,
+                solo.duration
+            ));
+        }
+        for (side, rep) in [("fleet", &o.report), ("solo", &solo)] {
+            if !rep.divergence.is_empty() {
+                failures.push(format!("{tag}: {side} run has internal view divergence"));
+            }
+        }
+        let machines = DependencyMachine::compile_all(&spec.dependencies);
+        let fleet_views = machine_views(&machines, o.report.maximal_trace.events());
+        let solo_views = machine_views(&machines, solo.maximal_trace.events());
+        if fleet_views != solo_views {
+            failures.push(format!(
+                "{tag}: final □-views diverge: fleet {fleet_views:?} vs solo {solo_views:?}"
+            ));
+        }
+        match (&o.report.monitor, &solo.monitor) {
+            (Some(fm), Some(sm)) if fm.verdicts != sm.verdicts => {
+                failures.push(format!(
+                    "{tag}: monitor verdicts diverge: fleet {:?} vs solo {:?}",
+                    fm.verdicts, sm.verdicts
+                ));
+            }
+            (Some(_), None) | (None, Some(_)) => {
+                failures.push(format!("{tag}: monitors armed on one side only"));
+            }
+            _ => {}
+        }
+    }
+    (failures, report)
 }
 
 /// The standard fault-plan matrix exercised by `scripts/check.sh
@@ -565,6 +695,77 @@ mod tests {
         let failures = audit_schedule_races_against(&spec, &report, &forged);
         assert!(!failures.is_empty(), "forged independence claim went undetected");
         assert!(failures[0].contains("schedule race"), "{failures:?}");
+    }
+
+    #[test]
+    fn tenant_isolation_audit_green_across_fault_matrix() {
+        // A small mixed fleet of Example 11 instances, audited against
+        // independent runs under every standard fault plan.
+        let spec = mutual_promise_spec();
+        let arrivals: Vec<Arrival> =
+            (0..4).map(|i| Arrival::new(i, 0, i * 5, 0xBEEF ^ i)).collect();
+        for (name, plan) in standard_plans(3) {
+            let mut config = TenantConfig::new(ExecConfig::seeded(0));
+            config.exec.reliable = Some(dist::ReliableConfig::default());
+            config.exec.monitor = Some(monitor::MonitorConfig::default());
+            config.plan = Some(plan);
+            let (failures, report) =
+                audit_tenant_isolation(std::slice::from_ref(&spec), &arrivals, &config);
+            assert_eq!(failures, Vec::<String>::new(), "{name}");
+            assert_eq!(report.instances.len(), 4, "{name}");
+            if name == "crash" {
+                let wal = report.wal.as_ref().expect("fault plan materializes the WAL");
+                assert!(wal.total() > 0, "{name}: crash plan should exercise the WAL");
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_isolation_audit_catches_a_cross_wired_instance() {
+        // Mutation: stamp instance 1's announcements with a foreign id.
+        // Its actors reject them (counted), and on a precedence spec the
+        // downstream event starves — the audit must report both the
+        // rejection counter and the occurrence divergence.
+        let mut table = SymbolTable::new();
+        let d = parse_expr("~e + ~f + e.f", &mut table).unwrap();
+        let e = table.event("e");
+        let f = table.event("f");
+        let spec = WorkflowSpec {
+            table,
+            dependencies: vec![d],
+            agents: vec![],
+            free_events: vec![
+                dist::FreeEventSpec {
+                    site: SiteId(0),
+                    lit: e,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+                dist::FreeEventSpec {
+                    site: SiteId(1),
+                    lit: f,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+            ],
+        };
+        let arrivals: Vec<Arrival> = (0..3).map(|i| Arrival::new(i, 0, i, 0xACE ^ i)).collect();
+        let mut config = TenantConfig::new(ExecConfig::seeded(0));
+        config.cross_wire = Some(dist::InstanceId(1));
+        let (failures, _) = audit_tenant_isolation(&[spec], &arrivals, &config);
+        assert!(!failures.is_empty(), "cross-wired instance went undetected");
+        assert!(
+            failures.iter().any(|f| f.contains("foreign announcement")),
+            "rejection counter not reported: {failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("instance i1") && f.contains("diverge")),
+            "divergence not attributed to the mutant: {failures:?}"
+        );
+        assert!(
+            !failures.iter().any(|f| f.contains("instance i0") || f.contains("instance i2")),
+            "healthy instances wrongly implicated: {failures:?}"
+        );
     }
 
     #[test]

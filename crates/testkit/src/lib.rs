@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod workload;
 
 use event_algebra::{Expr, Literal, SymbolId, SymbolTable};
 use rand::rngs::SmallRng;

@@ -4,8 +4,10 @@
 # the arena/automaton hot paths (residuation, machine compilation, the
 # end-to-end pipeline10 schedule, product reachability),
 # BENCH_obs.json with the flight recorder's recorder-on vs recorder-off
-# end-to-end delta, and BENCH_monitor.json with the online runtime
-# monitors' armed vs disarmed end-to-end delta.
+# end-to-end delta, BENCH_monitor.json with the online runtime monitors'
+# armed vs disarmed end-to-end delta, and BENCH_scale.json with the
+# multi-tenant engine's throughput on a 1,000-instance open-loop fleet
+# (120 instances in --quick mode).
 #
 #   scripts/bench.sh            full probe (and criterion benches when the
 #                               registry is reachable)
@@ -36,10 +38,13 @@ echo "==> perfprobe ${QUICK:-(full)}"
     --obs-out "$REPO/BENCH_obs.json" \
     --monitor-out "$REPO/BENCH_monitor.json"
 
+echo "==> perfprobe --scale-out ${QUICK:-(full, 1000 instances)}"
+"$REPO/target/release/perfprobe" $QUICK --scale-out "$REPO/BENCH_scale.json"
+
 if [ -z "$QUICK" ]; then
     echo "==> cargo bench -p bench --bench algebra (skipped if registry unavailable)"
     cargo bench -p bench --bench algebra || \
         echo "criterion suite unavailable (offline registry); BENCH_algebra.json is complete"
 fi
 
-echo "==> bench gate done: $REPO/BENCH_algebra.json, $REPO/BENCH_obs.json, $REPO/BENCH_monitor.json"
+echo "==> bench gate done: $REPO/BENCH_algebra.json, $REPO/BENCH_obs.json, $REPO/BENCH_monitor.json, $REPO/BENCH_scale.json"

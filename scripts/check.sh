@@ -16,6 +16,12 @@
 # and guard monitors (`wftrace monitor` must exit clean), and walk a
 # causal path from the buy-commit attempt to its firing (`wftrace query
 # --from/--to` must verify every hop by happens-before precedence).
+#
+# `check.sh --scale` runs the multi-tenant scale tier: `perfprobe
+# --scale-out` executes the quick open-loop fleet (120 mixed travel +
+# pipeline10 instances through `dist::run_tenant`), every instance must
+# quiesce, and the emitted JSON must match the committed
+# BENCH_scale.json schema.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,6 +43,29 @@ if [ "${1:-}" = "--monitors" ]; then
         "$TRACE_TMP/travel.trace.json" > "$TRACE_TMP/query.out"
     grep -q "edges verified by happens-before precedence" "$TRACE_TMP/query.out"
     echo "==> monitor tier passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "--scale" ]; then
+    echo "==> cargo build --release --bin perfprobe"
+    cargo build --release --bin perfprobe
+    SCALE_TMP="$(mktemp -d)"
+    trap 'rm -rf "$SCALE_TMP"' EXIT
+    echo "==> perfprobe --quick --scale-out (120-instance mixed fleet)"
+    "$REPO/target/release/perfprobe" --quick --scale-out "$SCALE_TMP/BENCH_scale.json"
+    python3 - "$SCALE_TMP/BENCH_scale.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+required = {"spec", "quick", "instances", "events", "shards", "quiesced",
+            "exhausted", "makespan", "fire_p50", "fire_p99",
+            "instances_per_sec", "events_per_sec"}
+missing = required - data.keys()
+assert not missing, f"missing keys {sorted(missing)}"
+assert data["exhausted"] == 0, "a fleet instance ran out of budget"
+assert data["quiesced"] == data["instances"], "not every instance quiesced"
+print("scale fleet ok:", data["instances"], "instances,", data["events"], "events")
+PY
+    echo "==> scale tier passed"
     exit 0
 fi
 
@@ -101,6 +130,9 @@ schemas = {
     "BENCH_algebra.json": {"spec", "quick", "benches"},
     "BENCH_obs.json": {"spec", "quick", "recorder_off_ns", "recorder_on_ns", "overhead"},
     "BENCH_monitor.json": {"spec", "quick", "monitor_off_ns", "monitor_on_ns", "overhead"},
+    "BENCH_scale.json": {"spec", "quick", "instances", "events", "shards",
+                         "quiesced", "exhausted", "makespan", "fire_p50",
+                         "fire_p99", "instances_per_sec", "events_per_sec"},
 }
 for name, required in schemas.items():
     path = os.path.join(repo, name)

@@ -105,6 +105,12 @@ cargo run --offline -q -p constrained-events-repro --bin perfprobe -- \
     --obs-out "$SHADOW/BENCH_obs_smoke.json" \
     --monitor-out "$SHADOW/BENCH_monitor_smoke.json"
 
+# Smoke the multi-tenant scale probe (mirrors check.sh --scale): a
+# 120-instance mixed travel + pipeline10 fleet through dist::run_tenant;
+# the probe itself asserts every instance quiesces satisfied.
+./target/debug/perfprobe --quick --scale-out "$SHADOW/BENCH_scale_smoke.json"
+grep -q '"exhausted": 0' "$SHADOW/BENCH_scale_smoke.json"
+
 # Smoke wftrace (mirrors the tier-1 gate's record -> explain -> export
 # pipeline, minus python): the justification chain must verify and the
 # Chrome export must be non-trivial JSON.
