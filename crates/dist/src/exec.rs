@@ -143,6 +143,15 @@ pub struct ExecConfig {
     /// untouched. This is the placement interface the work-stealing
     /// parallel runtime (ROADMAP item 2) will consume.
     pub shard_plan: Option<Arc<ShardPlan>>,
+    /// Run on the work-stealing parallel executor
+    /// ([`crate::parallel::run_workflow_parallel`]) instead of the
+    /// single-queue simulator: nodes are sharded by `shard_plan`
+    /// colocation classes (or the Lemma 5 coupling fallback) and batches
+    /// execute on this many worker threads. Fault-free fast path only:
+    /// [`run_workflow`] dispatches on it, [`run_workflow_with_faults`]
+    /// ignores it, and journals / recorders / monitors are forced off
+    /// (those subsystems assume the single-queue delivery order).
+    pub parallel: Option<sim::ParallelConfig>,
 }
 
 impl ExecConfig {
@@ -159,6 +168,7 @@ impl ExecConfig {
             record: None,
             monitor: None,
             shard_plan: None,
+            parallel: None,
         }
     }
 }
@@ -778,8 +788,14 @@ pub(crate) fn wrap_nodes(
         .collect()
 }
 
-/// Compile and run a workflow on the deterministic simulated network.
+/// Compile and run a workflow on the deterministic simulated network —
+/// or, when [`ExecConfig::parallel`] is set, on the work-stealing
+/// parallel executor (whose results the tenth conformance audit holds to
+/// the single-queue simulator's).
 pub fn run_workflow(spec: &WorkflowSpec, config: ExecConfig) -> RunReport {
+    if config.parallel.is_some() {
+        return crate::parallel::run_workflow_parallel(spec, &config).report;
+    }
     run_workflow_inner(spec, config, None)
 }
 

@@ -16,6 +16,7 @@ mod agent_node;
 mod exec;
 mod journal;
 mod msg;
+pub mod parallel;
 pub mod param;
 mod reliable;
 pub mod tenant;
@@ -29,5 +30,9 @@ pub use exec::{
 };
 pub use journal::{Journal, JournalEntry, JournalKind, NodeStore, WalEntry};
 pub use msg::{InstanceId, Msg};
+pub use parallel::{
+    run_parallel_fleet, run_workflow_parallel, ParallelFleetReport, ParallelInstanceOutcome,
+    ParallelRun,
+};
 pub use reliable::{Reliable, ReliableConfig};
 pub use tenant::{run_tenant, Arrival, InstanceOutcome, TenantConfig, TenantReport};

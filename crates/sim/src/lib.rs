@@ -11,6 +11,7 @@
 
 mod faults;
 mod net;
+mod parallel;
 mod stats;
 mod threaded;
 
@@ -18,5 +19,6 @@ pub use faults::{Crash, FaultPlan, FaultStats, LinkFaults, Partition};
 pub use net::{
     Ctx, LatencyModel, Network, NodeId, Process, RunOutcome, SimConfig, SiteId, Termination, Time,
 };
+pub use parallel::{run_sharded, ParallelConfig, ParallelStats, ShardedRun, WorkerLoad};
 pub use stats::NetStats;
 pub use threaded::run_threaded;

@@ -4,7 +4,29 @@
 //! interleavings (runs are checked for safety, not for bitwise equality
 //! with the deterministic simulator).
 //!
+//! # Divergences from [`Network`]
+//!
+//! This executor has **no virtual clock**, and its statistics reflect
+//! that honestly rather than pretending otherwise:
+//!
+//! - every send is recorded with the simulator's *minimum* latency of 1,
+//!   regardless of the configured latency model — there is no model here
+//!   at all, real thread scheduling is the only source of delay;
+//! - `Ctx::now()` equals the global delivery counter (`now == seq`), so
+//!   "time" is a delivery count, not ticks, and durations are not
+//!   comparable to [`Network`] durations;
+//! - [`Ctx::send_after`] extra delays degrade to immediate sends — timer
+//!   semantics need the virtual clock and simply do not exist here;
+//! - per-link FIFO is whatever the channels give (per-sender order),
+//!   and there is no fault layer.
+//!
+//! Runs that need timing fidelity or worker-count-invariant results
+//! belong on [`Network`] or on the sharded parallel executor
+//! ([`run_sharded`]); this executor's job is purely to shake out
+//! real-concurrency safety bugs in the node code.
+//!
 //! [`Network`]: crate::Network
+//! [`run_sharded`]: crate::run_sharded
 
 use crate::net::{Ctx, NodeId, Process, RunOutcome, SiteId, Termination};
 use crate::stats::NetStats;
@@ -92,15 +114,19 @@ where
                         in_flight.fetch_sub(1, Ordering::SeqCst);
                     }
                     Err(_) => {
-                        if delivered.load(Ordering::SeqCst) >= max_messages {
-                            exhausted.store(true, Ordering::SeqCst);
-                            return (proc_, stats); // over budget: bail out
-                        }
                         // Quiescent: no message queued or being processed
                         // anywhere (the counter is decremented only after
                         // replies are enqueued, so zero is conclusive).
+                        // Checked *before* the budget: delivering exactly
+                        // `max_messages` and then going silent is
+                        // convergence, not exhaustion — the same tie-break
+                        // `Network::run_to_quiescence` applies.
                         if in_flight.load(Ordering::SeqCst) == 0 && rx.is_empty() {
                             return (proc_, stats);
+                        }
+                        if delivered.load(Ordering::SeqCst) >= max_messages {
+                            exhausted.store(true, Ordering::SeqCst);
+                            return (proc_, stats); // over budget: bail out
                         }
                     }
                 }
@@ -186,5 +212,33 @@ mod tests {
         let (_, outcome, _) = run_threaded(nodes, vec![(NodeId(0), NodeId(1), 1)], 50);
         assert_eq!(outcome.termination, Termination::BudgetExhausted);
         assert!(outcome.steps >= 50);
+    }
+
+    #[test]
+    fn threaded_exact_budget_quiescence_is_not_exhaustion() {
+        // A 9-countdown ping-pong delivers exactly 10 messages and then
+        // goes silent: with max_messages == 10 that is convergence, and
+        // the outcome must say Quiescent — the same tie-break the
+        // deterministic Network applies when its budget runs out on the
+        // very last delivery.
+        let nodes = vec![(SiteId(0), Counter { seen: 0 }), (SiteId(1), Counter { seen: 0 })];
+        let (out, outcome, stats) = run_threaded(nodes, vec![(NodeId(0), NodeId(1), 9)], 10);
+        let total: u64 = out.iter().map(|c| c.seen).sum();
+        assert_eq!(total, 10, "all ten deliveries happened");
+        assert_eq!(outcome.steps, 10);
+        assert_eq!(outcome.termination, Termination::Quiescent);
+        assert_eq!(stats.delivered_total, 10);
+    }
+
+    #[test]
+    fn threaded_divergence_latency_is_always_one() {
+        // The documented divergence from Network: no latency model, every
+        // send recorded with latency 1 — so the latency sum equals the
+        // send count and p99 is 1 whatever the real scheduling did.
+        let nodes = vec![(SiteId(0), Counter { seen: 0 }), (SiteId(1), Counter { seen: 0 })];
+        let (_, outcome, stats) = run_threaded(nodes, vec![(NodeId(0), NodeId(1), 7)], 10_000);
+        assert_eq!(outcome.termination, Termination::Quiescent);
+        assert_eq!(stats.latency_sum, stats.sent_total, "every send costs exactly 1 tick");
+        assert_eq!(stats.p99(), 1);
     }
 }

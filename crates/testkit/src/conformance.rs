@@ -65,10 +65,27 @@
 //! and a WAL across tenants must be *unobservable* per tenant;
 //! [`dist::TenantConfig::cross_wire`] is the mutation knob proving the
 //! audit can fail.
+//!
+//! A tenth audit holds the work-stealing parallel runtime to the
+//! deterministic simulator: [`audit_parallel_conformance`] runs the same
+//! (spec, seed) on [`dist::run_workflow_parallel`] for every requested
+//! worker count and on the single-queue oracle, and demands identical
+//! occurrence sets, unresolved symbols, dependency verdicts, termination
+//! honesty and final `□`-views ([`machine_views`]) — timing may differ
+//! only through latency-RNG draw *order*, never through a lost or
+//! reordered *fact*. All parallel runs must additionally be
+//! byte-identical to each other across worker counts (the engine's
+//! determinism guarantee), and the eighth audit's transposition check
+//! re-runs over the parallel schedule as the safety net that catches a
+//! forged [`ShardPlan`] independence claim. [`audit_parallel_fleet`] is
+//! the fleet-scale variant, holding every instance of a
+//! [`dist::run_parallel_fleet`] run to its isolated single-queue
+//! baseline.
 
 use dist::{
-    guard_gated, run_tenant, run_workflow_with_faults, Arrival, ExecConfig, RunReport,
-    TenantConfig, TenantReport, WorkflowSpec,
+    guard_gated, run_parallel_fleet, run_tenant, run_workflow_parallel, run_workflow_with_faults,
+    Arrival, ExecConfig, ParallelFleetReport, ParallelRun, RunReport, TenantConfig, TenantReport,
+    WorkflowSpec,
 };
 use event_algebra::{DependencyMachine, Literal, ShardPlan, StateId};
 use guard::{CompiledWorkflow, GuardScope};
@@ -441,6 +458,167 @@ pub fn audit_tenant_isolation(
     (failures, report)
 }
 
+/// Shared core of the parallel audits: compare a parallel run's logical
+/// results against the single-queue oracle's. `tag` prefixes failures.
+fn diff_parallel_vs_oracle(
+    spec: &WorkflowSpec,
+    tag: &str,
+    par: &RunReport,
+    oracle: &RunReport,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let lits = |r: &RunReport| -> std::collections::BTreeSet<Literal> {
+        r.occurrences.iter().map(|&(l, _, _)| l).collect()
+    };
+    if lits(par) != lits(oracle) {
+        failures.push(format!(
+            "{tag}: occurrence sets diverge: parallel {:?} vs oracle {:?}",
+            lits(par),
+            lits(oracle)
+        ));
+    }
+    if par.unresolved != oracle.unresolved {
+        failures.push(format!(
+            "{tag}: unresolved symbols diverge: parallel {:?} vs oracle {:?}",
+            par.unresolved, oracle.unresolved
+        ));
+    }
+    if par.satisfied != oracle.satisfied {
+        failures.push(format!(
+            "{tag}: dependency verdicts diverge: parallel {:?} vs oracle {:?}",
+            par.satisfied, oracle.satisfied
+        ));
+    }
+    if par.termination != oracle.termination {
+        failures.push(format!(
+            "{tag}: termination honesty diverges: parallel {:?} vs oracle {:?}",
+            par.termination, oracle.termination
+        ));
+    }
+    for (side, rep) in [("parallel", par), ("oracle", oracle)] {
+        if !rep.divergence.is_empty() {
+            failures.push(format!(
+                "{tag}: {side} run has internal view divergence: {:?}",
+                rep.divergence
+            ));
+        }
+    }
+    let machines = DependencyMachine::compile_all(&spec.dependencies);
+    let par_views = machine_views(&machines, par.maximal_trace.events());
+    let oracle_views = machine_views(&machines, oracle.maximal_trace.events());
+    if par_views != oracle_views {
+        failures.push(format!(
+            "{tag}: final □-views diverge: parallel {par_views:?} vs oracle {oracle_views:?}"
+        ));
+    }
+    failures
+}
+
+/// The tenth audit: parallel conformance. Run `spec` on the
+/// work-stealing parallel executor once per entry of `workers`, and once
+/// on the single-queue simulator (the oracle), all from the same
+/// `config`. Demands, for every worker count:
+///
+/// - **Logical identity with the oracle**: same occurrence *set*, same
+///   unresolved symbols, same per-dependency verdicts, same
+///   [`Termination`], no internal view divergence on either side, and
+///   identical final `□`-views under [`machine_views`]. (Timestamps and
+///   delivery sequences may differ: the parallel runtime samples
+///   latency statelessly per send, not from the oracle's serial RNG.)
+/// - **Worker-count determinism**: every parallel run is byte-identical
+///   — occurrences with timestamps and sequences, duration, step count —
+///   to the first one.
+/// - **No schedule races**: the eighth audit's transposition check over
+///   the *parallel* schedule, both against the analyzer-derived plan
+///   ([`audit_schedule_races`]) and against the plan that actually keyed
+///   the shards — the safety net for forged independence claims.
+///
+/// Returns the failures (empty iff conformant) and the last parallel
+/// run for inspection.
+pub fn audit_parallel_conformance(
+    spec: &WorkflowSpec,
+    config: &ExecConfig,
+    workers: &[usize],
+) -> (Vec<String>, ParallelRun) {
+    assert!(!workers.is_empty(), "at least one worker count to audit");
+    let mut oracle_cfg = config.clone();
+    oracle_cfg.parallel = None;
+    let oracle = dist::run_workflow(spec, oracle_cfg);
+    let mut failures = Vec::new();
+    // (workers, occurrences, duration, steps) of the first parallel run —
+    // the byte-level determinism baseline the other counts must match.
+    type Baseline = (usize, Vec<(Literal, sim::Time, u64)>, sim::Time, u64);
+    let mut baseline: Option<Baseline> = None;
+    let mut last: Option<ParallelRun> = None;
+    for &w in workers {
+        let mut par_cfg = config.clone();
+        par_cfg.parallel = Some(sim::ParallelConfig::new(w));
+        let run = run_workflow_parallel(spec, &par_cfg);
+        let tag = format!("{w} worker(s)");
+        failures.extend(diff_parallel_vs_oracle(spec, &tag, &run.report, &oracle));
+        failures.extend(
+            audit_schedule_races(spec, &run.report).into_iter().map(|f| format!("{tag}: {f}")),
+        );
+        failures.extend(
+            audit_schedule_races_against(spec, &run.report, &run.plan)
+                .into_iter()
+                .map(|f| format!("{tag} (shard-keying plan): {f}")),
+        );
+        match &baseline {
+            Some((bw, occ, dur, steps)) => {
+                if run.report.occurrences != *occ
+                    || run.report.duration != *dur
+                    || run.report.steps != *steps
+                {
+                    failures.push(format!(
+                        "{tag}: results differ from the {bw}-worker run — the parallel \
+                         engine broke its worker-count determinism guarantee"
+                    ));
+                }
+            }
+            None => {
+                baseline = Some((
+                    w,
+                    run.report.occurrences.clone(),
+                    run.report.duration,
+                    run.report.steps,
+                ));
+            }
+        }
+        last = Some(run);
+    }
+    (failures, last.expect("workers is non-empty"))
+}
+
+/// Fleet-scale tenth audit: run a whole fleet through
+/// [`dist::run_parallel_fleet`] and hold every instance to its isolated
+/// single-queue baseline (same specialized spec, same seed), with the
+/// same logical-identity contract as [`audit_parallel_conformance`] —
+/// occurrence sets, unresolved symbols, verdicts and final `□`-views;
+/// fleet-clock timestamps are instance-relative only in duration, so
+/// timing is not compared.
+pub fn audit_parallel_fleet(
+    specs: &[WorkflowSpec],
+    arrivals: &[Arrival],
+    config: &ExecConfig,
+) -> (Vec<String>, ParallelFleetReport) {
+    let fleet = run_parallel_fleet(specs, arrivals, config);
+    let mut failures = Vec::new();
+    for (a, o) in arrivals.iter().zip(&fleet.instances) {
+        let spec = a.apply_to_spec(&specs[a.spec_ix]);
+        let mut solo_cfg = config.clone();
+        solo_cfg.sim.seed = a.seed;
+        solo_cfg.parallel = None;
+        solo_cfg.journal = false;
+        solo_cfg.record = None;
+        solo_cfg.monitor = None;
+        let solo = dist::run_workflow(&spec, solo_cfg);
+        let tag = format!("instance {}", a.instance);
+        failures.extend(diff_parallel_vs_oracle(&spec, &tag, &o.report, &solo));
+    }
+    (failures, fleet)
+}
+
 /// The standard fault-plan matrix exercised by `scripts/check.sh
 /// --faults`: each entry is a named plan derived from `fault_seed`. The
 /// plans stay within what the hardened protocol tolerates (lossy but
@@ -805,5 +983,101 @@ mod tests {
         // broken, e's own guard (which demands it precede f) is false too.
         let violations = audit_guards(&spec, &report);
         assert!(violations.contains(&(f, 0)), "{violations:?}");
+    }
+
+    /// A precedence chain whose arrow dependencies all commute: the
+    /// coupling fallback gives singleton classes, so the parallel run
+    /// actually exercises multi-shard rounds.
+    fn chain_spec(n: usize) -> WorkflowSpec {
+        let mut table = SymbolTable::new();
+        let mut deps = Vec::new();
+        for i in 0..n.saturating_sub(1) {
+            deps.push(parse_expr(&format!("~e{i} + e{}", i + 1), &mut table).unwrap());
+        }
+        let free_events = (0..n)
+            .map(|i| dist::FreeEventSpec {
+                site: SiteId(i as u32),
+                lit: table.event(&format!("e{i}")),
+                attrs: EventAttrs::controllable(),
+                attempt_after: Some(1),
+            })
+            .collect();
+        WorkflowSpec { table, dependencies: deps, agents: vec![], free_events }
+    }
+
+    #[test]
+    fn parallel_conformance_audit_green_on_clean_specs() {
+        // The tenth audit across worker counts 1/2/4 on both a
+        // promise-consensus spec and a commuting pipeline, two seeds.
+        for seed in [0, 23] {
+            for spec in [mutual_promise_spec(), chain_spec(5)] {
+                let (failures, run) =
+                    audit_parallel_conformance(&spec, &ExecConfig::seeded(seed), &[1, 2, 4]);
+                assert_eq!(failures, Vec::<String>::new(), "seed {seed}");
+                assert!(run.report.all_satisfied(), "seed {seed}: {:?}", run.report);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fleet_audit_green() {
+        let spec = chain_spec(4);
+        let arrivals: Vec<Arrival> = (0..5).map(|i| Arrival::new(i, 0, i * 7, 0xACE ^ i)).collect();
+        let mut config = ExecConfig::seeded(0);
+        config.parallel = Some(sim::ParallelConfig::new(2));
+        let (failures, fleet) =
+            audit_parallel_fleet(std::slice::from_ref(&spec), &arrivals, &config);
+        assert_eq!(failures, Vec::<String>::new());
+        assert_eq!(fleet.instances.len(), 5);
+        assert!(fleet.all_satisfied());
+    }
+
+    #[test]
+    fn parallel_audit_catches_a_forged_shard_plan() {
+        // Mutation: key the shards with a plan that falsely claims the
+        // non-commuting precedence pair (e, f) independent. Whatever the
+        // racy schedule produces, the audit must come back red — through
+        // the transposition replay over the shard-keying plan at least.
+        let mut table = SymbolTable::new();
+        let d = parse_expr("~e + ~f + e.f", &mut table).unwrap();
+        let e = table.event("e");
+        let f = table.event("f");
+        let spec = WorkflowSpec {
+            table,
+            dependencies: vec![d],
+            agents: vec![],
+            free_events: vec![
+                dist::FreeEventSpec {
+                    site: SiteId(0),
+                    lit: e,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+                dist::FreeEventSpec {
+                    site: SiteId(0),
+                    lit: f,
+                    attrs: EventAttrs::controllable(),
+                    attempt_after: Some(1),
+                },
+            ],
+        };
+        let pair = event_algebra::shard::canonical(e.symbol(), f.symbol());
+        let forged = ShardPlan {
+            classes: vec![
+                event_algebra::ShardClass { id: 0, events: vec![pair.0], site: None },
+                event_algebra::ShardClass { id: 1, events: vec![pair.1], site: None },
+            ],
+            commuting: vec![pair],
+            independent: vec![pair],
+            ..ShardPlan::default()
+        };
+        let mut config = ExecConfig::seeded(2);
+        config.shard_plan = Some(std::sync::Arc::new(forged));
+        let (failures, _) = audit_parallel_conformance(&spec, &config, &[1]);
+        assert!(!failures.is_empty(), "forged plan went undetected");
+        assert!(
+            failures.iter().any(|fl| fl.contains("schedule race") && fl.contains("e")),
+            "the race must be attributed to the forged pair: {failures:?}"
+        );
     }
 }

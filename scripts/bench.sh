@@ -7,7 +7,9 @@
 # end-to-end delta, BENCH_monitor.json with the online runtime monitors'
 # armed vs disarmed end-to-end delta, and BENCH_scale.json with the
 # multi-tenant engine's throughput on a 1,000-instance open-loop fleet
-# (120 instances in --quick mode).
+# (120 instances in --quick mode), and BENCH_parallel.json with the
+# work-stealing runtime's modeled 1/2/4/8-worker core-scaling sweep on
+# the pipeline10 fleet.
 #
 #   scripts/bench.sh            full probe (and criterion benches when the
 #                               registry is reachable)
@@ -40,6 +42,9 @@ echo "==> perfprobe ${QUICK:-(full)}"
 
 echo "==> perfprobe --scale-out ${QUICK:-(full, 1000 instances)}"
 "$REPO/target/release/perfprobe" $QUICK --scale-out "$REPO/BENCH_scale.json"
+
+echo "==> perfprobe --parallel-out ${QUICK:-(full, 1000 instances)}"
+"$REPO/target/release/perfprobe" $QUICK --parallel-out "$REPO/BENCH_parallel.json"
 
 if [ -z "$QUICK" ]; then
     echo "==> cargo bench -p bench --bench algebra (skipped if registry unavailable)"

@@ -22,6 +22,14 @@
 # pipeline10 instances through `dist::run_tenant`), every instance must
 # quiesce, and the emitted JSON must match the committed
 # BENCH_scale.json schema.
+#
+# `check.sh --parallel` runs the work-stealing runtime tier: the
+# `conformance --parallel` audit proves the sharded runtime reproduces
+# the deterministic simulator oracle on the standard fault-free matrix,
+# and `perfprobe --quick --parallel-out` runs the quick pipeline10
+# fleet, gating on the emitted JSON's schema and a sane modeled
+# core-scaling curve. The committed full-run BENCH_parallel.json is
+# schema- and threshold-checked by the tier-1 gate below.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -66,6 +74,36 @@ assert data["quiesced"] == data["instances"], "not every instance quiesced"
 print("scale fleet ok:", data["instances"], "instances,", data["events"], "events")
 PY
     echo "==> scale tier passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "--parallel" ]; then
+    echo "==> cargo build --release --bin conformance --bin perfprobe"
+    cargo build --release --bin conformance --bin perfprobe
+    echo "==> conformance --parallel (sharded runtime vs simulator oracle)"
+    "$REPO/target/release/conformance" --parallel
+    PAR_TMP="$(mktemp -d)"
+    trap 'rm -rf "$PAR_TMP"' EXIT
+    echo "==> perfprobe --quick --parallel-out (80-instance pipeline10 fleet)"
+    "$REPO/target/release/perfprobe" --quick --parallel-out "$PAR_TMP/BENCH_parallel.json"
+    python3 - "$PAR_TMP/BENCH_parallel.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+required = {"spec", "quick", "instances", "events", "shards", "rounds",
+            "max_round_width", "wall_ns", "busy_ns", "merge_ns",
+            "speedup_4_vs_1", "sweep"}
+missing = required - data.keys()
+assert not missing, f"missing keys {sorted(missing)}"
+sweep = {entry["workers"]: entry["modeled_ns"] for entry in data["sweep"]}
+assert set(sweep) == {1, 2, 4, 8}, f"unexpected worker sweep {sorted(sweep)}"
+assert all(sweep[a] >= sweep[b] for a, b in [(1, 2), (2, 4), (4, 8)]), \
+    "modeled makespan must not grow with more workers"
+assert data["speedup_4_vs_1"] > 1.3, \
+    f"quick fleet shows no core scaling: {data['speedup_4_vs_1']}"
+print("parallel fleet ok:", data["instances"], "instances,",
+      data["events"], "events, 4-worker speedup", data["speedup_4_vs_1"])
+PY
+    echo "==> parallel tier passed"
     exit 0
 fi
 
@@ -133,6 +171,9 @@ schemas = {
     "BENCH_scale.json": {"spec", "quick", "instances", "events", "shards",
                          "quiesced", "exhausted", "makespan", "fire_p50",
                          "fire_p99", "instances_per_sec", "events_per_sec"},
+    "BENCH_parallel.json": {"spec", "quick", "instances", "events", "shards",
+                            "rounds", "max_round_width", "wall_ns", "busy_ns",
+                            "merge_ns", "metric", "speedup_4_vs_1", "sweep"},
 }
 for name, required in schemas.items():
     path = os.path.join(repo, name)
@@ -142,6 +183,10 @@ for name, required in schemas.items():
     assert not missing, f"{name}: missing keys {sorted(missing)}"
     for key in required:
         assert data[key] is not None, f"{name}: {key} is null"
+    if name == "BENCH_parallel.json":
+        assert data["speedup_4_vs_1"] >= 2.5, (
+            f"committed parallel bench regressed: 4-worker speedup "
+            f"{data['speedup_4_vs_1']} < 2.5")
 print("BENCH schemas ok:", ", ".join(sorted(schemas)))
 PY
 

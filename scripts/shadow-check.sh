@@ -111,6 +111,13 @@ cargo run --offline -q -p constrained-events-repro --bin perfprobe -- \
 ./target/debug/perfprobe --quick --scale-out "$SHADOW/BENCH_scale_smoke.json"
 grep -q '"exhausted": 0' "$SHADOW/BENCH_scale_smoke.json"
 
+# Smoke the work-stealing runtime probe (mirrors check.sh --parallel):
+# the quick pipeline10 fleet through dist::run_parallel_fleet; the probe
+# itself asserts every instance satisfies its workflow and that a live
+# 2-worker pool reproduces the modeled run's history bit for bit.
+./target/debug/perfprobe --quick --parallel-out "$SHADOW/BENCH_parallel_smoke.json"
+grep -q '"speedup_4_vs_1"' "$SHADOW/BENCH_parallel_smoke.json"
+
 # Smoke wftrace (mirrors the tier-1 gate's record -> explain -> export
 # pipeline, minus python): the justification chain must verify and the
 # Chrome export must be non-trivial JSON.

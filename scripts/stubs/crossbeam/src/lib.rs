@@ -3,31 +3,50 @@
 /// MPMC channels over std sync primitives.
 pub mod channel {
     use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::Duration;
 
     struct Chan<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        senders: AtomicUsize,
     }
 
-    /// Sending half; clonable.
+    /// Sending half; clonable. Dropping the last sender disconnects the
+    /// channel, waking blocked receivers.
     pub struct Sender<T> {
         chan: Arc<Chan<T>>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
+            self.chan.senders.fetch_add(1, Ordering::SeqCst);
             Sender { chan: Arc::clone(&self.chan) }
         }
     }
 
-    /// Receiving half.
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    /// Receiving half; clonable (competitive consumers, like crossbeam).
     pub struct Receiver<T> {
         chan: Arc<Chan<T>>,
     }
 
-    /// Send failed (never happens here: the stub channel cannot close).
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    /// Send failed (never happens here: the stub does not track receiver
+    /// drops).
     pub struct SendError<T>(pub T);
 
     impl<T> std::fmt::Debug for SendError<T> {
@@ -36,18 +55,26 @@ pub mod channel {
         }
     }
 
+    /// Blocking receive failed: every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
     /// Timed receive failed.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum RecvTimeoutError {
         /// No message arrived within the timeout.
         Timeout,
-        /// All senders dropped (not modelled by the stub).
+        /// All senders dropped and the queue is drained.
         Disconnected,
     }
 
     /// An unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let chan = Arc::new(Chan { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() });
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
         (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
     }
 
@@ -70,6 +97,9 @@ pub mod channel {
                 if let Some(v) = q.pop_front() {
                     return Ok(v);
                 }
+                if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
                 let now = std::time::Instant::now();
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
@@ -83,9 +113,46 @@ pub mod channel {
             }
         }
 
+        /// Dequeue a message, blocking until one arrives or every sender
+        /// is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.chan.queue.lock().expect("stub channel lock");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.chan.ready.wait(q).expect("stub channel lock");
+            }
+        }
+
+        /// A blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Messages queued right now.
+        pub fn len(&self) -> usize {
+            self.chan.queue.lock().expect("stub channel lock").len()
+        }
+
         /// `true` when no message is queued right now.
         pub fn is_empty(&self) -> bool {
             self.chan.queue.lock().expect("stub channel lock").is_empty()
+        }
+    }
+
+    /// Blocking iterator over received messages (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
@@ -97,14 +164,41 @@ pub mod channel {
         fn send_recv_across_threads() {
             let (tx, rx) = unbounded::<u32>();
             let tx2 = tx.clone();
-            std::thread::spawn(move || {
+            let h = std::thread::spawn(move || {
                 tx2.send(41).unwrap();
                 tx.send(42).unwrap();
             });
             assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(41));
             assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(42));
+            h.join().unwrap();
             assert!(rx.is_empty());
-            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(100)),
+                Err(RecvTimeoutError::Disconnected),
+                "both senders are gone once the thread finishes"
+            );
+        }
+
+        #[test]
+        fn iter_ends_on_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = std::thread::spawn(move || rx.iter().sum::<u32>());
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(h.join().unwrap(), 45);
+        }
+
+        #[test]
+        fn len_counts_queued_messages() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.len(), 0);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.len(), 1);
         }
     }
 }

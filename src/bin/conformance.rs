@@ -4,27 +4,34 @@
 //! determinism. Exits nonzero on the first nonconforming scenario.
 //!
 //! ```text
-//! conformance [--seeds N] [--max-steps N] [SPEC.wf ...]
+//! conformance [--seeds N] [--max-steps N] [--parallel] [SPEC.wf ...]
 //! ```
 //!
 //! With no spec arguments, sweeps `examples/specs/*.wf`. Liveness is
 //! only demanded of specs the static analyzer reports error-free — a
 //! spec wfcheck already rejects is run for safety alone.
+//!
+//! `--parallel` switches to the tenth audit instead of the fault
+//! matrix: every spec runs fault-free on the work-stealing parallel
+//! executor across worker counts 1/2/4, held to the single-queue
+//! simulator oracle (`testkit::conformance::audit_parallel_conformance`)
+//! for each seed.
 
 use analyze::{analyze_workflow, AnalyzeOptions, Severity};
 use constrained_events::{ExecConfig, LoweredWorkflow, ReliableConfig, WorkflowBuilder};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use testkit::conformance::{explore, standard_plans};
+use testkit::conformance::{audit_parallel_conformance, explore, standard_plans};
 
 struct Args {
     seeds: u64,
     max_steps: u64,
+    parallel: bool,
     specs: Vec<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { seeds: 10, max_steps: 2_000_000, specs: Vec::new() };
+    let mut args = Args { seeds: 10, max_steps: 2_000_000, parallel: false, specs: Vec::new() };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -36,8 +43,9 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--max-steps needs a value")?;
                 args.max_steps = v.parse().map_err(|e| format!("--max-steps {v}: {e}"))?;
             }
+            "--parallel" => args.parallel = true,
             "--help" | "-h" => {
-                println!("usage: conformance [--seeds N] [--max-steps N] [SPEC.wf ...]");
+                println!("usage: conformance [--seeds N] [--max-steps N] [--parallel] [SPEC.wf ...]");
                 std::process::exit(0);
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
@@ -100,6 +108,48 @@ fn main() -> ExitCode {
         let mut config = ExecConfig::seeded(0);
         config.reliable = Some(ReliableConfig::default());
         config.max_steps = args.max_steps;
+
+        if args.parallel {
+            // Tenth audit: fault-free parallel runs across worker counts,
+            // held to the single-queue oracle per seed. The raw (unwrapped)
+            // transport is the parallel runtime's scope.
+            const WORKERS: &[usize] = &[1, 2, 4];
+            let mut failures = Vec::new();
+            for seed in 0..args.seeds {
+                let mut cfg = config.clone();
+                cfg.reliable = None;
+                cfg.sim.seed = seed;
+                let (fails, run) = audit_parallel_conformance(&workflow.spec, &cfg, WORKERS);
+                failures.extend(
+                    fails.into_iter().map(|f| format!("[{}/seed {seed}] {f}", workflow.name)),
+                );
+                if expect_live && !run.report.all_satisfied() {
+                    failures.push(format!(
+                        "[{}/seed {seed}] parallel run left dependencies unsatisfied",
+                        workflow.name
+                    ));
+                }
+            }
+            let scenarios = args.seeds * WORKERS.len() as u64;
+            if failures.is_empty() {
+                println!(
+                    "conformance: {:<12} {} parallel scenarios ok ({} seeds x workers {WORKERS:?})",
+                    workflow.name, scenarios, args.seeds
+                );
+            } else {
+                for f in &failures {
+                    eprintln!("FAIL {f}");
+                }
+                eprintln!(
+                    "conformance: {:<12} {}/{} parallel scenarios nonconforming",
+                    workflow.name,
+                    failures.len(),
+                    scenarios
+                );
+                total_failures += failures.len();
+            }
+            continue;
+        }
 
         let failures = explore(&workflow.name, &workflow.spec, config, 0..args.seeds, expect_live);
         let scenarios = args.seeds * plan_count;
