@@ -23,6 +23,7 @@ use agent::EventAttrs;
 use event_algebra::{
     requires, residuate, DependencyMachine, Expr, Literal, Polarity, StateId, SymbolId,
 };
+use monitor::WorkflowMonitor;
 use obs::{Fact, NodeObs, ObsLit, SpanId, SpanKind, Verdict};
 use sim::{Ctx, NodeId, Time};
 use std::collections::{BTreeMap, BTreeSet};
@@ -37,16 +38,18 @@ fn olit(l: Literal) -> ObsLit {
     ObsLit(l.index() as u32)
 }
 
-/// Stable 32-bit FNV-1a fingerprint of a guard's canonical form — the
-/// residual id recorded on guard-evaluation spans. Two evaluations with
-/// equal fingerprints saw the same residual guard.
+/// Stable 32-bit fingerprint of a guard's canonical form — the residual
+/// id recorded on guard-evaluation spans. Two evaluations with equal
+/// fingerprints saw the same residual guard. Hashes the structure
+/// directly (guards are kept canonical, so structural equality is
+/// semantic equality) rather than a Debug rendering: this runs on every
+/// recorded guard evaluation and must not allocate.
 fn guard_fingerprint(g: &Guard) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for b in format!("{g:?}").bytes() {
-        h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    g.hash(&mut h);
+    let x = h.finish();
+    (x as u32) ^ ((x >> 32) as u32)
 }
 
 /// Routing tables shared by all nodes of one execution.
@@ -288,6 +291,13 @@ pub struct SymbolActor {
     /// occurrences, residual steps and promise-round phases become causal
     /// trace spans when a recorder is attached.
     pub obs: NodeObs,
+    /// Fused monitor handle (off by default): the scheduler steps the
+    /// armed monitor directly at each transition the sink-driven monitor
+    /// used to reconstruct from trace spans — occurrences, fact
+    /// applications, enabled guard verdicts and promise-round phases.
+    /// Costs nothing when `None`, and nothing extra when armed: no
+    /// trace-event payload is constructed on this path.
+    pub mon: Option<Arc<WorkflowMonitor>>,
     /// The workflow instance this actor belongs to: announcements from a
     /// different instance are dropped (and counted). Single-instance runs
     /// leave the default [`InstanceId::ROOT`] everywhere.
@@ -330,6 +340,7 @@ impl SymbolActor {
             max_promise_retries: 8,
             promise_retries: BTreeMap::new(),
             obs: NodeObs::off(),
+            mon: None,
             instance: InstanceId::ROOT,
             announce_instance: InstanceId::ROOT,
         }
@@ -424,6 +435,9 @@ impl SymbolActor {
             return; // duplicate
         }
         self.obs.rec(ctx.now(), SpanKind::FactApplied { lit: olit(lit), seq });
+        if let Some(m) = &self.mon {
+            m.on_fact_applied(ctx.now(), self.obs.node, olit(lit), seq);
+        }
         self.apply_facts(seq, ctx.now());
         self.after_fact(ctx, Some(lit));
     }
@@ -431,6 +445,9 @@ impl SymbolActor {
     fn on_promise_grant(&mut self, ctx: &mut Ctx<'_, Msg>, lit: Literal) {
         if self.promises_seen.insert(lit) {
             self.obs.rec(ctx.now(), SpanKind::PromiseCommit { lit: olit(lit) });
+            if let Some(m) = &self.mon {
+                m.on_promise_commit(ctx.now(), self.obs.node, olit(lit));
+            }
             for st in [&mut self.pos, &mut self.neg] {
                 st.guard = st.guard.assume_promised(lit);
             }
@@ -466,6 +483,9 @@ impl SymbolActor {
         self.stats.promise_aborts += 1;
         self.journal(ctx.now(), JournalKind::PromiseAborted { lit, for_lit });
         self.obs.rec(ctx.now(), SpanKind::PromiseAbort { lit: olit(lit) });
+        if let Some(m) = &self.mon {
+            m.on_promise_abort(ctx.now(), self.obs.node, olit(lit));
+        }
         self.lit_state(for_lit).requested_promises.remove(&lit);
         let retries = self.promise_retries.entry((lit, for_lit)).or_insert(0);
         if *retries < self.max_promise_retries {
@@ -703,6 +723,15 @@ impl SymbolActor {
     /// guard so far — the facts the causal-consistency audit traces back
     /// to their establishing occurrences.
     fn rec_guard_eval(&self, now: Time, lit: Literal, verdict: Verdict) -> Option<SpanId> {
+        // The fused monitor only watches Enabled verdicts (the stall
+        // watchdog's enabled-but-unfired entries); it is stepped even
+        // with the recorder off — and before the occurrence that may
+        // immediately close the entry, mirroring span order.
+        if matches!(verdict, Verdict::Enabled) {
+            if let Some(m) = &self.mon {
+                m.on_guard_enabled(now, self.obs.node, olit(lit));
+            }
+        }
         if !self.obs.enabled() {
             return None;
         }
@@ -710,6 +739,15 @@ impl SymbolActor {
             self.facts_seen.iter().map(|(&seq, &l)| Fact { seq, lit: olit(l), at: 0 }).collect();
         let residual = guard_fingerprint(&self.lit_state_ref(lit).guard);
         self.obs.rec(now, SpanKind::GuardEval { lit: olit(lit), verdict, residual, facts })
+    }
+
+    /// Record a promise denial span and step the fused monitor (which
+    /// closes the requester's open promise round).
+    fn rec_promise_deny(&self, now: Time, lit: Literal, requester: NodeId) {
+        self.obs.rec(now, SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
+        if let Some(m) = &self.mon {
+            m.on_promise_deny(now, requester.0, olit(lit));
+        }
     }
 
     /// Decide an attempted literal: occur, reject, or park and pursue the
@@ -822,6 +860,9 @@ impl SymbolActor {
                         ctx.now(),
                         SpanKind::PromiseOpen { lit: olit(*f), for_lit: olit(lit) },
                     );
+                    if let Some(m) = &self.mon {
+                        m.on_promise_open(ctx.now(), self.obs.node, olit(*f));
+                    }
                     self.lit_state(lit).requested_promises.insert(*f);
                     self.stats.promises_requested += 1;
                     if let Some(timeout) = self.promise_timeout {
@@ -869,6 +910,9 @@ impl SymbolActor {
                 None => self.obs.rec(at, kind),
             };
         }
+        if let Some(m) = &self.mon {
+            m.on_occurrence(at, self.obs.node, olit(lit), seq);
+        }
         if by_acceptance {
             self.stats.granted += 1;
         }
@@ -877,6 +921,9 @@ impl SymbolActor {
         self.facts_seen.insert(seq, lit);
         self.applied_up_to = self.applied_up_to.max(seq);
         self.obs.rec(at, SpanKind::FactApplied { lit: olit(lit), seq });
+        if let Some(m) = &self.mon {
+            m.on_fact_applied(at, self.obs.node, olit(lit), seq);
+        }
         for (_, t) in &mut self.dep_residuals {
             t.step(lit);
         }
@@ -975,13 +1022,13 @@ impl SymbolActor {
                 let instance = self.announce_instance;
                 ctx.send(requester, Msg::Announce { lit, at, seq, instance });
             } else {
-                self.obs.rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
+                self.rec_promise_deny(ctx.now(), lit, requester);
                 ctx.send(requester, Msg::PromiseDeny { lit });
             }
             return;
         }
         if self.lit_state_ref(lit).dead {
-            self.obs.rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
+            self.rec_promise_deny(ctx.now(), lit, requester);
             ctx.send(requester, Msg::PromiseDeny { lit });
             return;
         }
@@ -1067,14 +1114,13 @@ impl SymbolActor {
                     let instance = self.announce_instance;
                     ctx.send(requester, Msg::Announce { lit, at, seq, instance });
                 } else {
-                    self.obs
-                        .rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
+                    self.rec_promise_deny(ctx.now(), lit, requester);
                     ctx.send(requester, Msg::PromiseDeny { lit });
                 }
                 self.pending_requests.remove(&(lit, for_lit));
             } else if self.lit_state_ref(lit).dead {
                 let requester = self.routing.actor_of[&for_lit.symbol()];
-                self.obs.rec(ctx.now(), SpanKind::PromiseDeny { lit: olit(lit), to: requester.0 });
+                self.rec_promise_deny(ctx.now(), lit, requester);
                 ctx.send(requester, Msg::PromiseDeny { lit });
                 self.pending_requests.remove(&(lit, for_lit));
             } else if self.try_grant(ctx, lit, for_lit) {

@@ -128,11 +128,24 @@ pub struct ExecConfig {
     pub record: Option<RecordConfig>,
     /// Arm the online runtime monitors: per-dependency verdict machines,
     /// the guard-faithfulness check, the `□`-view divergence watch and the
-    /// stall watchdog all subscribe to the live trace-event stream and
-    /// report on [`RunReport::monitor`] / [`RunReport::alerts`]. `None`
-    /// (the default) attaches nothing and adds no work to the hot path.
-    /// Like `record`, ignored by the threaded executor.
+    /// stall watchdog, reporting on [`RunReport::monitor`] /
+    /// [`RunReport::alerts`]. By default the monitor is *fused* into the
+    /// scheduler — actors and the network step it directly at each
+    /// transition, so arming it costs no trace-event construction (see
+    /// [`ExecConfig::monitor_oracle`]). `None` (the default) attaches
+    /// nothing and adds no work to the hot path. Like `record`, ignored
+    /// by the threaded executor.
     pub monitor: Option<MonitorConfig>,
+    /// Run the armed monitor in its legacy *sink-driven* mode instead of
+    /// fused: it subscribes to the trace-event stream like any recorder
+    /// sink and reconstructs scheduler transitions from spans. Kept as
+    /// the cross-validation oracle — verdicts and violation alerts are
+    /// identical in both modes (the monitor-equivalence audit holds them
+    /// to it); only stall-alert *timestamps* may differ under crash
+    /// plans, because crash-dropped deliveries record a span (a sink
+    /// sweep point) but run no handler (no fused tick). Ignored when
+    /// [`ExecConfig::monitor`] is `None`.
+    pub monitor_oracle: bool,
     /// Pin actor placement from a certified [`ShardPlan`] (the
     /// interference analyzer's artifact): every member of a colocation
     /// class is placed at the same site — the class's declared site when
@@ -149,8 +162,9 @@ pub struct ExecConfig {
     /// colocation classes (or the Lemma 5 coupling fallback) and batches
     /// execute on this many worker threads. Fault-free fast path only:
     /// [`run_workflow`] dispatches on it, [`run_workflow_with_faults`]
-    /// ignores it, and journals / recorders / monitors are forced off
-    /// (those subsystems assume the single-queue delivery order).
+    /// ignores it, and journals / recorders are forced off (they assume
+    /// the single-queue delivery order). Armed monitors run by post-run
+    /// sequence replay (see [`crate::parallel`]).
     pub parallel: Option<sim::ParallelConfig>,
 }
 
@@ -167,6 +181,7 @@ impl ExecConfig {
             dep_runtime: DepRuntime::default(),
             record: None,
             monitor: None,
+            monitor_oracle: false,
             shard_plan: None,
             parallel: None,
         }
@@ -328,11 +343,16 @@ pub struct BuiltWorkflow {
     pub symbols: Vec<SymbolId>,
     /// The shared journal, when enabled.
     pub journal: Option<crate::journal::Journal>,
+    /// The compiled faithful guards and dependency machines. Shared with
+    /// the online monitors so arming them never recompiles the workflow
+    /// — at small-spec scale the compile costs a sizable fraction of a
+    /// whole run, and fleets build thousands of monitors.
+    pub guards: Arc<CompiledWorkflow>,
 }
 
 /// Compile guards and assemble the nodes for `spec`.
 pub fn build_workflow(spec: &WorkflowSpec, config: ExecConfig) -> BuiltWorkflow {
-    let compiled = CompiledWorkflow::compile(&spec.dependencies, GuardScope::Mentioning);
+    let compiled = Arc::new(CompiledWorkflow::compile(&spec.dependencies, GuardScope::Mentioning));
     // In compiled mode every actor tracking dependency `ix` shares (an Arc
     // of) the same precompiled machine; only the u32 state is per-actor.
     let machines: Vec<Arc<DependencyMachine>> = match config.dep_runtime {
@@ -492,7 +512,7 @@ pub fn build_workflow(spec: &WorkflowSpec, config: ExecConfig) -> BuiltWorkflow 
             injections.push((actor, actor, msg, after.saturating_sub(1)));
         }
     }
-    BuiltWorkflow { nodes, routing, injections, symbols: symbol_list, journal }
+    BuiltWorkflow { nodes, routing, injections, symbols: symbol_list, journal, guards: compiled }
 }
 
 /// Assemble a report from finished actors. Reused per instance by the
@@ -600,6 +620,12 @@ pub struct NetNode {
     /// crash rebuild (replay itself runs with recording detached, so
     /// rebuilt decisions are not re-recorded).
     obs: NodeObs,
+    /// Fused monitor handle: ticked at the start of every delivery and
+    /// restart (the stall watchdog's sweep points — exactly where the
+    /// sink-driven monitor swept on the `MsgDeliver`/`Restart` span,
+    /// which the network records *before* invoking the handler). Like
+    /// `obs`, re-attached to actor roles after a crash rebuild.
+    mon: Option<Arc<WorkflowMonitor>>,
 }
 
 impl NetNode {
@@ -632,6 +658,9 @@ impl NetNode {
 
 impl Process<Msg> for NetNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        if let Some(m) = &self.mon {
+            m.tick(ctx.now());
+        }
         let (payload, env_seq) = match &mut self.reliable {
             Some(r) => match r.on_message(ctx, from, msg) {
                 Some(p) => p,
@@ -672,6 +701,9 @@ impl Process<Msg> for NetNode {
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let Some(m) = &self.mon {
+            m.tick(ctx.now());
+        }
         let Some(pristine) = &self.pristine else { return };
         self.role = (**pristine).clone();
         let log = match &self.store {
@@ -718,6 +750,7 @@ impl Process<Msg> for NetNode {
         if let Node::Actor(a) = &mut self.role {
             a.journal = self.journal.clone();
             a.obs = self.obs.clone();
+            a.mon = self.mon.clone();
         }
         self.obs.rec(ctx.now(), SpanKind::WalReplay { entries: replayed as u64 });
         if let Some(j) = &self.journal {
@@ -752,6 +785,7 @@ pub(crate) fn wrap_nodes(
     store: Option<NodeStore>,
     journal: Option<crate::journal::Journal>,
     obs: &Obs,
+    mon: Option<Arc<WorkflowMonitor>>,
     instance: InstanceId,
 ) -> Vec<(SiteId, NetNode)> {
     nodes
@@ -761,12 +795,17 @@ pub(crate) fn wrap_nodes(
             let node_obs = NodeObs::new(obs.clone(), ix as u32, site.0);
             if let Node::Actor(a) = &mut role {
                 a.obs = node_obs.clone();
+                a.mon = mon.clone();
             }
+            // Pristine copies replay with monitor (and recorder)
+            // detached: WAL replay re-derives state the monitor already
+            // observed before the crash, and must not re-step it.
             let pristine = store.is_some().then(|| {
                 let mut p = role.clone();
                 if let Node::Actor(a) = &mut p {
                     a.journal = None;
                     a.obs = NodeObs::off();
+                    a.mon = None;
                 }
                 Box::new(p)
             });
@@ -782,6 +821,7 @@ pub(crate) fn wrap_nodes(
                 pristine,
                 journal: journal.clone(),
                 obs: node_obs,
+                mon: mon.clone(),
             };
             (site, node)
         })
@@ -817,12 +857,20 @@ fn run_workflow_inner(
     config: ExecConfig,
     plan: Option<FaultPlan>,
 ) -> RunReport {
-    // The online monitors derive their own machines and faithful guards
-    // from the spec (independent of whatever guard mode / dep runtime the
-    // actors run), then subscribe to the same trace-event stream the
-    // flight recorder consumes.
+    let built = build_workflow(spec, config.clone());
+    // The online monitors run the faithful guards and machines the
+    // builder compiled (shared, not recompiled — `GuardScope::Mentioning`
+    // is the unweakened set, independent of whatever dep runtime the
+    // actors use). In the default *fused* mode the scheduler steps them
+    // directly; in oracle mode they subscribe to the same trace-event
+    // stream the flight recorder consumes.
     let mon = config.monitor.map(|mc| {
-        let m = WorkflowMonitor::new(&spec.table, &spec.dependencies, guard_gated(spec), mc);
+        let m = WorkflowMonitor::from_compiled(
+            &spec.table,
+            Arc::clone(&built.guards),
+            guard_gated(spec),
+            mc,
+        );
         // The view-divergence checker learns the shard boundaries, so a
         // disagreement across colocation classes is labeled as such.
         if let Some(plan) = &config.shard_plan {
@@ -830,17 +878,27 @@ fn run_workflow_inner(
         }
         Arc::new(m)
     });
-    let sinks: Vec<Arc<dyn EventSink>> =
-        mon.iter().map(|m| Arc::clone(m) as Arc<dyn EventSink>).collect();
+    let sinks: Vec<Arc<dyn EventSink>> = if config.monitor_oracle {
+        mon.iter().map(|m| Arc::clone(m) as Arc<dyn EventSink>).collect()
+    } else {
+        Vec::new()
+    };
     let obs = Obs::with_sinks(config.record, sinks);
-    let built = build_workflow(spec, config.clone());
+    let fused = if config.monitor_oracle { None } else { mon.clone() };
     let routing = Arc::clone(&built.routing);
     let journal = built.journal.clone();
     // Durable storage (and the pristine copies restarts reset to) are
     // only materialized when a fault plan could actually crash a node.
     let store = plan.is_some().then(NodeStore::new);
-    let nodes =
-        wrap_nodes(built.nodes, config.reliable, store, journal.clone(), &obs, InstanceId::ROOT);
+    let nodes = wrap_nodes(
+        built.nodes,
+        config.reliable,
+        store,
+        journal.clone(),
+        &obs,
+        fused,
+        InstanceId::ROOT,
+    );
     let mut net: Network<Msg, NetNode> = Network::new(config.sim, nodes);
     net.set_recorder(obs.clone(), Msg::kind_label);
     if let Some(plan) = plan {
@@ -924,6 +982,7 @@ fn run_workflow_inner(
     }
     if let Some(rec) = obs.recorder() {
         reg.add("obs.recorder.dropped_spans", &[], rec.dropped());
+        reg.add("obs.recorder.sampled_out", &[], obs.sampled_out());
     }
     if let Some(m) = mon {
         let mrep = m.finish(report.duration);
@@ -945,7 +1004,8 @@ fn run_workflow_inner(
             .map(|i| spec.table.name(SymbolId(i as u32)).unwrap_or("?").to_string())
             .collect(),
         dropped: rec.dropped(),
-        events: rec.events(),
+        sampled_out: obs.sampled_out(),
+        events: rec.take_events(),
         metrics: snapshot.clone(),
     });
     report.metrics = snapshot;

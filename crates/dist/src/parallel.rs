@@ -21,25 +21,37 @@
 //!
 //! # Scope
 //!
-//! This is the fault-free fast path: journals, flight recorders, online
-//! monitors and the fault layer all assume the single-queue delivery
-//! order and are forced off here ([`crate::run_workflow_with_faults`]
-//! ignores [`ExecConfig::parallel`] entirely). Timing-level results
-//! differ from the single-queue simulator only in the latency stream
-//! (sampled statelessly per send so workers can route in parallel, not
-//! from the oracle's serial RNG); logical results — which events occur,
-//! the final views, the verdicts — must not differ at all, and the
-//! audits exist to prove it.
+//! This is the fault-free fast path: journals, flight recorders and the
+//! fault layer all assume the single-queue delivery order and are forced
+//! off here ([`crate::run_workflow_with_faults`] ignores
+//! [`ExecConfig::parallel`] entirely). Armed monitors *do* run — but not
+//! online: a barrier round delivers disjoint per-shard sequence ranges
+//! concurrently, so an online monitor could observe a later sequence
+//! number before an earlier one without either being a replay trigger,
+//! transiently mis-stepping sequence-chain machines into false
+//! violations. Instead the monitor **replays the run's occurrence log in
+//! global sequence order after the run** — the same canonical order the
+//! single-queue simulator feeds it online — so dependency verdicts,
+//! guard-faithfulness checks and the final complement sweep are judged
+//! identically (stall watchdogs don't apply post-hoc, and the □-view
+//! divergence audit is already performed by `collect_report`). Timing-
+//! level results differ from the single-queue simulator only in the
+//! latency stream (sampled statelessly per send so workers can route in
+//! parallel, not from the oracle's serial RNG); logical results — which
+//! events occur, the final views, the verdicts — must not differ at
+//! all, and the audits exist to prove it.
 
 use crate::actor::Routing;
 use crate::exec::{
-    build_workflow, collect_report, BuiltWorkflow, ExecConfig, Node, RunReport, WorkflowSpec,
+    build_workflow, collect_report, guard_gated, BuiltWorkflow, ExecConfig, Node, RunReport,
+    WorkflowSpec,
 };
 use crate::msg::{InstanceId, Msg};
 use crate::tenant::Arrival;
 use event_algebra::{Literal, ShardPlan, SymbolId};
 use guard::{CompiledWorkflow, GuardScope};
-use obs::{MetricsRegistry, MetricsSnapshot};
+use monitor::{MonitorConfig, WorkflowMonitor};
+use obs::{MetricsRegistry, MetricsSnapshot, ObsLit};
 use sim::{NodeId, ParallelStats, RunOutcome, SiteId, Termination, Time};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -185,18 +197,53 @@ pub fn record_parallel(reg: &MetricsRegistry, stats: &ParallelStats) {
     }
 }
 
+/// Arm the online monitors for one finished parallel run: replay the
+/// occurrence log in global sequence order (the canonical order the
+/// single-queue simulator feeds monitors online — see the module docs
+/// for why online feeding is unsound here), finish on the run's
+/// duration, and record the `monitor.*` metric family into `reg`.
+fn replay_monitor(
+    spec: &WorkflowSpec,
+    guards: &Arc<CompiledWorkflow>,
+    plan: &Arc<ShardPlan>,
+    node_of: impl Fn(SymbolId) -> u32,
+    config: MonitorConfig,
+    report: &mut RunReport,
+    reg: &MetricsRegistry,
+) {
+    let m =
+        WorkflowMonitor::from_compiled(&spec.table, Arc::clone(guards), guard_gated(spec), config);
+    m.set_shard_plan(Arc::clone(plan));
+    let mut ordered = report.occurrences.clone();
+    ordered.sort_by_key(|&(_, _, q)| q);
+    for (l, t, q) in ordered {
+        m.on_occurrence(t, node_of(l.symbol()), ObsLit(l.index() as u32), q);
+    }
+    let mrep = m.finish(report.duration);
+    reg.add("monitor.facts", &[], mrep.facts);
+    reg.add("monitor.guard_checks", &[], mrep.guard_checks);
+    for alert in &mrep.alerts {
+        reg.add("monitor.alerts", &[("kind", alert.kind.tag())], 1);
+    }
+    for (ix, v) in mrep.verdicts.iter().enumerate() {
+        reg.add("monitor.verdicts", &[("dep", &ix.to_string()), ("verdict", v.label())], 1);
+    }
+    report.alerts = mrep.alerts.clone();
+    report.monitor = Some(mrep);
+}
+
 /// Compile and run one workflow on the work-stealing parallel executor.
 ///
 /// Logical results (occurrences, views, verdicts) match
 /// [`crate::run_workflow`] on the single-queue simulator — the tenth
 /// conformance audit's claim — and *all* results are identical for
-/// every worker count. Journals, recorders and monitors are forced off
-/// (see the module docs).
+/// every worker count. Journals and recorders are forced off; armed
+/// monitors run by post-run sequence replay (see the module docs).
 pub fn run_workflow_parallel(spec: &WorkflowSpec, config: &ExecConfig) -> ParallelRun {
     let mut exec = config.clone();
     exec.journal = false;
     exec.record = None;
-    exec.monitor = None;
+    let monitor_cfg = exec.monitor.take();
     let par = exec.parallel.clone().unwrap_or_default();
     let plan = effective_plan(spec, &exec);
     let built = build_workflow(spec, exec.clone());
@@ -219,6 +266,17 @@ pub fn run_workflow_parallel(spec: &WorkflowSpec, config: &ExecConfig) -> Parall
     reg.set_gauge("run.duration", &[], report.duration as i64);
     reg.set_gauge("shard.classes", &[], plan.class_count() as i64);
     record_parallel(&reg, &run.stats);
+    if let Some(mc) = monitor_cfg {
+        replay_monitor(
+            spec,
+            &built.guards,
+            &plan,
+            |s| routing.actor_of[&s].0,
+            mc,
+            &mut report,
+            &reg,
+        );
+    }
     report.metrics = reg.snapshot();
     ParallelRun { report, stats: run.stats, plan, shard_of }
 }
@@ -274,7 +332,7 @@ pub fn run_parallel_fleet(
     let mut exec = config.clone();
     exec.journal = false;
     exec.record = None;
-    exec.monitor = None;
+    let monitor_cfg = exec.monitor.take();
     let par = exec.parallel.clone().unwrap_or_default();
     let protos: Vec<BuiltWorkflow> =
         specs.iter().map(|s| build_workflow(s, exec.clone())).collect();
@@ -335,15 +393,17 @@ pub fn run_parallel_fleet(
     let max_steps = if exec.max_steps == 0 { 1_000_000 } else { exec.max_steps };
     let run = sim::run_sharded(nodes, &shard_of, injections, exec.sim, &par, max_steps);
 
+    let reg = MetricsRegistry::new();
     let mut outcomes = Vec::with_capacity(arrivals.len());
     let mut events = 0u64;
+    let mut monitor_violations = 0u64;
     for (ix, a) in arrivals.iter().enumerate() {
         let (base, count, sbase, scount) = spans[ix];
         let proto = &protos[a.spec_ix];
         let last =
             run.stats.per_shard_last_time[sbase..sbase + scount].iter().copied().max().unwrap_or(0);
         let steps: u64 = run.stats.per_shard_delivered[sbase..sbase + scount].iter().sum();
-        let report = collect_report(
+        let mut report = collect_report(
             &specs[a.spec_ix],
             &proto.symbols,
             |s| proto.routing.actor_of[&s].0 as usize,
@@ -352,6 +412,21 @@ pub fn run_parallel_fleet(
             RunOutcome { steps, termination: run.outcome.termination },
             sim::NetStats::default(),
         );
+        if let Some(mc) = monitor_cfg {
+            // Per-instance post-run replay; `monitor.*` counters
+            // accumulate fleet-wide in the shared registry.
+            replay_monitor(
+                &specs[a.spec_ix],
+                &proto.guards,
+                &plans[a.spec_ix],
+                |s| proto.routing.actor_of[&s].0,
+                mc,
+                &mut report,
+                &reg,
+            );
+            monitor_violations +=
+                report.alerts.iter().filter(|al| al.kind.is_violation()).count() as u64;
+        }
         events += report.occurrences.len() as u64;
         outcomes.push(ParallelInstanceOutcome {
             instance: a.instance,
@@ -366,11 +441,13 @@ pub fn run_parallel_fleet(
         Termination::Quiescent => (outcomes.len(), 0),
         Termination::BudgetExhausted => (0, outcomes.len()),
     };
-    let reg = MetricsRegistry::new();
     run.net.record_into(&reg);
     record_parallel(&reg, &run.stats);
     reg.add("parallel.instances", &[], outcomes.len() as u64);
     reg.add("parallel.events", &[], events);
+    if monitor_cfg.is_some() {
+        reg.add("parallel.monitor.violations", &[], monitor_violations);
+    }
     ParallelFleetReport {
         instances: outcomes,
         events,

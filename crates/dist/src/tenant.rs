@@ -165,9 +165,22 @@ pub struct TenantReport {
     pub cross_instance_dropped: u64,
     /// Foreign announcements rejected by actors, fleet-wide.
     pub cross_instance_rejected: u64,
+    /// Monitor alerts raised across the fleet (0 when monitors are not
+    /// armed). Per-kind and per-shard breakdowns live in
+    /// [`TenantReport::metrics`] (`tenant.monitor.*`, `tenant.shard.*`).
+    pub monitor_alerts: u64,
+    /// Violation-class monitor alerts across the fleet (the subset of
+    /// [`TenantReport::monitor_alerts`] where
+    /// [`monitor::AlertKind::is_violation`] holds).
+    pub monitor_violations: u64,
     /// Fleet metrics: instance/event counters, the firing-latency
     /// histogram (`tenant.fire_latency`: instance-local time from
-    /// admission to each occurrence) and instance-duration histogram.
+    /// admission to each occurrence), instance-duration histogram, and —
+    /// when monitors are armed — fleet monitor telemetry
+    /// (`tenant.monitor.facts` / `.guard_checks` / `.alerts` by kind)
+    /// plus per-shard counters labeled by multiplexer shard
+    /// (`tenant.shard.instances` / `.events` / `.monitor_alerts` /
+    /// `.guard_checks`).
     pub metrics: MetricsSnapshot,
     /// The shared instance-keyed write-ahead log, when a fault plan
     /// made one necessary.
@@ -284,6 +297,10 @@ pub fn run_tenant(
     outcomes.sort_by_key(|o| o.instance);
 
     // ----- fleet roll-up -----
+    // Which multiplexer shard ran each instance (the round-robin
+    // partition above) — keys the per-shard telemetry labels.
+    let shard_of: BTreeMap<InstanceId, usize> =
+        arrivals.iter().enumerate().map(|(ix, a)| (a.instance, ix % shards)).collect();
     let reg = MetricsRegistry::new();
     let mut events = 0u64;
     let mut quiesced = 0usize;
@@ -291,6 +308,10 @@ pub fn run_tenant(
     let mut makespan = 0;
     let mut cross_dropped = 0u64;
     let mut cross_rejected = 0u64;
+    let mut monitor_alerts = 0u64;
+    let mut monitor_violations = 0u64;
+    let mut monitor_facts = 0u64;
+    let mut monitor_guard_checks = 0u64;
     for o in &outcomes {
         for &(_, t, _) in &o.report.occurrences {
             reg.observe("tenant.fire_latency", &[], t);
@@ -305,6 +326,28 @@ pub fn run_tenant(
         cross_dropped += o.cross_instance_dropped;
         cross_rejected +=
             o.report.actor_stats.values().map(|s| s.cross_instance_rejected).sum::<u64>();
+        let shard = shard_of[&o.instance].to_string();
+        let by_shard: &[(&str, &str)] = &[("shard", &shard)];
+        reg.add("tenant.shard.instances", by_shard, 1);
+        reg.add("tenant.shard.events", by_shard, o.report.occurrences.len() as u64);
+        if let Some(m) = &o.report.monitor {
+            monitor_facts += m.facts;
+            monitor_guard_checks += m.guard_checks;
+            for alert in &m.alerts {
+                monitor_alerts += 1;
+                if alert.kind.is_violation() {
+                    monitor_violations += 1;
+                }
+                reg.add("tenant.monitor.alerts", &[("kind", alert.kind.tag())], 1);
+            }
+            reg.add("tenant.shard.monitor_alerts", by_shard, m.alerts.len() as u64);
+            reg.add("tenant.shard.guard_checks", by_shard, m.guard_checks);
+        }
+    }
+    if outcomes.iter().any(|o| o.report.monitor.is_some()) {
+        reg.add("tenant.monitor.facts", &[], monitor_facts);
+        reg.add("tenant.monitor.guard_checks", &[], monitor_guard_checks);
+        reg.add("tenant.monitor.violations", &[], monitor_violations);
     }
     reg.add("tenant.instances", &[], outcomes.len() as u64);
     reg.add("tenant.events", &[], events);
@@ -325,6 +368,8 @@ pub fn run_tenant(
         makespan,
         cross_instance_dropped: cross_dropped,
         cross_instance_rejected: cross_rejected,
+        monitor_alerts,
+        monitor_violations,
         metrics: reg.snapshot(),
         wal,
         wall_ns: started.elapsed().as_nanos() as u64,
@@ -406,15 +451,30 @@ fn admit(
     // Per-instance monitors, exactly as the single-instance executor
     // arms them.
     let mon = config.exec.monitor.map(|mc| {
-        let m = WorkflowMonitor::new(&spec.table, &spec.dependencies, guard_gated(spec), mc);
+        // Reuse the prototype's compiled guards: a fleet arms one
+        // monitor per instance, and recompiling per admission would
+        // dominate small-instance runtimes.
+        let m = WorkflowMonitor::from_compiled(
+            &spec.table,
+            Arc::clone(&proto.guards),
+            guard_gated(spec),
+            mc,
+        );
         if let Some(plan) = &config.exec.shard_plan {
             m.set_shard_plan(Arc::clone(plan));
         }
         Arc::new(m)
     });
-    let sinks: Vec<Arc<dyn EventSink>> =
-        mon.iter().map(|m| Arc::clone(m) as Arc<dyn EventSink>).collect();
+    // Fused by default (the monitor is stepped directly by the actors,
+    // so the disabled Obs below never constructs a span); oracle mode
+    // subscribes it as a sink, exactly as the single-instance executor.
+    let sinks: Vec<Arc<dyn EventSink>> = if config.exec.monitor_oracle {
+        mon.iter().map(|m| Arc::clone(m) as Arc<dyn EventSink>).collect()
+    } else {
+        Vec::new()
+    };
     let obs = Obs::with_sinks(None, sinks);
+    let fused = if config.exec.monitor_oracle { None } else { mon.clone() };
     // The cross-wire mutation stamps this instance's *outgoing*
     // announcements with a foreign id; its own actors then reject them,
     // which the isolation audit must notice as divergence from the
@@ -436,7 +496,7 @@ fn admit(
             (*site, role)
         })
         .collect();
-    let wrapped = wrap_nodes(nodes, config.exec.reliable, wal, None, &obs, arrival.instance);
+    let wrapped = wrap_nodes(nodes, config.exec.reliable, wal, None, &obs, fused, arrival.instance);
     let mut sim_cfg = config.exec.sim;
     sim_cfg.seed = arrival.seed;
     let mut net: Network<Msg, NetNode> = Network::new(sim_cfg, wrapped);

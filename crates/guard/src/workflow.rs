@@ -93,6 +93,16 @@ impl CompiledWorkflow {
         self.guards.get(&lit).cloned().unwrap_or_else(Guard::top)
     }
 
+    /// Borrowed view of the conjoined guard on `lit`; `None` means the
+    /// literal is outside the workflow's alphabet and its guard is `⊤`.
+    /// The online monitor evaluates guards on every gated firing, where
+    /// the owned clone [`CompiledWorkflow::guard`] hands out (a vector
+    /// of conjuncts, each holding maps and sequence sets) would dominate
+    /// the whole check.
+    pub fn guard_ref(&self, lit: Literal) -> Option<&Guard> {
+        self.guards.get(&lit)
+    }
+
     /// The guard of `lit` due to dependency `ix` alone (`⊤` if that
     /// dependency is out of scope for `lit`).
     pub fn guard_due_to(&self, lit: Literal, ix: usize) -> Guard {

@@ -29,10 +29,28 @@
 //!   advisory alert (partitions and crashes legitimately delay rounds,
 //!   so stalls are warnings, not conformance failures).
 //!
-//! Monitors subscribe to the live [`TraceEvent`] stream through
-//! [`obs::EventSink`], so they watch the same record the flight recorder
-//! stores — and they cost nothing when disarmed, by the same
-//! `Obs::enabled()` branch that gates the recorder.
+//! Monitors can watch the run two ways:
+//!
+//! - **Fused (default).** The scheduler calls the `on_*` entry points
+//!   ([`WorkflowMonitor::on_occurrence`] and friends) directly at the
+//!   points where it would otherwise *record* the corresponding span,
+//!   and the network ticks the stall watchdog once per delivery round
+//!   ([`WorkflowMonitor::tick`]). No span is constructed, no recorder
+//!   ring is touched: each globally-ordered occurrence is stepped once
+//!   and the verdict read in O(1) from the compiled machine tables.
+//! - **Sink-driven (oracle).** The monitor subscribes to the live
+//!   [`TraceEvent`] stream through [`obs::EventSink`] and re-derives
+//!   everything from the spans alone. This is the original path; the
+//!   conformance suite keeps it as a cross-validation oracle and asserts
+//!   the two modes agree (`testkit::conformance::audit_monitor_equivalence`).
+//!
+//! Both paths share the same internal `MonitorState`, so "agreement" is not a
+//! coincidence of parallel implementations: the only difference is who
+//! delivers the observations. The one observable divergence is the
+//! *timestamp* of advisory stall alerts under crash plans — the legacy
+//! path sweeps on `CrashDrop` spans, which have no fused counterpart
+//! because no handler runs for a crashed delivery; the flagged set is
+//! identical because state cannot change between the two sweep points.
 
 use event_algebra::{
     DependencyMachine, Expr, Literal, ShardPlan, StateId, SymbolId, SymbolTable, Trace,
@@ -222,6 +240,23 @@ fn olit(l: Literal) -> ObsLit {
     ObsLit(l.index() as u32)
 }
 
+/// Membership test on the resolved-symbols bitset (out-of-range ids —
+/// a span naming a symbol the table never interned — read as
+/// unresolved).
+fn resolved_bit(set: &[u64], sym: SymbolId) -> bool {
+    set.get((sym.0 / 64) as usize).is_some_and(|w| w & (1 << (sym.0 % 64)) != 0)
+}
+
+/// Set `sym` in the resolved-symbols bitset, growing it if a span names
+/// a symbol past the table's length.
+fn resolve_bit(set: &mut Vec<u64>, sym: SymbolId) {
+    let w = (sym.0 / 64) as usize;
+    if w >= set.len() {
+        set.resize(w + 1, 0);
+    }
+    set[w] |= 1 << (sym.0 % 64);
+}
+
 /// A guard-gated firing whose faithful guard was false when it fired;
 /// kept pending until later facts justify it or decide it false.
 #[derive(Debug)]
@@ -242,18 +277,25 @@ struct OpenSince {
 struct MonitorState {
     table: SymbolTable,
     config: MonitorConfig,
-    machines: Vec<DependencyMachine>,
     dep_states: Vec<StateId>,
     verdicts: Vec<DepVerdict>,
     /// Per-dependency: a violated/at-risk alert was already raised (the
     /// out-of-order replay path must not alert twice).
     dep_alerted: Vec<bool>,
-    guards: CompiledWorkflow,
+    /// The faithful guards and dependency machines, shared (never
+    /// cloned) with whoever compiled them: monitor construction must be
+    /// cheap enough to arm on every run of every fleet instance.
+    guards: Arc<CompiledWorkflow>,
     gated: BTreeSet<Literal>,
     /// Globally-ordered occurrences: delivery seq → literal.
     facts: BTreeMap<u64, Literal>,
-    /// Symbols resolved by an observed occurrence (either polarity).
-    resolved: BTreeSet<SymbolId>,
+    /// Symbols resolved by an observed occurrence (either polarity), as
+    /// a bitset over `SymbolId` indices. The guard-decidability pre-pass
+    /// probes membership once per guard symbol per gated firing — and
+    /// chained workflows carry guards whose symbol counts grow with
+    /// chain position, so membership must be a bit test, not a tree
+    /// descent.
+    resolved: Vec<u64>,
     /// seq → literal as claimed by *any* record (`Occurred` or
     /// `FactApplied`); the divergence monitor's canonical view.
     canon: BTreeMap<u64, Literal>,
@@ -271,6 +313,14 @@ struct MonitorState {
     alerts: Vec<Alert>,
     guard_checks: u64,
     last_stall_check: u64,
+    /// Lower bound on the earliest *unflagged* open timestamp across
+    /// `open_rounds` and `open_evals` (`u64::MAX` when none): the stall
+    /// sweep runs at every new sim timestamp, and this bound lets a
+    /// healthy run — every round inside its budget — decide "nothing to
+    /// flag" in O(1) instead of walking both watch maps. Inserts
+    /// min-update it; removals and flaggings may leave it stale-low,
+    /// which costs at most a spurious full scan (that recomputes it).
+    stall_bound: u64,
 }
 
 /// The armed monitor set for one workflow: an [`obs::EventSink`] that
@@ -282,6 +332,23 @@ struct MonitorState {
 /// quiesces.
 pub struct WorkflowMonitor {
     state: Mutex<MonitorState>,
+    /// Lock-free mirror of `stall_bound + stall_budget`: the earliest sim
+    /// time at which *any* open watch could exceed its budget. The
+    /// network ticks the watchdog once per delivery — by far the
+    /// highest-frequency monitor entry point — and on a healthy run every
+    /// tick is answered by this one relaxed load, no lock taken. Updated
+    /// (under the state lock) wherever `stall_bound` changes; `u64::MAX`
+    /// while no watch is armed.
+    stall_deadline: std::sync::atomic::AtomicU64,
+}
+
+// Actors carry an `Option<Arc<WorkflowMonitor>>` in fused mode and
+// derive `Debug`; the monitor's interior state is large and mutex-held,
+// so the handle prints opaquely.
+impl std::fmt::Debug for WorkflowMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkflowMonitor").finish_non_exhaustive()
+    }
 }
 
 impl WorkflowMonitor {
@@ -294,23 +361,40 @@ impl WorkflowMonitor {
         gated: impl IntoIterator<Item = Literal>,
         config: MonitorConfig,
     ) -> WorkflowMonitor {
-        let guards = CompiledWorkflow::compile(dependencies, GuardScope::Mentioning);
+        let guards = Arc::new(CompiledWorkflow::compile(dependencies, GuardScope::Mentioning));
+        Self::from_compiled(table, guards, gated, config)
+    }
+
+    /// Like [`WorkflowMonitor::new`], but reusing an already-compiled
+    /// workflow instead of recompiling the guards and machines. Guard
+    /// compilation costs a sizable fraction of a whole small run, so the
+    /// executors hand the monitor the `Arc` they compiled for the
+    /// scheduler — arming monitors must stay cheap enough to be the
+    /// always-on default, per instance, at fleet scale. The compiled
+    /// guards are faithful (unweakened) by construction of
+    /// `GuardScope::Mentioning`; callers must not pass a weakened set.
+    pub fn from_compiled(
+        table: &SymbolTable,
+        guards: Arc<CompiledWorkflow>,
+        gated: impl IntoIterator<Item = Literal>,
+        config: MonitorConfig,
+    ) -> WorkflowMonitor {
         let dep_states: Vec<StateId> = guards.machines.iter().map(|m| m.initial).collect();
         let verdicts: Vec<DepVerdict> =
             guards.machines.iter().zip(&dep_states).map(|(m, &s)| classify(m, s)).collect();
         let dep_alerted = vec![false; dep_states.len()];
         WorkflowMonitor {
+            stall_deadline: std::sync::atomic::AtomicU64::new(u64::MAX),
             state: Mutex::new(MonitorState {
                 table: table.clone(),
                 config,
-                machines: guards.machines.clone(),
                 dep_states,
                 verdicts,
                 dep_alerted,
                 guards,
                 gated: gated.into_iter().collect(),
                 facts: BTreeMap::new(),
-                resolved: BTreeSet::new(),
+                resolved: vec![0; (table.len()).div_ceil(64)],
                 canon: BTreeMap::new(),
                 diverged: BTreeSet::new(),
                 shard: None,
@@ -321,13 +405,26 @@ impl WorkflowMonitor {
                 alerts: Vec::new(),
                 guard_checks: 0,
                 last_stall_check: 0,
+                stall_bound: u64::MAX,
             }),
         }
     }
 
+    /// Refresh the lock-free deadline mirror from the state's stall
+    /// bound; called (with the lock held) at the end of every entry
+    /// point that may arm a watch or recompute the bound.
+    fn sync_deadline(&self, st: &MonitorState) {
+        self.stall_deadline.store(
+            st.stall_bound.saturating_add(st.config.stall_budget),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+
     /// Observe one trace event (the [`obs::EventSink`] entry point).
     pub fn observe(&self, event: &TraceEvent) {
-        self.state.lock().expect("monitor lock").observe(event);
+        let mut st = self.state.lock().expect("monitor lock");
+        st.observe(event);
+        self.sync_deadline(&st);
     }
 
     /// Teach the divergence checker the shard boundaries of a certified
@@ -356,6 +453,100 @@ impl WorkflowMonitor {
     pub fn finish(&self, final_at: u64) -> MonitorReport {
         self.state.lock().expect("monitor lock").finish(final_at)
     }
+
+    // --- Fused entry points -------------------------------------------
+    //
+    // The scheduler calls these directly at the program points where it
+    // would otherwise *record* the corresponding span; each takes the
+    // same (at, node, …) tuple the span would have carried and runs the
+    // same dispatch `observe` runs for that span kind, then the same
+    // trailing stall sweep. Fused mode therefore needs no span
+    // construction and no recorder at all.
+
+    /// Fused counterpart of an `Occurred` span: a globally-ordered
+    /// occurrence of `lit` under delivery sequence `seq`, observed at
+    /// the owning `node` at sim time `at`.
+    pub fn on_occurrence(&self, at: u64, node: u32, lit: ObsLit, seq: u64) {
+        let mut st = self.state.lock().expect("monitor lock");
+        st.on_occurrence(at, node, lit, seq);
+        st.sweep(at);
+        self.sync_deadline(&st);
+    }
+
+    /// Fused counterpart of a `FactApplied` span: `node` applied
+    /// `(seq → lit)` to its `□`-view (feeds the divergence checker).
+    pub fn on_fact_applied(&self, at: u64, node: u32, lit: ObsLit, seq: u64) {
+        let mut st = self.state.lock().expect("monitor lock");
+        st.check_divergence(at, node, lit, seq);
+        st.sweep(at);
+        self.sync_deadline(&st);
+    }
+
+    /// Fused counterpart of a `GuardEval` span with an `Enabled`
+    /// verdict: arms the enabled-but-unfired stall watch for
+    /// `(node, lit)`.
+    pub fn on_guard_enabled(&self, at: u64, node: u32, lit: ObsLit) {
+        let mut st = self.state.lock().expect("monitor lock");
+        st.open_evals.entry((node, lit.0)).or_insert(OpenSince { at, flagged: false });
+        st.stall_bound = st.stall_bound.min(at);
+        st.sweep(at);
+        self.sync_deadline(&st);
+    }
+
+    /// Fused counterpart of a `PromiseOpen` span: `node` opened a
+    /// promise round for `lit`.
+    pub fn on_promise_open(&self, at: u64, node: u32, lit: ObsLit) {
+        let mut st = self.state.lock().expect("monitor lock");
+        st.open_rounds.entry((node, lit.0)).or_insert(OpenSince { at, flagged: false });
+        st.stall_bound = st.stall_bound.min(at);
+        st.sweep(at);
+        self.sync_deadline(&st);
+    }
+
+    /// Fused counterpart of a `PromiseCommit` span: the round `node`
+    /// opened for `lit` closed with a commit.
+    pub fn on_promise_commit(&self, at: u64, node: u32, lit: ObsLit) {
+        let mut st = self.state.lock().expect("monitor lock");
+        st.open_rounds.remove(&(node, lit.0));
+        st.sweep(at);
+        self.sync_deadline(&st);
+    }
+
+    /// Fused counterpart of a `PromiseAbort` span: the round `node`
+    /// opened for `lit` closed with an abort.
+    pub fn on_promise_abort(&self, at: u64, node: u32, lit: ObsLit) {
+        let mut st = self.state.lock().expect("monitor lock");
+        st.open_rounds.remove(&(node, lit.0));
+        st.sweep(at);
+        self.sync_deadline(&st);
+    }
+
+    /// Fused counterpart of a `PromiseDeny` span recorded on the
+    /// *granter*: closes the round the requesting node `to` had open
+    /// for `lit`.
+    pub fn on_promise_deny(&self, at: u64, to: u32, lit: ObsLit) {
+        let mut st = self.state.lock().expect("monitor lock");
+        st.open_rounds.remove(&(to, lit.0));
+        st.sweep(at);
+        self.sync_deadline(&st);
+    }
+
+    /// Advance the stall watchdog to sim time `at`. The network calls
+    /// this once per delivery (and per restart) *before* the handler
+    /// runs — the same point the sink-driven monitor sweeps, because the
+    /// `MsgDeliver`/`Restart` span is recorded ahead of the handler and
+    /// its `observe` ends with the sweep.
+    pub fn tick(&self, at: u64) {
+        // One relaxed load on the healthy path: no open watch can be
+        // past its budget before the mirrored deadline, so there is
+        // nothing to sweep and no reason to take the lock.
+        if at <= self.stall_deadline.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        let mut st = self.state.lock().expect("monitor lock");
+        st.sweep(at);
+        self.sync_deadline(&st);
+    }
 }
 
 impl obs::EventSink for WorkflowMonitor {
@@ -381,11 +572,13 @@ impl MonitorState {
                 self.open_evals
                     .entry((event.node, lit.0))
                     .or_insert(OpenSince { at: event.at, flagged: false });
+                self.stall_bound = self.stall_bound.min(event.at);
             }
             SpanKind::PromiseOpen { lit, .. } => {
                 self.open_rounds
                     .entry((event.node, lit.0))
                     .or_insert(OpenSince { at: event.at, flagged: false });
+                self.stall_bound = self.stall_bound.min(event.at);
             }
             SpanKind::PromiseCommit { lit } | SpanKind::PromiseAbort { lit } => {
                 self.open_rounds.remove(&(event.node, lit.0));
@@ -397,9 +590,16 @@ impl MonitorState {
             }
             _ => {}
         }
-        if event.at != self.last_stall_check {
-            self.last_stall_check = event.at;
-            self.check_stalls(event.at);
+        self.sweep(event.at);
+    }
+
+    /// Trailing stall sweep shared by the sink-driven and fused paths:
+    /// the first observation at a new sim timestamp checks the watchdog
+    /// budgets once.
+    fn sweep(&mut self, at: u64) {
+        if at != self.last_stall_check {
+            self.last_stall_check = at;
+            self.check_stalls(at);
         }
     }
 
@@ -449,7 +649,7 @@ impl MonitorState {
         }
         let in_order = self.facts.last_key_value().is_none_or(|(&max, _)| seq > max);
         self.facts.insert(seq, lit);
-        self.resolved.insert(lit.symbol());
+        resolve_bit(&mut self.resolved, lit.symbol());
         if in_order {
             self.step_machines(at, node, lit);
         } else {
@@ -466,7 +666,7 @@ impl MonitorState {
     fn step_machines(&mut self, at: u64, node: u32, lit: Literal) {
         let mut transitions = Vec::new();
         for (ix, (machine, state)) in
-            self.machines.iter().zip(self.dep_states.iter_mut()).enumerate()
+            self.guards.machines.iter().zip(self.dep_states.iter_mut()).enumerate()
         {
             *state = machine.step(*state, lit);
             let verdict = classify(machine, *state);
@@ -483,7 +683,7 @@ impl MonitorState {
     fn replay_machines(&mut self, at: u64, node: u32) {
         let mut transitions = Vec::new();
         for (ix, (machine, state)) in
-            self.machines.iter().zip(self.dep_states.iter_mut()).enumerate()
+            self.guards.machines.iter().zip(self.dep_states.iter_mut()).enumerate()
         {
             *state = machine.initial;
             for &lit in self.facts.values() {
@@ -512,7 +712,7 @@ impl MonitorState {
         self.dep_alerted[ix] = true;
         let detail = format!(
             "dependency {ix} ({}) entered the {} state",
-            self.machines[ix].dependency.display(&self.table),
+            self.guards.machines[ix].dependency.display(&self.table),
             verdict.label(),
         );
         self.alert(at, node, kind, detail);
@@ -529,7 +729,7 @@ impl MonitorState {
             self.facts.values().copied().chain(
                 (0..self.table.len() as u32)
                     .map(SymbolId)
-                    .filter(|s| !self.resolved.contains(s))
+                    .filter(|&s| !resolved_bit(&self.resolved, s))
                     .map(Literal::neg),
             ),
         )
@@ -555,21 +755,37 @@ impl MonitorState {
         if self.pending_guards.is_empty() {
             return;
         }
+        // Decidability pre-pass: this runs after every gated firing, and
+        // only when some pending check actually became decidable is the
+        // completed trace worth materialising. `symbols_all` walks the
+        // guard's conjuncts without allocating; a gated literal outside
+        // the compiled alphabet has the trivial guard `⊤` — decidable at
+        // once.
+        let resolved = &self.resolved;
+        let guards = &self.guards;
+        let decidable = |p: &PendingGuard| {
+            guards.guard_ref(p.lit).is_none_or(|g| g.symbols_all(|s| resolved_bit(resolved, s)))
+        };
+        if !self.pending_guards.iter().any(decidable) {
+            return;
+        }
         let Some(trace) = self.completed_trace() else {
             return;
         };
         let mut failed = Vec::new();
         let facts = &self.facts;
-        let guards = &self.guards;
-        let resolved = &self.resolved;
         self.pending_guards.retain(|p| {
-            let guard = guards.guard(p.lit);
-            if !guard.symbols().iter().all(|s| resolved.contains(s)) {
-                return true; // still swingable by future facts
-            }
-            let pos = facts.range(..p.seq).count();
-            if !guard.eval(&trace, pos) {
-                failed.push((p.lit, p.seq, p.node, p.at));
+            match guards.guard_ref(p.lit) {
+                None => {} // guard ⊤: trivially faithful, decided now
+                Some(g) => {
+                    if !g.symbols_all(|s| resolved_bit(resolved, s)) {
+                        return true; // still swingable by future facts
+                    }
+                    let pos = facts.range(..p.seq).count();
+                    if !g.eval(&trace, pos) {
+                        failed.push((p.lit, p.seq, p.node, p.at));
+                    }
+                }
             }
             false
         });
@@ -588,9 +804,20 @@ impl MonitorState {
 
     fn check_stalls(&mut self, now: u64) {
         let budget = self.config.stall_budget;
+        // O(1) fast path on the cached lower bound: nothing unflagged can
+        // be past its budget unless the bound is. A flagging in the scan
+        // below only removes entries from the unflagged set, so the
+        // recomputed bound stays exact until the next insert.
+        if now.saturating_sub(self.stall_bound) <= budget {
+            return;
+        }
+        let mut bound = u64::MAX;
         let mut stalls: Vec<(u64, u32, AlertKind, String)> = Vec::new();
         for (&(node, lit), open) in self.open_rounds.iter_mut() {
-            if !open.flagged && now.saturating_sub(open.at) > budget {
+            if open.flagged {
+                continue;
+            }
+            if now.saturating_sub(open.at) > budget {
                 open.flagged = true;
                 let lit = ObsLit(lit);
                 stalls.push((
@@ -603,10 +830,15 @@ impl MonitorState {
                         open.at,
                     ),
                 ));
+            } else {
+                bound = bound.min(open.at);
             }
         }
         for (&(node, lit), open) in self.open_evals.iter_mut() {
-            if !open.flagged && now.saturating_sub(open.at) > budget {
+            if open.flagged {
+                continue;
+            }
+            if now.saturating_sub(open.at) > budget {
                 open.flagged = true;
                 let lit = ObsLit(lit);
                 stalls.push((
@@ -619,8 +851,11 @@ impl MonitorState {
                         open.at,
                     ),
                 ));
+            } else {
+                bound = bound.min(open.at);
             }
         }
+        self.stall_bound = bound;
         for (at, node, kind, detail) in stalls {
             self.alert(at, node, kind, detail);
         }
@@ -634,13 +869,20 @@ impl MonitorState {
         // guard checks see the completed run.
         let complements: Vec<Literal> = (0..self.table.len() as u32)
             .map(SymbolId)
-            .filter(|s| !self.resolved.contains(s))
+            .filter(|&s| !resolved_bit(&self.resolved, s))
             .map(Literal::neg)
             .collect();
         let mut transitions = Vec::new();
         for (ix, (machine, state)) in
-            self.machines.iter().zip(self.dep_states.iter_mut()).enumerate()
+            self.guards.machines.iter().zip(self.dep_states.iter_mut()).enumerate()
         {
+            // `⊤` and `0` are absorbing (every literal residuates them to
+            // themselves), so complements cannot move a machine that has
+            // already reached a terminal — which on a clean run is all of
+            // them.
+            if machine.is_accepting(*state) || machine.is_violated(*state) {
+                continue;
+            }
             for &lit in &complements {
                 *state = machine.step(*state, lit);
             }
@@ -653,13 +895,16 @@ impl MonitorState {
         for (ix, verdict) in transitions {
             self.alert_dep_transition(final_at, u32::MAX, ix, verdict);
         }
-        let maximal = Trace::new(self.facts.values().copied().chain(complements.iter().copied()));
         let pending = std::mem::take(&mut self.pending_guards);
-        if let Some(maximal) = maximal {
-            for p in pending {
-                let pos = self.facts.range(..p.seq).count();
-                if !self.guards.guard(p.lit).eval(&maximal, pos) {
-                    self.alert_unfaithful(final_at, p.node, p.lit, p.seq);
+        if !pending.is_empty() {
+            let maximal =
+                Trace::new(self.facts.values().copied().chain(complements.iter().copied()));
+            if let Some(maximal) = maximal {
+                for p in pending {
+                    let pos = self.facts.range(..p.seq).count();
+                    if !self.guards.guard_ref(p.lit).is_none_or(|g| g.eval(&maximal, pos)) {
+                        self.alert_unfaithful(final_at, p.node, p.lit, p.seq);
+                    }
                 }
             }
         }

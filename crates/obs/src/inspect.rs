@@ -230,6 +230,50 @@ pub fn stats_text(rec: &Recording) -> String {
     out
 }
 
+/// Sampling report (`wftrace stats --sampled`): the observed keep rate
+/// of non-safety spans and, per span kind, the extrapolated *true*
+/// count of the unthinned run.
+///
+/// The recorder flips its deterministic coin per span but counts every
+/// elision in `Recording::sampled_out`, so the aggregate keep rate is
+/// known exactly: `kept / (kept + sampled_out)` over non-safety spans.
+/// Per-kind true counts are estimated by scaling each kept count by the
+/// inverse of that rate — the coin is kind-blind, so the estimate is
+/// unbiased. Safety-class kinds are never sampled and print exact.
+pub fn sampling_text(rec: &Recording) -> String {
+    let mut kinds: BTreeMap<&'static str, (u64, bool)> = BTreeMap::new();
+    let mut kept_nonsafety = 0u64;
+    for e in &rec.events {
+        let entry = kinds.entry(e.kind.tag()).or_insert((0, e.kind.is_safety()));
+        entry.0 += 1;
+        if !e.kind.is_safety() {
+            kept_nonsafety += 1;
+        }
+    }
+    let mut out = String::new();
+    if rec.sampled_out == 0 {
+        out.push_str("\nsampling: off — every span kept, all counts exact\n");
+        return out;
+    }
+    let true_nonsafety = kept_nonsafety + rec.sampled_out;
+    let rate = kept_nonsafety as f64 / true_nonsafety.max(1) as f64;
+    out.push_str(&format!(
+        "\nsampling: {kept_nonsafety} of {true_nonsafety} non-safety spans kept \
+         (keep rate {rate:.3}, {} sampled out)\n",
+        rec.sampled_out
+    ));
+    out.push_str("per-kind counts (safety kinds exact, others extrapolated):\n");
+    for (tag, &(kept, safety)) in &kinds {
+        if safety {
+            out.push_str(&format!("  {tag:<16} {kept:>8} (exact)\n"));
+        } else {
+            let estimated = if rate > 0.0 { (kept as f64 / rate).round() as u64 } else { kept };
+            out.push_str(&format!("  {tag:<16} {kept:>8} kept ~= {estimated} true\n"));
+        }
+    }
+    out
+}
+
 /// Export the recording as Chrome `chrome://tracing` JSON (one complete
 /// event per record; pid = site, tid = node, ts = virtual time).
 pub fn chrome_trace(rec: &Recording) -> String {
@@ -278,6 +322,7 @@ mod tests {
             workflow: "travel".to_string(),
             symbols: vec!["buy.commit".to_string(), "book.commit".to_string()],
             dropped: 0,
+            sampled_out: 0,
             events: vec![
                 ev(0, None, 0, SpanKind::Attempt { lit: ObsLit::pos(0) }),
                 ev(
@@ -297,17 +342,12 @@ mod tests {
                     0,
                     SpanKind::Occurred { lit: ObsLit::pos(0), seq: 3, by_acceptance: false },
                 ),
-                ev(
-                    3,
-                    Some(2),
-                    0,
-                    SpanKind::MsgSend { from: 0, to: 1, label: "announce".to_string() },
-                ),
+                ev(3, Some(2), 0, SpanKind::MsgSend { from: 0, to: 1, label: "announce".into() }),
                 ev(
                     4,
                     Some(3),
                     1,
-                    SpanKind::MsgDeliver { from: 0, to: 1, label: "announce".to_string() },
+                    SpanKind::MsgDeliver { from: 0, to: 1, label: "announce".into() },
                 ),
                 ev(5, Some(4), 1, SpanKind::FactApplied { lit: ObsLit::pos(0), seq: 3 }),
                 ev(

@@ -30,7 +30,7 @@ pub mod recording;
 pub mod sink;
 pub mod span;
 
-pub use inspect::{chrome_trace, explain, stats_text, Explanation};
+pub use inspect::{chrome_trace, explain, sampling_text, stats_text, Explanation};
 pub use json::Json;
 pub use metrics::{Log2Histogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{FlightRecorder, NodeObs, Obs, ParentRef, RecordConfig, Recorder};

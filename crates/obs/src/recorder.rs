@@ -31,12 +31,45 @@ pub struct RecordConfig {
     /// Ring-buffer capacity in events; the oldest records are overwritten
     /// once it fills (the drop count is kept).
     pub capacity: usize,
+    /// Keep one in `sample` non-safety spans (`0` or `1` = keep all).
+    /// Safety-relevant kinds ([`SpanKind::is_safety`]) are always kept
+    /// exactly, so monitor verdicts and the establisher half of the
+    /// causal audit are unaffected by any sampling rate. The decision is
+    /// a deterministic hash of `(sample_seed, span id)`: the same run
+    /// records the same spans.
+    pub sample: u32,
+    /// Seed mixed into the sampling hash, so fleets can decorrelate
+    /// which spans their instances keep.
+    pub sample_seed: u64,
 }
 
 impl Default for RecordConfig {
     fn default() -> RecordConfig {
-        RecordConfig { capacity: 1 << 20 }
+        RecordConfig { capacity: 1 << 20, sample: 1, sample_seed: 0 }
     }
+}
+
+impl RecordConfig {
+    /// Default config with the given ring capacity.
+    pub fn with_capacity(capacity: usize) -> RecordConfig {
+        RecordConfig { capacity, ..RecordConfig::default() }
+    }
+
+    /// This config with 1-in-`sample` sampling of non-safety spans under
+    /// `seed`.
+    pub fn sampled(self, sample: u32, seed: u64) -> RecordConfig {
+        RecordConfig { sample, sample_seed: seed, ..self }
+    }
+}
+
+/// `splitmix64` finalizer — the stateless hash behind the deterministic
+/// sampling decision (and the same mixer `sim::parallel` uses for
+/// latency jitter).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// How a record names its causal parent.
@@ -104,6 +137,9 @@ struct RecorderInner {
     next_id: u64,
     dropped: u64,
     cursor: Option<SpanId>,
+    sample: u32,
+    sample_seed: u64,
+    sampled_out: u64,
 }
 
 /// A shared, ring-buffered event sink.
@@ -119,13 +155,19 @@ pub struct FlightRecorder {
 impl FlightRecorder {
     /// A recorder with the given ring capacity (minimum 1).
     pub fn new(config: RecordConfig) -> FlightRecorder {
+        let capacity = config.capacity.max(1);
         FlightRecorder {
             inner: Arc::new(Mutex::new(RecorderInner {
-                ring: VecDeque::new(),
-                capacity: config.capacity.max(1),
+                // Pre-size the ring for typical runs, but never reserve a
+                // huge default capacity up front.
+                ring: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
                 next_id: 0,
                 dropped: 0,
                 cursor: None,
+                sample: config.sample.max(1),
+                sample_seed: config.sample_seed,
+                sampled_out: 0,
             })),
         }
     }
@@ -145,9 +187,26 @@ impl FlightRecorder {
         self.inner.lock().expect("recorder lock").dropped
     }
 
+    /// Non-safety records elided by this recorder's own sampling (the
+    /// direct [`Recorder::record_event`] path; events pushed pre-stamped
+    /// via the sink path were sampled upstream by [`Obs`]).
+    pub fn sampled_out(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").sampled_out
+    }
+
     /// Snapshot of all held records in id order.
     pub fn events(&self) -> Vec<TraceEvent> {
         self.inner.lock().expect("recorder lock").ring.iter().cloned().collect()
+    }
+
+    /// Drain all held records in id order, leaving the ring empty.
+    ///
+    /// The end-of-run path uses this instead of [`FlightRecorder::events`]:
+    /// assembling the final `Recording` would otherwise deep-clone every
+    /// span (message labels, guard fact lists) a second time, which shows
+    /// up directly in the recorder-overhead benchmark.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.lock().expect("recorder lock").ring).into()
     }
 
     /// Store an already-stamped event (the sink path: span ids were
@@ -160,6 +219,21 @@ impl FlightRecorder {
             inner.dropped += 1;
         }
         inner.ring.push_back(event);
+    }
+
+    /// Drain a whole delivery round's worth of already-stamped events
+    /// into the ring under a single lock acquisition, evicting and
+    /// counting drops exactly as per-event [`FlightRecorder::push`]
+    /// would.
+    pub fn push_batch(&self, events: &mut Vec<TraceEvent>) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        for event in events.drain(..) {
+            if inner.ring.len() == inner.capacity {
+                inner.ring.pop_front();
+                inner.dropped += 1;
+            }
+            inner.ring.push_back(event);
+        }
     }
 }
 
@@ -181,6 +255,13 @@ impl Recorder for FlightRecorder {
         let mut inner = self.inner.lock().expect("recorder lock");
         let id = SpanId(inner.next_id);
         inner.next_id += 1;
+        if inner.sample > 1
+            && !kind.is_safety()
+            && !splitmix64(inner.sample_seed ^ id.0).is_multiple_of(inner.sample as u64)
+        {
+            inner.sampled_out += 1;
+            return Some(id);
+        }
         let parent = match parent {
             ParentRef::Cursor => inner.cursor,
             ParentRef::Root => None,
@@ -207,13 +288,24 @@ impl Recorder for FlightRecorder {
     }
 }
 
-/// Span-id allocation and the causal cursor, shared by all clones of one
-/// [`Obs`] handle. Ids come from a single monotone counter, so id order
-/// is global record order across every sink.
+/// Span-id allocation, the causal cursor, and the open delivery-round
+/// buffer, shared by all clones of one [`Obs`] handle. Ids come from a
+/// single monotone counter, so id order is global record order across
+/// every sink.
 #[derive(Debug, Default)]
 struct AllocState {
     next_id: u64,
     cursor: Option<SpanId>,
+    /// Events of the delivery round currently open (between
+    /// [`Obs::begin_round`] and [`Obs::end_round`]); `None` when no
+    /// round is open and records flush individually.
+    round: Option<Vec<TraceEvent>>,
+    /// The drained round buffer, kept to reuse its allocation.
+    spare: Vec<TraceEvent>,
+    /// Non-safety spans elided by sampling. They still consumed a span
+    /// id (so id allocation is sampling-invariant); only the payload was
+    /// skipped.
+    sampled_out: u64,
 }
 
 /// The enabled half of an [`Obs`] handle: the id allocator, the optional
@@ -230,6 +322,16 @@ struct ObsInner {
     rec: Option<FlightRecorder>,
     /// Live subscribers; each sees every event before the ring stores it.
     sinks: Arc<[Arc<dyn EventSink>]>,
+    /// Keep one in `sample` non-safety spans (≤ 1 = keep all).
+    sample: u32,
+    /// Seed of the deterministic sampling hash.
+    sample_seed: u64,
+    /// Record-only fast path: with a ring and no live sinks, every record
+    /// goes straight to [`FlightRecorder::record_event`] — id allocation,
+    /// cursor lookup, sampling, and the ring insert under one lock
+    /// instead of an allocator lock plus a ring lock per span. Ids,
+    /// parents, and sampling decisions are identical to the fan-out path.
+    direct: bool,
 }
 
 /// The handle the runtime actually carries: either off (free) or a span
@@ -271,6 +373,9 @@ impl Obs {
                 alloc: Arc::default(),
                 rec: Some(rec),
                 sinks: Arc::from(Vec::new()),
+                sample: 1,
+                sample_seed: 0,
+                direct: true,
             }),
         }
     }
@@ -282,11 +387,16 @@ impl Obs {
         if record.is_none() && sinks.is_empty() {
             return Obs::off();
         }
+        let (sample, sample_seed) = record.map_or((1, 0), |c| (c.sample.max(1), c.sample_seed));
+        let direct = record.is_some() && sinks.is_empty();
         Obs {
             inner: Some(ObsInner {
                 alloc: Arc::default(),
                 rec: record.map(FlightRecorder::new),
                 sinks: Arc::from(sinks),
+                sample,
+                sample_seed,
+                direct,
             }),
         }
     }
@@ -303,8 +413,62 @@ impl Obs {
         self.inner.as_ref()?.rec.as_ref()
     }
 
-    /// Allocate an id, stamp the event, fan it out to the sinks, and
-    /// store it in the ring (if any).
+    /// Non-safety spans elided by sampling so far.
+    pub fn sampled_out(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            if i.direct {
+                i.rec.as_ref().map_or(0, FlightRecorder::sampled_out)
+            } else {
+                i.alloc.lock().expect("obs alloc lock").sampled_out
+            }
+        })
+    }
+
+    /// Open a delivery-round buffer: subsequent records are staged under
+    /// the allocator lock and flushed to the sinks and the ring in one
+    /// batch at [`Obs::end_round`]. Idempotent while a round is open.
+    /// Record order, span ids, and parent edges are identical to the
+    /// unbatched path — only the lock cadence changes (one ring lock per
+    /// round instead of per span).
+    pub fn begin_round(&self) {
+        if let Some(inner) = &self.inner {
+            if inner.direct {
+                // The direct path already pays one lock per span with no
+                // sink fan-out; staging would add work, not remove it.
+                return;
+            }
+            let mut alloc = inner.alloc.lock().expect("obs alloc lock");
+            if alloc.round.is_none() {
+                let spare = std::mem::take(&mut alloc.spare);
+                alloc.round = Some(spare);
+            }
+        }
+    }
+
+    /// Close the open delivery round (if any): fan the staged records to
+    /// the sinks in record order, then bulk-append them to the ring.
+    pub fn end_round(&self) {
+        let Some(inner) = &self.inner else { return };
+        if inner.direct {
+            return;
+        }
+        let Some(mut buf) = inner.alloc.lock().expect("obs alloc lock").round.take() else {
+            return;
+        };
+        for event in &buf {
+            for sink in inner.sinks.iter() {
+                sink.on_event(event);
+            }
+        }
+        match &inner.rec {
+            Some(rec) => rec.push_batch(&mut buf),
+            None => buf.clear(),
+        }
+        inner.alloc.lock().expect("obs alloc lock").spare = buf;
+    }
+
+    /// Allocate an id, stamp the event, and either stage it in the open
+    /// delivery round or fan it out to the sinks and the ring directly.
     fn emit(
         &self,
         at: Time,
@@ -314,6 +478,9 @@ impl Obs {
         kind: SpanKind,
     ) -> Option<SpanId> {
         let inner = self.inner.as_ref()?;
+        if inner.direct {
+            return inner.rec.as_ref()?.record_event(at, node, site, parent, kind);
+        }
         let (id, parent) = {
             let mut alloc = inner.alloc.lock().expect("obs alloc lock");
             let id = SpanId(alloc.next_id);
@@ -323,6 +490,17 @@ impl Obs {
                 ParentRef::Root => None,
                 ParentRef::Span(p) => Some(p),
             };
+            if inner.sample > 1
+                && !kind.is_safety()
+                && !splitmix64(inner.sample_seed ^ id.0).is_multiple_of(inner.sample as u64)
+            {
+                alloc.sampled_out += 1;
+                return Some(id);
+            }
+            if let Some(round) = alloc.round.as_mut() {
+                round.push(TraceEvent { id, parent, at, node, site, kind });
+                return Some(id);
+            }
             (id, parent)
         };
         let event = TraceEvent { id, parent, at, node, site, kind };
@@ -362,6 +540,12 @@ impl Obs {
     #[inline]
     pub fn set_cursor(&self, cursor: Option<SpanId>) {
         if let Some(inner) = &self.inner {
+            if inner.direct {
+                if let Some(rec) = &inner.rec {
+                    Recorder::set_cursor(rec, cursor);
+                }
+                return;
+            }
             inner.alloc.lock().expect("obs alloc lock").cursor = cursor;
         }
     }
@@ -369,7 +553,13 @@ impl Obs {
     /// The causal cursor.
     #[inline]
     pub fn cursor(&self) -> Option<SpanId> {
-        self.inner.as_ref().and_then(|i| i.alloc.lock().expect("obs alloc lock").cursor)
+        self.inner.as_ref().and_then(|i| {
+            if i.direct {
+                i.rec.as_ref().and_then(Recorder::cursor)
+            } else {
+                i.alloc.lock().expect("obs alloc lock").cursor
+            }
+        })
     }
 }
 
@@ -487,7 +677,7 @@ mod tests {
 
     #[test]
     fn ring_overwrites_oldest_and_counts_drops() {
-        let obs = Obs::on(RecordConfig { capacity: 2 });
+        let obs = Obs::on(RecordConfig::with_capacity(2));
         for i in 0..5 {
             obs.rec(i, 0, 0, attempt(i as u32));
         }
@@ -506,6 +696,88 @@ mod tests {
         let events = obs.recorder().unwrap().events();
         assert_eq!(events.len(), 1);
         assert_eq!((events[0].node, events[0].site, events[0].at), (7, 1, 5));
+    }
+
+    #[test]
+    fn round_batching_preserves_ids_order_and_parents() {
+        // Same sequence of records, once unbatched and once inside
+        // begin_round/end_round: the stored events must be identical.
+        let run = |batched: bool| {
+            let obs = Obs::on(RecordConfig::default());
+            let root = obs.rec(0, 0, 0, attempt(0)).unwrap();
+            if batched {
+                obs.begin_round();
+            }
+            obs.set_cursor(Some(root));
+            obs.rec(1, 1, 0, attempt(1));
+            obs.rec(1, 2, 0, attempt(2));
+            obs.set_cursor(None);
+            if batched {
+                obs.end_round();
+            }
+            obs.recorder().unwrap().events()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn end_round_without_begin_is_a_noop() {
+        let obs = Obs::on(RecordConfig::default());
+        obs.end_round();
+        obs.rec(0, 0, 0, attempt(0));
+        obs.end_round();
+        assert_eq!(obs.recorder().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn round_batch_drops_count_at_ring_overflow() {
+        let obs = Obs::on(RecordConfig::with_capacity(2));
+        obs.begin_round();
+        for i in 0..5 {
+            obs.rec(i, 0, 0, attempt(i as u32));
+        }
+        obs.end_round();
+        let rec = obs.recorder().unwrap();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        let ids: Vec<u64> = rec.events().iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn sampling_elides_only_non_safety_spans_and_keeps_ids() {
+        let obs = Obs::on(RecordConfig::default().sampled(1 << 30, 7));
+        // Attempt is sampleable; with a huge rate essentially everything
+        // non-safety is elided. Occurred is a safety kind and survives.
+        for i in 0..50 {
+            obs.rec(i, 0, 0, attempt(i as u32));
+        }
+        let kept = obs
+            .rec(99, 0, 0, SpanKind::Occurred { lit: ObsLit::pos(0), seq: 1, by_acceptance: false })
+            .unwrap();
+        // Ids keep advancing across elided spans.
+        assert_eq!(kept.0, 50);
+        let rec = obs.recorder().unwrap();
+        let events = rec.events();
+        assert!(events.iter().all(|e| e.kind.is_safety()), "{events:?}");
+        assert_eq!(obs.sampled_out() + events.len() as u64, 51);
+        assert!(obs.sampled_out() >= 49);
+    }
+
+    #[test]
+    fn sampling_decision_is_deterministic() {
+        let run = || {
+            let obs = Obs::on(RecordConfig::default().sampled(4, 42));
+            for i in 0..100 {
+                obs.rec(i, 0, 0, attempt(i as u32));
+            }
+            (obs.recorder().unwrap().events(), obs.sampled_out())
+        };
+        let (a, dropped_a) = run();
+        let (b, dropped_b) = run();
+        assert_eq!(a, b);
+        assert_eq!(dropped_a, dropped_b);
+        assert!(dropped_a > 0 && !a.is_empty(), "rate 4 keeps some, elides some");
     }
 
     #[test]

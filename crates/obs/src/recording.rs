@@ -34,6 +34,11 @@ pub struct Recording {
     pub symbols: Vec<String>,
     /// Records overwritten by the ring buffer before the snapshot.
     pub dropped: u64,
+    /// Non-safety records elided by sampling ([`RecordConfig::sample`]);
+    /// they consumed span ids but recorded no payload.
+    ///
+    /// [`RecordConfig::sample`]: crate::RecordConfig::sample
+    pub sampled_out: u64,
     /// The recorded events in id order.
     pub events: Vec<TraceEvent>,
     /// Metrics captured at the end of the run.
@@ -47,6 +52,7 @@ impl Recording {
             ("workflow", Json::str(&self.workflow)),
             ("symbols", Json::Arr(self.symbols.iter().map(|s| Json::str(s)).collect())),
             ("dropped", Json::u64(self.dropped)),
+            ("sampled_out", Json::u64(self.sampled_out)),
             ("events", Json::Arr(self.events.iter().map(event_to_json).collect())),
             ("metrics", self.metrics.to_json()),
         ])
@@ -74,6 +80,9 @@ impl Recording {
             .map(|s| s.as_str().map(str::to_string).ok_or("symbol must be a string"))
             .collect::<Result<Vec<_>, _>>()?;
         let dropped = v.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+        // Absent in recordings from before sampling existed — they are
+        // exact by construction.
+        let sampled_out = v.get("sampled_out").and_then(Json::as_u64).unwrap_or(0);
         let mut events = v
             .get("events")
             .and_then(Json::as_arr)
@@ -86,7 +95,7 @@ impl Recording {
             Some(m) => MetricsSnapshot::from_json(m)?,
             None => MetricsSnapshot::default(),
         };
-        Ok(Recording { workflow, symbols, dropped, events, metrics })
+        Ok(Recording { workflow, symbols, dropped, sampled_out, events, metrics })
     }
 
     /// Parse a JSON document string.
@@ -217,7 +226,20 @@ impl<'a> Dag<'a> {
 ///
 /// Returns human-readable violations (empty = green). Facts and parents
 /// whose records were overwritten by the ring buffer are excused when
-/// `rec.dropped > 0`.
+/// `rec.dropped > 0`. A dangling *parent* is additionally excused when
+/// `rec.sampled_out > 0` (the parent may have been a sampled-out
+/// non-safety span), but a missing *establisher* is never excused by
+/// sampling: establishers are `Occurred` records, a safety kind the
+/// sampler always keeps, so that half of the audit keeps its full
+/// strength on sampled recordings.
+///
+/// The establisher-precedes-consumer check degrades gracefully on a
+/// sampled recording: the relay spans (`msg_send`/`msg_deliver`) that
+/// carry a cross-node happens-before path are non-safety kinds the
+/// sampler may elide, so when a path cannot be traced and
+/// `rec.sampled_out > 0` the audit falls back to timestamp order
+/// between the two safety spans themselves — which are exact by
+/// construction — and flags only `consumer.at < establisher.at`.
 pub fn causal_audit(rec: &Recording) -> Vec<String> {
     let dag = Dag::new(rec);
     let mut violations = Vec::new();
@@ -233,7 +255,7 @@ pub fn causal_audit(rec: &Recording) -> Vec<String> {
         }
         match rec.event(p) {
             None => {
-                if rec.dropped == 0 {
+                if rec.dropped == 0 && rec.sampled_out == 0 {
                     violations.push(format!("{} names a dangling parent {p}", e.id));
                 }
             }
@@ -260,13 +282,19 @@ pub fn causal_audit(rec: &Recording) -> Vec<String> {
         }
         Some(est) => {
             if est.id != consumer.id && !dag.precedes(est.id, consumer.id) {
-                violations.push(format!(
-                    "establisher {} of fact {}@{seq} does not precede consumer {} (node {})",
-                    est.id,
-                    lit.name(&rec.symbols),
-                    consumer.id,
-                    consumer.node
-                ));
+                // A sampled recording may have elided the relay spans
+                // that carried this cross-node path; both endpoints are
+                // safety spans with exact stamps, so fall back to
+                // timestamp order (see the doc comment).
+                if rec.sampled_out == 0 || consumer.at < est.at {
+                    violations.push(format!(
+                        "establisher {} of fact {}@{seq} does not precede consumer {} (node {})",
+                        est.id,
+                        lit.name(&rec.symbols),
+                        consumer.id,
+                        consumer.node
+                    ));
+                }
             }
         }
     };
@@ -416,12 +444,12 @@ fn event_from_json(v: &Json) -> Result<TraceEvent, String> {
         "msg_send" => SpanKind::MsgSend {
             from: u32_field("from")?,
             to: u32_field("to")?,
-            label: str_field("label")?,
+            label: str_field("label")?.into(),
         },
         "msg_deliver" => SpanKind::MsgDeliver {
             from: u32_field("from")?,
             to: u32_field("to")?,
-            label: str_field("label")?,
+            label: str_field("label")?.into(),
         },
         "fault_drop" => SpanKind::FaultDrop { from: u32_field("from")?, to: u32_field("to")? },
         "fault_dup" => SpanKind::FaultDuplicate { from: u32_field("from")?, to: u32_field("to")? },
@@ -515,6 +543,7 @@ mod tests {
             workflow: "travel".to_string(),
             symbols: vec!["buy.commit".to_string(), "book.commit".to_string()],
             dropped: 0,
+            sampled_out: 0,
             events: vec![
                 ev(0, None, 0, SpanKind::Attempt { lit: ObsLit::pos(0) }),
                 ev(
@@ -523,17 +552,12 @@ mod tests {
                     0,
                     SpanKind::Occurred { lit: ObsLit::pos(0), seq: 3, by_acceptance: false },
                 ),
-                ev(
-                    2,
-                    Some(1),
-                    0,
-                    SpanKind::MsgSend { from: 0, to: 1, label: "announce".to_string() },
-                ),
+                ev(2, Some(1), 0, SpanKind::MsgSend { from: 0, to: 1, label: "announce".into() }),
                 ev(
                     3,
                     Some(2),
                     1,
-                    SpanKind::MsgDeliver { from: 0, to: 1, label: "announce".to_string() },
+                    SpanKind::MsgDeliver { from: 0, to: 1, label: "announce".into() },
                 ),
                 ev(4, Some(3), 1, SpanKind::FactApplied { lit: ObsLit::pos(0), seq: 3 }),
                 ev(
@@ -680,6 +704,36 @@ mod tests {
             violations.iter().any(|v| v.contains("stamped earlier than its parent")),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn sampling_excuses_dangling_parents_but_not_missing_establishers() {
+        let mut rec = sample();
+        // A dangling parent edge may point at a sampled-out span.
+        rec.events.push(ev(9, Some(8), 2, SpanKind::Attempt { lit: ObsLit::pos(1) }));
+        assert!(causal_audit(&rec).iter().any(|v| v.contains("dangling parent")));
+        rec.sampled_out = 1;
+        assert!(causal_audit(&rec).is_empty());
+        // A missing establisher is a safety span: sampling never elides
+        // those, so sampled_out must NOT excuse it.
+        rec.events.retain(|e| e.id != SpanId(1));
+        let violations = causal_audit(&rec);
+        assert!(violations.iter().any(|v| v.contains("no establishing record")), "{violations:?}");
+    }
+
+    #[test]
+    fn sampled_out_roundtrips_and_defaults_to_zero() {
+        let mut rec = sample();
+        rec.sampled_out = 17;
+        let back = Recording::parse(&rec.to_json_string()).unwrap();
+        assert_eq!(back.sampled_out, 17);
+        // Recordings serialized before the field existed parse as exact.
+        let mut v = rec.to_json();
+        if let Json::Obj(map) = &mut v {
+            map.remove("sampled_out");
+        }
+        let old = Recording::from_json(&v).unwrap();
+        assert_eq!(old.sampled_out, 0);
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod tests {
     fn sinks_see_every_event_the_recorder_keeps() {
         let counter = Arc::new(Counter::default());
         let obs =
-            Obs::with_sinks(Some(RecordConfig { capacity: 2 }), vec![counter.clone() as Arc<_>]);
+            Obs::with_sinks(Some(RecordConfig::with_capacity(2)), vec![counter.clone() as Arc<_>]);
         for i in 0..5 {
             obs.rec(i, 0, 0, SpanKind::Attempt { lit: ObsLit::pos(i as u32) });
         }

@@ -7,6 +7,7 @@
 //! ids are allocated from one global monotone counter, and a node's records
 //! are appended in execution order) make the record a happens-before DAG.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// Virtual simulation time, identical to `sim::Time`.
@@ -124,8 +125,12 @@ pub enum SpanKind {
         from: u32,
         /// Receiving node.
         to: u32,
-        /// Human-readable message discriminant (e.g. `announce`).
-        label: String,
+        /// Human-readable message discriminant (e.g. `announce`). Borrowed
+        /// (`&'static`) on the runtime's recording path — send/deliver are
+        /// the two highest-volume span kinds, and a per-span heap label
+        /// shows up in the recorder-overhead benchmark; owned only when a
+        /// recording is loaded back from JSON.
+        label: Cow<'static, str>,
     },
     /// A message was delivered to its destination's handler.
     MsgDeliver {
@@ -134,7 +139,7 @@ pub enum SpanKind {
         /// Receiving node.
         to: u32,
         /// Human-readable message discriminant.
-        label: String,
+        label: Cow<'static, str>,
     },
     /// The fault plan dropped a message on this link.
     FaultDrop {
@@ -358,6 +363,30 @@ impl SpanKind {
             SpanKind::WalAppend { .. } => "wal_append",
             SpanKind::WalReplay { .. } => "wal_replay",
         }
+    }
+
+    /// `true` for span kinds the safety monitors and the causal audit's
+    /// establisher check depend on: occurrences, fact applications, guard
+    /// evaluations, promise-round phases, and the WAL. These are always
+    /// recorded exactly; only the remaining kinds (transport envelope
+    /// lifecycle, message traffic, scheduler bookkeeping, fault
+    /// injections) are eligible for [`RecordConfig`] sampling.
+    ///
+    /// [`RecordConfig`]: crate::RecordConfig
+    pub fn is_safety(&self) -> bool {
+        matches!(
+            self,
+            SpanKind::Occurred { .. }
+                | SpanKind::FactApplied { .. }
+                | SpanKind::GuardEval { .. }
+                | SpanKind::PromiseOpen { .. }
+                | SpanKind::PromiseGrant { .. }
+                | SpanKind::PromiseDeny { .. }
+                | SpanKind::PromiseAbort { .. }
+                | SpanKind::PromiseCommit { .. }
+                | SpanKind::WalAppend { .. }
+                | SpanKind::WalReplay { .. }
+        )
     }
 
     /// One-line human rendering using a symbol-name table.

@@ -28,8 +28,8 @@ fn kind(r: &mut u64) -> SpanKind {
     let b = (splitmix(r) % 6) as u32;
     let seq = splitmix(r) % 1000;
     match splitmix(r) % 28 {
-        0 => SpanKind::MsgSend { from: a, to: b, label: "announce".to_string() },
-        1 => SpanKind::MsgDeliver { from: a, to: b, label: "attempt".to_string() },
+        0 => SpanKind::MsgSend { from: a, to: b, label: "announce".into() },
+        1 => SpanKind::MsgDeliver { from: a, to: b, label: "attempt".into() },
         2 => SpanKind::FaultDrop { from: a, to: b },
         3 => SpanKind::FaultDuplicate { from: a, to: b },
         4 => SpanKind::FaultDelay { from: a, to: b, by: seq },
@@ -105,6 +105,7 @@ fn recording(seed: u64) -> Recording {
         workflow: format!("wf-{}", seed % 97),
         symbols: (0..6).map(|i| format!("e{i}")).collect(),
         dropped: splitmix(r) % 3,
+        sampled_out: splitmix(r) % 3,
         events,
         metrics: reg.snapshot(),
     }

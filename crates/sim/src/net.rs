@@ -258,8 +258,8 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
         &self.obs
     }
 
-    fn msg_label(&self, msg: &M) -> String {
-        self.label_fn.map_or("msg", |f| f(msg)).to_string()
+    fn msg_label(&self, msg: &M) -> std::borrow::Cow<'static, str> {
+        std::borrow::Cow::Borrowed(self.label_fn.map_or("msg", |f| f(msg)))
     }
 
     /// Install a fault plan; decisions are driven by the plan's own seed,
@@ -438,6 +438,12 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
             }
             self.stats.record_delivery(to_site);
             let recording = self.obs.enabled();
+            // Everything one delivery emits — the MsgDeliver span, the
+            // handler's spans, the outbox's MsgSend spans — is buffered
+            // in a per-round segment and flushed once at the end of the
+            // round. Span ids, parents and order are identical to
+            // unbatched emission; only the lock/fan-out cadence changes.
+            self.obs.begin_round();
             if recording {
                 let kind = SpanKind::MsgDeliver {
                     from: m.from.0,
@@ -464,6 +470,7 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
             if recording {
                 self.obs.set_cursor(None);
             }
+            self.obs.end_round();
             return true;
         }
     }
@@ -474,6 +481,9 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
             fs.mark_restarted(ix);
         }
         let recording = self.obs.enabled();
+        // Restart rounds batch like delivery rounds: one flush per
+        // Restart span plus everything the rebuild emits.
+        self.obs.begin_round();
         if recording {
             let kind = SpanKind::Restart { node: node.0 };
             let span = self.obs.rec_under(None, self.time, node.0, self.site_of(node).0, kind);
@@ -496,6 +506,7 @@ impl<M: Clone, P: Process<M>> Network<M, P> {
         if recording {
             self.obs.set_cursor(None);
         }
+        self.obs.end_round();
     }
 
     /// Run until no work remains or `max_steps` deliveries happened.

@@ -24,7 +24,7 @@
 //! order) is available as [`Guard::weaken_sequences`].
 
 use crate::texpr::TExpr;
-use event_algebra::{normalize, satisfies, Expr, Literal, Polarity, SymbolId, Trace};
+use event_algebra::{normalize, Expr, Literal, Polarity, SymbolId, Trace};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Bit for state `A` (the event occurred).
@@ -60,6 +60,26 @@ pub fn not_yet_mask(pol: Polarity) -> u8 {
         Polarity::Pos => ST_B | ST_C | ST_D,
         Polarity::Neg => ST_A | ST_C | ST_D,
     }
+}
+
+/// `u ⊨ l₁·l₂·…·lₖ` for a sequence atom (pure literals, the only form a
+/// canonical [`Conjunct`] stores). Semantics 3 asks for a consecutive
+/// split of `u` whose parts contain the factors pointwise; for literal
+/// factors that is exactly an in-order subsequence match, decided in one
+/// linear scan. The naive route — build an `Expr::Seq` and call
+/// `satisfies`, which enumerates (and clones) every split — is what the
+/// online monitor used to pay on every faithful-guard check.
+fn seq_satisfied(u: &Trace, seq: &[Literal]) -> bool {
+    let mut need = seq.iter();
+    let mut next = need.next();
+    for &l in u.events() {
+        match next {
+            None => break,
+            Some(&want) if want == l => next = need.next(),
+            Some(_) => {}
+        }
+    }
+    next.is_none()
 }
 
 /// The knowledge state of `sym` on maximal trace `u` at index `i`.
@@ -154,10 +174,7 @@ impl Conjunct {
     /// index-monotone and the trace is maximal).
     pub fn eval(&self, u: &Trace, i: usize) -> bool {
         self.masks.iter().all(|(&s, &m)| state_on(u, i, s) & m != 0)
-            && self.seqs.iter().all(|seq| {
-                let e = Expr::seq(seq.iter().map(|&l| Expr::lit(l)));
-                satisfies(u, &e)
-            })
+            && self.seqs.iter().all(|seq| seq_satisfied(u, seq))
     }
 }
 
@@ -446,6 +463,29 @@ impl Guard {
     /// announcements the owning actor must subscribe to.
     pub fn symbols(&self) -> BTreeSet<SymbolId> {
         self.conjuncts.iter().flat_map(|c| c.symbols()).collect()
+    }
+
+    /// `true` iff every symbol the guard mentions satisfies `pred` — the
+    /// allocation-free form of [`Guard::symbols`]. The online monitor asks
+    /// "are all of this guard's symbols resolved?" after every gated
+    /// firing, where materialising the symbol set would dominate the
+    /// whole check.
+    pub fn symbols_all(&self, mut pred: impl FnMut(SymbolId) -> bool) -> bool {
+        for c in &self.conjuncts {
+            for &s in c.masks.keys() {
+                if !pred(s) {
+                    return false;
+                }
+            }
+            for seq in &c.seqs {
+                for l in seq {
+                    if !pred(l.symbol()) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Replace every `◇(l₁·…·lₖ)` atom by the conjunction `◇l₁|…|◇lₖ` —

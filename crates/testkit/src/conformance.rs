@@ -81,6 +81,21 @@
 //! the fleet-scale variant, holding every instance of a
 //! [`dist::run_parallel_fleet`] run to its isolated single-queue
 //! baseline.
+//!
+//! An eleventh audit pins the *fused* monitor path to the legacy
+//! sink-driven one: [`audit_monitor_equivalence`] runs the same (spec,
+//! seed, fault plan) twice — once with the scheduler stepping the
+//! monitors directly (`ExecConfig::monitor_oracle = false`, the
+//! production default) and once with the monitors fed as an [`obs`]
+//! event sink (the pre-fusion oracle) — and demands identical verdicts,
+//! observation counters and violation-class alerts, byte for byte.
+//! Stall alerts are compared as a multiset that ignores the alert's
+//! `at` stamp: the sink oracle also sweeps its watchdogs on `CrashDrop`
+//! spans (a delivery the network dropped on the floor, so no handler
+//! runs and the fused path has no tick there), which can only shift
+//! *when* an already-inevitable stall is stamped, never whether it
+//! fires — the flagged set is identical because both paths perform the
+//! same final sweep at quiescence.
 
 use dist::{
     guard_gated, run_parallel_fleet, run_tenant, run_workflow_parallel, run_workflow_with_faults,
@@ -619,6 +634,95 @@ pub fn audit_parallel_fleet(
     (failures, fleet)
 }
 
+/// The eleventh audit: fused-monitor equivalence. Run the same
+/// scenario twice — fused stepping (the production default) and the
+/// legacy sink-driven oracle (`monitor_oracle = true`) — and compare
+/// the two monitor reports:
+///
+/// - **Run identity** first: monitors are passive observers, so the
+///   occurrence streams of the two runs must be byte-identical —
+///   otherwise the comparison below would be vacuous.
+/// - **Verdicts**, **observation counters** (`facts`,
+///   `guard_checks`, `cross_shard_divergence`) and **violation-class
+///   alerts** exactly, including timestamps.
+/// - **Stall alerts** as a multiset over (kind, node, detail),
+///   ignoring `at`: the sink oracle sweeps on `CrashDrop` spans where
+///   no handler (and hence no fused tick) runs, which can stamp an
+///   inevitable stall a little earlier but never changes the flagged
+///   set (see the module docs).
+pub fn audit_monitor_equivalence(
+    spec: &WorkflowSpec,
+    base: &ExecConfig,
+    plan: &FaultPlan,
+) -> Vec<String> {
+    let mut fused_cfg = base.clone();
+    if fused_cfg.monitor.is_none() {
+        fused_cfg.monitor = Some(monitor::MonitorConfig::default());
+    }
+    fused_cfg.monitor_oracle = false;
+    let mut oracle_cfg = fused_cfg.clone();
+    oracle_cfg.monitor_oracle = true;
+    let fused = run_workflow_with_faults(spec, fused_cfg, plan.clone());
+    let oracle = run_workflow_with_faults(spec, oracle_cfg, plan.clone());
+    let mut failures = Vec::new();
+    if fused.occurrences != oracle.occurrences {
+        failures.push(format!(
+            "runs diverged before the monitors could be compared: fused {:?} vs oracle {:?}",
+            fused.occurrences, oracle.occurrences
+        ));
+        return failures;
+    }
+    let (Some(fm), Some(om)) = (&fused.monitor, &oracle.monitor) else {
+        failures.push("monitor report missing on at least one side".to_owned());
+        return failures;
+    };
+    if fm.verdicts != om.verdicts {
+        failures.push(format!(
+            "fused and sink-driven monitors disagree on verdicts: {:?} vs {:?}",
+            fm.verdicts, om.verdicts
+        ));
+    }
+    if (fm.facts, fm.guard_checks) != (om.facts, om.guard_checks) {
+        failures.push(format!(
+            "observation counters diverge: fused ({} facts, {} guard checks) vs \
+             oracle ({} facts, {} guard checks)",
+            fm.facts, fm.guard_checks, om.facts, om.guard_checks
+        ));
+    }
+    if fm.cross_shard_divergence != om.cross_shard_divergence {
+        failures.push(format!(
+            "cross-shard divergence counters diverge: fused {} vs oracle {}",
+            fm.cross_shard_divergence, om.cross_shard_divergence
+        ));
+    }
+    let violations = |m: &monitor::MonitorReport| -> Vec<monitor::Alert> {
+        m.alerts.iter().filter(|a| a.kind.is_violation()).cloned().collect()
+    };
+    let (fv, ov) = (violations(fm), violations(om));
+    if fv != ov {
+        failures.push(format!("violation-class alerts diverge: fused {fv:?} vs oracle {ov:?}"));
+    }
+    // Stall alerts: multiset keyed by everything except `at`. The
+    // detail string embeds the round's *open* time, which both paths
+    // observe identically — only the sweep stamp may shift.
+    let stalls = |m: &monitor::MonitorReport| -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for a in m.alerts.iter().filter(|a| !a.kind.is_violation()) {
+            *counts
+                .entry(format!("[{}] node {}: {}", a.kind.tag(), a.node, a.detail))
+                .or_insert(0) += 1;
+        }
+        counts
+    };
+    let (fs, os) = (stalls(fm), stalls(om));
+    if fs != os {
+        failures.push(format!(
+            "stall-alert sets diverge (compared modulo timestamp): fused {fs:?} vs oracle {os:?}"
+        ));
+    }
+    failures
+}
+
 /// The standard fault-plan matrix exercised by `scripts/check.sh
 /// --faults`: each entry is a named plan derived from `fault_seed`. The
 /// plans stay within what the hardened protocol tolerates (lossy but
@@ -825,6 +929,22 @@ mod tests {
                 .any(|a| matches!(a.kind, monitor::AlertKind::GuardUnfaithful { .. })),
             "{mrep:?}"
         );
+    }
+
+    #[test]
+    fn fused_monitor_is_equivalent_to_the_sink_oracle() {
+        // The eleventh audit across the whole fault matrix, including
+        // the crash plan whose CrashDrop sweeps are the one known
+        // timestamp divergence between the two stepping modes.
+        let spec = mutual_promise_spec();
+        for seed in [0u64, 7, 23] {
+            let mut config = ExecConfig::seeded(seed);
+            config.reliable = Some(dist::ReliableConfig::default());
+            for (name, plan) in standard_plans(seed ^ 0x5EED) {
+                let failures = audit_monitor_equivalence(&spec, &config, &plan);
+                assert_eq!(failures, Vec::<String>::new(), "{name}/seed {seed}");
+            }
+        }
     }
 
     #[test]

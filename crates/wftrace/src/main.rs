@@ -13,8 +13,8 @@
 use constrained_events::WorkflowBuilder;
 use dist::ExecConfig;
 use obs::{
-    causal_audit, chrome_trace, explain, stats_text, Dag, ObsLit, RecordConfig, Recording, SpanId,
-    SpanKind, TraceEvent,
+    causal_audit, chrome_trace, explain, sampling_text, stats_text, Dag, ObsLit, RecordConfig,
+    Recording, SpanId, SpanKind, TraceEvent,
 };
 use std::io::Write;
 use std::process::ExitCode;
@@ -25,7 +25,7 @@ wftrace - record and inspect flight-recorder traces of workflow runs
 USAGE:
     wftrace record --spec <SPEC.wf> --out <TRACE.json> [OPTIONS]
     wftrace explain --event <NAME> [--at <T>] <TRACE.json>
-    wftrace stats <TRACE.json>
+    wftrace stats [--sampled] <TRACE.json>
     wftrace audit <TRACE.json>
     wftrace query [FILTERS] <TRACE.json>
     wftrace query --from <SEL> --to <SEL> <TRACE.json>
@@ -38,6 +38,12 @@ RECORD OPTIONS:
                       partition, crash, chaos (default: no faults)
     --reliable        enable the at-least-once transport (implied by
                       any --plan other than clean)
+    --sample <N>      keep 1-in-N non-safety spans (deterministic,
+                      seeded off --seed); safety spans always kept
+
+STATS:
+    --sampled         append the sampling report: observed keep rate
+                      and extrapolated true per-kind counts
 
 EXPLAIN:
     --event <NAME>    the event to justify (e.g. buy::commit); prefix
@@ -135,7 +141,7 @@ impl Opts {
 }
 
 fn cmd_record(opts: &Opts) -> Result<(), String> {
-    opts.check_known(&["spec", "out", "seed", "plan", "reliable"])?;
+    opts.check_known(&["spec", "out", "seed", "plan", "reliable", "sample"])?;
     let spec_path = opts.value("spec").ok_or("record requires --spec <SPEC.wf>")?;
     let out_path = opts.value("out").ok_or("record requires --out <TRACE.json>")?;
     let seed: u64 = match opts.value("seed") {
@@ -155,7 +161,15 @@ fn cmd_record(opts: &Opts) -> Result<(), String> {
     }
 
     let mut config = ExecConfig::seeded(seed);
-    config.record = Some(RecordConfig::default());
+    config.record = Some(match opts.value("sample") {
+        // Sampling keys its deterministic coin off the sim seed, so a
+        // re-recorded (spec, seed, rate) elides the exact same spans.
+        Some(n) => {
+            let n: u32 = n.parse().map_err(|_| format!("invalid sample rate '{n}'"))?;
+            RecordConfig::default().sampled(n, seed)
+        }
+        None => RecordConfig::default(),
+    });
     let plan_name = opts.value("plan");
     if opts.has("reliable") || plan_name.is_some_and(|p| p != "clean") {
         config.reliable = Some(dist::ReliableConfig::default());
@@ -175,9 +189,10 @@ fn cmd_record(opts: &Opts) -> Result<(), String> {
     rec.workflow = spec_path.to_owned();
     std::fs::write(out_path, rec.to_json_string()).map_err(|e| format!("{out_path}: {e}"))?;
     println!(
-        "recorded {} events ({} dropped) over {} virtual time units -> {out_path}",
+        "recorded {} events ({} dropped, {} sampled out) over {} virtual time units -> {out_path}",
         rec.events.len(),
         rec.dropped,
+        rec.sampled_out,
         report.duration
     );
     Ok(())
@@ -392,7 +407,7 @@ fn main() -> ExitCode {
     let (cmd, rest) = argv.split_first().expect("nonempty");
     let value_flags = [
         "spec", "out", "seed", "plan", "event", "at", "kind", "node", "site", "window", "from",
-        "to", "timeline", "budget",
+        "to", "timeline", "budget", "sample",
     ];
     let opts = match Opts::parse(rest, &value_flags) {
         Ok(o) => o,
@@ -431,12 +446,15 @@ fn main() -> ExitCode {
             }
         }
         "stats" => {
-            if let Err(e) = opts.check_known(&[]) {
+            if let Err(e) = opts.check_known(&["sampled"]) {
                 return fail(&e);
             }
             match single_trace(&opts) {
                 Ok(rec) => {
                     let _ = std::io::stdout().write_all(stats_text(&rec).as_bytes());
+                    if opts.has("sampled") {
+                        let _ = std::io::stdout().write_all(sampling_text(&rec).as_bytes());
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => fail(&e),

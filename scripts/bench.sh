@@ -5,9 +5,12 @@
 # end-to-end pipeline10 schedule, product reachability),
 # BENCH_obs.json with the flight recorder's recorder-on vs recorder-off
 # end-to-end delta, BENCH_monitor.json with the online runtime monitors'
-# armed vs disarmed end-to-end delta, and BENCH_scale.json with the
+# armed vs disarmed end-to-end delta (the fused scheduler-stepped path,
+# the legacy sink-driven oracle for comparison, and a monitored
+# multi-tenant fleet's throughput), and BENCH_scale.json with the
 # multi-tenant engine's throughput on a 1,000-instance open-loop fleet
-# (120 instances in --quick mode), and BENCH_parallel.json with the
+# (120 instances in --quick mode) run with monitors armed and per-shard
+# telemetry recorded, and BENCH_parallel.json with the
 # work-stealing runtime's modeled 1/2/4/8-worker core-scaling sweep on
 # the pipeline10 fleet.
 #

@@ -23,6 +23,16 @@
 # quiesce, and the emitted JSON must match the committed
 # BENCH_scale.json schema.
 #
+# `check.sh --obs` runs the always-on observability tier: the
+# `conformance --monitor-equiv` audit proves the fused (scheduler-stepped)
+# monitor path produces the same verdicts, counters, and alerts as the
+# legacy sink-driven oracle across the standard fault-plan matrix on 20
+# seeds, and `perfprobe --quick --monitor-out` drives a monitored
+# multi-tenant fleet through `dist::run_tenant` (monitors armed on every
+# instance), gating on zero violations. The committed full-run
+# BENCH_monitor.json / BENCH_obs.json overhead ratios are enforced by the
+# tier-1 gate below (<= 1.10 armed-monitor, <= 1.15 recorder).
+#
 # `check.sh --parallel` runs the work-stealing runtime tier: the
 # `conformance --parallel` audit proves the sharded runtime reproduces
 # the deterministic simulator oracle on the standard fault-free matrix,
@@ -107,6 +117,30 @@ PY
     exit 0
 fi
 
+if [ "${1:-}" = "--obs" ]; then
+    echo "==> cargo build --release --bin conformance --bin perfprobe"
+    cargo build --release --bin conformance --bin perfprobe
+    echo "==> conformance --monitor-equiv (fused monitor vs sink oracle, 20 seeds)"
+    "$REPO/target/release/conformance" --monitor-equiv --seeds 20 \
+        "$REPO/examples/specs/travel.wf" "$REPO/examples/specs/pipeline10.wf"
+    OBS_TMP="$(mktemp -d)"
+    trap 'rm -rf "$OBS_TMP"' EXIT
+    echo "==> perfprobe --quick --monitor-out (monitored tenant-fleet smoke)"
+    "$REPO/target/release/perfprobe" --quick --monitor-out "$OBS_TMP/BENCH_monitor.json"
+    python3 - "$OBS_TMP/BENCH_monitor.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+fleet = data["monitored_fleet"]
+assert fleet["monitor_violations"] == 0, "monitored fleet raised violations"
+assert fleet["instances"] > 0 and fleet["events"] > 0, "empty monitored fleet"
+assert fleet["monitor_facts"] > 0, "armed monitors recorded no facts"
+print("monitored fleet ok:", fleet["instances"], "instances,",
+      fleet["events"], "events,", fleet["monitor_facts"], "monitor facts")
+PY
+    echo "==> obs tier passed"
+    exit 0
+fi
+
 if [ "${1:-}" = "--faults" ]; then
     echo "==> cargo build --release --bin conformance"
     cargo build --release --bin conformance
@@ -167,10 +201,13 @@ repo = sys.argv[1]
 schemas = {
     "BENCH_algebra.json": {"spec", "quick", "benches"},
     "BENCH_obs.json": {"spec", "quick", "recorder_off_ns", "recorder_on_ns", "overhead"},
-    "BENCH_monitor.json": {"spec", "quick", "monitor_off_ns", "monitor_on_ns", "overhead"},
+    "BENCH_monitor.json": {"spec", "quick", "monitor_off_ns", "monitor_on_ns",
+                           "overhead", "oracle_on_ns", "oracle_overhead",
+                           "monitored_fleet"},
     "BENCH_scale.json": {"spec", "quick", "instances", "events", "shards",
                          "quiesced", "exhausted", "makespan", "fire_p50",
-                         "fire_p99", "instances_per_sec", "events_per_sec"},
+                         "fire_p99", "instances_per_sec", "events_per_sec",
+                         "monitors_armed", "monitor_violations", "per_shard"},
     "BENCH_parallel.json": {"spec", "quick", "instances", "events", "shards",
                             "rounds", "max_round_width", "wall_ns", "busy_ns",
                             "merge_ns", "metric", "speedup_4_vs_1", "sweep"},
@@ -187,6 +224,19 @@ for name, required in schemas.items():
         assert data["speedup_4_vs_1"] >= 2.5, (
             f"committed parallel bench regressed: 4-worker speedup "
             f"{data['speedup_4_vs_1']} < 2.5")
+    if name == "BENCH_monitor.json":
+        assert data["overhead"] <= 1.10, (
+            f"committed armed-monitor bench regressed: fused overhead "
+            f"{data['overhead']} > 1.10")
+        assert data["monitored_fleet"]["monitor_violations"] == 0, (
+            "committed monitored fleet recorded violations")
+    if name == "BENCH_obs.json":
+        assert data["overhead"] <= 1.15, (
+            f"committed recorder bench regressed: overhead "
+            f"{data['overhead']} > 1.15")
+    if name == "BENCH_scale.json":
+        assert data["monitors_armed"] is True, "scale fleet ran unmonitored"
+        assert data["monitor_violations"] == 0, "scale fleet recorded violations"
 print("BENCH schemas ok:", ", ".join(sorted(schemas)))
 PY
 

@@ -111,6 +111,17 @@ cargo run --offline -q -p constrained-events-repro --bin perfprobe -- \
 ./target/debug/perfprobe --quick --scale-out "$SHADOW/BENCH_scale_smoke.json"
 grep -q '"exhausted": 0' "$SHADOW/BENCH_scale_smoke.json"
 
+# Smoke the observability tier (mirrors check.sh --obs): the fused
+# scheduler-stepped monitor must match the legacy sink-driven oracle's
+# verdicts, counters, and alerts across the standard fault-plan matrix,
+# and the quick monitored tenant fleet (embedded in --monitor-out above)
+# must report zero violations.
+cargo run --offline -q -p constrained-events-repro --bin conformance -- \
+    --monitor-equiv --seeds 5 \
+    "$SHADOW/root/examples/specs/travel.wf" \
+    "$SHADOW/root/examples/specs/pipeline10.wf"
+grep -q '"monitor_violations": 0' "$SHADOW/BENCH_monitor_smoke.json"
+
 # Smoke the work-stealing runtime probe (mirrors check.sh --parallel):
 # the quick pipeline10 fleet through dist::run_parallel_fleet; the probe
 # itself asserts every instance satisfies its workflow and that a live

@@ -16,22 +16,36 @@
 //! executor across worker counts 1/2/4, held to the single-queue
 //! simulator oracle (`testkit::conformance::audit_parallel_conformance`)
 //! for each seed.
+//!
+//! `--monitor-equiv` switches to the eleventh audit: every spec runs
+//! each (seed, fault plan) scenario twice — fused monitor stepping vs
+//! the legacy sink-driven oracle — and the two monitor reports must
+//! agree (`testkit::conformance::audit_monitor_equivalence`).
 
 use analyze::{analyze_workflow, AnalyzeOptions, Severity};
 use constrained_events::{ExecConfig, LoweredWorkflow, ReliableConfig, WorkflowBuilder};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use testkit::conformance::{audit_parallel_conformance, explore, standard_plans};
+use testkit::conformance::{
+    audit_monitor_equivalence, audit_parallel_conformance, explore, standard_plans,
+};
 
 struct Args {
     seeds: u64,
     max_steps: u64,
     parallel: bool,
+    monitor_equiv: bool,
     specs: Vec<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { seeds: 10, max_steps: 2_000_000, parallel: false, specs: Vec::new() };
+    let mut args = Args {
+        seeds: 10,
+        max_steps: 2_000_000,
+        parallel: false,
+        monitor_equiv: false,
+        specs: Vec::new(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -44,8 +58,12 @@ fn parse_args() -> Result<Args, String> {
                 args.max_steps = v.parse().map_err(|e| format!("--max-steps {v}: {e}"))?;
             }
             "--parallel" => args.parallel = true,
+            "--monitor-equiv" => args.monitor_equiv = true,
             "--help" | "-h" => {
-                println!("usage: conformance [--seeds N] [--max-steps N] [--parallel] [SPEC.wf ...]");
+                println!(
+                    "usage: conformance [--seeds N] [--max-steps N] [--parallel] \
+                     [--monitor-equiv] [SPEC.wf ...]"
+                );
                 std::process::exit(0);
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
@@ -108,6 +126,43 @@ fn main() -> ExitCode {
         let mut config = ExecConfig::seeded(0);
         config.reliable = Some(ReliableConfig::default());
         config.max_steps = args.max_steps;
+
+        if args.monitor_equiv {
+            // Eleventh audit: fused monitor stepping vs the sink-driven
+            // oracle over the full (seed x fault plan) matrix.
+            let mut failures = Vec::new();
+            for seed in 0..args.seeds {
+                let mut cfg = config.clone();
+                cfg.sim.seed = seed;
+                for (plan_name, plan) in standard_plans(seed ^ 0x5EED) {
+                    failures.extend(
+                        audit_monitor_equivalence(&workflow.spec, &cfg, &plan)
+                            .into_iter()
+                            .map(|f| format!("[{}/{plan_name}/seed {seed}] {f}", workflow.name)),
+                    );
+                }
+            }
+            let scenarios = args.seeds * plan_count;
+            if failures.is_empty() {
+                println!(
+                    "conformance: {:<12} {} monitor-equivalence scenarios ok \
+                     ({} seeds x {} plans, fused == sink oracle)",
+                    workflow.name, scenarios, args.seeds, plan_count
+                );
+            } else {
+                for f in &failures {
+                    eprintln!("FAIL {f}");
+                }
+                eprintln!(
+                    "conformance: {:<12} {}/{} monitor-equivalence scenarios nonconforming",
+                    workflow.name,
+                    failures.len(),
+                    scenarios
+                );
+                total_failures += failures.len();
+            }
+            continue;
+        }
 
         if args.parallel {
             // Tenth audit: fault-free parallel runs across worker counts,

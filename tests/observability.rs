@@ -63,6 +63,55 @@ fn causal_audit_green_across_fault_matrix() {
 }
 
 #[test]
+fn ring_overflow_truncates_but_stays_causally_sound() {
+    // Regression: a ring far too small for the travel workflow must
+    // overflow loudly — `dropped` counted in the recording AND surfaced
+    // as the `obs.recorder.dropped_spans` metric — while the causal
+    // audit still accepts the truncated DAG (dangling parents are
+    // excused only because the recording admits to the loss).
+    let workflow = travel();
+    let mut config = ExecConfig::seeded(3);
+    config.record = Some(RecordConfig::with_capacity(32));
+    let report = workflow.run_with(config);
+    assert!(report.all_satisfied(), "{report:?}");
+    let rec = report.recording.as_ref().expect("recording on");
+    assert!(rec.dropped > 0, "capacity 32 must overflow on travel");
+    assert_eq!(rec.events.len(), 32, "ring keeps exactly its capacity");
+    assert_eq!(
+        report.metrics.counter("obs.recorder.dropped_spans", &[]),
+        Some(rec.dropped),
+        "dropped spans must reach the metrics snapshot"
+    );
+    assert_eq!(obs::causal_audit(rec), Vec::<String>::new());
+}
+
+#[test]
+fn sampled_recording_keeps_safety_spans_exact() {
+    // Deterministic sampling: non-safety spans are elided by the
+    // seed-derived coin, safety-class spans survive untouched, the
+    // elision is counted, and the thinned DAG still passes the causal
+    // audit (span ids are allocated before the coin flip, so parent
+    // edges stay stable whatever the rate).
+    let workflow = travel();
+    let full = workflow.run_with(recording_config(3));
+    let frec = full.recording.as_ref().expect("recording on");
+    let mut config = ExecConfig::seeded(3);
+    config.record = Some(RecordConfig::default().sampled(4, 0xC0FFEE));
+    let sampled = workflow.run_with(config);
+    let srec = sampled.recording.as_ref().expect("recording on");
+    assert!(srec.sampled_out > 0, "rate 1/4 must elide something on travel");
+    assert_eq!(
+        srec.events.len() as u64 + srec.sampled_out,
+        frec.events.len() as u64,
+        "every span is either kept or counted as sampled out"
+    );
+    let safety = |rec: &obs::Recording| rec.events.iter().filter(|e| e.kind.is_safety()).count();
+    assert_eq!(safety(srec), safety(frec), "safety-class spans are never sampled");
+    assert_eq!(sampled.metrics.counter("obs.recorder.sampled_out", &[]), Some(srec.sampled_out));
+    assert_eq!(obs::causal_audit(srec), Vec::<String>::new());
+}
+
+#[test]
 fn metrics_snapshot_subsumes_net_and_fault_stats() {
     let workflow = travel();
     // Recorder OFF: the metrics registry must still be populated, and
